@@ -1,0 +1,540 @@
+//! Concurrent database search (Figure 8 and §4.2 of the paper).
+//!
+//! "Here 16 transputers are connected into a square array with search
+//! requests input at one corner of the array, and answers being output
+//! from the other corner. Each transputer keeps a small part of the
+//! database in its local memory. ... A search request is forwarded to any
+//! connected transputer which has not yet received the request and
+//! simultaneously a search is made through the local data. ... answers
+//! \[are\] merged with the answer generated from the local data and
+//! forwarded."
+//!
+//! The flood and merge are deterministic here: requests enter at the
+//! north-west corner, propagate east along every row and south along
+//! column 0; partial answers accumulate eastwards along each row and then
+//! southwards down the last column, leaving at the south-east corner.
+//! Requests pipeline: "requests can be pipelined through the system with
+//! a further request being input before the previous one has come out"
+//! (§4.2).
+//!
+//! Every node runs the same occam program (specialised only by its edge
+//! position), compiled by the `occam` crate and executed on emulated
+//! transputers wired with bit-level links.
+
+use crate::workload::{Workload, RECORD_WORDS};
+use occam::places;
+use transputer::WordLength;
+use transputer_net::topology::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+use transputer_net::{Network, NetworkBuilder, NetworkConfig, NodeId, SimError};
+
+/// Configuration of a database-search array.
+#[derive(Debug, Clone)]
+pub struct DbSearchConfig {
+    /// Grid width (≥ 2).
+    pub width: usize,
+    /// Grid height (≥ 2).
+    pub height: usize,
+    /// Records held by each transputer (the paper: 200).
+    pub records_per_node: usize,
+    /// Number of pipelined search requests to issue.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Key space size (controls expected match counts).
+    pub key_space: u32,
+    /// Network configuration.
+    pub net: NetworkConfig,
+}
+
+impl DbSearchConfig {
+    /// Figure 8: 16 transputers in a square array.
+    pub fn figure8() -> DbSearchConfig {
+        DbSearchConfig {
+            width: 4,
+            height: 4,
+            records_per_node: 200,
+            requests: 4,
+            seed: 1985,
+            key_space: 500,
+            net: NetworkConfig::default(),
+        }
+    }
+
+    /// §4.2: the 128-transputer board holding 25 600 records.
+    pub fn board128() -> DbSearchConfig {
+        DbSearchConfig {
+            width: 16,
+            height: 8,
+            records_per_node: 200,
+            requests: 4,
+            seed: 1985,
+            key_space: 2000,
+            net: NetworkConfig::default(),
+        }
+    }
+
+    /// Total records in the array.
+    pub fn total_records(&self) -> usize {
+        self.width * self.height * self.records_per_node
+    }
+
+    /// The longest request path in links: across the top row plus down
+    /// column 0, then the answer path back along the bottom row and down
+    /// the last column is symmetric. (§4.2's "longest path across the
+    /// system".)
+    pub fn longest_path_links(&self) -> usize {
+        (self.width - 1) + (self.height - 1)
+    }
+}
+
+/// A built, loaded search array ready to run.
+#[derive(Debug)]
+pub struct DbSearch {
+    config: DbSearchConfig,
+    net: Network,
+    collector: NodeId,
+    collector_word: WordLength,
+    got_addr: u32,
+    answers_addr: u32,
+    expected: Vec<u32>,
+    node_ids: Vec<NodeId>,
+}
+
+/// Results of a search run.
+#[derive(Debug, Clone)]
+pub struct DbSearchReport {
+    /// Match counts received at the output corner, in request order.
+    pub answers: Vec<u32>,
+    /// Reference answers computed in Rust from the same records.
+    pub expected: Vec<u32>,
+    /// Simulated nanoseconds at which each answer arrived.
+    pub answer_times_ns: Vec<u64>,
+    /// Time of the first answer: request propagation + one search wave +
+    /// answer merge (the paper's ~1.3 ms for 25 000 records).
+    pub first_answer_ns: u64,
+    /// Mean gap between consecutive answers once the pipeline is full —
+    /// the reciprocal of the search throughput.
+    pub pipeline_interval_ns: u64,
+    /// Total simulated time.
+    pub total_ns: u64,
+    /// Longest request path in links.
+    pub longest_path_links: usize,
+    /// Total records searched per request.
+    pub total_records: usize,
+    /// Instructions executed across all array nodes.
+    pub total_instructions: u64,
+}
+
+impl DbSearchReport {
+    /// Whether every answer matched the reference count.
+    pub fn all_correct(&self) -> bool {
+        self.answers == self.expected
+    }
+
+    /// Searches per second once the pipeline is full.
+    pub fn throughput_per_sec(&self) -> f64 {
+        if self.pipeline_interval_ns == 0 {
+            0.0
+        } else {
+            1e9 / self.pipeline_interval_ns as f64
+        }
+    }
+}
+
+impl DbSearch {
+    /// Build the array: generate per-node occam, compile, wire, load,
+    /// and poke the synthetic database into each node's memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and load failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 2×2.
+    pub fn build(config: DbSearchConfig) -> Result<DbSearch, Box<dyn std::error::Error>> {
+        assert!(
+            config.width >= 2 && config.height >= 2,
+            "grid must be at least 2x2"
+        );
+        let (w, h) = (config.width, config.height);
+        let mut b = NetworkBuilder::new(config.net.clone());
+        let node_ids: Vec<NodeId> = (0..w * h).map(|_| b.add_node()).collect();
+        let at = |x: usize, y: usize| node_ids[y * w + x];
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    b.connect((at(x, y), PORT_EAST), (at(x + 1, y), PORT_WEST));
+                }
+                if y + 1 < h {
+                    b.connect((at(x, y), PORT_SOUTH), (at(x, y + 1), PORT_NORTH));
+                }
+            }
+        }
+        let sender = b.add_node();
+        let collector = b.add_node();
+        b.connect((sender, PORT_SOUTH), (at(0, 0), PORT_NORTH));
+        b.connect((at(w - 1, h - 1), PORT_SOUTH), (collector, PORT_NORTH));
+        let mut net = b.build();
+
+        // Per-node programs and databases.
+        let mut workload = Workload::new(config.seed, config.key_space);
+        let mut all_records: Vec<Vec<u32>> = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let src = node_source(x, y, w, h, config.records_per_node);
+                let program = occam::compile(&src)
+                    .map_err(|e| format!("node ({x},{y}) source failed to compile: {e}\n{src}"))?;
+                let cpu = net.node_mut(at(x, y));
+                let word = cpu.word_length();
+                let wptr = program.load(cpu)?;
+                let records = workload.records(config.records_per_node);
+                let db_addr = program
+                    .global_addr(word, wptr, "db")
+                    .ok_or("node program lacks a db vector")?;
+                for (i, v) in records.iter().enumerate() {
+                    cpu.poke_word(word.index_word(db_addr, i as u32), *v)?;
+                }
+                // Reference counting respects the node's word width.
+                let records = records.iter().map(|v| word.mask(*v)).collect();
+                all_records.push(records);
+            }
+        }
+
+        // Keys (plus the poison terminator) into the sender.
+        let keys = workload.keys(config.requests);
+        let sender_src = sender_source(config.requests);
+        let sender_prog = occam::compile(&sender_src)?;
+        let cpu = net.node_mut(sender);
+        let word = cpu.word_length();
+        let wptr = sender_prog.load(cpu)?;
+        let keys_addr = sender_prog
+            .global_addr(word, wptr, "keys")
+            .ok_or("sender lacks keys vector")?;
+        for (i, k) in keys.iter().enumerate() {
+            cpu.poke_word(word.index_word(keys_addr, i as u32), *k)?;
+        }
+        cpu.poke_word(
+            word.index_word(keys_addr, config.requests as u32),
+            word.mask(u32::MAX), // poison = -1
+        )?;
+
+        // Collector.
+        let collector_src = collector_source(config.requests);
+        let collector_prog = occam::compile(&collector_src)?;
+        let cpu = net.node_mut(collector);
+        let collector_word = cpu.word_length();
+        let cwptr = collector_prog.load(cpu)?;
+        let got_addr = collector_prog
+            .global_addr(word, cwptr, "got")
+            .ok_or("collector lacks got counter")?;
+        let answers_addr = collector_prog
+            .global_addr(word, cwptr, "answers")
+            .ok_or("collector lacks answers vector")?;
+
+        // Reference answers: each request key against every record.
+        let expected = keys
+            .iter()
+            .map(|k| {
+                all_records
+                    .iter()
+                    .map(|r| Workload::count_matches(r, *k))
+                    .sum()
+            })
+            .collect();
+
+        Ok(DbSearch {
+            config,
+            net,
+            collector,
+            collector_word,
+            got_addr,
+            answers_addr,
+            expected,
+            node_ids,
+        })
+    }
+
+    /// Access the underlying network (for instrumentation).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Run the search to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation faults and budget exhaustion.
+    pub fn run(mut self, budget_ns: u64) -> Result<DbSearchReport, SimError> {
+        let n = self.config.requests;
+        let mut answer_times = vec![0u64; n];
+        let mut seen = 0usize;
+        let collector = self.collector;
+        let got_addr = self.got_addr;
+        self.net.run_until(budget_ns, |net| {
+            let got = net.node(collector).inspect_word(got_addr).unwrap_or(0) as usize;
+            while seen < got.min(n) {
+                answer_times[seen] = net.time_ns();
+                seen += 1;
+            }
+            if net.all_halted() {
+                Some(transputer_net::SimOutcome::AllHalted)
+            } else {
+                None
+            }
+        })?;
+
+        let word = self.collector_word;
+        let answers: Vec<u32> = (0..n)
+            .map(|i| {
+                self.net
+                    .node(self.collector)
+                    .inspect_word(word.index_word(self.answers_addr, i as u32))
+                    .unwrap_or(u32::MAX)
+            })
+            .collect();
+        let first = answer_times.first().copied().unwrap_or(0);
+        let pipeline_interval = if n >= 2 {
+            (answer_times[n - 1] - answer_times[0]) / (n as u64 - 1)
+        } else {
+            0
+        };
+        let total_instructions = self
+            .node_ids
+            .iter()
+            .map(|id| self.net.node(*id).stats().instructions)
+            .sum();
+        Ok(DbSearchReport {
+            answers,
+            expected: self.expected,
+            answer_times_ns: answer_times,
+            first_answer_ns: first,
+            pipeline_interval_ns: pipeline_interval,
+            total_ns: self.net.time_ns(),
+            longest_path_links: self.config.longest_path_links(),
+            total_records: self.config.total_records(),
+            total_instructions,
+        })
+    }
+}
+
+/// Occam source for the array node at `(x, y)`.
+fn node_source(x: usize, y: usize, w: usize, h: usize, nrec: usize) -> String {
+    let mut s = String::new();
+    let words = nrec * RECORD_WORDS;
+    s.push_str(&format!("DEF nrec = {nrec}:\n"));
+    s.push_str(&format!("VAR db[{words}]:\n"));
+    s.push_str("VAR going, key, count, partial:\n");
+    // Request input: west for inner columns, north for column 0 and the
+    // origin (whose north link goes to the host).
+    let reqin_place = if x > 0 {
+        places::link_in(PORT_WEST as u32)
+    } else {
+        places::link_in(PORT_NORTH as u32)
+    };
+    s.push_str("CHAN reqin:\n");
+    s.push_str(&format!("PLACE reqin AT {reqin_place}:\n"));
+    if x + 1 < w {
+        s.push_str("CHAN east:\n");
+        s.push_str(&format!(
+            "PLACE east AT {}:\n",
+            places::link_out(PORT_EAST as u32)
+        ));
+    }
+    if x == 0 && y + 1 < h {
+        s.push_str("CHAN southreq:\n");
+        s.push_str(&format!(
+            "PLACE southreq AT {}:\n",
+            places::link_out(PORT_SOUTH as u32)
+        ));
+    }
+    if x == w - 1 && y > 0 {
+        s.push_str("CHAN northin:\n");
+        s.push_str(&format!(
+            "PLACE northin AT {}:\n",
+            places::link_in(PORT_NORTH as u32)
+        ));
+    }
+    if x == w - 1 {
+        s.push_str("CHAN ansout:\n");
+        s.push_str(&format!(
+            "PLACE ansout AT {}:\n",
+            places::link_out(PORT_SOUTH as u32)
+        ));
+    }
+    s.push_str("SEQ\n");
+    s.push_str("  going := TRUE\n");
+    s.push_str("  WHILE going\n");
+    s.push_str("    SEQ\n");
+    s.push_str("      reqin ? key\n");
+    s.push_str("      IF\n");
+    s.push_str("        key = -1\n");
+    s.push_str("          SEQ\n");
+    if x + 1 < w {
+        s.push_str("            east ! -1\n");
+    }
+    if x == 0 && y + 1 < h {
+        s.push_str("            southreq ! -1\n");
+    }
+    s.push_str("            going := FALSE\n");
+    s.push_str("        TRUE\n");
+    s.push_str("          SEQ\n");
+    // Forward the request before searching, so the flood proceeds while
+    // the local search runs (§4.2).
+    if x + 1 < w {
+        s.push_str("            east ! key\n");
+    }
+    if x == 0 && y + 1 < h {
+        s.push_str("            southreq ! key\n");
+    }
+    s.push_str("            count := 0\n");
+    s.push_str("            SEQ i = [0 FOR nrec]\n");
+    s.push_str("              IF\n");
+    s.push_str("                db[i * 4] = key\n");
+    s.push_str("                  count := count + 1\n");
+    s.push_str("                TRUE\n");
+    s.push_str("                  SKIP\n");
+    if x > 0 {
+        s.push_str("            reqin ? partial\n");
+        s.push_str("            count := count + partial\n");
+    }
+    if x == w - 1 && y > 0 {
+        s.push_str("            northin ? partial\n");
+        s.push_str("            count := count + partial\n");
+    }
+    if x + 1 < w {
+        s.push_str("            east ! count\n");
+    } else {
+        s.push_str("            ansout ! count\n");
+    }
+    s
+}
+
+/// Occam source for the request-injecting host.
+fn sender_source(nreq: usize) -> String {
+    format!(
+        "VAR keys[{size}]:\n\
+         CHAN out:\n\
+         PLACE out AT {place}:\n\
+         SEQ k = [0 FOR {count}]\n\
+         \x20 out ! keys[k]\n",
+        size = nreq + 1,
+        place = places::link_out(PORT_SOUTH as u32),
+        count = nreq + 1,
+    )
+}
+
+/// Occam source for the answer-collecting host.
+fn collector_source(nreq: usize) -> String {
+    format!(
+        "VAR answers[{nreq}]:\n\
+         VAR got:\n\
+         CHAN in:\n\
+         PLACE in AT {place}:\n\
+         SEQ\n\
+         \x20 got := 0\n\
+         \x20 SEQ k = [0 FOR {nreq}]\n\
+         \x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20 in ? answers[k]\n\
+         \x20\x20\x20\x20\x20 got := got + 1\n",
+        place = places::link_in(PORT_NORTH as u32),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_array_answers_correctly() {
+        let config = DbSearchConfig {
+            width: 2,
+            height: 2,
+            records_per_node: 12,
+            requests: 3,
+            seed: 7,
+            key_space: 20,
+            net: NetworkConfig::default(),
+        };
+        let sim = DbSearch::build(config).expect("builds");
+        let report = sim.run(2_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(report.first_answer_ns > 0);
+        assert_eq!(report.total_records, 48);
+    }
+
+    #[test]
+    fn three_by_three_pipeline() {
+        let config = DbSearchConfig {
+            width: 3,
+            height: 3,
+            records_per_node: 10,
+            requests: 4,
+            seed: 11,
+            key_space: 15,
+            net: NetworkConfig::default(),
+        };
+        let sim = DbSearch::build(config).expect("builds");
+        let report = sim.run(5_000_000_000).expect("runs");
+        assert!(report.all_correct());
+        // With pipelining the inter-answer gap is much smaller than the
+        // first-answer latency (propagation + search).
+        assert!(report.pipeline_interval_ns > 0);
+        assert!(report.pipeline_interval_ns < report.first_answer_ns);
+    }
+
+    #[test]
+    fn node_source_compiles_for_all_positions() {
+        for (x, y) in [
+            (0, 0),
+            (1, 0),
+            (3, 0),
+            (0, 1),
+            (3, 1),
+            (0, 3),
+            (3, 3),
+            (2, 2),
+        ] {
+            let src = node_source(x, y, 4, 4, 5);
+            occam::compile(&src).unwrap_or_else(|e| panic!("({x},{y}): {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn search_array_of_16_bit_parts() {
+        // §3.3's word-length independence at application level: the same
+        // generated occam runs the search on a grid of T222s.
+        let config = DbSearchConfig {
+            width: 2,
+            height: 2,
+            records_per_node: 8,
+            requests: 2,
+            seed: 21,
+            key_space: 12,
+            net: transputer_net::NetworkConfig {
+                cpu: transputer::CpuConfig::t222(),
+                ..transputer_net::NetworkConfig::default()
+            },
+        };
+        let sim = DbSearch::build(config).expect("builds");
+        let report = sim.run(2_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+    }
+
+    #[test]
+    fn longest_path_matches_grid() {
+        assert_eq!(DbSearchConfig::figure8().longest_path_links(), 6);
+        assert_eq!(DbSearchConfig::board128().longest_path_links(), 22);
+        assert_eq!(DbSearchConfig::board128().total_records(), 25_600);
+    }
+}

@@ -1,0 +1,101 @@
+//! Synthetic data generation.
+//!
+//! §4.2 of the paper assumes "each record is 16 bytes long, and ... a
+//! search key is four bytes long" — one machine word of key and three of
+//! payload on a 32-bit part. The paper's own data is synthetic, so the
+//! substitution here is exact in structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Words per record: 4 words = 16 bytes (§4.2).
+pub const RECORD_WORDS: usize = 4;
+
+/// Deterministic workload generator.
+#[derive(Debug)]
+pub struct Workload {
+    rng: StdRng,
+    key_space: u32,
+}
+
+impl Workload {
+    /// A generator with a fixed seed and key space. Keys are drawn from
+    /// `[1, key_space]`; 0 and negative values are reserved for protocol
+    /// use (poison).
+    pub fn new(seed: u64, key_space: u32) -> Workload {
+        Workload {
+            rng: StdRng::seed_from_u64(seed),
+            key_space: key_space.max(1),
+        }
+    }
+
+    /// Generate `n` records: each is `RECORD_WORDS` words, word 0 the key.
+    pub fn records(&mut self, n: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(n * RECORD_WORDS);
+        for _ in 0..n {
+            out.push(self.rng.gen_range(1..=self.key_space));
+            for _ in 1..RECORD_WORDS {
+                out.push(self.rng.gen());
+            }
+        }
+        out
+    }
+
+    /// Generate `n` search keys from the same space.
+    pub fn keys(&mut self, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|_| self.rng.gen_range(1..=self.key_space))
+            .collect()
+    }
+
+    /// Count matches of `key` in a record vector (reference answer).
+    pub fn count_matches(records: &[u32], key: u32) -> u32 {
+        records
+            .chunks_exact(RECORD_WORDS)
+            .filter(|r| r[0] == key)
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Workload::new(42, 100);
+        let mut b = Workload::new(42, 100);
+        assert_eq!(a.records(10), b.records(10));
+        assert_eq!(a.keys(5), b.keys(5));
+    }
+
+    #[test]
+    fn record_shape() {
+        let mut w = Workload::new(1, 50);
+        let r = w.records(7);
+        assert_eq!(r.len(), 7 * RECORD_WORDS);
+        for rec in r.chunks_exact(RECORD_WORDS) {
+            assert!((1..=50).contains(&rec[0]));
+        }
+    }
+
+    #[test]
+    fn reference_matcher() {
+        let records = vec![
+            5, 0, 0, 0, //
+            7, 1, 1, 1, //
+            5, 2, 2, 2, //
+        ];
+        assert_eq!(Workload::count_matches(&records, 5), 2);
+        assert_eq!(Workload::count_matches(&records, 7), 1);
+        assert_eq!(Workload::count_matches(&records, 9), 0);
+    }
+
+    #[test]
+    fn keys_avoid_reserved_values() {
+        let mut w = Workload::new(3, 10);
+        for k in w.keys(1000) {
+            assert!(k >= 1);
+        }
+    }
+}

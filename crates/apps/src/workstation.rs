@@ -1,0 +1,365 @@
+//! The personal workstation of Figure 6.
+//!
+//! "One transputer, the applications processor, accepts the user's
+//! commands and carries out the appropriate processing, calling on two
+//! other transputers, which look after a disk system and a graphics
+//! display system respectively." The paper stresses that "the
+//! architecture permits a number of variations on the implementation of
+//! the workstation to be made without major redesign" — "the disk
+//! controller can double as the applications processor", or everything
+//! can run on one transputer.
+//!
+//! That is exactly what this module demonstrates: the *same* occam
+//! `PROC`s (application, disk server, graphics server) are configured
+//! onto three transputers, two, or one, switching channels between link
+//! interfaces and in-memory words purely with `PLACE` — the process code
+//! is untouched (§2.1: a program "may be configured for execution by a
+//! single transputer (low cost), or for execution by a network of
+//! transputers (high performance)").
+
+use transputer::WordLength;
+use transputer_net::topology::{PORT_EAST, PORT_WEST};
+use transputer_net::{Network, NetworkBuilder, NetworkConfig, NodeId, SimError};
+
+/// How the three logical processes are placed onto transputers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// One transputer runs application, disk and graphics concurrently.
+    One,
+    /// The disk controller doubles as the applications processor; a
+    /// second transputer drives graphics (the paper's variation).
+    Two,
+    /// The full Figure 6 system: three functionally-distributed
+    /// transputers.
+    Three,
+}
+
+impl Placement {
+    /// All placements, smallest first.
+    pub const ALL: [Placement; 3] = [Placement::One, Placement::Two, Placement::Three];
+
+    /// Number of transputers used.
+    pub fn transputers(self) -> usize {
+        match self {
+            Placement::One => 1,
+            Placement::Two => 2,
+            Placement::Three => 3,
+        }
+    }
+}
+
+/// Workstation workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkstationConfig {
+    /// Commands the application issues.
+    pub commands: u32,
+    /// Disk service time per request, in low-priority timer ticks
+    /// (64 µs each at the nominal clock — the tick rate of §2.2.2's
+    /// priority-1 timer).
+    pub disk_service_ticks: u32,
+    /// Graphics render time per request, in low-priority timer ticks.
+    pub render_ticks: u32,
+    /// Application compute per command: iterations of a checksum loop
+    /// (models "carries out the appropriate processing").
+    pub compute_iters: u32,
+    /// Network configuration.
+    pub net: NetworkConfig,
+}
+
+impl Default for WorkstationConfig {
+    fn default() -> Self {
+        WorkstationConfig {
+            commands: 10,
+            disk_service_ticks: 40,
+            render_ticks: 25,
+            compute_iters: 60,
+            net: NetworkConfig::default(),
+        }
+    }
+}
+
+/// A built workstation simulation.
+#[derive(Debug)]
+pub struct Workstation {
+    net: Network,
+    app_node: NodeId,
+    nodes: Vec<NodeId>,
+    check_addr: u32,
+    placement: Placement,
+    config: WorkstationConfig,
+}
+
+/// Results of a workstation run.
+#[derive(Debug, Clone)]
+pub struct WorkstationReport {
+    /// Which placement ran.
+    pub placement: Placement,
+    /// Commands completed.
+    pub commands: u32,
+    /// Total simulated time.
+    pub total_ns: u64,
+    /// Nanoseconds per command.
+    pub ns_per_command: u64,
+    /// Application checksum (placement-independent correctness witness).
+    pub checksum: u32,
+    /// Instructions executed per transputer.
+    pub instructions_per_node: Vec<u64>,
+    /// Per-wire link utilisation (fraction of elapsed time each
+    /// direction spent transmitting).
+    pub wire_utilization: Vec<(f64, f64)>,
+}
+
+/// The three logical processes, shared by every placement. The channels
+/// are `PROC` parameters, so the same text runs whether they are wired to
+/// memory words or to link interfaces (§3.2.10).
+fn logical_procs(cfg: &WorkstationConfig) -> String {
+    format!(
+        "PROC app (CHAN dreq, drsp, greq, grsp, VAR check) =\n\
+         \x20 VAR block, ack, acc:\n\
+         \x20 SEQ\n\
+         \x20\x20\x20 check := 0\n\
+         \x20\x20\x20 SEQ k = [0 FOR {commands}]\n\
+         \x20\x20\x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20\x20\x20 dreq ! k\n\
+         \x20\x20\x20\x20\x20\x20\x20 drsp ? block\n\
+         \x20\x20\x20\x20\x20\x20\x20 acc := block\n\
+         \x20\x20\x20\x20\x20\x20\x20 SEQ i = [0 FOR {iters}]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20 acc := (acc * 3) + i\n\
+         \x20\x20\x20\x20\x20\x20\x20 greq ! acc\n\
+         \x20\x20\x20\x20\x20\x20\x20 grsp ? ack\n\
+         \x20\x20\x20\x20\x20\x20\x20 check := check + ack\n\
+         :\n\
+         PROC disk (CHAN req, rsp) =\n\
+         \x20 VAR b, now:\n\
+         \x20 SEQ k = [0 FOR {commands}]\n\
+         \x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20 req ? b\n\
+         \x20\x20\x20\x20\x20 TIME ? now\n\
+         \x20\x20\x20\x20\x20 TIME ? AFTER now + {disk}\n\
+         \x20\x20\x20\x20\x20 rsp ! (b * 7) + 1\n\
+         :\n\
+         PROC graphics (CHAN req, rsp) =\n\
+         \x20 VAR cmd, now:\n\
+         \x20 SEQ k = [0 FOR {commands}]\n\
+         \x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20 req ? cmd\n\
+         \x20\x20\x20\x20\x20 TIME ? now\n\
+         \x20\x20\x20\x20\x20 TIME ? AFTER now + {render}\n\
+         \x20\x20\x20\x20\x20 rsp ! cmd >< #55\n\
+         :\n",
+        commands = cfg.commands,
+        iters = cfg.compute_iters,
+        disk = cfg.disk_service_ticks,
+        render = cfg.render_ticks,
+    )
+}
+
+impl Workstation {
+    /// Build a workstation with the given placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and load failures.
+    pub fn build(
+        placement: Placement,
+        config: WorkstationConfig,
+    ) -> Result<Workstation, Box<dyn std::error::Error>> {
+        let procs = logical_procs(&config);
+        let word = WordLength::Bits32;
+        let mut b = NetworkBuilder::new(config.net.clone());
+        let (net, app_node, nodes, program_srcs): (
+            Network,
+            NodeId,
+            Vec<NodeId>,
+            Vec<(NodeId, String)>,
+        );
+        match placement {
+            Placement::One => {
+                let n0 = b.add_node();
+                let main = format!(
+                    "{procs}\
+                     VAR check:\n\
+                     CHAN dreq, drsp, greq, grsp:\n\
+                     PAR\n\
+                     \x20 app (dreq, drsp, greq, grsp, check)\n\
+                     \x20 disk (dreq, drsp)\n\
+                     \x20 graphics (greq, grsp)\n"
+                );
+                net = b.build();
+                app_node = n0;
+                nodes = vec![n0];
+                program_srcs = vec![(n0, main)];
+            }
+            Placement::Two => {
+                let ad = b.add_node();
+                let g = b.add_node();
+                b.connect((ad, PORT_EAST), (g, PORT_WEST));
+                let main_ad = format!(
+                    "{procs}\
+                     VAR check:\n\
+                     CHAN dreq, drsp:\n\
+                     CHAN greq, grsp:\n\
+                     PLACE greq AT {go}:\n\
+                     PLACE grsp AT {gi}:\n\
+                     PAR\n\
+                     \x20 app (dreq, drsp, greq, grsp, check)\n\
+                     \x20 disk (dreq, drsp)\n",
+                    go = occam::places::link_out(PORT_EAST as u32),
+                    gi = occam::places::link_in(PORT_EAST as u32),
+                );
+                let main_g = format!(
+                    "{procs}\
+                     CHAN req, rsp:\n\
+                     PLACE req AT {ri}:\n\
+                     PLACE rsp AT {ro}:\n\
+                     graphics (req, rsp)\n",
+                    ri = occam::places::link_in(PORT_WEST as u32),
+                    ro = occam::places::link_out(PORT_WEST as u32),
+                );
+                net = b.build();
+                app_node = ad;
+                nodes = vec![ad, g];
+                program_srcs = vec![(ad, main_ad), (g, main_g)];
+            }
+            Placement::Three => {
+                let a = b.add_node();
+                let d = b.add_node();
+                let g = b.add_node();
+                b.connect((a, PORT_WEST), (d, PORT_EAST));
+                b.connect((a, PORT_EAST), (g, PORT_WEST));
+                let main_a = format!(
+                    "{procs}\
+                     VAR check:\n\
+                     CHAN dreq, drsp, greq, grsp:\n\
+                     PLACE dreq AT {dout}:\n\
+                     PLACE drsp AT {din}:\n\
+                     PLACE greq AT {gout}:\n\
+                     PLACE grsp AT {gin}:\n\
+                     app (dreq, drsp, greq, grsp, check)\n",
+                    dout = occam::places::link_out(PORT_WEST as u32),
+                    din = occam::places::link_in(PORT_WEST as u32),
+                    gout = occam::places::link_out(PORT_EAST as u32),
+                    gin = occam::places::link_in(PORT_EAST as u32),
+                );
+                let main_d = format!(
+                    "{procs}\
+                     CHAN req, rsp:\n\
+                     PLACE req AT {ri}:\n\
+                     PLACE rsp AT {ro}:\n\
+                     disk (req, rsp)\n",
+                    ri = occam::places::link_in(PORT_EAST as u32),
+                    ro = occam::places::link_out(PORT_EAST as u32),
+                );
+                let main_g = format!(
+                    "{procs}\
+                     CHAN req, rsp:\n\
+                     PLACE req AT {ri}:\n\
+                     PLACE rsp AT {ro}:\n\
+                     graphics (req, rsp)\n",
+                    ri = occam::places::link_in(PORT_WEST as u32),
+                    ro = occam::places::link_out(PORT_WEST as u32),
+                );
+                net = b.build();
+                app_node = a;
+                nodes = vec![a, d, g];
+                program_srcs = vec![(a, main_a), (d, main_d), (g, main_g)];
+            }
+        }
+
+        let mut net = net;
+        let mut check_addr = 0;
+        for (node, src) in &program_srcs {
+            let program = occam::compile(src)
+                .map_err(|e| format!("workstation program failed to compile: {e}\n{src}"))?;
+            let cpu = net.node_mut(*node);
+            let wptr = program.load(cpu)?;
+            if *node == app_node {
+                check_addr = program
+                    .global_addr(word, wptr, "check")
+                    .ok_or("application program lacks check variable")?;
+            }
+        }
+
+        Ok(Workstation {
+            net,
+            app_node,
+            nodes,
+            check_addr,
+            placement,
+            config,
+        })
+    }
+
+    /// Run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation faults and budget exhaustion.
+    pub fn run(mut self, budget_ns: u64) -> Result<WorkstationReport, SimError> {
+        self.net.run_until_all_halted(budget_ns)?;
+        let checksum = self
+            .net
+            .node(self.app_node)
+            .inspect_word(self.check_addr)
+            .unwrap_or(0);
+        let total_ns = self.net.time_ns();
+        let instructions_per_node = self
+            .nodes
+            .iter()
+            .map(|n| self.net.node(*n).stats().instructions)
+            .collect();
+        let wire_utilization = (0..self.net.wire_count())
+            .map(|w| self.net.wire_utilization(w))
+            .collect();
+        Ok(WorkstationReport {
+            placement: self.placement,
+            commands: self.config.commands,
+            total_ns,
+            ns_per_command: total_ns / u64::from(self.config.commands.max(1)),
+            checksum,
+            instructions_per_node,
+            wire_utilization,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorkstationConfig {
+        WorkstationConfig {
+            commands: 3,
+            disk_service_ticks: 10,
+            render_ticks: 5,
+            compute_iters: 8,
+            net: NetworkConfig::default(),
+        }
+    }
+
+    #[test]
+    fn all_placements_agree_on_the_checksum() {
+        // The paper's configuration claim: identical logical behaviour
+        // whatever the placement.
+        let mut checksums = Vec::new();
+        for placement in Placement::ALL {
+            let ws = Workstation::build(placement, small()).expect("builds");
+            let report = ws.run(10_000_000_000).expect("runs");
+            assert_eq!(report.commands, 3);
+            assert!(report.total_ns > 0);
+            checksums.push(report.checksum);
+        }
+        assert_eq!(checksums[0], checksums[1]);
+        assert_eq!(checksums[1], checksums[2]);
+    }
+
+    #[test]
+    fn three_way_placement_uses_three_transputers() {
+        let ws = Workstation::build(Placement::Three, small()).expect("builds");
+        let report = ws.run(10_000_000_000).expect("runs");
+        assert_eq!(report.instructions_per_node.len(), 3);
+        for (i, count) in report.instructions_per_node.iter().enumerate() {
+            assert!(*count > 0, "node {i} executed nothing");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Disassembler: byte streams back to instruction listings.
+
+use std::fmt;
+
+use transputer::instr::{Direct, Op};
+
+/// One decoded logical instruction (a prefix chain folded into the
+/// instruction it extends, as the architecture intends — §3.2.7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Byte offset of the first (prefix) byte.
+    pub offset: usize,
+    /// The raw bytes.
+    pub bytes: Vec<u8>,
+    /// The final function code.
+    pub fun: Direct,
+    /// The accumulated operand (sign-extended from 32 bits).
+    pub operand: i64,
+    /// For `operate`: the decoded operation, if defined.
+    pub op: Option<Op>,
+}
+
+impl Decoded {
+    /// Render with full published names instead of mnemonics.
+    pub fn full_name(&self) -> String {
+        match (self.fun, self.op) {
+            (Direct::Operate, Some(op)) => op.full_name().to_string(),
+            (Direct::Operate, None) => format!("operate #{:X}", self.operand),
+            (fun, _) => format!("{} {}", fun.full_name(), format_operand(self.operand)),
+        }
+    }
+}
+
+impl fmt::Display for Decoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.fun, self.op) {
+            (Direct::Operate, Some(op)) => f.write_str(op.mnemonic()),
+            (Direct::Operate, None) => write!(f, "opr #{:X}", self.operand),
+            (fun, _) => write!(f, "{} {}", fun.mnemonic(), format_operand(self.operand)),
+        }
+    }
+}
+
+fn format_operand(v: i64) -> String {
+    if (-255..=255).contains(&v) {
+        format!("{v}")
+    } else {
+        // Wide operands read better in hex (addresses, magic values).
+        if v < 0 {
+            format!("-#{:X}", -v)
+        } else {
+            format!("#{v:X}")
+        }
+    }
+}
+
+/// Decode a byte stream into logical instructions. Decoding always
+/// succeeds — undefined operations are reported in the listing rather
+/// than failing, since any byte sequence is decodable as instructions.
+pub fn disassemble(code: &[u8]) -> Vec<Decoded> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut oreg: u32 = 0;
+    let mut start = 0;
+    while i < code.len() {
+        let byte = code[i];
+        let fun = Direct::from_nibble(byte >> 4);
+        let data = u32::from(byte & 0xF);
+        i += 1;
+        match fun {
+            Direct::Prefix => {
+                oreg = (oreg | data) << 4;
+            }
+            Direct::NegativePrefix => {
+                oreg = !(oreg | data) << 4;
+            }
+            _ => {
+                let operand_u = oreg | data;
+                let operand = i64::from(operand_u as i32);
+                let op = if fun == Direct::Operate {
+                    Op::from_code(operand_u)
+                } else {
+                    None
+                };
+                out.push(Decoded {
+                    offset: start,
+                    bytes: code[start..i].to_vec(),
+                    fun,
+                    operand,
+                    op,
+                });
+                oreg = 0;
+                start = i;
+            }
+        }
+    }
+    out
+}
+
+/// Render a full listing with offsets and bytes, one instruction per
+/// line — handy for debugging compiler output.
+pub fn listing(code: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for d in disassemble(code) {
+        let bytes: Vec<String> = d.bytes.iter().map(|b| format!("{b:02X}")).collect();
+        let _ = writeln!(s, "{:06X}  {:<12} {}", d.offset, bytes.join(" "), d);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transputer::instr::{encode, encode_op};
+
+    #[test]
+    fn simple_decode() {
+        let d = disassemble(&[0x45, 0x82, 0xD1]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].fun, Direct::LoadConstant);
+        assert_eq!(d[0].operand, 5);
+        assert_eq!(d[1].fun, Direct::AddConstant);
+        assert_eq!(d[2].to_string(), "stl 1");
+    }
+
+    #[test]
+    fn prefix_chains_fold() {
+        let code = encode(Direct::LoadConstant, 0x754);
+        let d = disassemble(&code);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].operand, 0x754);
+        assert_eq!(d[0].bytes.len(), 3);
+        assert_eq!(d[0].to_string(), "ldc #754");
+    }
+
+    #[test]
+    fn negative_operands() {
+        let code = encode(Direct::Jump, -3);
+        let d = disassemble(&code);
+        assert_eq!(d[0].operand, -3);
+        assert_eq!(d[0].to_string(), "j -3");
+    }
+
+    #[test]
+    fn operations_decode() {
+        let code = encode_op(Op::Multiply);
+        let d = disassemble(&code);
+        assert_eq!(d[0].op, Some(Op::Multiply));
+        assert_eq!(d[0].to_string(), "mul");
+        assert_eq!(d[0].full_name(), "multiply");
+    }
+
+    #[test]
+    fn undefined_operation_reported() {
+        let d = disassemble(&[0xF1]); // opr 1? 0xF1 = opr 1: defined (lb)
+        assert_eq!(d[0].op, Some(Op::LoadByte));
+        let d = disassemble(&[0x21, 0xF1]); // opr 0x11: undefined
+        assert_eq!(d[0].op, None);
+        assert!(d[0].to_string().contains("opr"));
+    }
+
+    #[test]
+    fn listing_contains_offsets() {
+        let code = [0x45u8, 0x82];
+        let text = listing(&code);
+        assert!(text.contains("000000"));
+        assert!(text.contains("ldc 5"));
+        assert!(text.contains("adc 2"));
+    }
+
+    #[test]
+    fn full_names() {
+        let d = disassemble(&[0x45]);
+        assert_eq!(d[0].full_name(), "load constant 5");
+    }
+}

@@ -1,0 +1,406 @@
+//! # transputer-asm
+//!
+//! Assembler and disassembler for the I1 instruction set.
+//!
+//! The paper notes that "it is not common practice to abbreviate the
+//! names of the instructions, or to use mnemonics ... using full names
+//! aids readability" (§3.1). The assembler therefore accepts both the
+//! published full names and the conventional short mnemonics:
+//!
+//! ```
+//! use transputer_asm::assemble;
+//!
+//! let a = assemble(
+//!     "load constant 0\n\
+//!      store local 1",
+//! )?;
+//! let b = assemble("ldc 0\nstl 1")?;
+//! assert_eq!(a, b);
+//! # Ok::<(), transputer_asm::AsmError>(())
+//! ```
+//!
+//! Labels (`name:`) and label operands (`@name`) are supported for the
+//! jump, conditional-jump and call instructions, with operands measured
+//! — as the hardware requires — from the end of the instruction, and
+//! sized by iterative relaxation exactly like the occam compiler's
+//! emitter.
+
+pub mod dis;
+
+pub use dis::{disassemble, Decoded};
+
+use std::collections::HashMap;
+use std::fmt;
+
+use transputer::instr::{encode_into, encoded_len, Direct, Op};
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: u32, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Direct { fun: Direct, operand: OperandSpec },
+    Operation(Op),
+    Byte(u8),
+    Label(String),
+}
+
+#[derive(Debug, Clone)]
+enum OperandSpec {
+    Imm(i64),
+    LabelRel(String),
+}
+
+/// Assemble a program.
+///
+/// One statement per line; `--` or `;` starts a comment. A statement is:
+/// a label (`name:`), a byte directive (`.byte n`), or an instruction —
+/// a full name or mnemonic, with a numeric operand (decimal or `#hex`)
+/// for the direct functions, or `@label` for `j`, `cj` and `call`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for unknown instructions, malformed operands or
+/// undefined labels.
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    let stmts = parse(source)?;
+    lower(&stmts)
+}
+
+fn parse(source: &str) -> Result<Vec<Stmt>, AsmError> {
+    // Tables from the instruction definitions: longest names first so
+    // "load non local pointer" wins over "load non local".
+    let mut directs: Vec<(String, Direct)> = Direct::ALL
+        .iter()
+        .flat_map(|d| {
+            [
+                (d.full_name().to_string(), *d),
+                (d.mnemonic().to_string(), *d),
+            ]
+        })
+        .collect();
+    directs.sort_by_key(|(n, _)| std::cmp::Reverse(n.len()));
+    let ops: HashMap<String, Op> = Op::ALL
+        .iter()
+        .flat_map(|o| {
+            [
+                (o.full_name().to_string(), *o),
+                (o.mnemonic().to_string(), *o),
+            ]
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let text = raw
+            .split("--")
+            .next()
+            .unwrap_or("")
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(err(line_no, format!("malformed label `{label}`")));
+            }
+            out.push(Stmt::Label(label.to_string()));
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".byte") {
+            let v = parse_number(rest.trim(), line_no)?;
+            if !(0..=255).contains(&v) {
+                return Err(err(line_no, format!("byte value {v} out of range")));
+            }
+            out.push(Stmt::Byte(v as u8));
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".word") {
+            // Little-endian 32-bit datum, as the memory stores words.
+            let v = parse_number(rest.trim(), line_no)?;
+            if !(i64::from(i32::MIN)..=i64::from(u32::MAX)).contains(&v) {
+                return Err(err(line_no, format!("word value {v} out of range")));
+            }
+            for b in (v as u32).to_le_bytes() {
+                out.push(Stmt::Byte(b));
+            }
+            continue;
+        }
+        // Try direct functions (longest name first), expecting an
+        // operand after the name.
+        let lower_text = text.to_ascii_lowercase();
+        let mut matched = false;
+        for (name, fun) in &directs {
+            if let Some(rest) = lower_text.strip_prefix(name.as_str()) {
+                if !rest.is_empty() && !rest.starts_with(' ') {
+                    continue; // prefix of a longer word
+                }
+                let rest = rest.trim();
+                let operand = if let Some(label) = rest.strip_prefix('@') {
+                    if !matches!(fun, Direct::Jump | Direct::ConditionalJump | Direct::Call) {
+                        return Err(err(
+                            line_no,
+                            "label operands are only supported on jump, conditional jump and call",
+                        ));
+                    }
+                    OperandSpec::LabelRel(label.trim().to_string())
+                } else if rest.is_empty() {
+                    return Err(err(line_no, format!("`{name}` needs an operand")));
+                } else {
+                    OperandSpec::Imm(parse_number(rest, line_no)?)
+                };
+                out.push(Stmt::Direct { fun: *fun, operand });
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Operations take no operand.
+        if let Some(op) = ops.get(&lower_text) {
+            out.push(Stmt::Operation(*op));
+            continue;
+        }
+        return Err(err(line_no, format!("unknown instruction `{text}`")));
+    }
+    Ok(out)
+}
+
+fn parse_number(s: &str, line: u32) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix('#') {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("malformed number `{s}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn lower(stmts: &[Stmt]) -> Result<Vec<u8>, AsmError> {
+    // Initial sizes; relax until label distances stabilise.
+    let n = stmts.len();
+    let mut sizes = vec![0usize; n];
+    for (i, s) in stmts.iter().enumerate() {
+        sizes[i] = match s {
+            Stmt::Direct {
+                operand: OperandSpec::Imm(v),
+                ..
+            } => encoded_len(*v),
+            Stmt::Direct { .. } => 1,
+            Stmt::Operation(op) => encoded_len(op.code() as i64),
+            Stmt::Byte(_) => 1,
+            Stmt::Label(_) => 0,
+        };
+    }
+    let mut labels: HashMap<&str, usize> = HashMap::new();
+    loop {
+        let mut addr = vec![0usize; n + 1];
+        for i in 0..n {
+            addr[i + 1] = addr[i] + sizes[i];
+        }
+        labels.clear();
+        for (i, s) in stmts.iter().enumerate() {
+            if let Stmt::Label(name) = s {
+                labels.insert(name.as_str(), addr[i]);
+            }
+        }
+        let mut changed = false;
+        for (i, s) in stmts.iter().enumerate() {
+            if let Stmt::Direct {
+                operand: OperandSpec::LabelRel(name),
+                ..
+            } = s
+            {
+                let target = *labels
+                    .get(name.as_str())
+                    .ok_or_else(|| err(0, format!("undefined label `{name}`")))?;
+                let v = target as i64 - addr[i + 1] as i64;
+                let need = encoded_len(v);
+                if need > sizes[i] {
+                    sizes[i] = need;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut addr = vec![0usize; n + 1];
+    for i in 0..n {
+        addr[i + 1] = addr[i] + sizes[i];
+    }
+    let mut out = Vec::with_capacity(addr[n]);
+    for (i, s) in stmts.iter().enumerate() {
+        match s {
+            Stmt::Label(_) => {}
+            Stmt::Byte(b) => out.push(*b),
+            Stmt::Operation(op) => {
+                encode_into(Direct::Operate, op.code() as i64, &mut out);
+            }
+            Stmt::Direct { fun, operand } => {
+                let v = match operand {
+                    OperandSpec::Imm(v) => *v,
+                    OperandSpec::LabelRel(name) => {
+                        labels[name.as_str()] as i64 - addr[i + 1] as i64
+                    }
+                };
+                encode_into(*fun, v, &mut out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_names_and_mnemonics_agree() {
+        let a = assemble("load constant 5\nadd constant 2\nstore local 1").unwrap();
+        let b = assemble("ldc 5\nadc 2\nstl 1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0x45, 0x82, 0xD1]);
+    }
+
+    #[test]
+    fn operations() {
+        let code = assemble("add\nmultiply\ninput message").unwrap();
+        assert_eq!(code, vec![0xF5, 0x25, 0xF3, 0xF7]);
+    }
+
+    #[test]
+    fn prefix_encoding() {
+        // The paper's #754 example.
+        let code = assemble("load constant #754").unwrap();
+        assert_eq!(code, vec![0x27, 0x25, 0x44]);
+        let neg = assemble("ldc -1").unwrap();
+        assert_eq!(neg, vec![0x60, 0x4F]);
+    }
+
+    #[test]
+    fn labels_and_jumps() {
+        let code = assemble(
+            "ldc 0\n\
+             loop:\n\
+             adc 1\n\
+             j @loop",
+        )
+        .unwrap();
+        // adc 1 (1 byte) + j back: distance -(1+2) = -3 → nfix, j.
+        assert_eq!(code, vec![0x40, 0x81, 0x60, 0x0D]);
+    }
+
+    #[test]
+    fn forward_label() {
+        let code = assemble("cj @end\nldc 1\nend:\nhaltsim").unwrap();
+        assert_eq!(code[0], 0xA1, "cj skips the 1-byte ldc");
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let code = assemble("-- a comment\nldc 1 ; trailing\n\n").unwrap();
+        assert_eq!(code, vec![0x41]);
+    }
+
+    #[test]
+    fn byte_directive() {
+        assert_eq!(assemble(".byte 255\n.byte #10").unwrap(), vec![0xFF, 0x10]);
+    }
+
+    #[test]
+    fn word_directive_is_little_endian() {
+        assert_eq!(
+            assemble(".word #01020304").unwrap(),
+            vec![0x04, 0x03, 0x02, 0x01]
+        );
+        assert_eq!(assemble(".word -1").unwrap(), vec![0xFF; 4]);
+        assert!(assemble(".word 4294967296").is_err());
+    }
+
+    #[test]
+    fn longest_name_wins() {
+        // "load non local pointer 1" must not parse as "load non local".
+        let a = assemble("load non local pointer 1").unwrap();
+        let b = assemble("ldnlp 1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![0x51]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(assemble("frobnicate 1").is_err());
+        assert!(assemble("ldc").is_err());
+        assert!(assemble("ldc zork").is_err());
+        assert!(assemble("j @nowhere").is_err());
+        assert!(assemble(".byte 300").is_err());
+        assert!(
+            assemble("ldc @label\nlabel:").is_err(),
+            "ldc rejects labels"
+        );
+    }
+
+    #[test]
+    fn assembled_code_runs() {
+        use transputer::{Cpu, CpuConfig};
+        let code = assemble(
+            "ldc 6\n\
+             ldc 7\n\
+             multiply\n\
+             haltsim",
+        )
+        .unwrap();
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        cpu.load_boot_program(&code).unwrap();
+        cpu.run(10_000).unwrap();
+        assert_eq!(cpu.areg(), 42);
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let code = assemble("ldc #754\nstl 1\nldl 1\nadc 2\nmul\nhaltsim").unwrap();
+        let decoded = crate::disassemble(&code);
+        let text: Vec<String> = decoded.iter().map(|d| d.to_string()).collect();
+        let reassembled = assemble(&text.join("\n")).unwrap();
+        assert_eq!(code, reassembled);
+    }
+}

@@ -1,0 +1,188 @@
+//! Criterion ablations: the design choices the paper argues for,
+//! benchmarked against their alternatives (DESIGN.md §5).
+//!
+//! * prefix encoding vs fixed two-byte operands — static code size;
+//! * early acknowledge vs ack-after-stop — link streaming time;
+//! * word-independent vs word-targeted code generation — size and speed;
+//! * bounds checks on vs off — execution cycles;
+//! * on-chip vs off-chip memory — execution cycles with a penalty.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use transputer::{Cpu, CpuConfig, MemoryConfig};
+use transputer_asm::disassemble;
+use transputer_bench::corpus;
+
+/// Static code size with the real prefix encoding vs a hypothetical
+/// fixed-16-bit-operand encoding (every instruction two bytes, the
+/// "simple" alternative the paper rejects in §3.2.7).
+fn prefix_encoding(c: &mut Criterion) {
+    let mut real = 0usize;
+    let mut fixed = 0usize;
+    for item in corpus::CORPUS {
+        let program = occam::compile(item.source).expect("compiles");
+        real += program.code.len();
+        fixed += disassemble(&program.code)
+            .iter()
+            .map(|d| {
+                // Fixed encoding: 2 bytes per operation (1 opcode + 1
+                // operand byte), 3 when the operand exceeds 8 bits.
+                if (-128..256).contains(&d.operand) {
+                    2
+                } else {
+                    3
+                }
+            })
+            .sum::<usize>();
+    }
+    println!(
+        "\nablation/prefix-encoding: corpus code size {real} bytes with prefixing, \
+         {fixed} bytes with fixed 2-byte operands ({:.0}% larger)\n",
+        100.0 * (fixed as f64 - real as f64) / real as f64
+    );
+    c.bench_function("ablation/prefix_vs_fixed_static_size", |b| {
+        b.iter(|| black_box((real, fixed)))
+    });
+}
+
+/// Word-independent code (`ldc 1; bcnt`) vs word-targeted constants.
+fn word_independence(c: &mut Criterion) {
+    let src = corpus::PIPELINE.source;
+    let independent = occam::compile(src).expect("compiles");
+    let targeted = occam::compile_with(
+        src,
+        occam::Options {
+            word_independent: false,
+            ..occam::Options::default()
+        },
+    )
+    .expect("compiles");
+    let run = |program: &occam::Program| {
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        program.load(&mut cpu).expect("loads");
+        cpu.run(10_000_000).expect("halts");
+        cpu.cycles()
+    };
+    println!(
+        "\nablation/word-independence: {} bytes / {} cycles independent, \
+         {} bytes / {} cycles word-targeted\n",
+        independent.code.len(),
+        run(&independent),
+        targeted.code.len(),
+        run(&targeted)
+    );
+    c.bench_function("ablation/word_independent_codegen", |b| {
+        b.iter(|| black_box(run(&independent)))
+    });
+}
+
+/// Bounds checking: simulated cycles with and without `csub0` checks.
+fn bounds_checks(c: &mut Criterion) {
+    let src = corpus::SIEVE.source;
+    let unchecked = occam::compile(src).expect("compiles");
+    let checked = occam::compile_with(
+        src,
+        occam::Options {
+            bounds_checks: true,
+            ..occam::Options::default()
+        },
+    )
+    .expect("compiles");
+    let run = |program: &occam::Program| {
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        program.load(&mut cpu).expect("loads");
+        cpu.run(50_000_000).expect("halts");
+        cpu.cycles()
+    };
+    let (u, k) = (run(&unchecked), run(&checked));
+    println!(
+        "\nablation/bounds-checks: sieve takes {u} cycles unchecked, {k} checked \
+         (+{:.1}%) — the cost §3.2.4 avoids by letting the compiler prove safety\n",
+        100.0 * (k as f64 - u as f64) / u as f64
+    );
+    c.bench_function("ablation/bounds_checks_off", |b| {
+        b.iter(|| black_box(run(&unchecked)))
+    });
+}
+
+/// Off-chip memory penalty: the paper's figures assume on-chip program
+/// and data (§3.2.1); re-run the sieve with a per-access penalty.
+fn off_chip(c: &mut Criterion) {
+    let src = corpus::SIEVE.source;
+    let program = occam::compile(src).expect("compiles");
+    let run = |penalty: u32| {
+        // Shrink on-chip memory to zero-ish so everything is "external".
+        let mem = MemoryConfig {
+            on_chip_bytes: 0,
+            off_chip_bytes: 64 * 1024,
+            off_chip_penalty: penalty,
+        };
+        let mut cpu = Cpu::new(CpuConfig::t424().with_memory(mem));
+        program.load(&mut cpu).expect("loads");
+        cpu.run(100_000_000).expect("halts");
+        cpu.cycles()
+    };
+    let on = run(0);
+    let off2 = run(2);
+    println!(
+        "\nablation/off-chip: sieve takes {on} cycles on-chip-equivalent, {off2} with a \
+         2-cycle external access penalty (+{:.0}%) — why §3.3 argues for spending \
+         area on RAM rather than cache\n",
+        100.0 * (off2 as f64 - on as f64) / on as f64
+    );
+    c.bench_function("ablation/off_chip_penalty_2", |b| {
+        b.iter(|| black_box(run(2)))
+    });
+}
+
+/// The acknowledge policy at system level: the database search's
+/// first-answer latency with the paper's early acknowledge versus
+/// ack-after-stop-bit (§2.3's "transmission may be continuous" claim).
+fn ack_policy_system(c: &mut Criterion) {
+    use transputer_apps::{DbSearch, DbSearchConfig};
+    use transputer_link::AckPolicy;
+    use transputer_net::NetworkConfig;
+
+    let run = |policy: AckPolicy| {
+        let config = DbSearchConfig {
+            width: 3,
+            height: 3,
+            records_per_node: 30,
+            requests: 3,
+            seed: 5,
+            key_space: 60,
+            net: NetworkConfig {
+                ack_policy: policy,
+                ..NetworkConfig::default()
+            },
+        };
+        let sim = DbSearch::build(config).expect("builds");
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(report.all_correct());
+        report.first_answer_ns
+    };
+    let early = run(AckPolicy::Early);
+    let late = run(AckPolicy::AfterStop);
+    println!(
+        "\nablation/ack-policy: 3×3 search first answer {} µs with early acknowledge, \
+         {} µs with ack-after-stop (+{:.1}%)\n",
+        early / 1000,
+        late / 1000,
+        100.0 * (late as f64 - early as f64) / early as f64
+    );
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("ack_policy_early_system", |b| {
+        b.iter(|| black_box(run(AckPolicy::Early)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    prefix_encoding,
+    word_independence,
+    bounds_checks,
+    off_chip,
+    ack_policy_system
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: occam compiler performance over the workload corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use transputer_bench::corpus;
+
+fn compile_corpus(c: &mut Criterion) {
+    c.bench_function("compiler/corpus", |b| {
+        b.iter(|| {
+            for item in corpus::CORPUS {
+                let program = occam::compile(item.source).expect("compiles");
+                black_box(program.code.len());
+            }
+        })
+    });
+    // End to end: compile + load + run the sieve.
+    c.bench_function("compiler/sieve_end_to_end", |b| {
+        b.iter(|| {
+            let program = occam::compile(corpus::SIEVE.source).expect("compiles");
+            let mut cpu = transputer::Cpu::new(transputer::CpuConfig::t424());
+            let wptr = program.load(&mut cpu).expect("loads");
+            cpu.run(10_000_000).expect("halts");
+            black_box(program.read_global(&mut cpu, wptr, "count").unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, compile_corpus);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion: end-to-end database-search simulation (host performance of
+//! the whole stack: compiler + 16-node network + bit-level links).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use transputer_apps::{DbSearch, DbSearchConfig};
+use transputer_net::NetworkConfig;
+
+fn dbsearch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbsearch");
+    g.sample_size(10);
+    g.bench_function("4x4_array_2_requests", |b| {
+        b.iter(|| {
+            let config = DbSearchConfig {
+                width: 4,
+                height: 4,
+                records_per_node: 50,
+                requests: 2,
+                seed: 7,
+                key_space: 100,
+                net: NetworkConfig::default(),
+            };
+            let sim = DbSearch::build(config).expect("builds");
+            let report = sim.run(1_000_000_000_000).expect("runs");
+            assert!(report.all_correct());
+            black_box(report.total_ns)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, dbsearch);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion: raw emulator performance (host-side) — instruction
+//! dispatch rate and the cost of the scheduler machinery.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use transputer::instr::{encode, encode_op, Direct, Op};
+use transputer::{Cpu, CpuConfig, Priority};
+
+/// A straight-line block of 1000 single-cycle instructions ending in
+/// halt: the dispatch-rate workload.
+fn dispatch_rate(c: &mut Criterion) {
+    let mut code = Vec::new();
+    for _ in 0..250 {
+        code.extend(encode(Direct::LoadConstant, 1));
+        code.extend(encode(Direct::AddConstant, 1));
+        code.extend(encode(Direct::StoreLocal, 1));
+        code.extend(encode(Direct::LoadLocal, 1));
+    }
+    code.extend(encode_op(Op::HaltSimulation));
+
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("dispatch_1000_instructions", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuConfig::t424());
+            cpu.load_boot_program(&code).expect("loads");
+            cpu.run(1_000_000).expect("halts");
+            black_box(cpu.cycles())
+        })
+    });
+    g.finish();
+}
+
+/// Round-robin between 8 processes through the hardware scheduler.
+fn scheduler(c: &mut Criterion) {
+    let mut code = Vec::new();
+    code.extend(encode(Direct::LoadConstant, 200));
+    code.extend(encode(Direct::StoreLocal, 1));
+    let top = code.len();
+    code.extend(encode(Direct::LoadLocal, 1));
+    code.extend(encode(Direct::AddConstant, -1));
+    code.extend(encode(Direct::StoreLocal, 1));
+    code.extend(encode(Direct::LoadLocal, 1));
+    code.extend(encode(Direct::ConditionalJump, 2));
+    let dist = top as i64 - (code.len() as i64 + 2);
+    code.extend(encode(Direct::Jump, dist));
+    code.extend(encode_op(Op::HaltSimulation));
+
+    c.bench_function("emulator/8_process_round_robin", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuConfig::t424());
+            let entry = cpu.memory().mem_start();
+            cpu.load(entry, &code).expect("loads");
+            let top_w = cpu.default_boot_workspace();
+            for i in 0..8u32 {
+                cpu.spawn(top_w.wrapping_sub(i * 256), entry, Priority::Low);
+            }
+            let _ = cpu.run(10_000_000);
+            black_box(cpu.stats().dispatches)
+        })
+    });
+}
+
+criterion_group!(benches, dispatch_rate, scheduler);
+criterion_main!(benches);

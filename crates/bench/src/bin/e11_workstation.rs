@@ -1,0 +1,67 @@
+//! E11 — Figure 6: the personal workstation, and the paper's
+//! configuration claim: "the disk controller can double as the
+//! applications processor, and the applications transputer removed
+//! completely"; more generally a program "may be configured for
+//! execution by a single transputer (low cost), or for execution by a
+//! network of transputers (high performance)" (§1).
+//!
+//! The same three occam PROCs (application, disk server, graphics
+//! server) run in all three placements; only `PLACE` directives differ.
+
+use transputer_apps::{Placement, Workstation, WorkstationConfig};
+use transputer_bench::{cells, table};
+
+fn main() {
+    table::heading("E11", "personal workstation placements", "Figure 6, §4.1");
+
+    let config = WorkstationConfig::default();
+    println!(
+        "{} commands; disk service {} ticks (64 µs each), render {} ticks, {} compute iterations per command\n",
+        config.commands, config.disk_service_ticks, config.render_ticks, config.compute_iters
+    );
+
+    table::header(&[
+        "placement",
+        "transputers",
+        "elapsed",
+        "per command",
+        "checksum",
+        "instructions per node",
+    ]);
+    let mut results = Vec::new();
+    for placement in Placement::ALL {
+        let ws = Workstation::build(placement, config.clone()).expect("builds");
+        let report = ws.run(1_000_000_000_000).expect("runs");
+        let links: Vec<String> = report
+            .wire_utilization
+            .iter()
+            .map(|(a, b)| format!("{:.1}%/{:.1}%", a * 100.0, b * 100.0))
+            .collect();
+        table::row(cells![
+            format!("{placement:?}"),
+            placement.transputers(),
+            table::ms(report.total_ns),
+            table::us(report.ns_per_command),
+            format!("{:#X}", report.checksum),
+            format!(
+                "{:?} (links {})",
+                report.instructions_per_node,
+                links.join(", ")
+            )
+        ]);
+        results.push(report);
+    }
+
+    let checksums_equal = results.windows(2).all(|w| w[0].checksum == w[1].checksum);
+    let speedup = results[0].total_ns as f64 / results[2].total_ns as f64;
+    println!();
+    println!(
+        "identical logical behaviour in every placement (checksums equal: {checksums_equal}); \
+         three transputers run the command stream ×{speedup:.2} faster than one \
+         (devices overlap seek, render and compute)."
+    );
+    table::verdict(
+        checksums_equal && results[2].total_ns <= results[0].total_ns,
+        "the same occam processes reconfigure across 1/2/3 transputers with identical results",
+    );
+}

@@ -1,0 +1,108 @@
+//! E12 — §3.2.3: "The evaluation stack removes the need for instructions
+//! to specify registers explicitly. Consequently, most of the executed
+//! operations (typically 80%) are encoded in a single byte."
+//!
+//! Runs the occam workload corpus and histograms the *dynamic* encoded
+//! length of every executed operation (prefix chains folded into the
+//! operation they extend).
+
+use transputer::CpuConfig;
+use transputer_bench::{cells, corpus, run_occam, table};
+
+fn main() {
+    table::heading(
+        "E12",
+        "dynamic instruction encoding density",
+        "§3.2.3: \"typically 80%\" single byte",
+    );
+
+    table::header(&[
+        "program",
+        "operations",
+        "1 byte",
+        "2 bytes",
+        "3+ bytes",
+        "single-byte %",
+    ]);
+    let mut total_ops = 0u64;
+    let mut total_hist = [0u64; 9];
+    for item in corpus::CORPUS {
+        let (_, cpu, _) = run_occam(item.source, CpuConfig::t424());
+        let s = cpu.stats();
+        let h = s.length_histogram;
+        let three_plus: u64 = h[3..].iter().sum();
+        table::row(cells![
+            item.name,
+            s.operations,
+            h[1],
+            h[2],
+            three_plus,
+            format!("{:.1}%", 100.0 * s.single_byte_fraction())
+        ]);
+        total_ops += s.operations;
+        for (t, v) in total_hist.iter_mut().zip(h.iter()) {
+            *t += v;
+        }
+    }
+    let single = total_hist[1] as f64 / total_ops as f64;
+    let three_plus: u64 = total_hist[3..].iter().sum();
+    table::row(cells![
+        "ALL",
+        total_ops,
+        total_hist[1],
+        total_hist[2],
+        three_plus,
+        format!("{:.1}%", 100.0 * single)
+    ]);
+
+    // Which operations dominate — the paper chose the direct functions
+    // to be "the most important functions performed by any computer"
+    // (§3.2.6); the dynamic profile should be dominated by them.
+    let mut freq: Vec<(String, u64)> = Vec::new();
+    {
+        let mut direct_totals = [0u64; 16];
+        let mut op_totals = vec![0u64; 0x60];
+        for item in corpus::CORPUS {
+            let (_, cpu, _) = run_occam(item.source, CpuConfig::t424());
+            for (i, c) in cpu.stats().direct_counts.iter().enumerate() {
+                direct_totals[i] += c;
+            }
+            for (i, c) in cpu.stats().op_counts.iter().enumerate() {
+                op_totals[i] += c;
+            }
+        }
+        for d in transputer::instr::Direct::ALL {
+            if d != transputer::instr::Direct::Operate {
+                freq.push((
+                    d.full_name().to_string(),
+                    direct_totals[d.nibble() as usize],
+                ));
+            }
+        }
+        for op in transputer::instr::Op::ALL {
+            let code = op.code() as usize;
+            if code < op_totals.len() && op_totals[code] > 0 {
+                freq.push((op.full_name().to_string(), op_totals[code]));
+            }
+        }
+    }
+    freq.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    println!("\nmost executed operations:");
+    table::header(&["operation", "executions", "share"]);
+    for (name, n) in freq.iter().take(10) {
+        table::row(cells![
+            name,
+            n,
+            format!("{:.1}%", 100.0 * *n as f64 / total_ops as f64)
+        ]);
+    }
+    println!();
+    println!(
+        "corpus-wide, {:.1}% of executed operations are a single byte (paper: \"typically 80%\").",
+        100.0 * single
+    );
+    table::verdict(
+        (0.70..=0.95).contains(&single),
+        "single-byte fraction lands in the paper's \"typically 80%\" band",
+    );
+}

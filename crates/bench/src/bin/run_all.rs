@@ -1,0 +1,48 @@
+//! Run every experiment binary in order, producing the complete
+//! paper-vs-measured report (the source of EXPERIMENTS.md).
+//!
+//! Usage: `cargo run --release -p transputer-bench --bin run_all`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "e01_assignment",
+    "e02_staticlink",
+    "e03_prefix",
+    "e04_expressions",
+    "e05_comm_cost",
+    "e06_priority_latency",
+    "e07_link_protocol",
+    "e08_message_latency",
+    "e09_dbsearch16",
+    "e10_board128",
+    "e11_workstation",
+    "e12_encoding_density",
+    "e13_mips",
+    "e14_context_switch",
+    "e15_wordlength",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = dir.join(name);
+        let out = Command::new(&path)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        print!("{}", String::from_utf8_lossy(&out.stdout));
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        if !out.status.success() || text.contains("FAIL:") {
+            failures.push(*name);
+        }
+    }
+    println!("\n---\n");
+    if failures.is_empty() {
+        println!("all {} experiments PASS", EXPERIMENTS.len());
+    } else {
+        println!("FAILING experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Packet formats of the link protocol (Figure 1 of the paper).
+
+/// Bits in a data packet: start bit, one bit, eight data bits, stop bit.
+pub const DATA_PACKET_BITS: u32 = 11;
+
+/// Bits in an acknowledge packet: start bit, zero bit.
+pub const ACK_PACKET_BITS: u32 = 2;
+
+/// A packet travelling down a signal line. "Data bytes and acknowledges
+/// are multiplexed down each signal line" (§2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data packet carrying one byte.
+    Data(u8),
+    /// An acknowledge: "the acknowledge signifies both that a process was
+    /// able to receive the acknowledged byte, and that the receiving link
+    /// is able to receive another byte" (§2.3).
+    Ack,
+}
+
+impl PacketKind {
+    /// Duration of this packet in bit-times.
+    pub fn bits(self) -> u32 {
+        match self {
+            PacketKind::Data(_) => DATA_PACKET_BITS,
+            PacketKind::Ack => ACK_PACKET_BITS,
+        }
+    }
+
+    /// The on-wire bit pattern, LSB transmitted first after the header,
+    /// for tests and visualisation. Data: `1 1 d0..d7 0`; ack: `1 0`.
+    pub fn wire_bits(self) -> Vec<bool> {
+        match self {
+            PacketKind::Data(byte) => {
+                let mut v = Vec::with_capacity(DATA_PACKET_BITS as usize);
+                v.push(true); // start bit
+                v.push(true); // flag: data
+                for i in 0..8 {
+                    v.push((byte >> i) & 1 == 1);
+                }
+                v.push(false); // stop bit
+                v
+            }
+            PacketKind::Ack => vec![true, false],
+        }
+    }
+
+    /// Decode a bit pattern produced by [`PacketKind::wire_bits`].
+    pub fn from_wire_bits(bits: &[bool]) -> Option<PacketKind> {
+        match bits {
+            [true, false] => Some(PacketKind::Ack),
+            [true, true, data @ .., false] if data.len() == 8 => {
+                let mut byte = 0u8;
+                for (i, b) in data.iter().enumerate() {
+                    if *b {
+                        byte |= 1 << i;
+                    }
+                }
+                Some(PacketKind::Data(byte))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_sizes_match_figure_1() {
+        assert_eq!(PacketKind::Data(0).bits(), 11);
+        assert_eq!(PacketKind::Ack.bits(), 2);
+        assert_eq!(PacketKind::Data(0xFF).wire_bits().len(), 11);
+        assert_eq!(PacketKind::Ack.wire_bits().len(), 2);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for byte in [0u8, 1, 0x55, 0xAA, 0xFF] {
+            let bits = PacketKind::Data(byte).wire_bits();
+            assert_eq!(
+                PacketKind::from_wire_bits(&bits),
+                Some(PacketKind::Data(byte))
+            );
+        }
+        let bits = PacketKind::Ack.wire_bits();
+        assert_eq!(PacketKind::from_wire_bits(&bits), Some(PacketKind::Ack));
+        assert_eq!(PacketKind::from_wire_bits(&[false, true]), None);
+    }
+
+    #[test]
+    fn data_and_ack_are_distinguished_by_second_bit() {
+        // The bit after the start bit is 1 for data, 0 for acknowledge
+        // (Figure 1), letting the two packet kinds share a line.
+        assert!(PacketKind::Data(0).wire_bits()[1]);
+        assert!(!PacketKind::Ack.wire_bits()[1]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Signal-line timing: two one-directional lines forming one link.
+
+use crate::packet::PacketKind;
+use std::collections::VecDeque;
+
+/// Transmission speed of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSpeed {
+    /// Nanoseconds per bit. 100 ns at the standard 10 MHz rate (§2.3.1).
+    pub bit_time_ns: u64,
+}
+
+impl LinkSpeed {
+    /// The standard 10 MHz rate.
+    pub fn standard() -> LinkSpeed {
+        LinkSpeed { bit_time_ns: 100 }
+    }
+
+    /// A custom rate in MHz.
+    pub fn mhz(rate: f64) -> LinkSpeed {
+        LinkSpeed {
+            bit_time_ns: (1000.0 / rate).round() as u64,
+        }
+    }
+
+    /// Duration of a packet in nanoseconds.
+    pub fn packet_ns(self, kind: PacketKind) -> u64 {
+        u64::from(kind.bits()) * self.bit_time_ns
+    }
+
+    /// Peak streaming bandwidth with overlapped acknowledges: one byte
+    /// per data-packet time.
+    pub fn streaming_bandwidth_bytes_per_sec(self) -> f64 {
+        1e9 / (self.packet_ns(PacketKind::Data(0)) as f64)
+    }
+
+    /// Streaming bandwidth when each byte also waits for a full
+    /// acknowledge packet (the no-early-ack ablation).
+    pub fn serialised_bandwidth_bytes_per_sec(self) -> f64 {
+        1e9 / ((self.packet_ns(PacketKind::Data(0)) + self.packet_ns(PacketKind::Ack)) as f64)
+    }
+}
+
+impl Default for LinkSpeed {
+    fn default() -> Self {
+        LinkSpeed::standard()
+    }
+}
+
+/// The two ends of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum End {
+    /// First endpoint.
+    A,
+    /// Second endpoint.
+    B,
+}
+
+impl End {
+    /// The opposite end.
+    pub fn other(self) -> End {
+        match self {
+            End::A => End::B,
+            End::B => End::A,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            End::A => 0,
+            End::B => 1,
+        }
+    }
+
+    fn from_index(i: usize) -> End {
+        if i == 0 {
+            End::A
+        } else {
+            End::B
+        }
+    }
+}
+
+/// When the receiving interface acknowledges a data byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckPolicy {
+    /// As soon as reception starts, when a process is already waiting —
+    /// the paper's design, enabling continuous transmission (§2.3).
+    Early,
+    /// Only after the stop bit (the ablation baseline).
+    AfterStop,
+}
+
+/// Something that happened on the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// A data packet began arriving at `to` (the early-acknowledge
+    /// decision point).
+    DataStarted {
+        /// Receiving end.
+        to: End,
+    },
+    /// A data packet finished arriving.
+    DataDelivered {
+        /// Receiving end.
+        to: End,
+        /// The byte carried.
+        byte: u8,
+    },
+    /// An acknowledge finished arriving.
+    AckDelivered {
+        /// Receiving end.
+        to: End,
+    },
+}
+
+/// One one-directional signal line.
+#[derive(Debug, Clone, Default)]
+struct Line {
+    /// Packet currently on the wire and its completion time.
+    in_flight: Option<(PacketKind, u64)>,
+    /// Packets waiting for the wire (acknowledges are queued ahead of
+    /// data to keep the reverse path prompt).
+    queue: VecDeque<PacketKind>,
+    /// Cumulative nanoseconds this line has spent transmitting.
+    busy_ns: u64,
+}
+
+impl Line {
+    fn start_next(&mut self, now: u64, speed: LinkSpeed) -> Option<PacketKind> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        let kind = self.queue.pop_front()?;
+        self.in_flight = Some((kind, now + speed.packet_ns(kind)));
+        self.busy_ns += speed.packet_ns(kind);
+        Some(kind)
+    }
+}
+
+/// A bidirectional link: a pair of signal lines. Line `i` carries packets
+/// *from* end `i`: data from `i`'s output channel and acknowledges for
+/// data `i` has received.
+#[derive(Debug, Clone)]
+pub struct DuplexLink {
+    speed: LinkSpeed,
+    lines: [Line; 2],
+    /// Events produced by packet starts, drained by [`DuplexLink::advance`].
+    pending_events: Vec<LinkEvent>,
+}
+
+impl DuplexLink {
+    /// A link with the given speed, both lines idle.
+    pub fn new(speed: LinkSpeed) -> DuplexLink {
+        DuplexLink {
+            speed,
+            lines: [Line::default(), Line::default()],
+            pending_events: Vec::new(),
+        }
+    }
+
+    /// The configured speed.
+    pub fn speed(&self) -> LinkSpeed {
+        self.speed
+    }
+
+    /// Queue a data byte for transmission from `from`. Flow control (one
+    /// outstanding unacknowledged byte) is the *interface's* duty; the
+    /// wire transmits whatever it is given, in order.
+    pub fn send_data(&mut self, from: End, byte: u8, now: u64) {
+        let line = &mut self.lines[from.index()];
+        line.queue.push_back(PacketKind::Data(byte));
+        self.kick(from, now);
+    }
+
+    /// Queue an acknowledge from `from` (for data `from` received).
+    /// Acknowledges jump the queue: the hardware gives them priority so
+    /// the sender's pipeline never stalls on a queued data byte.
+    pub fn send_ack(&mut self, from: End, now: u64) {
+        let line = &mut self.lines[from.index()];
+        line.queue.push_front(PacketKind::Ack);
+        self.kick(from, now);
+    }
+
+    fn kick(&mut self, from: End, now: u64) {
+        if let Some(PacketKind::Data(_)) = self.lines[from.index()].start_next(now, self.speed) {
+            self.pending_events
+                .push(LinkEvent::DataStarted { to: from.other() });
+        }
+    }
+
+    /// The earliest time at which something will complete, if any packet
+    /// is in flight.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.lines
+            .iter()
+            .filter_map(|l| l.in_flight.map(|(_, t)| t))
+            .min()
+    }
+
+    /// Cumulative transmit time of the line driven by `from`, in
+    /// nanoseconds — the numerator of a link-utilisation measurement.
+    pub fn busy_ns(&self, from: End) -> u64 {
+        self.lines[from.index()].busy_ns
+    }
+
+    /// Whether both lines are idle with nothing queued.
+    pub fn is_quiescent(&self) -> bool {
+        self.lines
+            .iter()
+            .all(|l| l.in_flight.is_none() && l.queue.is_empty())
+    }
+
+    /// Deliver everything that has completed by `now` (and any start
+    /// events already produced). Events are returned in time order for
+    /// completions at distinct times; same-instant events are returned in
+    /// line order.
+    pub fn advance(&mut self, now: u64) -> Vec<LinkEvent> {
+        let mut events = std::mem::take(&mut self.pending_events);
+        loop {
+            let mut progressed = false;
+            for i in 0..2 {
+                let done = match self.lines[i].in_flight {
+                    Some((kind, t)) if t <= now => Some(kind),
+                    _ => None,
+                };
+                if let Some(kind) = done {
+                    let (_, t) = self.lines[i].in_flight.take().expect("checked above");
+                    let to = End::from_index(i).other();
+                    match kind {
+                        PacketKind::Data(byte) => {
+                            events.push(LinkEvent::DataDelivered { to, byte })
+                        }
+                        PacketKind::Ack => events.push(LinkEvent::AckDelivered { to }),
+                    }
+                    // Start whatever is queued next, from the completion
+                    // time of the previous packet.
+                    if let Some(PacketKind::Data(_)) = self.lines[i].start_next(t, self.speed) {
+                        events.push(LinkEvent::DataStarted {
+                            to: End::from_index(i).other(),
+                        });
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_constructors() {
+        assert_eq!(LinkSpeed::standard().bit_time_ns, 100);
+        assert_eq!(LinkSpeed::mhz(20.0).bit_time_ns, 50);
+        assert_eq!(LinkSpeed::standard().packet_ns(PacketKind::Data(0)), 1100);
+        assert_eq!(LinkSpeed::standard().packet_ns(PacketKind::Ack), 200);
+    }
+
+    #[test]
+    fn data_start_event_emitted_immediately() {
+        let mut link = DuplexLink::new(LinkSpeed::standard());
+        link.send_data(End::A, 7, 0);
+        let evs = link.advance(0);
+        assert_eq!(evs, vec![LinkEvent::DataStarted { to: End::B }]);
+    }
+
+    #[test]
+    fn delivery_at_eleven_bit_times() {
+        let mut link = DuplexLink::new(LinkSpeed::standard());
+        link.send_data(End::A, 0x5A, 0);
+        let _ = link.advance(0);
+        assert_eq!(link.next_deadline(), Some(1100));
+        let evs = link.advance(1100);
+        assert_eq!(
+            evs,
+            vec![LinkEvent::DataDelivered {
+                to: End::B,
+                byte: 0x5A
+            }]
+        );
+        assert!(link.is_quiescent());
+    }
+
+    #[test]
+    fn ack_has_priority_over_queued_data() {
+        let mut link = DuplexLink::new(LinkSpeed::standard());
+        // End B has a data byte queued behind a busy line, then owes an
+        // ack: the ack must go first.
+        link.send_data(End::B, 1, 0); // occupies the line until 1100
+        link.send_data(End::B, 2, 0); // queued
+        link.send_ack(End::B, 0); // queued ahead of byte 2
+        let _ = link.advance(0);
+        let evs = link.advance(1100);
+        assert!(evs.contains(&LinkEvent::DataDelivered {
+            to: End::A,
+            byte: 1
+        }));
+        // Next completion is the ack at 1100 + 200.
+        let evs = link.advance(1300);
+        assert!(evs.contains(&LinkEvent::AckDelivered { to: End::A }));
+        // Then the second data byte at 1300 + 1100.
+        let evs = link.advance(2400);
+        assert!(evs.contains(&LinkEvent::DataDelivered {
+            to: End::A,
+            byte: 2
+        }));
+    }
+
+    #[test]
+    fn quiescence() {
+        let mut link = DuplexLink::new(LinkSpeed::standard());
+        assert!(link.is_quiescent());
+        assert_eq!(link.next_deadline(), None);
+        link.send_ack(End::A, 5);
+        assert!(!link.is_quiescent());
+        link.advance(205);
+        assert!(link.is_quiescent());
+    }
+}

@@ -1,0 +1,621 @@
+//! The co-simulation engine: nodes, wires, and a global event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use transputer::{Cpu, CpuConfig, HaltReason, StepEvent};
+use transputer_link::{AckPolicy, DuplexLink, End, LinkEvent, LinkSpeed};
+
+/// Index of a node in a [`Network`].
+pub type NodeId = usize;
+
+/// Network-wide configuration.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Configuration applied to every node (per-node overrides via
+    /// [`NetworkBuilder::add_node_with`]).
+    pub cpu: CpuConfig,
+    /// Link signalling rate (standard: 10 MHz, §2.3.1).
+    pub link_speed: LinkSpeed,
+    /// When receivers acknowledge (the paper's design is early
+    /// acknowledge; `AfterStop` exists for the ablation benchmark).
+    pub ack_policy: AckPolicy,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            cpu: CpuConfig::t424(),
+            link_speed: LinkSpeed::standard(),
+            ack_policy: AckPolicy::Early,
+        }
+    }
+}
+
+/// Why a simulation run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// Every node halted cleanly.
+    AllHalted,
+    /// The requested duration elapsed.
+    TimeLimit,
+    /// Nothing can ever happen again: all nodes idle, no timers armed,
+    /// all wires quiescent.
+    Deadlock,
+    /// A user-supplied predicate was satisfied.
+    Condition,
+}
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node halted for an abnormal reason (fault, error flag).
+    NodeFault {
+        /// Which node.
+        node: NodeId,
+        /// Why it halted.
+        reason: HaltReason,
+    },
+    /// The time budget was exhausted before the stopping condition.
+    Budget {
+        /// The budget, in nanoseconds.
+        ns: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NodeFault { node, reason } => {
+                write!(f, "node {node} halted abnormally: {reason}")
+            }
+            SimError::Budget { ns } => write!(f, "simulation budget of {ns} ns exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One end of a wire: which node, which of its four link ports.
+type Port = (NodeId, usize);
+
+#[derive(Debug)]
+struct Wire {
+    link: DuplexLink,
+    ends: [Port; 2],
+    /// Whether the data byte currently in flight toward each end was
+    /// already acknowledged early (indexed by receiving end).
+    early_acked: [bool; 2],
+    /// Data bytes delivered in each direction (toward end 0 / end 1).
+    delivered: [u64; 2],
+}
+
+/// Incremental builder for a [`Network`].
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    config: NetworkConfig,
+    nodes: Vec<Cpu>,
+    wires: Vec<(Port, Port)>,
+    used: Vec<[bool; 4]>,
+}
+
+impl NetworkBuilder {
+    /// Start building a network.
+    pub fn new(config: NetworkConfig) -> NetworkBuilder {
+        NetworkBuilder {
+            config,
+            nodes: Vec::new(),
+            wires: Vec::new(),
+            used: Vec::new(),
+        }
+    }
+
+    /// Add a node with the network-wide CPU configuration.
+    pub fn add_node(&mut self) -> NodeId {
+        self.add_node_with(self.config.cpu.clone())
+    }
+
+    /// Add a node with its own CPU configuration — "transputers of
+    /// different wordlength ... can be easily interconnected" (§2.3).
+    pub fn add_node_with(&mut self, cpu: CpuConfig) -> NodeId {
+        self.nodes.push(Cpu::new(cpu));
+        self.used.push([false; 4]);
+        self.nodes.len() - 1
+    }
+
+    /// Connect two link ports with a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port index exceeds 3, a node does not exist, or a port
+    /// is already wired — all construction-time mistakes.
+    pub fn connect(&mut self, a: Port, b: Port) -> &mut NetworkBuilder {
+        for &(node, port) in &[a, b] {
+            assert!(node < self.nodes.len(), "no such node {node}");
+            assert!(port < 4, "link ports are 0..4, got {port}");
+            assert!(
+                !self.used[node][port],
+                "port {port} of node {node} already wired"
+            );
+        }
+        assert!(a != b, "cannot wire a port to itself");
+        self.used[a.0][a.1] = true;
+        self.used[b.0][b.1] = true;
+        self.wires.push((a, b));
+        self
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finish: produce the network.
+    pub fn build(self) -> Network {
+        let mut port_to_wire = vec![[usize::MAX; 4]; self.nodes.len()];
+        let wires: Vec<Wire> = self
+            .wires
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| {
+                port_to_wire[a.0][a.1] = i;
+                port_to_wire[b.0][b.1] = i;
+                Wire {
+                    link: DuplexLink::new(self.config.link_speed),
+                    ends: [a, b],
+                    early_acked: [false; 2],
+                    delivered: [0; 2],
+                }
+            })
+            .collect();
+        let n = self.nodes.len();
+        let mut net = Network {
+            config: self.config,
+            nodes: self.nodes,
+            wires,
+            port_to_wire,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now_ns: 0,
+            node_scheduled: vec![false; n],
+        };
+        for i in 0..n {
+            net.schedule_node(i, 0);
+        }
+        net
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Actor {
+    Node(usize),
+    Wire(usize),
+}
+
+/// A running network of transputers.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    nodes: Vec<Cpu>,
+    wires: Vec<Wire>,
+    port_to_wire: Vec<[usize; 4]>,
+    queue: BinaryHeap<Reverse<(u64, u64, Actor)>>,
+    seq: u64,
+    now_ns: u64,
+    /// Guards against flooding the queue with duplicate node events.
+    node_scheduled: Vec<bool>,
+}
+
+impl Network {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Cpu {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node (program loading, inspection).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Cpu {
+        &mut self.nodes[id]
+    }
+
+    /// Data bytes delivered over a wire, per direction.
+    pub fn wire_delivered(&self, wire: usize) -> (u64, u64) {
+        (self.wires[wire].delivered[0], self.wires[wire].delivered[1])
+    }
+
+    /// Number of wires.
+    pub fn wire_count(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Cumulative transmit time per direction of a wire (from end 0,
+    /// from end 1), in nanoseconds.
+    pub fn wire_busy_ns(&self, wire: usize) -> (u64, u64) {
+        let w = &self.wires[wire];
+        (w.link.busy_ns(End::A), w.link.busy_ns(End::B))
+    }
+
+    /// Utilisation of a wire's two directions over the elapsed
+    /// simulation time, each in [0, 1].
+    pub fn wire_utilization(&self, wire: usize) -> (f64, f64) {
+        if self.now_ns == 0 {
+            return (0.0, 0.0);
+        }
+        let (a, b) = self.wire_busy_ns(wire);
+        (a as f64 / self.now_ns as f64, b as f64 / self.now_ns as f64)
+    }
+
+    fn schedule_node(&mut self, node: usize, at: u64) {
+        if !self.node_scheduled[node] {
+            self.node_scheduled[node] = true;
+            self.seq += 1;
+            self.queue.push(Reverse((at, self.seq, Actor::Node(node))));
+        }
+    }
+
+    fn schedule_wire(&mut self, wire: usize) {
+        if let Some(t) = self.wires[wire].link.next_deadline() {
+            self.seq += 1;
+            self.queue.push(Reverse((t, self.seq, Actor::Wire(wire))));
+        }
+    }
+
+    /// Process a node's link-facing state after it ran or was poked:
+    /// offer transmit bytes and deferred acknowledges to its wires.
+    fn service_node_links(&mut self, node: usize) {
+        for port in 0..4 {
+            let w = self.port_to_wire[node][port];
+            if w == usize::MAX {
+                continue;
+            }
+            let end = if self.wires[w].ends[0] == (node, port) {
+                End::A
+            } else {
+                End::B
+            };
+            let mut touched = false;
+            if self.nodes[node].link_take_deferred_ack(port) {
+                self.wires[w].link.send_ack(end, self.now_ns);
+                touched = true;
+            }
+            if let Some(byte) = self.nodes[node].link_tx_poll(port) {
+                self.wires[w].link.send_data(end, byte, self.now_ns);
+                touched = true;
+            }
+            if touched {
+                self.process_wire(w);
+            }
+        }
+    }
+
+    /// Drain a wire's due events and route them to the endpoint CPUs.
+    fn process_wire(&mut self, w: usize) {
+        let events = self.wires[w].link.advance(self.now_ns);
+        for ev in events {
+            match ev {
+                LinkEvent::DataStarted { to } => {
+                    let (node, port) = self.wire_end(w, to);
+                    let early = self.config.ack_policy == AckPolicy::Early
+                        && self.nodes[node].link_rx_early_ack(port);
+                    let ei = end_index(to);
+                    self.wires[w].early_acked[ei] = early;
+                    if early {
+                        self.wires[w].link.send_ack(to, self.now_ns);
+                    }
+                }
+                LinkEvent::DataDelivered { to, byte } => {
+                    let (node, port) = self.wire_end(w, to);
+                    let ei = end_index(to);
+                    self.wires[w].delivered[ei] += 1;
+                    let was_idle = self.nodes[node].is_idle();
+                    let ack_now = self.nodes[node].link_rx_deliver(port, byte);
+                    if ack_now && !self.wires[w].early_acked[ei] {
+                        self.wires[w].link.send_ack(to, self.now_ns);
+                    }
+                    self.wires[w].early_acked[ei] = false;
+                    if was_idle && !self.nodes[node].is_idle() {
+                        self.sync_and_wake(node);
+                    }
+                    // Delivery may have completed a message and the woken
+                    // process is not needed for further RX; nothing else.
+                }
+                LinkEvent::AckDelivered { to } => {
+                    let (node, port) = self.wire_end(w, to);
+                    let was_idle = self.nodes[node].is_idle();
+                    self.nodes[node].link_tx_ack(port);
+                    if was_idle && !self.nodes[node].is_idle() {
+                        self.sync_and_wake(node);
+                    }
+                    // The output port may have another byte ready now.
+                    self.service_node_links(node);
+                }
+            }
+        }
+        self.schedule_wire(w);
+    }
+
+    fn wire_end(&self, w: usize, end: End) -> Port {
+        self.wires[w].ends[end_index(end)]
+    }
+
+    /// Schedule a just-woken node; its clock is synced when its event
+    /// fires.
+    fn sync_and_wake(&mut self, node: usize) {
+        self.schedule_node(node, self.now_ns);
+    }
+
+    fn node_cycle_ns(&self, node: usize) -> u64 {
+        // All nodes share the configured processor cycle time.
+        let _ = node;
+        transputer::timing::CYCLE_NS
+    }
+
+    /// Advance the simulation by exactly one event. Returns false when
+    /// nothing remains to simulate.
+    pub fn step_event(&mut self) -> Result<bool, SimError> {
+        let Reverse((t, _, actor)) = match self.queue.pop() {
+            Some(e) => e,
+            None => return Ok(false),
+        };
+        self.now_ns = self.now_ns.max(t);
+        match actor {
+            Actor::Wire(w) => self.process_wire(w),
+            Actor::Node(n) => {
+                self.node_scheduled[n] = false;
+                if self.nodes[n].is_idle() {
+                    // Bring the idle node's local clock up to global time
+                    // (this may wake timer waits that are now due).
+                    let target = self.now_ns / self.node_cycle_ns(n);
+                    self.nodes[n].advance_idle_to(target);
+                }
+                match self.nodes[n].step() {
+                    StepEvent::Ran { cycles } => {
+                        let next = self.now_ns + u64::from(cycles) * self.node_cycle_ns(n);
+                        self.service_node_links(n);
+                        self.schedule_node(n, next);
+                    }
+                    StepEvent::Idle => {
+                        self.service_node_links(n);
+                        if let Some(wake_cycle) = self.nodes[n].next_timer_wake_cycle() {
+                            let at = (wake_cycle * self.node_cycle_ns(n)).max(self.now_ns + 1);
+                            self.schedule_node(n, at);
+                        }
+                        // Otherwise: the node sleeps until a wire wakes it.
+                    }
+                    StepEvent::Halted(HaltReason::Stopped) => {
+                        self.service_node_links(n);
+                    }
+                    StepEvent::Halted(reason) => {
+                        return Err(SimError::NodeFault { node: n, reason });
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether every node has halted cleanly.
+    pub fn all_halted(&self) -> bool {
+        self.nodes
+            .iter()
+            .all(|n| n.halt_reason() == Some(HaltReason::Stopped))
+    }
+
+    /// Run until every node halts cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeFault`] if a node faults; [`SimError::Budget`] if
+    /// `budget_ns` elapses first.
+    pub fn run_until_all_halted(&mut self, budget_ns: u64) -> Result<SimOutcome, SimError> {
+        self.run_until(budget_ns, |net| {
+            if net.all_halted() {
+                Some(SimOutcome::AllHalted)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Run for a fixed duration of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeFault`] if a node faults.
+    pub fn run_for(&mut self, duration_ns: u64) -> Result<SimOutcome, SimError> {
+        let end = self.now_ns + duration_ns;
+        loop {
+            if self.now_ns >= end {
+                return Ok(SimOutcome::TimeLimit);
+            }
+            if let Some(Reverse((t, _, _))) = self.queue.peek() {
+                if *t >= end {
+                    self.now_ns = end;
+                    return Ok(SimOutcome::TimeLimit);
+                }
+            }
+            if !self.step_event()? {
+                return Ok(SimOutcome::Deadlock);
+            }
+        }
+    }
+
+    /// Run until a predicate over the network holds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NodeFault`] if a node faults; [`SimError::Budget`] if
+    /// the budget elapses first.
+    pub fn run_until<F>(&mut self, budget_ns: u64, mut pred: F) -> Result<SimOutcome, SimError>
+    where
+        F: FnMut(&Network) -> Option<SimOutcome>,
+    {
+        let end = self.now_ns.saturating_add(budget_ns);
+        loop {
+            if let Some(out) = pred(self) {
+                return Ok(out);
+            }
+            if self.now_ns > end {
+                return Err(SimError::Budget { ns: budget_ns });
+            }
+            if !self.step_event()? {
+                if let Some(out) = pred(self) {
+                    return Ok(out);
+                }
+                return Ok(SimOutcome::Deadlock);
+            }
+        }
+    }
+}
+
+fn end_index(end: End) -> usize {
+    match end {
+        End::A => 0,
+        End::B => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transputer::instr::{encode, encode_op, Direct, Op};
+    use transputer::memory::{LINK_IN_BASE, LINK_OUT_BASE};
+
+    fn halting_program() -> Vec<u8> {
+        let mut code = Vec::new();
+        code.extend(encode(Direct::LoadConstant, 1));
+        code.extend(encode_op(Op::HaltSimulation));
+        code
+    }
+
+    #[test]
+    fn builder_validates_ports() {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        let a = b.add_node();
+        let c = b.add_node();
+        b.connect((a, 0), (c, 0));
+        let net = b.build();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.wire_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn builder_rejects_double_wiring() {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        let a = b.add_node();
+        let c = b.add_node();
+        let d = b.add_node();
+        b.connect((a, 0), (c, 0));
+        b.connect((a, 0), (d, 0));
+    }
+
+    #[test]
+    fn independent_nodes_halt() {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        let n0 = b.add_node();
+        let n1 = b.add_node();
+        let mut net = b.build();
+        net.node_mut(n0)
+            .load_boot_program(&halting_program())
+            .unwrap();
+        net.node_mut(n1)
+            .load_boot_program(&halting_program())
+            .unwrap();
+        let out = net.run_until_all_halted(1_000_000).unwrap();
+        assert_eq!(out, SimOutcome::AllHalted);
+    }
+
+    /// Sender transmits one word over link 0; receiver stores it and halts.
+    #[test]
+    fn one_word_over_a_link() {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        let tx = b.add_node();
+        let rx = b.add_node();
+        b.connect((tx, 0), (rx, 0));
+        let mut net = b.build();
+
+        // Sender: outword 0xBEEF on link 0 output channel, then halt.
+        // The link-0 output channel word is at MostNeg (reserved word 0):
+        // its address is mint + LINK_OUT_BASE words.
+        let mut sender = Vec::new();
+        sender.extend(encode(Direct::LoadConstant, 0xBEEF));
+        sender.extend(encode_op(Op::MinimumInteger));
+        sender.extend(encode(Direct::LoadNonLocalPointer, LINK_OUT_BASE as i64));
+        sender.extend(encode_op(Op::OutputWord));
+        sender.extend(encode_op(Op::HaltSimulation));
+
+        // Receiver: in 4 bytes from link 0 input channel into w[1].
+        let mut receiver = Vec::new();
+        receiver.extend(encode(Direct::LoadLocalPointer, 1));
+        receiver.extend(encode_op(Op::MinimumInteger));
+        receiver.extend(encode(Direct::LoadNonLocalPointer, LINK_IN_BASE as i64));
+        receiver.extend(encode(Direct::LoadConstant, 4));
+        // Stack now: A=4 (count), B=chan, C=dest pointer.
+        receiver.extend(encode_op(Op::InputMessage));
+        receiver.extend(encode(Direct::LoadLocal, 1));
+        receiver.extend(encode_op(Op::HaltSimulation));
+
+        net.node_mut(tx).load_boot_program(&sender).unwrap();
+        net.node_mut(rx).load_boot_program(&receiver).unwrap();
+        net.run_until_all_halted(10_000_000).unwrap();
+        assert_eq!(net.node(rx).areg(), 0xBEEF);
+        let (to_end0, to_end1) = net.wire_delivered(0);
+        assert_eq!(to_end0 + to_end1, 4, "four data bytes crossed the wire");
+    }
+
+    /// The paper (§4.2): "It takes about 6 microseconds to send a 4 byte
+    /// message from one transputer to another."
+    #[test]
+    fn four_byte_message_latency_about_6_us() {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        let tx = b.add_node();
+        let rx = b.add_node();
+        b.connect((tx, 0), (rx, 0));
+        let mut net = b.build();
+
+        let mut sender = Vec::new();
+        sender.extend(encode(Direct::LoadConstant, 0x0403_0201));
+        sender.extend(encode(Direct::StoreLocal, 1));
+        sender.extend(encode(Direct::LoadLocalPointer, 1));
+        sender.extend(encode_op(Op::MinimumInteger));
+        sender.extend(encode(Direct::LoadNonLocalPointer, LINK_OUT_BASE as i64));
+        sender.extend(encode(Direct::LoadConstant, 4));
+        sender.extend(encode_op(Op::OutputMessage));
+        sender.extend(encode_op(Op::HaltSimulation));
+
+        let mut receiver = Vec::new();
+        receiver.extend(encode(Direct::LoadLocalPointer, 1));
+        receiver.extend(encode_op(Op::MinimumInteger));
+        receiver.extend(encode(Direct::LoadNonLocalPointer, LINK_IN_BASE as i64));
+        receiver.extend(encode(Direct::LoadConstant, 4));
+        receiver.extend(encode_op(Op::InputMessage));
+        receiver.extend(encode_op(Op::HaltSimulation));
+
+        net.node_mut(tx).load_boot_program(&sender).unwrap();
+        net.node_mut(rx).load_boot_program(&receiver).unwrap();
+        net.run_until_all_halted(100_000_000).unwrap();
+        let t_us = net.time_ns() as f64 / 1000.0;
+        assert!(
+            t_us > 4.0 && t_us < 8.0,
+            "4-byte message took {t_us} µs; the paper says about 6"
+        );
+        let w = net.node(rx).default_boot_workspace() + 4;
+        assert_eq!(net.node_mut(rx).peek_word(w).unwrap(), 0x0403_0201);
+    }
+}

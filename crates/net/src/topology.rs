@@ -1,0 +1,157 @@
+//! Standard network shapes.
+//!
+//! "Using point to point serial communications, rather than busses"
+//! (§2.3) means system shape is a wiring choice. The paper's examples
+//! use a chain of functionally distributed processors (Figure 6) and a
+//! square array with requests entering at one corner (Figure 8); both are
+//! provided here, plus a ring for tests.
+
+use crate::sim::{Network, NetworkBuilder, NetworkConfig, NodeId};
+
+/// Link-port conventions for [`pipeline`] and [`ring`]: data flows in on
+/// port [`PORT_PREV`] and out on [`PORT_NEXT`].
+pub const PORT_PREV: usize = 0;
+/// Port toward the next node in a pipeline or ring.
+pub const PORT_NEXT: usize = 1;
+
+/// A linear chain of `n` nodes: node `i` port 1 ↔ node `i+1` port 0.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn pipeline(n: usize, config: NetworkConfig) -> (Network, Vec<NodeId>) {
+    assert!(n > 0, "a pipeline needs at least one node");
+    let mut b = NetworkBuilder::new(config);
+    let ids: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+    for w in ids.windows(2) {
+        b.connect((w[0], PORT_NEXT), (w[1], PORT_PREV));
+    }
+    (b.build(), ids)
+}
+
+/// A ring of `n` nodes (`n >= 3` so no port is double-wired).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, config: NetworkConfig) -> (Network, Vec<NodeId>) {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    let mut b = NetworkBuilder::new(config);
+    let ids: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+    for i in 0..n {
+        b.connect((ids[i], PORT_NEXT), (ids[(i + 1) % n], PORT_PREV));
+    }
+    (b.build(), ids)
+}
+
+/// Grid port conventions (Figure 8's square array): 0 = north, 1 = east,
+/// 2 = south, 3 = west.
+pub const PORT_NORTH: usize = 0;
+/// East port.
+pub const PORT_EAST: usize = 1;
+/// South port.
+pub const PORT_SOUTH: usize = 2;
+/// West port.
+pub const PORT_WEST: usize = 3;
+
+/// A rectangular grid of transputers with its node-id map.
+#[derive(Debug)]
+pub struct GridNet {
+    /// The network.
+    pub net: Network,
+    /// Width (columns).
+    pub width: usize,
+    /// Height (rows).
+    pub height: usize,
+    /// Node ids in row-major order.
+    pub ids: Vec<NodeId>,
+}
+
+impl GridNet {
+    /// Node id at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the grid.
+    pub fn at(&self, x: usize, y: usize) -> NodeId {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside grid");
+        self.ids[y * self.width + x]
+    }
+
+    /// Manhattan distance between two grid squares, in links — the
+    /// paper's "longest path across the system" metric (§4.2).
+    pub fn link_distance(&self, a: (usize, usize), b: (usize, usize)) -> usize {
+        a.0.abs_diff(b.0) + a.1.abs_diff(b.1)
+    }
+}
+
+/// A `width` × `height` grid: east-west neighbours share a wire on ports
+/// 1/3, north-south neighbours on ports 2/0 (Figure 8: "16 transputers
+/// ... connected into a square array").
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(width: usize, height: usize, config: NetworkConfig) -> GridNet {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    let mut b = NetworkBuilder::new(config);
+    let ids: Vec<NodeId> = (0..width * height).map(|_| b.add_node()).collect();
+    for y in 0..height {
+        for x in 0..width {
+            let here = ids[y * width + x];
+            if x + 1 < width {
+                let east = ids[y * width + x + 1];
+                b.connect((here, PORT_EAST), (east, PORT_WEST));
+            }
+            if y + 1 < height {
+                let south = ids[(y + 1) * width + x];
+                b.connect((here, PORT_SOUTH), (south, PORT_NORTH));
+            }
+        }
+    }
+    GridNet {
+        net: b.build(),
+        width,
+        height,
+        ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_shape() {
+        let (net, ids) = pipeline(5, NetworkConfig::default());
+        assert_eq!(net.len(), 5);
+        assert_eq!(net.wire_count(), 4);
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let (net, _) = ring(6, NetworkConfig::default());
+        assert_eq!(net.len(), 6);
+        assert_eq!(net.wire_count(), 6);
+    }
+
+    #[test]
+    fn grid_shape_4x4() {
+        // Figure 8's array: 16 transputers, 24 internal wires.
+        let g = grid(4, 4, NetworkConfig::default());
+        assert_eq!(g.net.len(), 16);
+        assert_eq!(g.net.wire_count(), 2 * 4 * 3);
+        assert_eq!(g.at(0, 0), g.ids[0]);
+        assert_eq!(g.at(3, 3), g.ids[15]);
+        // Corner-to-corner distance: 6 links on a 4x4.
+        assert_eq!(g.link_distance((0, 0), (3, 3)), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn grid_bounds_checked() {
+        let g = grid(2, 2, NetworkConfig::default());
+        let _ = g.at(2, 0);
+    }
+}

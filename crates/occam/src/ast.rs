@@ -1,0 +1,300 @@
+//! Abstract syntax of the occam subset.
+//!
+//! Occam programs are built from three primitive processes — assignment,
+//! input and output — combined by SEQ, PAR and ALT constructs (§2.2 of
+//! the paper), plus IF and WHILE. Declarations (`VAR`, `CHAN`, `DEF`,
+//! `PROC`) prefix a process and scope over it.
+
+/// Source position for diagnostics (1-based line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, 1-based.
+    pub line: u32,
+}
+
+impl Pos {
+    /// A position on `line`.
+    pub fn new(line: u32) -> Pos {
+        Pos { line }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` checked addition.
+    Add,
+    /// `-` checked subtraction.
+    Sub,
+    /// `*` checked multiplication.
+    Mul,
+    /// `/` checked division.
+    Div,
+    /// `\` remainder.
+    Rem,
+    /// `=` equality.
+    Eq,
+    /// `<>` inequality.
+    Ne,
+    /// `<` less-than.
+    Lt,
+    /// `>` greater-than.
+    Gt,
+    /// `<=` at-most.
+    Le,
+    /// `>=` at-least.
+    Ge,
+    /// `AND` boolean conjunction.
+    And,
+    /// `OR` boolean disjunction.
+    Or,
+    /// `/\` bitwise and.
+    BitAnd,
+    /// `\/` bitwise or.
+    BitOr,
+    /// `><` bitwise exclusive or.
+    BitXor,
+    /// `<<` left shift.
+    Shl,
+    /// `>>` right shift.
+    Shr,
+    /// `AFTER` modulo time comparison (§2.2.2).
+    After,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-` checked negation.
+    Neg,
+    /// `NOT` boolean negation.
+    Not,
+    /// `~` bitwise complement.
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Literal(i64),
+    /// `TRUE`.
+    True,
+    /// `FALSE`.
+    False,
+    /// A named variable or constant.
+    Name(String),
+    /// Vector element: `v[e]`.
+    Index(String, Box<Expr>),
+    /// Byte of a vector viewed as a byte array: `v[BYTE e]`.
+    ByteIndex(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// An assignable (or inputtable) place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lvalue {
+    /// A scalar variable.
+    Name(String),
+    /// A vector element.
+    Index(String, Box<Expr>),
+    /// A byte of a vector: `v[BYTE e]`.
+    ByteIndex(String, Box<Expr>),
+}
+
+/// A channel reference: a channel name or element of a channel vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChanRef {
+    /// A scalar channel.
+    Name(String),
+    /// An element of a channel vector.
+    Index(String, Box<Expr>),
+}
+
+/// Formal parameter modes of a `PROC` (§2.2's named processes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamMode {
+    /// `VALUE`: passed by value.
+    Value,
+    /// `VAR`: passed by reference.
+    Var,
+    /// `CHAN`: a channel.
+    Chan,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Passing mode.
+    pub mode: ParamMode,
+    /// Name.
+    pub name: String,
+    /// Whether the formal is a vector (`v[]`): the word passed is the
+    /// vector's base address. Lengths are the caller's contract (occam 1
+    /// vector parameters carried no bounds).
+    pub is_vector: bool,
+}
+
+/// A declaration prefixing a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// `VAR x, y:` — scalars; `VAR v[n]:` — vectors (constant size).
+    Var(Vec<(String, Option<Expr>)>),
+    /// `CHAN c, d:` / `CHAN c[n]:`.
+    Chan(Vec<(String, Option<Expr>)>),
+    /// `DEF name = constant-expression:`.
+    Def(String, Expr),
+    /// `PROC name(params) = process:`.
+    Proc(String, Vec<Param>, Box<Process>),
+    /// `PLACE chan AT reserved-word-offset:` — maps a channel onto a link
+    /// channel word, connecting the program to the outside world (§3.2.10:
+    /// external channels are link interfaces).
+    Place(String, Expr),
+}
+
+/// A guarded alternative branch (§2.2: "an alternative process may be
+/// ready for input from any one of a number of channels").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alternative {
+    /// Optional boolean guard (`guard & input`).
+    pub guard: Option<Expr>,
+    /// What the branch waits for.
+    pub kind: AltKind,
+    /// The body, run when selected.
+    pub body: Process,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// The waitable part of an alternative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AltKind {
+    /// Channel input: `c ? v`.
+    Input(ChanRef, Lvalue),
+    /// Timer deadline: `TIME ? AFTER e`.
+    Timeout(Expr),
+    /// `SKIP`: immediately ready.
+    Skip,
+}
+
+/// One arm of an `IF`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conditional {
+    /// Condition.
+    pub cond: Expr,
+    /// Body when the condition is the first true one.
+    pub body: Process,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A replicator: `i = [base FOR count]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replicator {
+    /// Index variable name.
+    pub var: String,
+    /// First value.
+    pub base: Expr,
+    /// Number of iterations.
+    pub count: Expr,
+}
+
+/// Actual argument of a process call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Actual {
+    /// An expression (for `VALUE` formals).
+    Expr(Expr),
+    /// A variable (for `VAR` formals).
+    Var(Lvalue),
+    /// A channel (for `CHAN` formals).
+    Chan(ChanRef),
+}
+
+/// Processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Process {
+    /// `SKIP`: terminate immediately.
+    Skip,
+    /// `STOP`: never proceed.
+    Stop,
+    /// `v := e`.
+    Assign(Lvalue, Expr, Pos),
+    /// `c ! e`: output (§2.2).
+    Output(ChanRef, Expr, Pos),
+    /// `c ? v`: input.
+    Input(ChanRef, Lvalue, Pos),
+    /// `TIME ? v`: read the clock (§2.2.2).
+    ReadTime(Lvalue, Pos),
+    /// `TIME ? AFTER e`: delayed input.
+    Delay(Expr, Pos),
+    /// `SEQ` construct, optionally replicated.
+    Seq(Option<Replicator>, Vec<Process>, Pos),
+    /// `PAR` construct, optionally replicated (constant count).
+    Par(Option<Replicator>, Vec<Process>, Pos),
+    /// `PRI PAR`: first component runs at high priority (§2.2.2).
+    PriPar(Vec<Process>, Pos),
+    /// `ALT` construct, optionally replicated (`ALT i = [base FOR n]`
+    /// with a single component alternative).
+    Alt(Option<Replicator>, Vec<Alternative>, Pos),
+    /// `PRI ALT`: textual order gives priority. The transputer's
+    /// disabling sequence is inherently ordered, so the codegen is shared
+    /// with plain `ALT`.
+    PriAlt(Option<Replicator>, Vec<Alternative>, Pos),
+    /// `IF` construct.
+    If(Vec<Conditional>, Pos),
+    /// `WHILE e` with a body.
+    While(Expr, Box<Process>, Pos),
+    /// Declarations scoping over a process.
+    Declared(Vec<Decl>, Box<Process>, Pos),
+    /// Call of a named process.
+    Call(String, Vec<Actual>, Pos),
+}
+
+impl Process {
+    /// Source position of this process, if it carries one.
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            Process::Skip | Process::Stop => None,
+            Process::Assign(_, _, p)
+            | Process::Output(_, _, p)
+            | Process::Input(_, _, p)
+            | Process::ReadTime(_, p)
+            | Process::Delay(_, p)
+            | Process::Seq(_, _, p)
+            | Process::Par(_, _, p)
+            | Process::PriPar(_, p)
+            | Process::Alt(_, _, p)
+            | Process::PriAlt(_, _, p)
+            | Process::If(_, p)
+            | Process::While(_, _, p)
+            | Process::Declared(_, _, p)
+            | Process::Call(_, _, p) => Some(*p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_accessor() {
+        let p = Process::Assign(Lvalue::Name("x".into()), Expr::Literal(0), Pos::new(3));
+        assert_eq!(p.pos(), Some(Pos::new(3)));
+        assert_eq!(Process::Skip.pos(), None);
+    }
+
+    #[test]
+    fn ast_equality() {
+        let a = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Name("x".into())),
+            Box::new(Expr::Literal(2)),
+        );
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

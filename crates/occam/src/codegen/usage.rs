@@ -1,0 +1,295 @@
+//! PAR usage checking.
+//!
+//! Occam's rules make concurrent programs checkable (§2.2.1: "the
+//! designer [can] increase his confidence that his design is correct"):
+//! a variable assigned in one component of a `PAR` may not be used in
+//! any other component. This pass enforces the scalar-variable part of
+//! that rule conservatively at compile time:
+//!
+//! * a free scalar variable written by one branch must not be read or
+//!   written by another;
+//! * a replicated `PAR` must not write any free scalar at all (every
+//!   copy would);
+//! * vector elements are exempt (checking subscript disjointness needs
+//!   value analysis; historical compilers checked what they could and
+//!   trusted `[i]` partitioning — so do we);
+//! * `PRI PAR` is exempt: its components are ordered by priority, and
+//!   this implementation keeps the historical permissiveness there.
+//!
+//! The check is syntactic but scope-aware: names declared inside a
+//! branch shadow outer bindings, and `PROC` calls contribute the reads
+//! and writes implied by their parameter modes.
+
+use std::collections::HashSet;
+
+use super::{Binding, Cg};
+use crate::ast::{Actual, AltKind, Decl, Expr, Lvalue, ParamMode, Process};
+use crate::error::CompileError;
+
+/// Free-variable usage of one `PAR` branch.
+#[derive(Debug, Default)]
+pub(crate) struct Usage {
+    pub reads: HashSet<String>,
+    pub writes: HashSet<String>,
+}
+
+/// Scope tracker for names declared locally within the branch.
+#[derive(Debug, Default)]
+struct Locals {
+    scopes: Vec<HashSet<String>>,
+}
+
+impl Locals {
+    fn push(&mut self) {
+        self.scopes.push(HashSet::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str) {
+        if let Some(top) = self.scopes.last_mut() {
+            top.insert(name.to_string());
+        }
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| s.contains(name))
+    }
+}
+
+impl Cg {
+    /// Check a `PAR`'s components for scalar write conflicts.
+    pub(crate) fn par_usage_check(
+        &self,
+        branches: &[&Process],
+        replicated: bool,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        if !self.options.par_checks {
+            return Ok(());
+        }
+        let usages: Vec<Usage> = branches
+            .iter()
+            .map(|b| {
+                let mut u = Usage::default();
+                let mut locals = Locals::default();
+                locals.push();
+                self.collect(b, &mut locals, &mut u);
+                u
+            })
+            .collect();
+        if replicated {
+            for u in &usages {
+                if let Some(name) = u.writes.iter().min() {
+                    return Err(CompileError::check(
+                        line,
+                        format!(
+                            "replicated PAR: every copy would assign `{name}`; occam \
+                             forbids shared writable variables between parallel \
+                             processes (use a vector element per copy, or channels)"
+                        ),
+                    ));
+                }
+            }
+            return Ok(());
+        }
+        for i in 0..usages.len() {
+            for j in 0..usages.len() {
+                if i == j {
+                    continue;
+                }
+                for name in &usages[i].writes {
+                    if usages[j].writes.contains(name) || usages[j].reads.contains(name) {
+                        return Err(CompileError::check(
+                            line,
+                            format!(
+                                "`{name}` is assigned in one component of this PAR and \
+                                 used in another; occam forbids shared variables \
+                                 between parallel processes (communicate over a \
+                                 channel instead)"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `name` is a free scalar variable (the kind the rule
+    /// covers) in the current compile-time scope.
+    fn is_checked_scalar(&self, name: &str) -> bool {
+        matches!(
+            self.lookup(name),
+            Some(Binding::Var(_)) | Some(Binding::VarParam(_)) | Some(Binding::ValueParam(_))
+        )
+    }
+
+    fn read_expr(&self, e: &Expr, locals: &Locals, u: &mut Usage) {
+        match e {
+            Expr::Literal(_) | Expr::True | Expr::False => {}
+            Expr::Name(n) => {
+                if !locals.contains(n) && self.is_checked_scalar(n) {
+                    u.reads.insert(n.clone());
+                }
+            }
+            Expr::Index(_, idx) | Expr::ByteIndex(_, idx) => self.read_expr(idx, locals, u),
+            Expr::Bin(_, a, b) => {
+                self.read_expr(a, locals, u);
+                self.read_expr(b, locals, u);
+            }
+            Expr::Un(_, a) => self.read_expr(a, locals, u),
+        }
+    }
+
+    fn write_lvalue(&self, lv: &Lvalue, locals: &Locals, u: &mut Usage) {
+        match lv {
+            Lvalue::Name(n) => {
+                if !locals.contains(n) && self.is_checked_scalar(n) {
+                    u.writes.insert(n.clone());
+                }
+            }
+            Lvalue::Index(_, idx) | Lvalue::ByteIndex(_, idx) => {
+                // Vector elements are exempt; the subscript is read.
+                self.read_expr(idx, locals, u);
+            }
+        }
+    }
+
+    fn collect(&self, p: &Process, locals: &mut Locals, u: &mut Usage) {
+        match p {
+            Process::Skip | Process::Stop => {}
+            Process::Assign(lv, e, _) => {
+                self.read_expr(e, locals, u);
+                self.write_lvalue(lv, locals, u);
+            }
+            Process::Output(c, e, _) => {
+                if let crate::ast::ChanRef::Index(_, idx) = c {
+                    self.read_expr(idx, locals, u);
+                }
+                self.read_expr(e, locals, u);
+            }
+            Process::Input(c, lv, _) => {
+                if let crate::ast::ChanRef::Index(_, idx) = c {
+                    self.read_expr(idx, locals, u);
+                }
+                self.write_lvalue(lv, locals, u);
+            }
+            Process::ReadTime(lv, _) => self.write_lvalue(lv, locals, u),
+            Process::Delay(e, _) => self.read_expr(e, locals, u),
+            Process::Seq(repl, ps, _) | Process::Par(repl, ps, _) => {
+                locals.push();
+                if let Some(r) = repl {
+                    self.read_expr(&r.base, locals, u);
+                    self.read_expr(&r.count, locals, u);
+                    locals.declare(&r.var);
+                }
+                for child in ps {
+                    self.collect(child, locals, u);
+                }
+                locals.pop();
+            }
+            Process::PriPar(ps, _) => {
+                for child in ps {
+                    self.collect(child, locals, u);
+                }
+            }
+            Process::Alt(repl, alts, _) | Process::PriAlt(repl, alts, _) => {
+                locals.push();
+                if let Some(r) = repl {
+                    self.read_expr(&r.base, locals, u);
+                    self.read_expr(&r.count, locals, u);
+                    locals.declare(&r.var);
+                }
+                for alt in alts {
+                    if let Some(g) = &alt.guard {
+                        self.read_expr(g, locals, u);
+                    }
+                    match &alt.kind {
+                        AltKind::Input(c, lv) => {
+                            if let crate::ast::ChanRef::Index(_, idx) = c {
+                                self.read_expr(idx, locals, u);
+                            }
+                            self.write_lvalue(lv, locals, u);
+                        }
+                        AltKind::Timeout(e) => self.read_expr(e, locals, u),
+                        AltKind::Skip => {}
+                    }
+                    self.collect(&alt.body, locals, u);
+                }
+                locals.pop();
+            }
+            Process::If(conds, _) => {
+                for c in conds {
+                    self.read_expr(&c.cond, locals, u);
+                    self.collect(&c.body, locals, u);
+                }
+            }
+            Process::While(cond, body, _) => {
+                self.read_expr(cond, locals, u);
+                self.collect(body, locals, u);
+            }
+            Process::Declared(decls, body, _) => {
+                locals.push();
+                for d in decls {
+                    match d {
+                        Decl::Var(items) | Decl::Chan(items) => {
+                            for (name, size) in items {
+                                if let Some(e) = size {
+                                    self.read_expr(e, locals, u);
+                                }
+                                locals.declare(name);
+                            }
+                        }
+                        Decl::Def(name, e) => {
+                            self.read_expr(e, locals, u);
+                            locals.declare(name);
+                        }
+                        Decl::Place(..) => {}
+                        Decl::Proc(name, _, _) => {
+                            // A nested PROC's body runs only when called;
+                            // calls inside this branch are analysed at
+                            // their call sites via parameter modes, and
+                            // free-variable effects inside nested PROCs
+                            // are beyond this conservative check.
+                            locals.declare(name);
+                        }
+                    }
+                }
+                self.collect(body, locals, u);
+                locals.pop();
+            }
+            Process::Call(name, actuals, _) => {
+                let formals: Vec<super::Formal> = match self.lookup(name) {
+                    Some(Binding::Proc(info)) => info.params.clone(),
+                    _ => Vec::new(),
+                };
+                for (i, actual) in actuals.iter().enumerate() {
+                    let formal = formals.get(i).copied().unwrap_or(super::Formal {
+                        mode: ParamMode::Value,
+                        is_vector: false,
+                    });
+                    if formal.is_vector {
+                        // Whole-vector arguments: exempt like vectors.
+                        continue;
+                    }
+                    let mode = formal.mode;
+                    match (mode, actual) {
+                        (ParamMode::Value, Actual::Expr(e)) => self.read_expr(e, locals, u),
+                        (ParamMode::Var, Actual::Expr(Expr::Name(n)))
+                            if !locals.contains(n) && self.is_checked_scalar(n) => {
+                                u.writes.insert(n.clone());
+                            }
+                        (ParamMode::Var, Actual::Expr(Expr::Index(_, idx))) => {
+                            self.read_expr(idx, locals, u);
+                        }
+                        (ParamMode::Var, Actual::Var(lv)) => self.write_lvalue(lv, locals, u),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// Phase in which a compilation error arose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenizing.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic checking / name resolution.
+    Check,
+    /// Code generation / workspace allocation.
+    Codegen,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Check => "check",
+            Phase::Codegen => "codegen",
+        })
+    }
+}
+
+/// A compilation error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Phase.
+    pub phase: Phase,
+    /// 1-based source line (0 when no position applies).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CompileError {
+    /// A lexing error.
+    pub fn lex(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            phase: Phase::Lex,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// A parsing error.
+    pub fn parse(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            phase: Phase::Parse,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// A semantic error.
+    pub fn check(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            phase: Phase::Check,
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// A code generation error.
+    pub fn codegen(line: u32, message: impl Into<String>) -> CompileError {
+        CompileError {
+            phase: Phase::Codegen,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{} error: {}", self.phase, self.message)
+        } else {
+            write!(
+                f,
+                "{} error at line {}: {}",
+                self.phase, self.line, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = CompileError::parse(7, "expected `:=`");
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("expected"));
+        let e0 = CompileError::codegen(0, "workspace overflow");
+        assert!(!e0.to_string().contains("line"));
+    }
+}

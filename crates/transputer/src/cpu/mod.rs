@@ -1,0 +1,630 @@
+//! The transputer processor.
+//!
+//! Six registers are used in the execution of a sequential process
+//! (§3.2.3, Figure 2): the workspace pointer, the instruction pointer,
+//! the operand register, and the A, B and C registers forming the
+//! evaluation stack. Concurrency is provided by a hardware scheduler
+//! (§3.2.4) with two priority levels, each a linked list of process
+//! workspaces threaded through memory.
+
+mod boot;
+mod exec;
+mod io;
+mod sched;
+#[cfg(test)]
+mod tests;
+
+use crate::error::{CpuError, HaltReason};
+use crate::linkif::{LinkIn, LinkOut, LINK_COUNT};
+use crate::memory::{Memory, MemoryConfig, TPTR_LOC};
+use crate::process::{workspace_word, Magic, Priority, ProcDesc, PW_IPTR};
+use crate::stats::Stats;
+use crate::timing;
+use crate::word::WordLength;
+
+/// Configuration of one emulated transputer.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Machine word length: the T424 is 32-bit, the T222 16-bit (§3.1).
+    pub word: WordLength,
+    /// Memory sizing and off-chip penalty.
+    pub memory: MemoryConfig,
+    /// Whether the error flag halts the processor (HaltOnError mode).
+    pub halt_on_error: bool,
+    /// Processor cycle time in nanoseconds (50 ns at the nominal 20 MHz).
+    pub cycle_ns: u64,
+    /// Low-priority timeslice period in cycles. Low-priority processes
+    /// yield at jump and loop-end instructions once this has elapsed.
+    pub timeslice_cycles: u64,
+}
+
+impl CpuConfig {
+    /// The T424: 32-bit, 4K bytes on chip (§3.1), extended here with
+    /// external RAM for program development.
+    pub fn t424() -> CpuConfig {
+        CpuConfig {
+            word: WordLength::Bits32,
+            memory: MemoryConfig::default(),
+            halt_on_error: false,
+            cycle_ns: timing::CYCLE_NS,
+            timeslice_cycles: 2 * timing::LO_TICK_CYCLES,
+        }
+    }
+
+    /// The T222: the 16-bit part "providing similar facilities" (§3.1).
+    pub fn t222() -> CpuConfig {
+        CpuConfig {
+            word: WordLength::Bits16,
+            ..CpuConfig::t424()
+        }
+    }
+
+    /// Select halt-on-error mode.
+    pub fn with_halt_on_error(mut self, on: bool) -> CpuConfig {
+        self.halt_on_error = on;
+        self
+    }
+
+    /// Replace the memory configuration.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> CpuConfig {
+        self.memory = memory;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig::t424()
+    }
+}
+
+/// Saved context of a low-priority process interrupted by a high-priority
+/// one. On the hardware these live in shadow registers; keeping them off
+/// the ordinary save path is what makes the ordinary context switch touch
+/// "only the instruction pointer and the workspace pointer" (§3.2.4).
+#[derive(Debug, Clone)]
+pub(crate) struct Shadow {
+    pub wdesc: u32,
+    pub iptr: u32,
+    pub op_start: u32,
+    pub areg: u32,
+    pub breg: u32,
+    pub creg: u32,
+    pub oreg: u32,
+    pub op_len: u32,
+    pub resume: Option<Resume>,
+}
+
+/// Mid-instruction state of an interruptible long instruction. The paper:
+/// "the instructions which may take a long time to execute have been
+/// implemented to allow a switch during execution" (§3.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resume {
+    /// A block copy in progress (message transfer or `move`).
+    BlockCopy {
+        src: u32,
+        dst: u32,
+        remaining: u32,
+        /// Process to wake when the copy completes (the other party of a
+        /// communication), if any.
+        wake: Option<ProcDesc>,
+    },
+    /// Remaining stall cycles of a long pure operation whose result has
+    /// already been committed (normalise, long shifts).
+    Stall { remaining: u32 },
+}
+
+/// Result of a single emulation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Executed work costing this many processor cycles.
+    Ran { cycles: u32 },
+    /// No process is runnable; the processor is waiting for a timer,
+    /// a link, or an event.
+    Idle,
+    /// The processor has halted.
+    Halted(HaltReason),
+}
+
+/// Outcome of [`Cpu::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program executed the halt extension.
+    Halted(HaltReason),
+    /// No process is runnable and no timer can ever wake one: with no
+    /// external links attached this is a deadlock.
+    Deadlock,
+}
+
+/// One emulated transputer.
+///
+/// # Examples
+///
+/// Running a tiny hand-assembled program that adds two constants:
+///
+/// ```
+/// use transputer::{Cpu, CpuConfig};
+/// use transputer::instr::{encode, encode_op, Direct, Op};
+///
+/// let mut code = Vec::new();
+/// code.extend(encode(Direct::LoadConstant, 5));
+/// code.extend(encode(Direct::AddConstant, 7));
+/// code.extend(encode_op(Op::HaltSimulation));
+///
+/// let mut cpu = Cpu::new(CpuConfig::t424());
+/// cpu.load_boot_program(&code)?;
+/// cpu.run(10_000)?;
+/// assert_eq!(cpu.areg(), 12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    pub(crate) word: WordLength,
+    pub(crate) magic: Magic,
+    pub(crate) mem: Memory,
+
+    // Current process registers (Figure 2).
+    pub(crate) wdesc: u32,
+    pub(crate) iptr: u32,
+    pub(crate) areg: u32,
+    pub(crate) breg: u32,
+    pub(crate) creg: u32,
+    pub(crate) oreg: u32,
+    /// Bytes of the operation decoded so far (prefix chain length).
+    pub(crate) op_len: u32,
+
+    // Scheduler queue registers, per priority (Figure 3).
+    pub(crate) fptr: [u32; 2],
+    pub(crate) bptr: [u32; 2],
+
+    pub(crate) shadow: Option<Shadow>,
+    /// Cycle at which the earliest still-pending high-priority wake
+    /// occurred (for the §3.2.4 latency measurement).
+    pub(crate) hi_ready_at: Option<u64>,
+    pub(crate) resume: Option<Resume>,
+
+    // Timers (§2.2.2): one clock per priority.
+    pub(crate) clock: [u32; 2],
+    pub(crate) next_tick: [u64; 2],
+    pub(crate) timers_running: bool,
+
+    // Links.
+    pub(crate) link_out: [LinkOut; LINK_COUNT],
+    pub(crate) link_in: [LinkIn; LINK_COUNT],
+    pub(crate) event_waiting: Option<ProcDesc>,
+    pub(crate) event_pending: bool,
+
+    pub(crate) error: bool,
+    pub(crate) halt_on_error: bool,
+    pub(crate) halted: Option<HaltReason>,
+    pub(crate) boot: boot::BootState,
+    pub(crate) trace: Option<crate::trace::TraceRing>,
+    /// First byte address of the operation being decoded.
+    pub(crate) op_start: u32,
+    /// A completed operation awaiting trace recording.
+    pub(crate) pending_trace: Option<(crate::instr::Direct, u32)>,
+
+    pub(crate) cycles: u64,
+    pub(crate) cycle_ns: u64,
+    pub(crate) timeslice_cycles: u64,
+    pub(crate) last_dispatch: u64,
+    pub(crate) stats: Stats,
+}
+
+impl Cpu {
+    /// Create a transputer in the reset state: no process running, error
+    /// flag clear, clocks at zero and running, all channels empty.
+    pub fn new(config: CpuConfig) -> Cpu {
+        let word = config.word;
+        let magic = Magic::new(word);
+        let mut mem = Memory::new(word, config.memory);
+        // Reserved channel words and timer queue heads start empty.
+        for w in 0..crate::memory::RESERVED_WORDS {
+            let addr = mem.reserved_addr(w);
+            mem.write_word(addr, magic.not_process)
+                .expect("reserved words in range");
+        }
+        Cpu {
+            word,
+            magic,
+            mem,
+            wdesc: magic.not_process,
+            iptr: 0,
+            areg: 0,
+            breg: 0,
+            creg: 0,
+            oreg: 0,
+            op_len: 0,
+            fptr: [magic.not_process; 2],
+            bptr: [magic.not_process; 2],
+            shadow: None,
+            hi_ready_at: None,
+            resume: None,
+            clock: [0; 2],
+            next_tick: [timing::HI_TICK_CYCLES, timing::LO_TICK_CYCLES],
+            timers_running: true,
+            link_out: Default::default(),
+            link_in: Default::default(),
+            event_waiting: None,
+            event_pending: false,
+            error: false,
+            halt_on_error: config.halt_on_error,
+            halted: None,
+            boot: boot::BootState::Done,
+            trace: None,
+            op_start: 0,
+            pending_trace: None,
+            cycles: 0,
+            cycle_ns: config.cycle_ns,
+            timeslice_cycles: config.timeslice_cycles,
+            last_dispatch: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The word length of this part.
+    pub fn word_length(&self) -> WordLength {
+        self.word
+    }
+
+    /// The memory (for loading programs and inspecting results).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// A register (top of the evaluation stack).
+    pub fn areg(&self) -> u32 {
+        self.areg
+    }
+
+    /// B register.
+    pub fn breg(&self) -> u32 {
+        self.breg
+    }
+
+    /// C register.
+    pub fn creg(&self) -> u32 {
+        self.creg
+    }
+
+    /// Operand register.
+    pub fn oreg(&self) -> u32 {
+        self.oreg
+    }
+
+    /// Instruction pointer of the current process.
+    pub fn iptr(&self) -> u32 {
+        self.iptr
+    }
+
+    /// Workspace pointer of the current process.
+    pub fn wptr(&self) -> u32 {
+        ProcDesc(self.wdesc).wptr()
+    }
+
+    /// Priority of the current process.
+    pub fn priority(&self) -> Priority {
+        ProcDesc(self.wdesc).priority()
+    }
+
+    /// Whether any process is currently executing.
+    pub fn has_current_process(&self) -> bool {
+        self.wdesc != self.magic.not_process
+    }
+
+    /// The error flag.
+    pub fn error_flag(&self) -> bool {
+        self.error
+    }
+
+    /// Elapsed processor cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Elapsed simulated time in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        self.cycles * self.cycle_ns
+    }
+
+    /// The clock of a priority (§2.2.2: "each timer being implemented as
+    /// an incrementing clock").
+    pub fn clock_value(&self, pri: Priority) -> u32 {
+        self.clock[pri.index()]
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reset the statistics counters (the cycle counter is unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// Why the processor halted, if it has.
+    pub fn halt_reason(&self) -> Option<HaltReason> {
+        self.halted
+    }
+
+    /// Record the most recent `capacity` operations for debugging.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::TraceRing::new(capacity));
+    }
+
+    /// Stop tracing and drop the ring.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The trace ring, if tracing is enabled.
+    pub fn trace(&self) -> Option<&crate::trace::TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// Load raw bytes into memory (no timing effects).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bytes do not fit in memory.
+    pub fn load(&mut self, addr: u32, bytes: &[u8]) -> Result<(), CpuError> {
+        self.mem
+            .load(addr, bytes)
+            .map_err(|_| CpuError::AddressOutOfRange { address: addr })
+    }
+
+    /// Load a program at the first user address and start a single
+    /// low-priority process with its workspace at the top of memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the program does not fit.
+    pub fn load_boot_program(&mut self, code: &[u8]) -> Result<(), CpuError> {
+        let entry = self.mem.mem_start();
+        if code.len() as u32 > self.mem.size() {
+            return Err(CpuError::ProgramTooLarge {
+                program: code.len(),
+                memory: self.mem.size() as usize,
+            });
+        }
+        self.load(entry, code)?;
+        let wptr = self.default_boot_workspace();
+        self.spawn(wptr, entry, Priority::Low);
+        Ok(())
+    }
+
+    /// The workspace address `load_boot_program` uses: 64 words below the
+    /// top of memory, leaving headroom for locals above and call frames
+    /// below.
+    pub fn default_boot_workspace(&self) -> u32 {
+        let top = self.mem.limit();
+        self.word
+            .align_word(top.wrapping_sub(64 * self.word.bytes_per_word()))
+    }
+
+    /// Create a process: store its instruction pointer in its workspace
+    /// and put it on the scheduling list.
+    pub fn spawn(&mut self, wptr: u32, iptr: u32, pri: Priority) {
+        let w = workspace_word(self.word, wptr, PW_IPTR);
+        self.mem.write_word(w, iptr).expect("workspace in range");
+        let now = self.cycles;
+        self.schedule(ProcDesc::new(wptr, pri), now);
+    }
+
+    /// Pulse the external event pin: completes a waiting `in` on the
+    /// event channel, or latches for the next one.
+    pub fn raise_event(&mut self) {
+        if let Some(p) = self.event_waiting.take() {
+            let now = self.cycles;
+            self.schedule(p, now);
+        } else {
+            self.event_pending = true;
+        }
+    }
+
+    /// Address of a link channel word: `link` in 0..4.
+    pub fn link_channel_addr(&self, link: u32, output: bool) -> u32 {
+        let base = if output {
+            crate::memory::LINK_OUT_BASE
+        } else {
+            crate::memory::LINK_IN_BASE
+        };
+        self.mem.reserved_addr(base + link)
+    }
+
+    /// Address of the event channel word.
+    pub fn event_channel_addr(&self) -> u32 {
+        self.mem.reserved_addr(crate::memory::EVENT_CHANNEL)
+    }
+
+    /// Read a word of memory without timing effects or mutation —
+    /// usable from `&self` observers such as simulation predicates.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is outside memory.
+    pub fn inspect_word(&self, addr: u32) -> Result<u32, CpuError> {
+        self.mem
+            .peek_word(addr)
+            .map_err(|_| CpuError::AddressOutOfRange { address: addr })
+    }
+
+    /// Read a word of memory without timing effects.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is outside memory.
+    pub fn peek_word(&mut self, addr: u32) -> Result<u32, CpuError> {
+        self.mem
+            .read_word(addr)
+            .map_err(|_| CpuError::AddressOutOfRange { address: addr })
+    }
+
+    /// Write a word of memory without timing effects.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is outside memory.
+    pub fn poke_word(&mut self, addr: u32, value: u32) -> Result<(), CpuError> {
+        self.mem
+            .write_word(addr, value)
+            .map_err(|_| CpuError::AddressOutOfRange { address: addr })
+    }
+
+    /// Whether the processor has nothing to run right now.
+    pub fn is_idle(&self) -> bool {
+        self.halted.is_none()
+            && !self.has_current_process()
+            && self.fptr[0] == self.magic.not_process
+            && self.fptr[1] == self.magic.not_process
+            && self.shadow.is_none()
+    }
+
+    /// The absolute cycle at which the earliest timer-queue entry is due,
+    /// if any. Used to fast-forward an idle processor.
+    pub fn next_timer_wake_cycle(&mut self) -> Option<u64> {
+        if !self.timers_running {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for pri in [Priority::High, Priority::Low] {
+            let head_addr = self.mem.reserved_addr(TPTR_LOC[pri.index()]);
+            let head = match self.mem.read_word(head_addr) {
+                Ok(h) => h,
+                Err(_) => continue,
+            };
+            if head == self.magic.not_process {
+                continue;
+            }
+            let time_addr = workspace_word(self.word, head, crate::process::PW_TIME);
+            let due = match self.mem.read_word(time_addr) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            // Ticks until clock reaches `due`, given current clock value.
+            let delta = self.word.wrapping_sub(due, self.clock[pri.index()]);
+            let ticks = self.word.to_signed(delta).max(0) as u64;
+            let period = match pri {
+                Priority::High => timing::HI_TICK_CYCLES,
+                Priority::Low => timing::LO_TICK_CYCLES,
+            };
+            let tick_idx = if ticks == 0 { 0 } else { ticks - 1 };
+            let cycle = self.next_tick[pri.index()] + tick_idx * period;
+            best = Some(best.map_or(cycle, |b: u64| b.min(cycle)));
+        }
+        best
+    }
+
+    /// Advance an idle processor's clock to an absolute cycle, waking any
+    /// timer waits that come due.
+    pub fn advance_idle_to(&mut self, cycle: u64) {
+        if cycle > self.cycles {
+            let delta = (cycle - self.cycles) as u32;
+            self.advance_time(delta);
+        }
+    }
+
+    /// Execute one micro-step: a preemption, an instruction, or a chunk
+    /// of an interruptible long instruction.
+    pub fn step(&mut self) -> StepEvent {
+        if let Some(r) = self.halted {
+            return StepEvent::Halted(r);
+        }
+        let before = self.cycles;
+        if !self.has_current_process() && !self.dispatch_next() {
+            return StepEvent::Idle;
+        }
+        if self.has_current_process() {
+            if self.priority() == Priority::Low && self.fptr[0] != self.magic.not_process {
+                // Low→high preemption at a micro-step boundary (§3.2.4).
+                self.preempt_to_high();
+            } else {
+                let cycles = match self.resume {
+                    Some(_) => self.continue_resume(),
+                    None => self.exec_one(),
+                };
+                match cycles {
+                    Ok(c) => {
+                        let c = c + self.mem.take_penalty_cycles();
+                        self.advance_time(c);
+                    }
+                    Err(reason) => {
+                        self.halted = Some(reason);
+                        return StepEvent::Halted(reason);
+                    }
+                }
+            }
+        }
+        if let Some((fun, operand)) = self.pending_trace.take() {
+            if let Some(ring) = self.trace.as_mut() {
+                let op = if fun == crate::instr::Direct::Operate {
+                    crate::instr::Op::from_code(operand)
+                } else {
+                    None
+                };
+                ring.push(crate::trace::TraceEntry {
+                    cycle: self.cycles,
+                    iptr: self.op_start,
+                    wdesc: self.wdesc,
+                    fun,
+                    operand,
+                    op,
+                    areg: self.areg,
+                });
+            }
+        }
+        if let Some(r) = self.halted {
+            return StepEvent::Halted(r);
+        }
+        StepEvent::Ran {
+            cycles: (self.cycles - before) as u32,
+        }
+    }
+
+    /// Run until the program halts, a deadlock is reached, or the cycle
+    /// budget expires. Idle periods fast-forward to the next timer wake.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::CycleBudgetExhausted`] if the budget runs out.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunOutcome, CpuError> {
+        let limit = self.cycles.saturating_add(max_cycles);
+        loop {
+            if self.cycles >= limit {
+                return Err(CpuError::CycleBudgetExhausted { budget: max_cycles });
+            }
+            match self.step() {
+                StepEvent::Ran { .. } => {}
+                StepEvent::Halted(r) => return Ok(RunOutcome::Halted(r)),
+                StepEvent::Idle => match self.next_timer_wake_cycle() {
+                    Some(c) => self.advance_idle_to(c.max(self.cycles + 1)),
+                    None => return Ok(RunOutcome::Deadlock),
+                },
+            }
+        }
+    }
+
+    /// Run, treating anything other than a clean [`HaltReason::Stopped`]
+    /// as a test failure. Convenience for tests and examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock or an error halt, which in tests indicates a
+    /// codegen or emulator bug.
+    pub fn run_to_halt(&mut self, max_cycles: u64) -> Result<(), CpuError> {
+        match self.run(max_cycles)? {
+            RunOutcome::Halted(HaltReason::Stopped) => Ok(()),
+            other => panic!("program did not halt cleanly: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the emulator.
+
+use std::fmt;
+
+/// Why a transputer stopped executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The program executed the reserved halt pseudo-operation used by
+    /// hosted programs to terminate a simulation run.
+    Stopped,
+    /// The error flag was set while `HaltOnError` mode was active.
+    ErrorFlag,
+    /// An address outside the configured memory was touched.
+    MemoryFault { address: u32 },
+    /// An undefined operation code was executed.
+    IllegalInstruction { opcode: u32 },
+}
+
+impl fmt::Display for HaltReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaltReason::Stopped => write!(f, "program stopped"),
+            HaltReason::ErrorFlag => write!(f, "error flag set in halt-on-error mode"),
+            HaltReason::MemoryFault { address } => {
+                write!(f, "memory fault at address {address:#010x}")
+            }
+            HaltReason::IllegalInstruction { opcode } => {
+                write!(f, "illegal operation code {opcode:#x}")
+            }
+        }
+    }
+}
+
+/// Error raised by emulator configuration and loading APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Program bytes do not fit in the configured memory.
+    ProgramTooLarge { program: usize, memory: usize },
+    /// A load or poke referenced an address outside memory.
+    AddressOutOfRange { address: u32 },
+    /// A run exceeded the supplied cycle budget without satisfying its
+    /// stopping condition.
+    CycleBudgetExhausted { budget: u64 },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::ProgramTooLarge { program, memory } => {
+                write!(
+                    f,
+                    "program of {program} bytes does not fit in {memory} bytes of memory"
+                )
+            }
+            CpuError::AddressOutOfRange { address } => {
+                write!(f, "address {address:#010x} is outside configured memory")
+            }
+            CpuError::CycleBudgetExhausted { budget } => {
+                write!(f, "run did not complete within {budget} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for r in [
+            HaltReason::Stopped,
+            HaltReason::ErrorFlag,
+            HaltReason::MemoryFault { address: 4 },
+            HaltReason::IllegalInstruction { opcode: 0x99 },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+        assert!(!CpuError::ProgramTooLarge {
+            program: 9,
+            memory: 4
+        }
+        .to_string()
+        .is_empty());
+        assert!(!CpuError::CycleBudgetExhausted { budget: 7 }
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,817 @@
+//! The I1 instruction set (§3.2.5–§3.2.8).
+//!
+//! Every instruction is a single byte: a 4-bit *function* code and a 4-bit
+//! *data* value (Figure 4 of the paper). Thirteen function codes encode
+//! the *direct functions*; `prefix` and `negative prefix` extend operands
+//! to any length; `operate` treats its operand as an *indirect function*
+//! applied to the evaluation stack (§3.2.8).
+//!
+//! The paper notes that "it is not common practice to abbreviate the names
+//! of the instructions"; this module therefore carries both the full
+//! published names ("load constant") and the conventional short mnemonics
+//! ("ldc") used by later INMOS tooling.
+
+use std::fmt;
+
+/// The sixteen primary function codes (§3.2.5, Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Direct {
+    /// `j` — unconditional relative jump; a descheduling point.
+    Jump = 0x0,
+    /// `ldlp` — load local pointer (workspace-relative address).
+    LoadLocalPointer = 0x1,
+    /// `pfix` — prefix: extend the operand register upwards.
+    Prefix = 0x2,
+    /// `ldnl` — load non-local (word at offset from A).
+    LoadNonLocal = 0x3,
+    /// `ldc` — load constant.
+    LoadConstant = 0x4,
+    /// `ldnlp` — load non-local pointer.
+    LoadNonLocalPointer = 0x5,
+    /// `nfix` — negative prefix: complement then shift the operand register.
+    NegativePrefix = 0x6,
+    /// `ldl` — load local (workspace word).
+    LoadLocal = 0x7,
+    /// `adc` — add constant (checked).
+    AddConstant = 0x8,
+    /// `call` — procedure call; saves Iptr, A, B, C in a new frame.
+    Call = 0x9,
+    /// `cj` — conditional jump: taken when A is zero.
+    ConditionalJump = 0xA,
+    /// `ajw` — adjust workspace pointer.
+    AdjustWorkspace = 0xB,
+    /// `eqc` — equals constant.
+    EqualsConstant = 0xC,
+    /// `stl` — store local.
+    StoreLocal = 0xD,
+    /// `stnl` — store non-local.
+    StoreNonLocal = 0xE,
+    /// `opr` — operate: the operand selects an indirect function.
+    Operate = 0xF,
+}
+
+impl Direct {
+    /// All sixteen function codes in encoding order.
+    pub const ALL: [Direct; 16] = [
+        Direct::Jump,
+        Direct::LoadLocalPointer,
+        Direct::Prefix,
+        Direct::LoadNonLocal,
+        Direct::LoadConstant,
+        Direct::LoadNonLocalPointer,
+        Direct::NegativePrefix,
+        Direct::LoadLocal,
+        Direct::AddConstant,
+        Direct::Call,
+        Direct::ConditionalJump,
+        Direct::AdjustWorkspace,
+        Direct::EqualsConstant,
+        Direct::StoreLocal,
+        Direct::StoreNonLocal,
+        Direct::Operate,
+    ];
+
+    /// Decode the high nibble of an instruction byte.
+    #[inline]
+    pub fn from_nibble(n: u8) -> Direct {
+        Direct::ALL[(n & 0xF) as usize]
+    }
+
+    /// The encoding nibble.
+    #[inline]
+    pub fn nibble(self) -> u8 {
+        self as u8
+    }
+
+    /// Conventional short mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Direct::Jump => "j",
+            Direct::LoadLocalPointer => "ldlp",
+            Direct::Prefix => "pfix",
+            Direct::LoadNonLocal => "ldnl",
+            Direct::LoadConstant => "ldc",
+            Direct::LoadNonLocalPointer => "ldnlp",
+            Direct::NegativePrefix => "nfix",
+            Direct::LoadLocal => "ldl",
+            Direct::AddConstant => "adc",
+            Direct::Call => "call",
+            Direct::ConditionalJump => "cj",
+            Direct::AdjustWorkspace => "ajw",
+            Direct::EqualsConstant => "eqc",
+            Direct::StoreLocal => "stl",
+            Direct::StoreNonLocal => "stnl",
+            Direct::Operate => "opr",
+        }
+    }
+
+    /// The full published name, as the paper writes instruction sequences.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Direct::Jump => "jump",
+            Direct::LoadLocalPointer => "load local pointer",
+            Direct::Prefix => "prefix",
+            Direct::LoadNonLocal => "load non local",
+            Direct::LoadConstant => "load constant",
+            Direct::LoadNonLocalPointer => "load non local pointer",
+            Direct::NegativePrefix => "negative prefix",
+            Direct::LoadLocal => "load local",
+            Direct::AddConstant => "add constant",
+            Direct::Call => "call",
+            Direct::ConditionalJump => "conditional jump",
+            Direct::AdjustWorkspace => "adjust workspace",
+            Direct::EqualsConstant => "equals constant",
+            Direct::StoreLocal => "store local",
+            Direct::StoreNonLocal => "store non local",
+            Direct::Operate => "operate",
+        }
+    }
+}
+
+impl fmt::Display for Direct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The indirect functions reached through `operate` (§3.2.8).
+///
+/// The encoding follows the first-generation (T414-era) operation codes.
+/// Operations with codes 0x0–0xF are reached with a single `opr` byte;
+/// higher codes require one prefix byte, exactly as the paper describes
+/// ("the most frequently occurring operations are represented without the
+/// use of a prefixing instruction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum Op {
+    /// Reverse the top two stack entries.
+    Reverse = 0x00,
+    /// Load byte pointed to by A.
+    LoadByte = 0x01,
+    /// Byte subscript: A := A + B.
+    ByteSubscript = 0x02,
+    /// End (terminate a component of a) parallel construct.
+    EndProcess = 0x03,
+    /// Modulo subtract.
+    Difference = 0x04,
+    /// Checked add.
+    Add = 0x05,
+    /// General call: exchange Iptr and A.
+    GeneralCall = 0x06,
+    /// Input message (§3.2.10).
+    InputMessage = 0x07,
+    /// Quick unchecked multiply; time proportional to log of the second
+    /// operand (§3.2.9).
+    Product = 0x08,
+    /// Signed greater-than.
+    GreaterThan = 0x09,
+    /// Word subscript: A := A + B*bytes-per-word.
+    WordSubscript = 0x0A,
+    /// Output message (§3.2.10).
+    OutputMessage = 0x0B,
+    /// Checked subtract.
+    Subtract = 0x0C,
+    /// Start process: add a new process to the scheduling list (§3.2.4).
+    StartProcess = 0x0D,
+    /// Output a single byte on a channel.
+    OutputByte = 0x0E,
+    /// Output a single word on a channel.
+    OutputWord = 0x0F,
+
+    /// Set the error flag.
+    SetError = 0x10,
+    /// Reset a channel word to empty.
+    ResetChannel = 0x12,
+    /// Check subscript from zero: error unless 0 <= A < B.
+    CheckSubscriptFromZero = 0x13,
+    /// Stop the current process (deschedule without requeueing).
+    StopProcess = 0x15,
+    /// Long (double-word) add with carry.
+    LongAdd = 0x16,
+    /// Store low-priority queue back pointer.
+    StoreLowBack = 0x17,
+    /// Store high-priority queue front pointer.
+    StoreHighFront = 0x18,
+    /// Normalise a double-word value.
+    Normalise = 0x19,
+    /// Long divide.
+    LongDivide = 0x1A,
+    /// Load pointer to instruction: A := Iptr + A.
+    LoadPointerToInstruction = 0x1B,
+    /// Store low-priority queue front pointer.
+    StoreLowFront = 0x1C,
+    /// Extend single-word value to double.
+    ExtendToDouble = 0x1D,
+    /// Load current priority.
+    LoadPriority = 0x1E,
+    /// Checked remainder.
+    Remainder = 0x1F,
+
+    /// Return from procedure.
+    Return = 0x20,
+    /// Loop end (replicated constructs).
+    LoopEnd = 0x21,
+    /// Read the clock of the current priority (§2.2.2).
+    LoadTimer = 0x22,
+    /// Test error flag (and clear), pushing its old value.
+    TestError = 0x29,
+    /// Test whether the processor was analysed; modelled as pushing false.
+    TestProcessorAnalysing = 0x2A,
+    /// Timer input: wait until the clock reaches a time (§2.2.2).
+    TimerInput = 0x2B,
+    /// Checked divide.
+    Divide = 0x2C,
+    /// Disable timer guard of an alternative.
+    DisableTimer = 0x2E,
+    /// Disable channel guard of an alternative.
+    DisableChannel = 0x2F,
+
+    /// Disable skip guard of an alternative.
+    DisableSkip = 0x30,
+    /// Long multiply.
+    LongMultiply = 0x31,
+    /// Bitwise complement.
+    Not = 0x32,
+    /// Bitwise exclusive or.
+    ExclusiveOr = 0x33,
+    /// Byte count: words to bytes.
+    ByteCount = 0x34,
+    /// Long shift right.
+    LongShiftRight = 0x35,
+    /// Long shift left.
+    LongShiftLeft = 0x36,
+    /// Long modulo sum with carry out.
+    LongSum = 0x37,
+    /// Long subtract with borrow.
+    LongSubtract = 0x38,
+    /// Run process: add a process descriptor to a scheduling list.
+    RunProcess = 0x39,
+    /// Sign-extend a part-word.
+    ExtendWord = 0x3A,
+    /// Store byte.
+    StoreByte = 0x3B,
+    /// General adjust workspace: exchange Wptr and A.
+    GeneralAdjustWorkspace = 0x3C,
+    /// Save low-priority queue pointers (analyse support).
+    SaveLow = 0x3D,
+    /// Save high-priority queue pointers.
+    SaveHigh = 0x3E,
+    /// Word count: split pointer into word address and byte selector.
+    WordCount = 0x3F,
+
+    /// Logical shift right.
+    ShiftRight = 0x40,
+    /// Logical shift left.
+    ShiftLeft = 0x41,
+    /// Minimum integer: push MostNeg.
+    MinimumInteger = 0x42,
+    /// Begin an alternative: mark state Enabling (§2.2).
+    Alt = 0x43,
+    /// Wait for an enabled alternative guard to become ready.
+    AltWait = 0x44,
+    /// End an alternative: jump to the selected branch.
+    AltEnd = 0x45,
+    /// Bitwise and.
+    And = 0x46,
+    /// Enable timer guard.
+    EnableTimer = 0x47,
+    /// Enable channel guard.
+    EnableChannel = 0x48,
+    /// Enable skip guard.
+    EnableSkip = 0x49,
+    /// Block move of A bytes from B to C... (source B, destination C).
+    Move = 0x4A,
+    /// Bitwise or.
+    Or = 0x4B,
+    /// Check single: error unless a double fits in a single word.
+    CheckSingle = 0x4C,
+    /// Check count from one: error unless 1 <= A < B.
+    CheckCountFromOne = 0x4D,
+    /// Begin a timer alternative.
+    TimerAlt = 0x4E,
+    /// Long difference with borrow out.
+    LongDiff = 0x4F,
+
+    /// Store high-priority queue back pointer.
+    StoreHighBack = 0x50,
+    /// Wait for a timer alternative guard.
+    TimerAltWait = 0x51,
+    /// Modulo add.
+    Sum = 0x52,
+    /// Checked multiply; 7 + wordlength cycles (§3.2.9 table).
+    Multiply = 0x53,
+    /// Set the clock of the current priority and start it.
+    StoreTimer = 0x54,
+    /// Conditionally set error: A := A, error set if A false... (stoperr semantics: halt if error).
+    StopOnError = 0x55,
+    /// Check word: error unless A fits in a part-word of size B.
+    CheckWord = 0x56,
+    /// Clear halt-on-error mode.
+    ClearHaltOnError = 0x57,
+    /// Set halt-on-error mode.
+    SetHaltOnError = 0x58,
+    /// Test halt-on-error mode.
+    TestHaltOnError = 0x59,
+
+    /// Emulator extension: cleanly stop the simulation run. Encoded far
+    /// outside the architectural operation space; hosted test programs use
+    /// it the way boot ROMs used an external reset.
+    HaltSimulation = 0x17F,
+}
+
+impl Op {
+    /// Every defined operation, in encoding order.
+    pub const ALL: [Op; 82] = [
+        Op::Reverse,
+        Op::LoadByte,
+        Op::ByteSubscript,
+        Op::EndProcess,
+        Op::Difference,
+        Op::Add,
+        Op::GeneralCall,
+        Op::InputMessage,
+        Op::Product,
+        Op::GreaterThan,
+        Op::WordSubscript,
+        Op::OutputMessage,
+        Op::Subtract,
+        Op::StartProcess,
+        Op::OutputByte,
+        Op::OutputWord,
+        Op::SetError,
+        Op::ResetChannel,
+        Op::CheckSubscriptFromZero,
+        Op::StopProcess,
+        Op::LongAdd,
+        Op::StoreLowBack,
+        Op::StoreHighFront,
+        Op::Normalise,
+        Op::LongDivide,
+        Op::LoadPointerToInstruction,
+        Op::StoreLowFront,
+        Op::ExtendToDouble,
+        Op::LoadPriority,
+        Op::Remainder,
+        Op::Return,
+        Op::LoopEnd,
+        Op::LoadTimer,
+        Op::TestError,
+        Op::TestProcessorAnalysing,
+        Op::TimerInput,
+        Op::Divide,
+        Op::DisableTimer,
+        Op::DisableChannel,
+        Op::DisableSkip,
+        Op::LongMultiply,
+        Op::Not,
+        Op::ExclusiveOr,
+        Op::ByteCount,
+        Op::LongShiftRight,
+        Op::LongShiftLeft,
+        Op::LongSum,
+        Op::LongSubtract,
+        Op::RunProcess,
+        Op::ExtendWord,
+        Op::StoreByte,
+        Op::GeneralAdjustWorkspace,
+        Op::SaveLow,
+        Op::SaveHigh,
+        Op::WordCount,
+        Op::ShiftRight,
+        Op::ShiftLeft,
+        Op::MinimumInteger,
+        Op::Alt,
+        Op::AltWait,
+        Op::AltEnd,
+        Op::And,
+        Op::EnableTimer,
+        Op::EnableChannel,
+        Op::EnableSkip,
+        Op::Move,
+        Op::Or,
+        Op::CheckSingle,
+        Op::CheckCountFromOne,
+        Op::TimerAlt,
+        Op::LongDiff,
+        Op::StoreHighBack,
+        Op::TimerAltWait,
+        Op::Sum,
+        Op::Multiply,
+        Op::StoreTimer,
+        Op::StopOnError,
+        Op::CheckWord,
+        Op::ClearHaltOnError,
+        Op::SetHaltOnError,
+        Op::TestHaltOnError,
+        Op::HaltSimulation,
+    ];
+
+    /// Decode an operation code, if defined.
+    pub fn from_code(code: u32) -> Option<Op> {
+        let op = match code {
+            0x00 => Op::Reverse,
+            0x01 => Op::LoadByte,
+            0x02 => Op::ByteSubscript,
+            0x03 => Op::EndProcess,
+            0x04 => Op::Difference,
+            0x05 => Op::Add,
+            0x06 => Op::GeneralCall,
+            0x07 => Op::InputMessage,
+            0x08 => Op::Product,
+            0x09 => Op::GreaterThan,
+            0x0A => Op::WordSubscript,
+            0x0B => Op::OutputMessage,
+            0x0C => Op::Subtract,
+            0x0D => Op::StartProcess,
+            0x0E => Op::OutputByte,
+            0x0F => Op::OutputWord,
+            0x10 => Op::SetError,
+            0x12 => Op::ResetChannel,
+            0x13 => Op::CheckSubscriptFromZero,
+            0x15 => Op::StopProcess,
+            0x16 => Op::LongAdd,
+            0x17 => Op::StoreLowBack,
+            0x18 => Op::StoreHighFront,
+            0x19 => Op::Normalise,
+            0x1A => Op::LongDivide,
+            0x1B => Op::LoadPointerToInstruction,
+            0x1C => Op::StoreLowFront,
+            0x1D => Op::ExtendToDouble,
+            0x1E => Op::LoadPriority,
+            0x1F => Op::Remainder,
+            0x20 => Op::Return,
+            0x21 => Op::LoopEnd,
+            0x22 => Op::LoadTimer,
+            0x29 => Op::TestError,
+            0x2A => Op::TestProcessorAnalysing,
+            0x2B => Op::TimerInput,
+            0x2C => Op::Divide,
+            0x2E => Op::DisableTimer,
+            0x2F => Op::DisableChannel,
+            0x30 => Op::DisableSkip,
+            0x31 => Op::LongMultiply,
+            0x32 => Op::Not,
+            0x33 => Op::ExclusiveOr,
+            0x34 => Op::ByteCount,
+            0x35 => Op::LongShiftRight,
+            0x36 => Op::LongShiftLeft,
+            0x37 => Op::LongSum,
+            0x38 => Op::LongSubtract,
+            0x39 => Op::RunProcess,
+            0x3A => Op::ExtendWord,
+            0x3B => Op::StoreByte,
+            0x3C => Op::GeneralAdjustWorkspace,
+            0x3D => Op::SaveLow,
+            0x3E => Op::SaveHigh,
+            0x3F => Op::WordCount,
+            0x40 => Op::ShiftRight,
+            0x41 => Op::ShiftLeft,
+            0x42 => Op::MinimumInteger,
+            0x43 => Op::Alt,
+            0x44 => Op::AltWait,
+            0x45 => Op::AltEnd,
+            0x46 => Op::And,
+            0x47 => Op::EnableTimer,
+            0x48 => Op::EnableChannel,
+            0x49 => Op::EnableSkip,
+            0x4A => Op::Move,
+            0x4B => Op::Or,
+            0x4C => Op::CheckSingle,
+            0x4D => Op::CheckCountFromOne,
+            0x4E => Op::TimerAlt,
+            0x4F => Op::LongDiff,
+            0x50 => Op::StoreHighBack,
+            0x51 => Op::TimerAltWait,
+            0x52 => Op::Sum,
+            0x53 => Op::Multiply,
+            0x54 => Op::StoreTimer,
+            0x55 => Op::StopOnError,
+            0x56 => Op::CheckWord,
+            0x57 => Op::ClearHaltOnError,
+            0x58 => Op::SetHaltOnError,
+            0x59 => Op::TestHaltOnError,
+            0x17F => Op::HaltSimulation,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    /// The operation code used as the operand of `operate`.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+
+    /// Conventional short mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Reverse => "rev",
+            Op::LoadByte => "lb",
+            Op::ByteSubscript => "bsub",
+            Op::EndProcess => "endp",
+            Op::Difference => "diff",
+            Op::Add => "add",
+            Op::GeneralCall => "gcall",
+            Op::InputMessage => "in",
+            Op::Product => "prod",
+            Op::GreaterThan => "gt",
+            Op::WordSubscript => "wsub",
+            Op::OutputMessage => "out",
+            Op::Subtract => "sub",
+            Op::StartProcess => "startp",
+            Op::OutputByte => "outbyte",
+            Op::OutputWord => "outword",
+            Op::SetError => "seterr",
+            Op::ResetChannel => "resetch",
+            Op::CheckSubscriptFromZero => "csub0",
+            Op::StopProcess => "stopp",
+            Op::LongAdd => "ladd",
+            Op::StoreLowBack => "stlb",
+            Op::StoreHighFront => "sthf",
+            Op::Normalise => "norm",
+            Op::LongDivide => "ldiv",
+            Op::LoadPointerToInstruction => "ldpi",
+            Op::StoreLowFront => "stlf",
+            Op::ExtendToDouble => "xdble",
+            Op::LoadPriority => "ldpri",
+            Op::Remainder => "rem",
+            Op::Return => "ret",
+            Op::LoopEnd => "lend",
+            Op::LoadTimer => "ldtimer",
+            Op::TestError => "testerr",
+            Op::TestProcessorAnalysing => "testpranal",
+            Op::TimerInput => "tin",
+            Op::Divide => "div",
+            Op::DisableTimer => "dist",
+            Op::DisableChannel => "disc",
+            Op::DisableSkip => "diss",
+            Op::LongMultiply => "lmul",
+            Op::Not => "not",
+            Op::ExclusiveOr => "xor",
+            Op::ByteCount => "bcnt",
+            Op::LongShiftRight => "lshr",
+            Op::LongShiftLeft => "lshl",
+            Op::LongSum => "lsum",
+            Op::LongSubtract => "lsub",
+            Op::RunProcess => "runp",
+            Op::ExtendWord => "xword",
+            Op::StoreByte => "sb",
+            Op::GeneralAdjustWorkspace => "gajw",
+            Op::SaveLow => "savel",
+            Op::SaveHigh => "saveh",
+            Op::WordCount => "wcnt",
+            Op::ShiftRight => "shr",
+            Op::ShiftLeft => "shl",
+            Op::MinimumInteger => "mint",
+            Op::Alt => "alt",
+            Op::AltWait => "altwt",
+            Op::AltEnd => "altend",
+            Op::And => "and",
+            Op::EnableTimer => "enbt",
+            Op::EnableChannel => "enbc",
+            Op::EnableSkip => "enbs",
+            Op::Move => "move",
+            Op::Or => "or",
+            Op::CheckSingle => "csngl",
+            Op::CheckCountFromOne => "ccnt1",
+            Op::TimerAlt => "talt",
+            Op::LongDiff => "ldiff",
+            Op::StoreHighBack => "sthb",
+            Op::TimerAltWait => "taltwt",
+            Op::Sum => "sum",
+            Op::Multiply => "mul",
+            Op::StoreTimer => "sttimer",
+            Op::StopOnError => "stoperr",
+            Op::CheckWord => "cword",
+            Op::ClearHaltOnError => "clrhalterr",
+            Op::SetHaltOnError => "sethalterr",
+            Op::TestHaltOnError => "testhalterr",
+            Op::HaltSimulation => "haltsim",
+        }
+    }
+
+    /// The full published name.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Op::Reverse => "reverse",
+            Op::LoadByte => "load byte",
+            Op::ByteSubscript => "byte subscript",
+            Op::EndProcess => "end process",
+            Op::Difference => "difference",
+            Op::Add => "add",
+            Op::GeneralCall => "general call",
+            Op::InputMessage => "input message",
+            Op::Product => "product",
+            Op::GreaterThan => "greater than",
+            Op::WordSubscript => "word subscript",
+            Op::OutputMessage => "output message",
+            Op::Subtract => "subtract",
+            Op::StartProcess => "start process",
+            Op::OutputByte => "output byte",
+            Op::OutputWord => "output word",
+            Op::SetError => "set error",
+            Op::ResetChannel => "reset channel",
+            Op::CheckSubscriptFromZero => "check subscript from 0",
+            Op::StopProcess => "stop process",
+            Op::LongAdd => "long add",
+            Op::StoreLowBack => "store low priority back pointer",
+            Op::StoreHighFront => "store high priority front pointer",
+            Op::Normalise => "normalise",
+            Op::LongDivide => "long divide",
+            Op::LoadPointerToInstruction => "load pointer to instruction",
+            Op::StoreLowFront => "store low priority front pointer",
+            Op::ExtendToDouble => "extend to double",
+            Op::LoadPriority => "load current priority",
+            Op::Remainder => "remainder",
+            Op::Return => "return",
+            Op::LoopEnd => "loop end",
+            Op::LoadTimer => "load timer",
+            Op::TestError => "test error false and clear",
+            Op::TestProcessorAnalysing => "test processor analysing",
+            Op::TimerInput => "timer input",
+            Op::Divide => "divide",
+            Op::DisableTimer => "disable timer",
+            Op::DisableChannel => "disable channel",
+            Op::DisableSkip => "disable skip",
+            Op::LongMultiply => "long multiply",
+            Op::Not => "bitwise not",
+            Op::ExclusiveOr => "exclusive or",
+            Op::ByteCount => "byte count",
+            Op::LongShiftRight => "long shift right",
+            Op::LongShiftLeft => "long shift left",
+            Op::LongSum => "long sum",
+            Op::LongSubtract => "long subtract",
+            Op::RunProcess => "run process",
+            Op::ExtendWord => "extend to word",
+            Op::StoreByte => "store byte",
+            Op::GeneralAdjustWorkspace => "general adjust workspace",
+            Op::SaveLow => "save low priority queue registers",
+            Op::SaveHigh => "save high priority queue registers",
+            Op::WordCount => "word count",
+            Op::ShiftRight => "shift right",
+            Op::ShiftLeft => "shift left",
+            Op::MinimumInteger => "minimum integer",
+            Op::Alt => "alt start",
+            Op::AltWait => "alt wait",
+            Op::AltEnd => "alt end",
+            Op::And => "and",
+            Op::EnableTimer => "enable timer",
+            Op::EnableChannel => "enable channel",
+            Op::EnableSkip => "enable skip",
+            Op::Move => "move message",
+            Op::Or => "or",
+            Op::CheckSingle => "check single",
+            Op::CheckCountFromOne => "check count from 1",
+            Op::TimerAlt => "timer alt start",
+            Op::LongDiff => "long diff",
+            Op::StoreHighBack => "store high priority back pointer",
+            Op::TimerAltWait => "timer alt wait",
+            Op::Sum => "sum",
+            Op::Multiply => "multiply",
+            Op::StoreTimer => "store timer",
+            Op::StopOnError => "stop on error",
+            Op::CheckWord => "check word",
+            Op::ClearHaltOnError => "clear halt-on-error",
+            Op::SetHaltOnError => "set halt-on-error",
+            Op::TestHaltOnError => "test halt-on-error",
+            Op::HaltSimulation => "halt simulation",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Encode an instruction (direct function plus arbitrary-width operand)
+/// into the byte sequence the paper's prefixing scheme produces (§3.2.7).
+///
+/// Operands in [0, 16) take one byte; wider or negative operands are built
+/// with `prefix` / `negative prefix` bytes.
+///
+/// # Examples
+///
+/// ```
+/// use transputer::instr::{encode, Direct};
+///
+/// // The paper's example: loading #754 takes prefix #7, prefix #5,
+/// // load constant #4.
+/// assert_eq!(encode(Direct::LoadConstant, 0x754), vec![0x27, 0x25, 0x44]);
+/// assert_eq!(encode(Direct::LoadConstant, 0), vec![0x40]);
+/// ```
+pub fn encode(fun: Direct, operand: i64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2);
+    encode_into(fun, operand, &mut out);
+    out
+}
+
+/// Append the encoding of one instruction to `out`; returns byte count.
+pub fn encode_into(fun: Direct, operand: i64, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    // The standard recursive prefixing scheme (§3.2.7): values outside
+    // [0, 16) first emit a prefix (or negative prefix) instruction whose
+    // own operand is encoded the same way.
+    fn emit(nibble: u8, operand: i64, out: &mut Vec<u8>) {
+        if (0..16).contains(&operand) {
+            out.push((nibble << 4) | (operand as u8));
+        } else if operand >= 16 {
+            emit(Direct::Prefix.nibble(), operand >> 4, out);
+            out.push((nibble << 4) | ((operand & 0xF) as u8));
+        } else {
+            emit(Direct::NegativePrefix.nibble(), (!operand) >> 4, out);
+            out.push((nibble << 4) | ((operand & 0xF) as u8));
+        }
+    }
+    emit(fun.nibble(), operand, out);
+    out.len() - start
+}
+
+/// The number of bytes `encode` produces for this operand.
+pub fn encoded_len(operand: i64) -> usize {
+    let mut v = Vec::new();
+    encode_into(Direct::LoadConstant, operand, &mut v);
+    v.len()
+}
+
+/// Encode an indirect function: zero or more prefixes then `operate`.
+pub fn encode_op(op: Op) -> Vec<u8> {
+    encode(Direct::Operate, op.code() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prefix_example() {
+        // Figure 5: prefix #7, prefix #5, load constant #4 builds #754.
+        assert_eq!(encode(Direct::LoadConstant, 0x754), vec![0x27, 0x25, 0x44]);
+    }
+
+    #[test]
+    fn single_byte_range() {
+        // Values 0..=15 load with a single byte instruction (§3.2.6).
+        for v in 0..16 {
+            assert_eq!(encode(Direct::LoadConstant, v).len(), 1);
+        }
+        assert_eq!(encode(Direct::LoadConstant, 16).len(), 2);
+    }
+
+    #[test]
+    fn one_prefix_covers_minus256_to_255() {
+        // "operands in the range -256 to 255 can be represented using one
+        // prefixing instruction" (§3.2.7).
+        for v in -256..=255i64 {
+            assert!(encode(Direct::LoadConstant, v).len() <= 2, "operand {v}");
+        }
+        assert_eq!(encode(Direct::LoadConstant, 256).len(), 3);
+        assert_eq!(encode(Direct::LoadConstant, -257).len(), 3);
+    }
+
+    #[test]
+    fn negative_prefix_encoding() {
+        // ldc -1: nfix 0, ldc 15 => 0x60, 0x4F
+        assert_eq!(encode(Direct::LoadConstant, -1), vec![0x60, 0x4F]);
+    }
+
+    #[test]
+    fn direct_roundtrip() {
+        for d in Direct::ALL {
+            assert_eq!(Direct::from_nibble(d.nibble()), d);
+            assert!(!d.mnemonic().is_empty());
+            assert!(!d.full_name().is_empty());
+        }
+    }
+
+    #[test]
+    fn op_roundtrip() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+            assert!(!op.mnemonic().is_empty());
+            assert!(!op.full_name().is_empty());
+        }
+        assert_eq!(Op::from_code(0x11), None);
+        assert_eq!(Op::from_code(0x17F), Some(Op::HaltSimulation));
+    }
+
+    #[test]
+    fn frequent_ops_are_single_byte() {
+        // §3.2.8: the most frequently used operations fit in one byte.
+        for op in [
+            Op::Add,
+            Op::Subtract,
+            Op::GreaterThan,
+            Op::InputMessage,
+            Op::OutputMessage,
+        ] {
+            assert_eq!(encode_op(op).len(), 1, "{op}");
+        }
+        // Less frequent ones need exactly one prefix.
+        for op in [Op::Multiply, Op::ShiftLeft, Op::And, Op::Or] {
+            assert_eq!(encode_op(op).len(), 2, "{op}");
+        }
+    }
+}

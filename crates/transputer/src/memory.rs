@@ -1,0 +1,353 @@
+//! Byte-addressed memory with the transputer's signed linear address
+//! space (§3.2.2).
+//!
+//! Memory starts at the most negative integer ("MostNeg") and runs
+//! upwards. The first words are reserved for the link channels, the event
+//! channel and the timer queue pointers, exactly as on the first parts;
+//! user memory begins at [`Memory::mem_start`]. The instruction
+//! architecture does not differentiate between on-chip and off-chip
+//! memory (§3.2.2); the emulator models the *timing* difference with a
+//! configurable per-access penalty used by the off-chip ablation.
+
+use crate::error::HaltReason;
+use crate::word::WordLength;
+
+/// Number of reserved words at the bottom of memory: 4 link output
+/// channels, 4 link input channels, the event channel, two timer queue
+/// pointers, and 7 further reserved words (mirroring the first parts'
+/// layout, where the reserved area also shadows state during analyse).
+pub const RESERVED_WORDS: u32 = 18;
+
+/// Word offset of the first link output channel.
+pub const LINK_OUT_BASE: u32 = 0;
+/// Word offset of the first link input channel.
+pub const LINK_IN_BASE: u32 = 4;
+/// Word offset of the event channel.
+pub const EVENT_CHANNEL: u32 = 8;
+/// Word offset of the high-priority timer queue pointer (TPtrLoc0).
+pub const TPTR_LOC: [u32; 2] = [9, 10];
+
+/// Default on-chip memory of the T424: 4K bytes (§3.1).
+pub const T424_ON_CHIP_BYTES: u32 = 4 * 1024;
+
+/// Memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// Bytes of on-chip memory (single-cycle access).
+    pub on_chip_bytes: u32,
+    /// Bytes of external memory appended above the on-chip block.
+    pub off_chip_bytes: u32,
+    /// Extra processor cycles charged per access falling in external
+    /// memory. Zero reproduces the paper's on-chip figures.
+    pub off_chip_penalty: u32,
+}
+
+impl MemoryConfig {
+    /// The T424 with no external memory.
+    pub fn t424() -> MemoryConfig {
+        MemoryConfig {
+            on_chip_bytes: T424_ON_CHIP_BYTES,
+            off_chip_bytes: 0,
+            off_chip_penalty: 0,
+        }
+    }
+
+    /// A development configuration with generous external memory attached
+    /// through a zero-wait-state interface.
+    pub fn with_external(self, bytes: u32, penalty: u32) -> MemoryConfig {
+        MemoryConfig {
+            off_chip_bytes: bytes,
+            off_chip_penalty: penalty,
+            ..self
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        // Default to a comfortable development part: 4K on chip plus
+        // 60K external with no penalty.
+        MemoryConfig::t424().with_external(60 * 1024, 0)
+    }
+}
+
+/// The memory of one transputer.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    word: WordLength,
+    bytes: Vec<u8>,
+    on_chip_bytes: u32,
+    off_chip_penalty: u32,
+    /// Cycles accrued from off-chip accesses since last drained.
+    penalty_accrued: u32,
+}
+
+impl Memory {
+    /// Create a memory for the given word length.
+    pub fn new(word: WordLength, config: MemoryConfig) -> Memory {
+        let total = (config.on_chip_bytes + config.off_chip_bytes) as usize;
+        Memory {
+            word,
+            bytes: vec![0; total],
+            on_chip_bytes: config.on_chip_bytes,
+            off_chip_penalty: config.off_chip_penalty,
+            penalty_accrued: 0,
+        }
+    }
+
+    /// The word length this memory serves.
+    pub fn word_length(&self) -> WordLength {
+        self.word
+    }
+
+    /// Total bytes of memory.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Lowest address: MostNeg.
+    pub fn base(&self) -> u32 {
+        self.word.most_neg()
+    }
+
+    /// First address available to programs, above the reserved words.
+    pub fn mem_start(&self) -> u32 {
+        self.word.mask(
+            self.base()
+                .wrapping_add(RESERVED_WORDS * self.word.bytes_per_word()),
+        )
+    }
+
+    /// One-past-the-last valid address.
+    pub fn limit(&self) -> u32 {
+        self.word.mask(self.base().wrapping_add(self.size()))
+    }
+
+    /// Address of a reserved word (link channel, timer pointer).
+    pub fn reserved_addr(&self, word_offset: u32) -> u32 {
+        self.word.index_word(self.base(), word_offset)
+    }
+
+    /// Whether `addr` denotes an external channel (a reserved link or
+    /// event channel word). The `input message` and `output message`
+    /// instructions "use the address of a channel to determine whether
+    /// the channel is internal or external" (§3.2.10).
+    pub fn is_external_channel(&self, addr: u32) -> bool {
+        let off = self.word.mask(addr.wrapping_sub(self.base()));
+        off < (EVENT_CHANNEL + 1) * self.word.bytes_per_word()
+    }
+
+    /// Classify an external channel address: `(link, is_output)`.
+    /// Link 4 with `is_output == false` is the event channel.
+    pub fn external_channel_id(&self, addr: u32) -> Option<(u32, bool)> {
+        if !self.is_external_channel(addr) {
+            return None;
+        }
+        let w = self.word.mask(addr.wrapping_sub(self.base())) / self.word.bytes_per_word();
+        Some(if w < LINK_IN_BASE {
+            (w, true)
+        } else if w < EVENT_CHANNEL {
+            (w - LINK_IN_BASE, false)
+        } else {
+            (4, false)
+        })
+    }
+
+    #[inline]
+    fn offset(&self, addr: u32) -> Result<usize, HaltReason> {
+        let off = self.word.mask(addr.wrapping_sub(self.base())) as usize;
+        if off < self.bytes.len() {
+            Ok(off)
+        } else {
+            Err(HaltReason::MemoryFault { address: addr })
+        }
+    }
+
+    #[inline]
+    fn note_access(&mut self, off: usize) {
+        if off >= self.on_chip_bytes as usize {
+            self.penalty_accrued += self.off_chip_penalty;
+        }
+    }
+
+    /// Drain the off-chip penalty cycles accrued since the last call.
+    pub fn take_penalty_cycles(&mut self) -> u32 {
+        std::mem::take(&mut self.penalty_accrued)
+    }
+
+    /// Read a machine word. The address is word-aligned first, as on the
+    /// hardware.
+    pub fn read_word(&mut self, addr: u32) -> Result<u32, HaltReason> {
+        let addr = self.word.align_word(addr);
+        let off = self.offset(addr)?;
+        self.note_access(off);
+        let mut v: u32 = 0;
+        for i in (0..self.word.bytes_per_word() as usize).rev() {
+            v = (v << 8) | u32::from(self.bytes[off + i]);
+        }
+        Ok(self.word.mask(v))
+    }
+
+    /// Write a machine word (address word-aligned first).
+    pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), HaltReason> {
+        let addr = self.word.align_word(addr);
+        let off = self.offset(addr)?;
+        self.note_access(off);
+        let mut v = self.word.mask(value);
+        for i in 0..self.word.bytes_per_word() as usize {
+            self.bytes[off + i] = (v & 0xFF) as u8;
+            v >>= 8;
+        }
+        Ok(())
+    }
+
+    /// Read one byte.
+    pub fn read_byte(&mut self, addr: u32) -> Result<u8, HaltReason> {
+        let off = self.offset(self.word.mask(addr))?;
+        self.note_access(off);
+        Ok(self.bytes[off])
+    }
+
+    /// Write one byte.
+    pub fn write_byte(&mut self, addr: u32, value: u8) -> Result<(), HaltReason> {
+        let off = self.offset(self.word.mask(addr))?;
+        self.note_access(off);
+        self.bytes[off] = value;
+        Ok(())
+    }
+
+    /// Bulk load bytes (no timing effects): program loading, test setup.
+    pub fn load(&mut self, addr: u32, data: &[u8]) -> Result<(), HaltReason> {
+        let off = self.offset(addr)?;
+        if off + data.len() > self.bytes.len() {
+            return Err(HaltReason::MemoryFault {
+                address: addr.wrapping_add(data.len() as u32),
+            });
+        }
+        self.bytes[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read a machine word without timing effects (observer access for
+    /// harnesses; does not accrue off-chip penalties).
+    pub fn peek_word(&self, addr: u32) -> Result<u32, HaltReason> {
+        let addr = self.word.align_word(addr);
+        let off = self.word.mask(addr.wrapping_sub(self.base())) as usize;
+        if off + self.word.bytes_per_word() as usize > self.bytes.len() {
+            return Err(HaltReason::MemoryFault { address: addr });
+        }
+        let mut v: u32 = 0;
+        for i in (0..self.word.bytes_per_word() as usize).rev() {
+            v = (v << 8) | u32::from(self.bytes[off + i]);
+        }
+        Ok(self.word.mask(v))
+    }
+
+    /// Bulk read bytes (no timing effects): result extraction in tests.
+    pub fn dump(&self, addr: u32, len: usize) -> Result<Vec<u8>, HaltReason> {
+        let off = self.word.mask(addr.wrapping_sub(self.base())) as usize;
+        if off + len > self.bytes.len() {
+            return Err(HaltReason::MemoryFault { address: addr });
+        }
+        Ok(self.bytes[off..off + len].to_vec())
+    }
+
+    /// Fill all of memory with a byte (diagnostic).
+    pub fn fill(&mut self, value: u8) {
+        self.bytes.fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem32() -> Memory {
+        Memory::new(WordLength::Bits32, MemoryConfig::t424())
+    }
+
+    #[test]
+    fn word_roundtrip_little_endian() {
+        let mut m = mem32();
+        let a = m.mem_start();
+        m.write_word(a, 0x1234_5678).unwrap();
+        assert_eq!(m.read_word(a).unwrap(), 0x1234_5678);
+        assert_eq!(m.read_byte(a).unwrap(), 0x78); // little-endian bytes
+        assert_eq!(m.read_byte(a + 3).unwrap(), 0x12);
+    }
+
+    #[test]
+    fn unaligned_word_access_aligns() {
+        let mut m = mem32();
+        let a = m.mem_start();
+        m.write_word(a, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_word(a + 3).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn mem_start_is_18_words_up() {
+        let m = mem32();
+        assert_eq!(m.mem_start(), 0x8000_0048);
+        let m16 = Memory::new(WordLength::Bits16, MemoryConfig::t424());
+        assert_eq!(m16.mem_start(), 0x8000 + 36);
+    }
+
+    #[test]
+    fn external_channel_classification() {
+        let m = mem32();
+        // Link 0 output channel at MostNeg.
+        assert!(m.is_external_channel(0x8000_0000));
+        assert_eq!(m.external_channel_id(0x8000_0000), Some((0, true)));
+        // Link 2 input channel.
+        assert_eq!(m.external_channel_id(m.reserved_addr(6)), Some((2, false)));
+        // Event channel.
+        assert_eq!(m.external_channel_id(m.reserved_addr(8)), Some((4, false)));
+        // First user word is internal.
+        assert_eq!(m.external_channel_id(m.mem_start()), None);
+        assert!(!m.is_external_channel(m.mem_start()));
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = mem32();
+        let past_end = m.limit();
+        assert!(matches!(
+            m.read_word(past_end),
+            Err(HaltReason::MemoryFault { .. })
+        ));
+        assert!(m.write_byte(past_end, 1).is_err());
+        // Positive addresses are far outside a 4K part.
+        assert!(m.read_word(0x0000_0000).is_err());
+    }
+
+    #[test]
+    fn off_chip_penalty_accrues() {
+        let cfg = MemoryConfig::t424().with_external(4096, 3);
+        let mut m = Memory::new(WordLength::Bits32, cfg);
+        let external = m.base().wrapping_add(T424_ON_CHIP_BYTES);
+        m.read_word(external).unwrap();
+        m.write_word(external + 4, 1).unwrap();
+        assert_eq!(m.take_penalty_cycles(), 6);
+        assert_eq!(m.take_penalty_cycles(), 0);
+        // On-chip accesses are free.
+        let on = m.mem_start();
+        m.read_word(on).unwrap();
+        assert_eq!(m.take_penalty_cycles(), 0);
+    }
+
+    #[test]
+    fn load_and_dump() {
+        let mut m = mem32();
+        let a = m.mem_start();
+        m.load(a, &[1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(m.dump(a, 5).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn word16_masking() {
+        let mut m = Memory::new(WordLength::Bits16, MemoryConfig::t424());
+        let a = m.mem_start();
+        m.write_word(a, 0xFFFF_1234).unwrap();
+        assert_eq!(m.read_word(a).unwrap(), 0x1234);
+    }
+}

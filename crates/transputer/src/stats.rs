@@ -1,0 +1,174 @@
+//! Execution instrumentation.
+//!
+//! The paper makes several *measurable* claims about the dynamic
+//! behaviour of programs: "most of the executed operations (typically
+//! 80%) are encoded in a single byte" (§3.2.3), "typical sequences of
+//! commonly used instructions can deliver a 15 MIPS execution rate"
+//! (§3.2.1), and the priority-switch bounds of §3.2.4. These counters
+//! support reproducing those claims (experiments E12, E13, E6, E14).
+
+use crate::instr::{Direct, Op};
+
+/// Counters accumulated while a [`crate::Cpu`] executes.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Instruction bytes executed, including prefixing instructions
+    /// (each prefix is itself a one-byte, one-cycle instruction, §3.2.7).
+    pub instructions: u64,
+    /// Logical operations executed (a prefix chain folds into the
+    /// instruction it extends).
+    pub operations: u64,
+    /// Operations by encoded length in bytes; index 1 = single byte.
+    pub length_histogram: [u64; 9],
+    /// Executions of each direct function, indexed by nibble.
+    pub direct_counts: [u64; 16],
+    /// Executions of each indirect function, indexed by operation code
+    /// (the out-of-band halt extension is counted in `halt_ops`).
+    pub op_counts: [u64; 0x60],
+    /// Executions of the simulation-halt extension operation.
+    pub halt_ops: u64,
+    /// Processes descheduled (blocked or time-sliced away).
+    pub deschedules: u64,
+    /// Dispatches of a new process (context switches).
+    pub dispatches: u64,
+    /// Low→high priority preemptions taken.
+    pub preemptions: u64,
+    /// Worst observed low→high switch latency, in cycles, measured from
+    /// the instant the high-priority process became ready to its first
+    /// instruction issuing (§3.2.4 bounds this at 58).
+    pub max_preempt_latency: u64,
+    /// High→low switches (resuming an interrupted low-priority process).
+    pub priority_lowerings: u64,
+    /// Completed channel communications (message level, counted once per
+    /// message on the completing side).
+    pub messages: u64,
+    /// Bytes moved through channels (internal and external).
+    pub message_bytes: u64,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            instructions: 0,
+            operations: 0,
+            length_histogram: [0; 9],
+            direct_counts: [0; 16],
+            op_counts: [0; 0x60],
+            halt_ops: 0,
+            deschedules: 0,
+            dispatches: 0,
+            preemptions: 0,
+            max_preempt_latency: 0,
+            priority_lowerings: 0,
+            messages: 0,
+            message_bytes: 0,
+        }
+    }
+}
+
+impl Stats {
+    /// Record a decoded operation of `len` bytes ending in `fun`.
+    pub(crate) fn record_operation(&mut self, fun: Direct, len: usize) {
+        self.operations += 1;
+        let idx = len.min(self.length_histogram.len() - 1);
+        self.length_histogram[idx] += 1;
+        self.direct_counts[fun.nibble() as usize] += 1;
+    }
+
+    /// Record an indirect function execution.
+    pub(crate) fn record_op(&mut self, op: Op) {
+        let code = op.code();
+        if (code as usize) < self.op_counts.len() {
+            self.op_counts[code as usize] += 1;
+        } else {
+            self.halt_ops += 1;
+        }
+    }
+
+    /// Fraction of operations encoded in a single byte (the paper's
+    /// "typically 80%" claim, §3.2.3).
+    pub fn single_byte_fraction(&self) -> f64 {
+        if self.operations == 0 {
+            return 0.0;
+        }
+        self.length_histogram[1] as f64 / self.operations as f64
+    }
+
+    /// Mean cycles per instruction byte given a cycle total.
+    pub fn cycles_per_instruction(&self, cycles: u64) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        cycles as f64 / self.instructions as f64
+    }
+
+    /// Instruction rate in MIPS for a processor frequency in MHz
+    /// (instructions per second = instructions / (cycles / f)).
+    pub fn mips(&self, cycles: u64, clock_mhz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 * clock_mhz / cycles as f64
+    }
+
+    /// Executions of one indirect function.
+    pub fn op_count(&self, op: Op) -> u64 {
+        let code = op.code() as usize;
+        if code < self.op_counts.len() {
+            self.op_counts[code]
+        } else {
+            self.halt_ops
+        }
+    }
+
+    /// Executions of one direct function.
+    pub fn direct_count(&self, fun: Direct) -> u64 {
+        self.direct_counts[fun.nibble() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_fraction_counts_lengths() {
+        let mut s = Stats::default();
+        s.record_operation(Direct::LoadConstant, 1);
+        s.record_operation(Direct::LoadConstant, 1);
+        s.record_operation(Direct::LoadConstant, 2);
+        s.record_operation(Direct::LoadConstant, 3);
+        assert!((s.single_byte_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(s.direct_count(Direct::LoadConstant), 4);
+    }
+
+    #[test]
+    fn mips_at_one_cycle_per_instruction() {
+        let s = Stats {
+            instructions: 1000,
+            ..Stats::default()
+        };
+        // 1000 instructions in 1000 cycles at 20 MHz = 20 MIPS.
+        assert!((s.mips(1000, 20.0) - 20.0).abs() < 1e-9);
+        assert!((s.cycles_per_instruction(1500) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_counting() {
+        let mut s = Stats::default();
+        s.record_op(Op::Add);
+        s.record_op(Op::Add);
+        s.record_op(Op::HaltSimulation);
+        assert_eq!(s.op_count(Op::Add), 2);
+        assert_eq!(s.op_count(Op::HaltSimulation), 1);
+        assert_eq!(s.op_count(Op::Multiply), 0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = Stats::default();
+        assert_eq!(s.single_byte_fraction(), 0.0);
+        assert_eq!(s.mips(0, 20.0), 0.0);
+        assert_eq!(s.cycles_per_instruction(0), 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Execution tracing: a bounded ring of recently executed operations.
+//!
+//! Tracing exists for debugging compilers and programs against the
+//! emulator; it records completed operations (prefix chains folded, as
+//! in the disassembler) with the machine state they left behind. The
+//! ring is bounded so tracing can stay enabled across long runs.
+
+use crate::instr::{Direct, Op};
+use std::collections::VecDeque;
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle count when the operation completed.
+    pub cycle: u64,
+    /// Address of the operation's first byte.
+    pub iptr: u32,
+    /// Process descriptor executing it.
+    pub wdesc: u32,
+    /// Function code.
+    pub fun: Direct,
+    /// Accumulated operand.
+    pub operand: u32,
+    /// Decoded operation for `operate`.
+    pub op: Option<Op>,
+    /// A register after execution.
+    pub areg: u32,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op {
+            Some(op) => write!(
+                f,
+                "[{:>8}] {:08x} w={:08x} {:<12} A={:08x}",
+                self.cycle,
+                self.iptr,
+                self.wdesc,
+                op.mnemonic(),
+                self.areg
+            ),
+            None => write!(
+                f,
+                "[{:>8}] {:08x} w={:08x} {} {:<6} A={:08x}",
+                self.cycle,
+                self.iptr,
+                self.wdesc,
+                self.fun.mnemonic(),
+                self.operand as i32,
+                self.areg
+            ),
+        }
+    }
+}
+
+/// A bounded ring of trace entries.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` operations.
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Record an entry, evicting the oldest if full.
+    pub(crate) fn push(&mut self, e: TraceEntry) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(e);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render the whole ring, one entry per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.entries {
+            let _ = writeln!(s, "{e}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Cpu, CpuConfig};
+    use crate::instr::{encode, encode_op};
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = TraceRing::new(2);
+        for i in 0..5u64 {
+            r.push(TraceEntry {
+                cycle: i,
+                iptr: 0,
+                wdesc: 0,
+                fun: Direct::LoadConstant,
+                operand: 0,
+                op: None,
+                areg: 0,
+            });
+        }
+        assert_eq!(r.len(), 2);
+        let cycles: Vec<u64> = r.entries().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4]);
+    }
+
+    #[test]
+    fn cpu_records_operations() {
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        cpu.enable_trace(16);
+        let mut code = Vec::new();
+        code.extend(encode(Direct::LoadConstant, 0x754)); // 3 bytes, 1 op
+        code.extend(encode(Direct::AddConstant, 1));
+        code.extend(encode_op(Op::HaltSimulation));
+        cpu.load_boot_program(&code).unwrap();
+        cpu.run(1_000).unwrap();
+        let trace = cpu.trace().expect("enabled");
+        assert_eq!(trace.len(), 3, "three logical operations");
+        let entries: Vec<&TraceEntry> = trace.entries().collect();
+        assert_eq!(entries[0].fun, Direct::LoadConstant);
+        assert_eq!(entries[0].operand, 0x754);
+        assert_eq!(entries[0].areg, 0x754, "state after the op");
+        assert_eq!(entries[1].areg, 0x755);
+        assert_eq!(entries[2].op, Some(Op::HaltSimulation));
+        // Offsets point at the first byte of each prefix chain.
+        assert_eq!(entries[1].iptr, entries[0].iptr + 3);
+        let text = trace.render();
+        assert!(text.contains("ldc"));
+        assert!(text.contains("haltsim"));
+    }
+
+    #[test]
+    fn trace_is_optional_and_cheap_when_off() {
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        assert!(cpu.trace().is_none());
+        let mut code = encode(Direct::LoadConstant, 1);
+        code.extend(encode_op(Op::HaltSimulation));
+        cpu.load_boot_program(&code).unwrap();
+        cpu.run(1_000).unwrap();
+        assert!(cpu.trace().is_none());
+    }
+}

@@ -1,0 +1,295 @@
+//! Instruction-level tests of the alternative machinery (§2.2, §3.2.10):
+//! enable/disable sequences, skip and timer guards, wakeups from
+//! outputting processes, and selection priority.
+
+use transputer::instr::{encode, encode_op, Direct, Op};
+use transputer::{Cpu, CpuConfig, HaltReason, Priority, RunOutcome};
+
+struct Asm(Vec<u8>);
+
+impl Asm {
+    fn new() -> Asm {
+        Asm(Vec::new())
+    }
+    fn d(&mut self, f: Direct, v: i64) -> &mut Asm {
+        self.0.extend(encode(f, v));
+        self
+    }
+    fn o(&mut self, op: Op) -> &mut Asm {
+        self.0.extend(encode_op(op));
+        self
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// ALT with a single true SKIP guard selects it immediately.
+#[test]
+fn skip_guard_selects_immediately() {
+    // alt; ldc 1 (guard); enbs; altwt; ldc 1; ldc <off>; diss; altend;
+    // branch: ldc 7; haltsim
+    let mut a = Asm::new();
+    a.o(Op::Alt);
+    a.d(Direct::LoadConstant, 1).o(Op::EnableSkip);
+    a.o(Op::AltWait);
+    a.d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0); // branch offset: altend falls through
+    a.o(Op::DisableSkip);
+    a.o(Op::AltEnd);
+    a.d(Direct::LoadConstant, 7).o(Op::HaltSimulation);
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&a.0).unwrap();
+    cpu.run_to_halt(10_000).unwrap();
+    assert_eq!(cpu.areg(), 7);
+}
+
+/// Two ready SKIP guards: the disabling sequence selects the first —
+/// the PRI ALT ordering the hardware gives for free.
+#[test]
+fn first_ready_guard_wins() {
+    let mut a = Asm::new();
+    a.o(Op::Alt);
+    a.d(Direct::LoadConstant, 1).o(Op::EnableSkip);
+    a.d(Direct::LoadConstant, 1).o(Op::EnableSkip);
+    a.o(Op::AltWait);
+    // disable 1: offset 0 (branch A right after altend)
+    a.d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableSkip);
+    // disable 2: offset 5 (branch B: skip over branch A = ldc+j = 5B?)
+    a.d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 4); // ldc 11 (1) + haltsim (3) = 4 bytes
+    a.o(Op::DisableSkip);
+    a.o(Op::AltEnd);
+    // branch A:
+    a.d(Direct::LoadConstant, 11).o(Op::HaltSimulation);
+    // branch B:
+    a.d(Direct::LoadConstant, 22).o(Op::HaltSimulation);
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&a.0).unwrap();
+    cpu.run_to_halt(10_000).unwrap();
+    assert_eq!(cpu.areg(), 11, "textually first guard selected");
+}
+
+/// A false guard is never selected even when its channel fires.
+#[test]
+fn false_guard_is_ignored() {
+    let mut a = Asm::new();
+    a.o(Op::Alt);
+    a.d(Direct::LoadConstant, 0).o(Op::EnableSkip); // false guard
+    a.d(Direct::LoadConstant, 1).o(Op::EnableSkip); // true guard
+    a.o(Op::AltWait);
+    a.d(Direct::LoadConstant, 0);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableSkip);
+    a.d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 4);
+    a.o(Op::DisableSkip);
+    a.o(Op::AltEnd);
+    a.d(Direct::LoadConstant, 11).o(Op::HaltSimulation);
+    a.d(Direct::LoadConstant, 22).o(Op::HaltSimulation);
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&a.0).unwrap();
+    cpu.run_to_halt(10_000).unwrap();
+    assert_eq!(cpu.areg(), 22, "the true guard's branch ran");
+}
+
+/// Timer ALT with a deadline already past is immediately ready.
+#[test]
+fn timer_alt_past_deadline() {
+    let mut a = Asm::new();
+    a.o(Op::TimerAlt);
+    // enbt: A = guard, B = time (now - 5: already past).
+    a.o(Op::LoadTimer);
+    a.d(Direct::AddConstant, -5);
+    a.d(Direct::LoadConstant, 1);
+    a.o(Op::EnableTimer);
+    a.o(Op::TimerAltWait);
+    a.o(Op::LoadTimer);
+    a.d(Direct::AddConstant, -5);
+    a.d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableTimer);
+    a.o(Op::AltEnd);
+    a.d(Direct::LoadConstant, 9).o(Op::HaltSimulation);
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&a.0).unwrap();
+    cpu.run_to_halt(100_000).unwrap();
+    assert_eq!(cpu.areg(), 9);
+    // No long wait happened.
+    assert!(cpu.cycles() < 200, "took {} cycles", cpu.cycles());
+}
+
+/// Timer ALT with a future deadline waits on the timer queue and wakes.
+#[test]
+fn timer_alt_future_deadline_waits() {
+    // Store the armed time in w2 so enable and disable agree exactly.
+    let mut a = Asm::new();
+    a.o(Op::LoadTimer);
+    a.d(Direct::AddConstant, 8);
+    a.d(Direct::StoreLocal, 2);
+    a.o(Op::TimerAlt);
+    a.d(Direct::LoadLocal, 2);
+    a.d(Direct::LoadConstant, 1);
+    a.o(Op::EnableTimer);
+    a.o(Op::TimerAltWait);
+    a.d(Direct::LoadLocal, 2);
+    a.d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableTimer);
+    a.o(Op::AltEnd);
+    a.o(Op::LoadTimer).o(Op::HaltSimulation);
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&a.0).unwrap();
+    cpu.run_to_halt(10_000_000).unwrap();
+    // Clock advanced at least to the armed deadline.
+    assert!(cpu.areg() >= 8, "clock reached {}", cpu.areg());
+    assert!(cpu.cycles() > 8 * 20, "actually waited for the ticks");
+}
+
+/// An outputting process wakes a waiting ALT; the selected branch's
+/// `input message` then moves the data.
+#[test]
+fn output_wakes_waiting_alt() {
+    // Process A (ALT): chan at w1; alt; enbc; altwt; disc; altend;
+    // branch: in(4, chan, w8); ldl 8; haltsim.
+    // Process B: waits 3 ticks, outword 1234 on the channel.
+    let mut a = Asm::new();
+    a.o(Op::MinimumInteger).d(Direct::StoreLocal, 1);
+    a.o(Op::Alt);
+    a.d(Direct::LoadLocalPointer, 1)
+        .d(Direct::LoadConstant, 1)
+        .o(Op::EnableChannel);
+    a.o(Op::AltWait);
+    a.d(Direct::LoadLocalPointer, 1).d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableChannel);
+    a.o(Op::AltEnd);
+    // Branch: input the word.
+    a.d(Direct::LoadLocalPointer, 8);
+    a.d(Direct::LoadLocalPointer, 1);
+    a.d(Direct::LoadConstant, 4);
+    a.o(Op::InputMessage);
+    a.d(Direct::LoadLocal, 8);
+    a.o(Op::HaltSimulation);
+    let b_entry = a.len();
+    // Process B (64 words below A): tin now+3; outword.
+    a.o(Op::LoadTimer);
+    a.d(Direct::AddConstant, 3);
+    a.o(Op::TimerInput);
+    a.d(Direct::LoadConstant, 1234);
+    a.d(Direct::LoadLocalPointer, 65);
+    a.o(Op::OutputWord);
+    a.o(Op::StopProcess);
+
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    let entry = cpu.memory().mem_start();
+    cpu.load(entry, &a.0).unwrap();
+    let top = cpu.default_boot_workspace();
+    cpu.spawn(top, entry, Priority::Low);
+    cpu.spawn(
+        top.wrapping_sub(64 * 4),
+        entry + b_entry as u32,
+        Priority::Low,
+    );
+    cpu.run_to_halt(10_000_000).unwrap();
+    assert_eq!(cpu.areg(), 1234);
+    assert!(cpu.stats().deschedules >= 2, "the ALT really waited");
+}
+
+/// A channel that is already ready at enable time short-circuits the
+/// wait entirely.
+#[test]
+fn ready_channel_skips_the_wait() {
+    // B outputs first (it runs before A enables); A's enbc finds the
+    // outputter parked in the channel and marks Ready.
+    let mut a = Asm::new();
+    // A: busy-wait 5 ticks so B definitely outputs first.
+    a.o(Op::LoadTimer);
+    a.d(Direct::AddConstant, 5);
+    a.o(Op::TimerInput);
+    a.o(Op::Alt);
+    a.d(Direct::LoadLocalPointer, 1)
+        .d(Direct::LoadConstant, 1)
+        .o(Op::EnableChannel);
+    a.o(Op::AltWait);
+    a.d(Direct::LoadLocalPointer, 1).d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableChannel);
+    a.o(Op::AltEnd);
+    a.d(Direct::LoadLocalPointer, 8);
+    a.d(Direct::LoadLocalPointer, 1);
+    a.d(Direct::LoadConstant, 4);
+    a.o(Op::InputMessage);
+    a.d(Direct::LoadLocal, 8);
+    a.o(Op::HaltSimulation);
+    let b_entry = a.len();
+    a.d(Direct::LoadConstant, 77);
+    a.d(Direct::LoadLocalPointer, 65);
+    a.o(Op::OutputWord);
+    a.o(Op::StopProcess);
+
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    let entry = cpu.memory().mem_start();
+    cpu.load(entry, &a.0).unwrap();
+    let top = cpu.default_boot_workspace();
+    // Channel word starts empty.
+    cpu.poke_word(top.wrapping_add(4), 0x8000_0000).unwrap();
+    cpu.spawn(top, entry, Priority::Low);
+    cpu.spawn(
+        top.wrapping_sub(64 * 4),
+        entry + b_entry as u32,
+        Priority::Low,
+    );
+    cpu.run_to_halt(10_000_000).unwrap();
+    assert_eq!(cpu.areg(), 77);
+}
+
+/// Disabling an enabled-but-unfired channel guard restores the channel
+/// word to empty, leaving no stale enrolment behind.
+#[test]
+fn disable_cancels_enrolment() {
+    let mut a = Asm::new();
+    a.o(Op::MinimumInteger).d(Direct::StoreLocal, 1); // channel empty
+    a.o(Op::Alt);
+    a.d(Direct::LoadLocalPointer, 1)
+        .d(Direct::LoadConstant, 1)
+        .o(Op::EnableChannel);
+    a.d(Direct::LoadConstant, 1).o(Op::EnableSkip); // guarantees readiness
+    a.o(Op::AltWait);
+    a.d(Direct::LoadLocalPointer, 1).d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableChannel);
+    a.d(Direct::LoadConstant, 1);
+    a.d(Direct::LoadConstant, 0);
+    a.o(Op::DisableSkip);
+    a.o(Op::AltEnd);
+    a.d(Direct::LoadLocal, 1); // read back the channel word
+    a.o(Op::HaltSimulation);
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&a.0).unwrap();
+    cpu.run_to_halt(10_000).unwrap();
+    assert_eq!(cpu.areg(), 0x8000_0000, "channel word back to NotProcess");
+}
+
+/// An ALT with no ready guards and no timer deadlocks — occam's STOP
+/// behaviour for an empty selection.
+#[test]
+fn alt_with_no_ready_guard_blocks_forever() {
+    let mut a = Asm::new();
+    a.o(Op::MinimumInteger).d(Direct::StoreLocal, 1);
+    a.o(Op::Alt);
+    a.d(Direct::LoadLocalPointer, 1)
+        .d(Direct::LoadConstant, 1)
+        .o(Op::EnableChannel);
+    a.o(Op::AltWait);
+    a.o(Op::HaltSimulation);
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&a.0).unwrap();
+    match cpu.run(1_000_000).unwrap() {
+        RunOutcome::Deadlock => {}
+        RunOutcome::Halted(HaltReason::Stopped) => panic!("should not have proceeded"),
+        other => panic!("unexpected: {other:?}"),
+    }
+}

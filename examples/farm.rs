@@ -1,0 +1,120 @@
+//! A processor farm: one master transputer feeds jobs to three worker
+//! transputers over its links and gathers results with ALT — the
+//! load-balancing idiom the transputer popularised ("an alternative
+//! process may be ready for input from any one of a number of channels",
+//! §2.2). Work flows to whichever worker answers first.
+//!
+//! ```sh
+//! cargo run --release --example farm
+//! ```
+
+use transputer::WordLength;
+use transputer_net::{NetworkBuilder, NetworkConfig};
+
+const WORKERS: usize = 3;
+const JOBS: i64 = 24;
+
+/// A worker: read a job, square it (with deliberately uneven cost so the
+/// farm actually balances), send it back; -1 is the poison pill.
+fn worker_source() -> String {
+    format!(
+        "CHAN in, out:\n\
+         PLACE in AT {inp}:\n\
+         PLACE out AT {outp}:\n\
+         VAR going, x, cost, now:\n\
+         SEQ\n\
+         \x20 going := TRUE\n\
+         \x20 WHILE going\n\
+         \x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20 in ? x\n\
+         \x20\x20\x20\x20\x20 IF\n\
+         \x20\x20\x20\x20\x20\x20\x20 x = -1\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20 going := FALSE\n\
+         \x20\x20\x20\x20\x20\x20\x20 TRUE\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 cost := (x \\ 5) + 1\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 TIME ? now\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 TIME ? AFTER now + cost\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 out ! x * x\n",
+        inp = occam::places::link_in(0),
+        outp = occam::places::link_out(0),
+    )
+}
+
+/// The master: prime each worker with one job, then ALT over the reply
+/// channels — each answer triggers the next job (or the poison pill when
+/// the queue is dry). Per-worker job counts land in `done0..done2`.
+fn master_source() -> String {
+    let mut s = String::new();
+    for w in 0..WORKERS {
+        s.push_str(&format!(
+            "CHAN to{w}, from{w}:\nPLACE to{w} AT {}:\nPLACE from{w} AT {}:\n",
+            occam::places::link_out(w as u32),
+            occam::places::link_in(w as u32),
+        ));
+    }
+    s.push_str("VAR total, next, got, done0, done1, done2:\n");
+    s.push_str("VAR r:\n");
+    s.push_str("SEQ\n");
+    s.push_str("  total := 0\n  got := 0\n");
+    s.push_str("  done0 := 0\n  done1 := 0\n  done2 := 0\n");
+    for w in 0..WORKERS {
+        s.push_str(&format!("  to{w} ! {w}\n"));
+    }
+    s.push_str(&format!("  next := {WORKERS}\n"));
+    s.push_str(&format!("  WHILE got < {JOBS}\n"));
+    s.push_str("    ALT\n");
+    for w in 0..WORKERS {
+        s.push_str(&format!("      from{w} ? r\n"));
+        s.push_str("        SEQ\n");
+        s.push_str("          total := total + r\n");
+        s.push_str("          got := got + 1\n");
+        s.push_str(&format!("          done{w} := done{w} + 1\n"));
+        s.push_str("          IF\n");
+        s.push_str(&format!("            next < {JOBS}\n"));
+        s.push_str("              SEQ\n");
+        s.push_str(&format!("                to{w} ! next\n"));
+        s.push_str("                next := next + 1\n");
+        s.push_str("            TRUE\n");
+        s.push_str(&format!("              to{w} ! -1\n"));
+    }
+    s
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = NetworkBuilder::new(NetworkConfig::default());
+    let master = b.add_node();
+    let workers: Vec<_> = (0..WORKERS).map(|_| b.add_node()).collect();
+    for (w, id) in workers.iter().enumerate() {
+        b.connect((master, w), (*id, 0));
+    }
+    let mut net = b.build();
+
+    let master_prog = occam::compile(&master_source())?;
+    let mwptr = master_prog.load(net.node_mut(master))?;
+    let worker_prog = occam::compile(&worker_source())?;
+    for id in &workers {
+        worker_prog.load(net.node_mut(*id))?;
+    }
+
+    net.run_until_all_halted(1_000_000_000_000)?;
+
+    let word = WordLength::Bits32;
+    let g = |net: &transputer_net::Network, name: &str| {
+        let addr = master_prog.global_addr(word, mwptr, name).expect("global");
+        net.node(master).inspect_word(addr).unwrap() as i64
+    };
+    let total = g(&net, "total");
+    let split = [g(&net, "done0"), g(&net, "done1"), g(&net, "done2")];
+    let expected: i64 = (0..JOBS).map(|j| j * j).sum();
+    println!(
+        "farm of {WORKERS} workers processed {JOBS} jobs in {:.3} ms simulated time",
+        net.time_ns() as f64 / 1e6
+    );
+    println!("  sum of squares: {total} (expected {expected})");
+    println!("  jobs per worker (self-balancing): {split:?}");
+    assert_eq!(total, expected);
+    assert_eq!(split.iter().sum::<i64>(), JOBS);
+    assert!(split.iter().all(|n| *n > 0), "every worker contributed");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: compile an occam program, run it on an emulated T424,
+//! read the results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use transputer::{Cpu, CpuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A concurrent occam program: two processes communicating over a
+    // channel, combined with a timer read — the three primitives of §2.2.
+    let source = "\
+VAR result, elapsed:
+CHAN c:
+VAR t0:
+SEQ
+  TIME ? t0
+  PAR
+    c ! 6 * 7
+    c ? result
+  VAR t1:
+  SEQ
+    TIME ? t1
+    elapsed := t1 - t0
+";
+
+    println!("compiling occam:\n{source}");
+    let program = occam::compile(source)?;
+    println!(
+        "compiled to {} bytes of position-independent I1 code",
+        program.code.len()
+    );
+    println!("\ndisassembly (first 16 operations):");
+    for d in transputer_asm::disassemble(&program.code).iter().take(16) {
+        println!("  {:04x}  {}", d.offset, d);
+    }
+
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    let wptr = program.load(&mut cpu)?;
+    cpu.run(1_000_000)?;
+
+    let result = program.read_global(&mut cpu, wptr, "result")?;
+    let elapsed = program.read_global(&mut cpu, wptr, "elapsed")?;
+    println!("\nresult   = {result}");
+    println!("elapsed  = {elapsed} timer ticks");
+    println!(
+        "executed {} instructions in {} cycles ({} single-byte operations: {:.0}%)",
+        cpu.stats().instructions,
+        cpu.cycles(),
+        cpu.stats().length_histogram[1],
+        100.0 * cpu.stats().single_byte_fraction()
+    );
+    assert_eq!(result, 42);
+    Ok(())
+}

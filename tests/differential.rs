@@ -1,0 +1,285 @@
+//! Differential testing of the occam compiler: random structured
+//! programs (assignments, IF, replicated SEQ) are executed both by a
+//! reference interpreter in Rust and by the compiled code on the
+//! emulated transputer; the four global variables must agree.
+
+use proptest::prelude::*;
+use transputer::{Cpu, CpuConfig};
+
+const GLOBALS: usize = 4;
+
+/// Expressions over the four globals, the innermost loop variable, and
+/// small literals. All arithmetic is bounds-checked by the reference
+/// interpreter; out-of-range cases are discarded.
+#[derive(Debug, Clone)]
+enum SE {
+    Lit(i64),
+    Var(usize),
+    LoopVar,
+    Add(Box<SE>, Box<SE>),
+    Sub(Box<SE>, Box<SE>),
+    Mul(Box<SE>, Box<SE>),
+    BitAnd(Box<SE>, Box<SE>),
+    BitXor(Box<SE>, Box<SE>),
+}
+
+impl SE {
+    fn eval(&self, env: &Env) -> Option<i64> {
+        let bound = |v: i64| {
+            if v.abs() <= i64::from(i32::MAX / 2) {
+                Some(v)
+            } else {
+                None
+            }
+        };
+        match self {
+            SE::Lit(n) => Some(*n),
+            SE::Var(i) => Some(env.globals[*i]),
+            SE::LoopVar => Some(env.loops.last().copied().unwrap_or(0)),
+            SE::Add(a, b) => bound(a.eval(env)?.checked_add(b.eval(env)?)?),
+            SE::Sub(a, b) => bound(a.eval(env)?.checked_sub(b.eval(env)?)?),
+            SE::Mul(a, b) => bound(a.eval(env)?.checked_mul(b.eval(env)?)?),
+            SE::BitAnd(a, b) => {
+                Some((((a.eval(env)? as u32) & (b.eval(env)? as u32)) as i32) as i64)
+            }
+            SE::BitXor(a, b) => {
+                Some((((a.eval(env)? as u32) ^ (b.eval(env)? as u32)) as i32) as i64)
+            }
+        }
+    }
+
+    fn occam(&self, loop_depth: usize) -> String {
+        match self {
+            SE::Lit(n) => format!("{n}"),
+            SE::Var(i) => format!("x{i}"),
+            SE::LoopVar => {
+                if loop_depth == 0 {
+                    "0".to_string()
+                } else {
+                    format!("r{}", loop_depth - 1)
+                }
+            }
+            SE::Add(a, b) => format!("({} + {})", a.occam(loop_depth), b.occam(loop_depth)),
+            SE::Sub(a, b) => format!("({} - {})", a.occam(loop_depth), b.occam(loop_depth)),
+            SE::Mul(a, b) => format!("({} * {})", a.occam(loop_depth), b.occam(loop_depth)),
+            SE::BitAnd(a, b) => format!("({} /\\ {})", a.occam(loop_depth), b.occam(loop_depth)),
+            SE::BitXor(a, b) => format!("({} >< {})", a.occam(loop_depth), b.occam(loop_depth)),
+        }
+    }
+}
+
+/// Statements. `Par` branches are generated so branch `i` assigns only
+/// global `i` (occam's usage rule), which also makes the parallel
+/// composition deterministic: the reference can run branches in order.
+#[derive(Debug, Clone)]
+enum St {
+    Assign(usize, SE),
+    If(SE, SE, Vec<St>, Vec<St>),
+    Repl(u8, Vec<St>),
+    Par(Vec<Vec<St>>),
+}
+
+#[derive(Debug, Default)]
+struct Env {
+    globals: [i64; GLOBALS],
+    loops: Vec<i64>,
+}
+
+fn run_ref(stmts: &[St], env: &mut Env) -> Option<()> {
+    for s in stmts {
+        match s {
+            St::Assign(i, e) => env.globals[*i] = e.eval(env)?,
+            St::If(a, b, then, els) => {
+                if a.eval(env)? > b.eval(env)? {
+                    run_ref(then, env)?;
+                } else {
+                    run_ref(els, env)?;
+                }
+            }
+            St::Repl(count, body) => {
+                for k in 0..*count {
+                    env.loops.push(i64::from(k));
+                    let r = run_ref(body, env);
+                    env.loops.pop();
+                    r?;
+                }
+            }
+            St::Par(branches) => {
+                // Branches write disjoint variables and read nothing
+                // another branch writes, so sequential execution gives
+                // the parallel result. Reads are restricted at
+                // generation time: branch i reads only literals, the
+                // loop variable, and variable i.
+                for b in branches {
+                    run_ref(b, env)?;
+                }
+            }
+        }
+    }
+    Some(())
+}
+
+fn emit(stmts: &[St], indent: usize, loop_depth: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    if stmts.is_empty() {
+        out.push_str(&format!("{pad}SKIP\n"));
+        return;
+    }
+    out.push_str(&format!("{pad}SEQ\n"));
+    for s in stmts {
+        let pad1 = "  ".repeat(indent + 1);
+        match s {
+            St::Assign(i, e) => {
+                out.push_str(&format!("{pad1}x{i} := {}\n", e.occam(loop_depth)));
+            }
+            St::If(a, b, then, els) => {
+                out.push_str(&format!("{pad1}IF\n"));
+                out.push_str(&format!(
+                    "{}{} > {}\n",
+                    "  ".repeat(indent + 2),
+                    a.occam(loop_depth),
+                    b.occam(loop_depth)
+                ));
+                emit(then, indent + 3, loop_depth, out);
+                out.push_str(&format!("{}TRUE\n", "  ".repeat(indent + 2)));
+                emit(els, indent + 3, loop_depth, out);
+            }
+            St::Repl(count, body) => {
+                out.push_str(&format!("{pad1}SEQ r{loop_depth} = [0 FOR {count}]\n"));
+                emit(body, indent + 2, loop_depth + 1, out);
+            }
+            St::Par(branches) => {
+                out.push_str(&format!("{pad1}PAR\n"));
+                for b in branches {
+                    emit(b, indent + 2, loop_depth, out);
+                }
+            }
+        }
+    }
+}
+
+/// Restrict a statement tree so it assigns and reads only global `only`
+/// (besides literals and loop variables) — making it safe as a PAR
+/// branch under occam's usage rule.
+fn restrict_to(stmts: &mut [St], only: usize) {
+    fn fix_expr(e: &mut SE, only: usize) {
+        match e {
+            SE::Lit(_) | SE::LoopVar => {}
+            SE::Var(i) => *i = only,
+            SE::Add(a, b)
+            | SE::Sub(a, b)
+            | SE::Mul(a, b)
+            | SE::BitAnd(a, b)
+            | SE::BitXor(a, b) => {
+                fix_expr(a, only);
+                fix_expr(b, only);
+            }
+        }
+    }
+    for s in stmts {
+        match s {
+            St::Assign(i, e) => {
+                *i = only;
+                fix_expr(e, only);
+            }
+            St::If(a, b, t, e) => {
+                fix_expr(a, only);
+                fix_expr(b, only);
+                restrict_to(t, only);
+                restrict_to(e, only);
+            }
+            St::Repl(_, b) => restrict_to(b, only),
+            St::Par(branches) => {
+                // A nested PAR whose branches all touch the same single
+                // variable would violate the usage rule; sequentialise
+                // it instead (a one-iteration replication).
+                let flat: Vec<St> = branches.drain(..).flatten().collect();
+                let mut repl = St::Repl(1, flat);
+                if let St::Repl(_, b) = &mut repl {
+                    restrict_to(b, only);
+                }
+                *s = repl;
+            }
+        }
+    }
+}
+
+fn arb_se() -> impl Strategy<Value = SE> {
+    let leaf = prop_oneof![
+        (0i64..40).prop_map(SE::Lit),
+        (0usize..GLOBALS).prop_map(SE::Var),
+        Just(SE::LoopVar),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SE::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SE::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SE::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SE::BitAnd(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SE::BitXor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_stmts() -> impl Strategy<Value = Vec<St>> {
+    let stmt = prop_oneof![
+        3 => (0usize..GLOBALS, arb_se()).prop_map(|(i, e)| St::Assign(i, e)),
+    ]
+    .prop_recursive(3, 16, 4, |inner| {
+        let body = proptest::collection::vec(inner.clone(), 1..3);
+        prop_oneof![
+            3 => (0usize..GLOBALS, arb_se()).prop_map(|(i, e)| St::Assign(i, e)),
+            1 => (arb_se(), arb_se(), body.clone(), body.clone())
+                .prop_map(|(a, b, t, e)| St::If(a, b, t, e)),
+            1 => (1u8..5, body.clone()).prop_map(|(c, b)| St::Repl(c, b)),
+            1 => proptest::collection::vec(body, 2..4).prop_map(|mut branches| {
+                for (i, b) in branches.iter_mut().enumerate() {
+                    restrict_to(b, i % GLOBALS);
+                }
+                St::Par(branches)
+            }),
+        ]
+    });
+    proptest::collection::vec(stmt, 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Random structured programs behave identically under the reference
+    /// interpreter and the compiled code on the emulator.
+    #[test]
+    fn compiler_agrees_with_reference_on_programs(stmts in arb_stmts()) {
+        let mut env = Env::default();
+        prop_assume!(run_ref(&stmts, &mut env).is_some());
+
+        let mut src = String::from("VAR x0, x1, x2, x3:\nSEQ\n");
+        src.push_str("  x0 := 0\n  x1 := 0\n  x2 := 0\n  x3 := 0\n");
+        let mut body = String::new();
+        emit(&stmts, 1, 0, &mut body);
+        src.push_str(&body);
+
+        let program = occam::compile(&src)
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        let wptr = program.load(&mut cpu).expect("loads");
+        match cpu.run(50_000_000).expect("budget") {
+            transputer::RunOutcome::Halted(transputer::HaltReason::Stopped) => {}
+            other => panic!("abnormal end {other:?}\n{src}"),
+        }
+        for i in 0..GLOBALS {
+            let got = cpu.word_length().to_signed(
+                program
+                    .read_global(&mut cpu, wptr, &format!("x{i}"))
+                    .expect("global"),
+            );
+            prop_assert_eq!(
+                got,
+                env.globals[i],
+                "x{} diverged\nprogram:\n{}",
+                i,
+                src
+            );
+        }
+    }
+}
