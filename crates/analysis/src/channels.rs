@@ -1,0 +1,991 @@
+//! Layer 1: source-level channel-usage analysis.
+//!
+//! occam's usage rules make channels point-to-point: in any `PAR`, a
+//! channel may be used for input by at most one branch and for output
+//! by at most one branch. This pass enforces that rule (including
+//! through `PROC` channel parameters, whose directions are inferred
+//! from the `PROC` body), and layers a small process/channel-graph
+//! analysis on top:
+//!
+//! * **unconnected ends** — a declared channel that is only ever read,
+//!   only ever written, or never used (warnings; `PLACE`d channels are
+//!   exempt, their far end is a link);
+//! * **self-communication** — one sequential flow both inputs and
+//!   outputs on the same channel, which can never rendezvous with
+//!   itself (warning);
+//! * **trivial cyclic wait** — a two-branch `PAR` of straight-line
+//!   processes in which each branch's first communication waits for
+//!   one the other branch only performs later (error: a definite
+//!   deadlock).
+//!
+//! The analysis is *definite-only* where the language rule permits:
+//! channel-vector elements conflict across branches only when their
+//! subscripts are provably equal (constants or plain names), and a
+//! replicated `PAR` only flags uses whose subscript cannot vary with
+//! the replicator index.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::diag::{Diagnostic, Span};
+use occam::ast::{
+    Actual, AltKind, Alternative, ChanRef, Decl, Expr, ParamMode, Pos, Process, Replicator, UnOp,
+};
+
+/// Diagnostic span for a source position: line-and-column when the
+/// parser recorded a column, whole-line otherwise.
+fn sp(pos: Pos) -> Span {
+    if pos.col > 0 {
+        Span::at(pos.line, pos.col)
+    } else {
+        Span::line(pos.line)
+    }
+}
+
+/// Run the channel lints over a parsed program.
+pub fn check(program: &Process) -> Vec<Diagnostic> {
+    let mut ck = Checker::default();
+    ck.scopes.push(HashMap::new());
+    let mut usage = Usage::default();
+    ck.visit(program, &mut usage);
+    crate::diag::sort(&mut ck.diags);
+    ck.diags
+}
+
+/// Identity of a tracked channel: a declared channel or a `PROC`
+/// channel formal (whose actual varies per call site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    Chan(u32),
+    Formal(u32),
+}
+
+/// How a channel-vector use is subscripted.
+#[derive(Debug, Clone, PartialEq)]
+enum Index {
+    /// A scalar channel (no subscript).
+    Scalar,
+    /// A compile-time constant subscript.
+    Const(i64),
+    /// A subscript depending on the named variables.
+    Dynamic(Vec<String>),
+}
+
+impl Index {
+    /// Two uses that provably address the same channel word.
+    fn definitely_same(&self, other: &Index) -> bool {
+        match (self, other) {
+            (Index::Scalar, Index::Scalar) => true,
+            (Index::Const(a), Index::Const(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Whether the subscript can take a different value for each value
+    /// of the replicator variable `var`.
+    fn varies_with(&self, var: &str) -> bool {
+        match self {
+            Index::Dynamic(vars) => vars.iter().any(|v| v == var),
+            _ => false,
+        }
+    }
+}
+
+/// One use of a channel end.
+#[derive(Debug, Clone)]
+struct Site {
+    pos: Pos,
+    index: Index,
+}
+
+impl Site {
+    fn line(&self) -> u32 {
+        self.pos.line
+    }
+}
+
+/// All uses of one channel, split by direction.
+#[derive(Debug, Clone, Default)]
+struct ChanUse {
+    inputs: Vec<Site>,
+    outputs: Vec<Site>,
+}
+
+const SITE_CAP: usize = 16;
+
+fn push_site(sites: &mut Vec<Site>, site: Site) {
+    if sites.len() < SITE_CAP {
+        sites.push(site);
+    }
+}
+
+type Map = HashMap<Key, ChanUse>;
+
+fn merge_map(dst: &mut Map, src: &Map) {
+    for (key, cu) in src {
+        let entry = dst.entry(*key).or_default();
+        for s in &cu.inputs {
+            push_site(&mut entry.inputs, s.clone());
+        }
+        for s in &cu.outputs {
+            push_site(&mut entry.outputs, s.clone());
+        }
+    }
+}
+
+/// Channel usage of a process subtree. `serial` holds only uses on the
+/// current sequential flow (a `PAR` contributes nothing serial to its
+/// parent); `total` holds every use in the subtree.
+#[derive(Debug, Clone, Default)]
+struct Usage {
+    serial: Map,
+    total: Map,
+}
+
+#[derive(Debug, Clone)]
+enum Binding {
+    Chan(u32),
+    Formal(u32),
+    Proc(usize),
+    Const(i64),
+    Other,
+}
+
+#[derive(Debug)]
+struct ChanInfo {
+    name: String,
+    line: u32,
+    placed: bool,
+}
+
+/// Inferred channel behaviour of a `PROC`: which formals are channels,
+/// and the body's usage summary over formals and free channels.
+#[derive(Debug)]
+struct ProcSig {
+    chan_formals: Vec<Option<u32>>,
+    serial: Map,
+    total: Map,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Dir {
+    Input,
+    Output,
+}
+
+/// One step of a straight-line branch, for the cyclic-wait check.
+#[derive(Debug, Clone)]
+struct Ev {
+    key: Key,
+    index: Index,
+    dir: Dir,
+    pos: Pos,
+    name: String,
+}
+
+impl Ev {
+    fn rendezvous_with(&self, other: &Ev) -> bool {
+        self.key == other.key
+            && self.index.definitely_same(&other.index)
+            && !matches!(
+                (self.dir, other.dir),
+                (Dir::Input, Dir::Input) | (Dir::Output, Dir::Output)
+            )
+    }
+}
+
+#[derive(Default)]
+struct Checker {
+    scopes: Vec<HashMap<String, Binding>>,
+    chans: HashMap<u32, ChanInfo>,
+    names: HashMap<Key, String>,
+    sigs: Vec<ProcSig>,
+    next_id: u32,
+    warned: HashSet<(Key, &'static str)>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Checker {
+    fn fresh_id(&mut self) -> u32 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn bind(&mut self, name: &str, binding: Binding) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack is never empty")
+            .insert(name.to_string(), binding);
+    }
+
+    fn display_name(&self, key: Key) -> String {
+        self.names
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| "<channel>".to_string())
+    }
+
+    fn is_placed(&self, key: Key) -> bool {
+        match key {
+            Key::Chan(id) => self.chans.get(&id).is_some_and(|c| c.placed),
+            Key::Formal(_) => false,
+        }
+    }
+
+    fn resolve(&self, cref: &ChanRef) -> Option<(Key, Index)> {
+        let (name, index) = match cref {
+            ChanRef::Name(n) => (n, Index::Scalar),
+            ChanRef::Index(n, e) => (n, classify_index(e, self)),
+        };
+        match self.lookup(name)? {
+            Binding::Chan(id) => Some((Key::Chan(*id), index)),
+            Binding::Formal(fid) => Some((Key::Formal(*fid), index)),
+            _ => None,
+        }
+    }
+
+    fn record(&mut self, usage: &mut Usage, cref: &ChanRef, dir: Dir, pos: Pos) {
+        if let Some((key, index)) = self.resolve(cref) {
+            let site = Site { pos, index };
+            for map in [&mut usage.serial, &mut usage.total] {
+                let entry = map.entry(key).or_default();
+                match dir {
+                    Dir::Input => push_site(&mut entry.inputs, site.clone()),
+                    Dir::Output => push_site(&mut entry.outputs, site.clone()),
+                }
+            }
+        }
+    }
+
+    fn visit(&mut self, p: &Process, usage: &mut Usage) {
+        match p {
+            Process::Skip
+            | Process::Stop
+            | Process::Assign(..)
+            | Process::ReadTime(..)
+            | Process::Delay(..) => {}
+            Process::Output(c, _, pos) => self.record(usage, c, Dir::Output, *pos),
+            Process::Input(c, _, pos) => self.record(usage, c, Dir::Input, *pos),
+            Process::Seq(rep, ps, _) => {
+                self.with_replicator(rep.as_ref(), |ck| {
+                    for p in ps {
+                        ck.visit(p, usage);
+                    }
+                });
+            }
+            Process::If(arms, _) => {
+                for arm in arms {
+                    self.visit(&arm.body, usage);
+                }
+            }
+            Process::While(_, body, _) => self.visit(body, usage),
+            Process::Alt(rep, alts, _) | Process::PriAlt(rep, alts, _) => {
+                self.with_replicator(rep.as_ref(), |ck| {
+                    for alt in alts {
+                        ck.visit_alt(alt, usage);
+                    }
+                });
+            }
+            Process::Par(rep, branches, _) => match rep {
+                Some(rep) => self.visit_replicated_par(rep, branches, usage),
+                None => self.visit_par(branches, usage),
+            },
+            Process::PriPar(branches, _) => self.visit_par(branches, usage),
+            Process::Declared(decls, body, pos) => self.visit_declared(decls, body, pos.line, usage),
+            Process::Call(name, actuals, pos) => self.visit_call(name, actuals, *pos, usage),
+        }
+    }
+
+    fn visit_alt(&mut self, alt: &Alternative, usage: &mut Usage) {
+        if let AltKind::Input(c, _) = &alt.kind {
+            self.record(usage, c, Dir::Input, alt.pos);
+        }
+        self.visit(&alt.body, usage);
+    }
+
+    fn with_replicator(&mut self, rep: Option<&Replicator>, f: impl FnOnce(&mut Checker)) {
+        match rep {
+            Some(rep) => {
+                self.scopes.push(HashMap::new());
+                self.bind(&rep.var, Binding::Other);
+                f(self);
+                self.scopes.pop();
+            }
+            None => f(self),
+        }
+    }
+
+    fn visit_declared(&mut self, decls: &[Decl], body: &Process, line: u32, usage: &mut Usage) {
+        self.scopes.push(HashMap::new());
+        let mut declared: Vec<u32> = Vec::new();
+        for decl in decls {
+            match decl {
+                Decl::Var(names) => {
+                    for (name, _) in names {
+                        self.bind(name, Binding::Other);
+                    }
+                }
+                Decl::Def(name, expr) => {
+                    let binding = match const_value(expr, self) {
+                        Some(v) => Binding::Const(v),
+                        None => Binding::Other,
+                    };
+                    self.bind(name, binding);
+                }
+                Decl::Chan(names) => {
+                    for (name, _) in names {
+                        let id = self.fresh_id();
+                        self.bind(name, Binding::Chan(id));
+                        self.chans.insert(
+                            id,
+                            ChanInfo {
+                                name: name.clone(),
+                                line,
+                                placed: false,
+                            },
+                        );
+                        self.names.insert(Key::Chan(id), name.clone());
+                        declared.push(id);
+                    }
+                }
+                Decl::Place(name, _) => {
+                    if let Some(Binding::Chan(id)) = self.lookup(name).cloned() {
+                        if let Some(info) = self.chans.get_mut(&id) {
+                            info.placed = true;
+                        }
+                    }
+                }
+                Decl::Proc(name, params, body) => {
+                    let sig = self.analyze_proc(params, body);
+                    self.sigs.push(sig);
+                    self.bind(name, Binding::Proc(self.sigs.len() - 1));
+                }
+            }
+        }
+        self.visit(body, usage);
+        for id in declared {
+            self.finish_channel(id, usage);
+        }
+        self.scopes.pop();
+    }
+
+    /// End-of-scope checks for one declared channel, after which its
+    /// usage is dropped: it cannot appear again, and `PROC` summaries
+    /// must not carry body-local channels to call sites.
+    fn finish_channel(&mut self, id: u32, usage: &mut Usage) {
+        let key = Key::Chan(id);
+        let info = &self.chans[&id];
+        let (name, line, placed) = (info.name.clone(), info.line, info.placed);
+        if let Some(cu) = usage.serial.get(&key) {
+            self.check_self_comm(key, cu);
+        }
+        if !placed {
+            match usage.total.get(&key) {
+                None => self.warn(
+                    key,
+                    "chan-unused",
+                    Span::line(line),
+                    format!("channel `{name}` is declared but never used"),
+                ),
+                Some(cu) if cu.inputs.is_empty() && !cu.outputs.is_empty() => self.warn(
+                    key,
+                    "chan-no-reader",
+                    Span::line(line),
+                    format!(
+                        "channel `{name}` is written (line {}) but never read: the writer will block forever",
+                        cu.outputs[0].line()
+                    ),
+                ),
+                Some(cu) if cu.outputs.is_empty() && !cu.inputs.is_empty() => self.warn(
+                    key,
+                    "chan-no-writer",
+                    Span::line(line),
+                    format!(
+                        "channel `{name}` is read (line {}) but never written: the reader will block forever",
+                        cu.inputs[0].line()
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+        usage.serial.remove(&key);
+        usage.total.remove(&key);
+    }
+
+    fn check_self_comm(&mut self, key: Key, cu: &ChanUse) {
+        if self.is_placed(key) {
+            return;
+        }
+        let pair = cu.inputs.iter().find_map(|i| {
+            cu.outputs
+                .iter()
+                .find(|o| i.index.definitely_same(&o.index))
+                .map(|o| (i, o))
+        });
+        if let Some((i, o)) = pair {
+            let name = self.display_name(key);
+            let (first, second) = if i.line() <= o.line() {
+                (i.pos, o.pos)
+            } else {
+                (o.pos, i.pos)
+            };
+            let (line, other) = (first.line, second.line);
+            self.warn(
+                key,
+                "chan-self-communication",
+                sp(first),
+                format!(
+                    "the same sequential process both inputs and outputs on channel `{name}` \
+                     (lines {line} and {other}): it can never rendezvous with itself"
+                ),
+            );
+        }
+    }
+
+    fn visit_par(&mut self, branches: &[Process], usage: &mut Usage) {
+        let mut branch_usages = Vec::with_capacity(branches.len());
+        for branch in branches {
+            let mut bu = Usage::default();
+            self.visit(branch, &mut bu);
+            let keys: Vec<Key> = bu.serial.keys().copied().collect();
+            for key in keys {
+                let cu = bu.serial[&key].clone();
+                self.check_self_comm(key, &cu);
+            }
+            branch_usages.push(bu);
+        }
+
+        // One inputting branch and one outputting branch per channel
+        // (per provably-identical vector element).
+        let mut keys: Vec<Key> = branch_usages
+            .iter()
+            .flat_map(|u| u.total.keys().copied())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            for (dir, code) in [
+                (Dir::Input, "par-chan-input"),
+                (Dir::Output, "par-chan-output"),
+            ] {
+                let per_branch: Vec<&[Site]> = branch_usages
+                    .iter()
+                    .map(|bu| {
+                        bu.total.get(&key).map_or(&[] as &[Site], |cu| match dir {
+                            Dir::Input => &cu.inputs,
+                            Dir::Output => &cu.outputs,
+                        })
+                    })
+                    .collect();
+                let conflict = per_branch
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(bi, sites)| sites.iter().map(move |s| (bi, s)))
+                    .find_map(|(bi, s)| {
+                        per_branch[bi + 1..]
+                            .iter()
+                            .flat_map(|sites| sites.iter())
+                            .find(|t| s.index.definitely_same(&t.index))
+                            .map(|t| (s.clone(), t.clone()))
+                    });
+                if let Some((a, b)) = conflict {
+                    let name = self.display_name(key);
+                    let what = match dir {
+                        Dir::Input => "input",
+                        Dir::Output => "output",
+                    };
+                    let (early, late) = if a.line() <= b.line() { (&a, &b) } else { (&b, &a) };
+                    let (first, second) = (early.line(), late.line());
+                    let late_pos = late.pos;
+                    self.error(
+                        key,
+                        code,
+                        sp(late_pos),
+                        format!(
+                            "channel `{name}` is used for {what} in more than one branch of \
+                             a PAR (lines {first} and {second}); a channel connects exactly \
+                             two processes"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if let [a, b] = branches {
+            self.check_cyclic_wait(a, b);
+        }
+
+        for bu in &branch_usages {
+            merge_map(&mut usage.total, &bu.total);
+        }
+    }
+
+    fn visit_replicated_par(&mut self, rep: &Replicator, branches: &[Process], usage: &mut Usage) {
+        let mut bu = Usage::default();
+        self.scopes.push(HashMap::new());
+        self.bind(&rep.var, Binding::Other);
+        for branch in branches {
+            self.visit(branch, &mut bu);
+        }
+        self.scopes.pop();
+
+        let keys: Vec<Key> = bu.serial.keys().copied().collect();
+        for key in keys {
+            let cu = bu.serial[&key].clone();
+            self.check_self_comm(key, &cu);
+        }
+
+        // Every iteration is a branch: any use whose subscript cannot
+        // vary with the replicator index is shared by all of them.
+        let multi = match const_value(&rep.count, self) {
+            Some(n) => n > 1,
+            None => true,
+        };
+        if multi {
+            let mut keys: Vec<Key> = bu.total.keys().copied().collect();
+            keys.sort();
+            for key in keys {
+                let cu = bu.total[&key].clone();
+                for (sites, code, what) in [
+                    (&cu.inputs, "par-chan-input", "input"),
+                    (&cu.outputs, "par-chan-output", "output"),
+                ] {
+                    if let Some(site) = sites.iter().find(|s| !s.index.varies_with(&rep.var)) {
+                        let name = self.display_name(key);
+                        let line = site.line();
+                        let pos = site.pos;
+                        self.error(
+                            key,
+                            code,
+                            sp(pos),
+                            format!(
+                                "channel `{name}` is used for {what} (line {line}) by every \
+                                 iteration of a replicated PAR: the subscript does not vary \
+                                 with `{}`",
+                                rep.var
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        merge_map(&mut usage.total, &bu.total);
+    }
+
+    fn visit_call(&mut self, name: &str, actuals: &[Actual], pos: Pos, usage: &mut Usage) {
+        let Some(Binding::Proc(idx)) = self.lookup(name).cloned() else {
+            return;
+        };
+        // Map the callee's channel formals to this call's actuals.
+        let mut remap: HashMap<u32, Option<(Key, Index)>> = HashMap::new();
+        {
+            let sig = &self.sigs[idx];
+            for (i, formal) in sig.chan_formals.iter().enumerate() {
+                if let Some(fid) = formal {
+                    // The parser produces `Actual::Expr` for every
+                    // actual; the formal's mode decides what it means.
+                    let resolved = match actuals.get(i) {
+                        Some(Actual::Chan(cref)) => self.resolve(cref),
+                        Some(Actual::Expr(Expr::Name(n))) => self.resolve(&ChanRef::Name(n.clone())),
+                        Some(Actual::Expr(Expr::Index(n, e))) => {
+                            self.resolve(&ChanRef::Index(n.clone(), e.clone()))
+                        }
+                        _ => None,
+                    };
+                    remap.insert(*fid, resolved);
+                }
+            }
+        }
+        let rewrite = |map: &Map, remap: &HashMap<u32, Option<(Key, Index)>>| -> Map {
+            let mut out = Map::new();
+            for (key, cu) in map {
+                type SiteOf = Box<dyn Fn(&Site) -> Site>;
+                let (key, site_of): (Key, SiteOf) = match key {
+                    Key::Formal(fid) if remap.contains_key(fid) => match &remap[fid] {
+                        Some((actual_key, actual_index)) => {
+                            let index = actual_index.clone();
+                            (
+                                *actual_key,
+                                Box::new(move |_| Site {
+                                    pos,
+                                    index: index.clone(),
+                                }),
+                            )
+                        }
+                        None => continue,
+                    },
+                    other => (*other, Box::new(|s: &Site| s.clone())),
+                };
+                let entry = out.entry(key).or_default();
+                for s in &cu.inputs {
+                    push_site(&mut entry.inputs, site_of(s));
+                }
+                for s in &cu.outputs {
+                    push_site(&mut entry.outputs, site_of(s));
+                }
+            }
+            out
+        };
+        let (sig_serial, sig_total) = {
+            let sig = &self.sigs[idx];
+            (sig.serial.clone(), sig.total.clone())
+        };
+        let serial = rewrite(&sig_serial, &remap);
+        let total = rewrite(&sig_total, &remap);
+        merge_map(&mut usage.serial, &serial);
+        merge_map(&mut usage.total, &serial);
+        merge_map(&mut usage.total, &total);
+    }
+
+    fn analyze_proc(&mut self, params: &[occam::ast::Param], body: &Process) -> ProcSig {
+        self.scopes.push(HashMap::new());
+        let mut chan_formals = Vec::with_capacity(params.len());
+        for param in params {
+            match param.mode {
+                ParamMode::Chan => {
+                    let fid = self.fresh_id();
+                    self.bind(&param.name, Binding::Formal(fid));
+                    self.names.insert(Key::Formal(fid), param.name.clone());
+                    chan_formals.push(Some(fid));
+                }
+                ParamMode::Value | ParamMode::Var => {
+                    self.bind(&param.name, Binding::Other);
+                    chan_formals.push(None);
+                }
+            }
+        }
+        let mut body_usage = Usage::default();
+        self.visit(body, &mut body_usage);
+        self.scopes.pop();
+        ProcSig {
+            chan_formals,
+            serial: body_usage.serial,
+            total: body_usage.total,
+        }
+    }
+
+    /// Definite-deadlock check for a two-branch `PAR` of straight-line
+    /// processes: simulate the rendezvous sequence; if both heads
+    /// block and each head's partner occurs later in the other branch,
+    /// neither can ever proceed.
+    fn check_cyclic_wait(&mut self, a: &Process, b: &Process) {
+        let (Some(ea), Some(eb)) = (self.extract(a), self.extract(b)) else {
+            return;
+        };
+        let (mut i, mut j) = (0usize, 0usize);
+        while let (Some(x), Some(y)) = (ea.get(i), eb.get(j)) {
+            if x.rendezvous_with(y) {
+                i += 1;
+                j += 1;
+                continue;
+            }
+            let x_later = eb[j + 1..].iter().any(|e| x.rendezvous_with(e));
+            let y_later = ea[i + 1..].iter().any(|e| y.rendezvous_with(e));
+            if x_later && y_later {
+                let (xn, yn, xl, yl) = (x.name.clone(), y.name.clone(), x.pos.line, y.pos.line);
+                let anchor = if xl <= yl { x.pos } else { y.pos };
+                self.error(
+                    x.key,
+                    "par-deadlock",
+                    sp(anchor),
+                    format!(
+                        "PAR branches deadlock: the communication on `{xn}` (line {xl}) and \
+                         the communication on `{yn}` (line {yl}) each wait for a rendezvous \
+                         the other branch only reaches later"
+                    ),
+                );
+            }
+            return;
+        }
+    }
+
+    /// The straight-line communication sequence of a branch, or `None`
+    /// if the branch contains anything (choice, loops, calls, placed
+    /// or dynamically-subscripted channels) that makes the order
+    /// non-trivial.
+    fn extract(&self, p: &Process) -> Option<Vec<Ev>> {
+        match p {
+            Process::Skip | Process::Assign(..) | Process::ReadTime(..) | Process::Delay(..) => {
+                Some(Vec::new())
+            }
+            Process::Seq(None, ps, _) => {
+                let mut out = Vec::new();
+                for p in ps {
+                    out.extend(self.extract(p)?);
+                }
+                Some(out)
+            }
+            Process::Output(c, _, pos) => self.extract_comm(c, Dir::Output, *pos),
+            Process::Input(c, _, pos) => self.extract_comm(c, Dir::Input, *pos),
+            _ => None,
+        }
+    }
+
+    fn extract_comm(&self, c: &ChanRef, dir: Dir, pos: Pos) -> Option<Vec<Ev>> {
+        let (key, index) = self.resolve(c)?;
+        if self.is_placed(key) || matches!(index, Index::Dynamic(_)) {
+            return None;
+        }
+        Some(vec![Ev {
+            name: self.display_name(key),
+            key,
+            index,
+            dir,
+            pos,
+        }])
+    }
+
+    fn warn(&mut self, key: Key, code: &'static str, span: Span, message: String) {
+        if self.warned.insert((key, code)) {
+            self.diags.push(Diagnostic::warning(code, span, message));
+        }
+    }
+
+    fn error(&mut self, key: Key, code: &'static str, span: Span, message: String) {
+        if self.warned.insert((key, code)) {
+            self.diags.push(Diagnostic::error(code, span, message));
+        }
+    }
+}
+
+/// Classify a channel-vector subscript.
+fn classify_index(e: &Expr, ck: &Checker) -> Index {
+    match const_value(e, ck) {
+        Some(v) => Index::Const(v),
+        None => {
+            let mut vars = Vec::new();
+            expr_vars(e, &mut vars);
+            Index::Dynamic(vars)
+        }
+    }
+}
+
+/// Evaluate compile-time constants: literals, `DEF` names, negation.
+fn const_value(e: &Expr, ck: &Checker) -> Option<i64> {
+    match e {
+        Expr::Literal(v) => Some(*v),
+        Expr::True => Some(1),
+        Expr::False => Some(0),
+        Expr::Name(n) => match ck.lookup(n) {
+            Some(Binding::Const(v)) => Some(*v),
+            _ => None,
+        },
+        Expr::Un(UnOp::Neg, inner) => const_value(inner, ck).map(|v| -v),
+        _ => None,
+    }
+}
+
+/// Collect the variable names an expression depends on.
+fn expr_vars(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Literal(_) | Expr::True | Expr::False => {}
+        Expr::Name(n) => out.push(n.clone()),
+        Expr::Index(n, inner) | Expr::ByteIndex(n, inner) => {
+            out.push(n.clone());
+            expr_vars(inner, out);
+        }
+        Expr::Bin(_, a, b) => {
+            expr_vars(a, out);
+            expr_vars(b, out);
+        }
+        Expr::Un(_, inner) => expr_vars(inner, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let ast = occam::parse(src).expect("fixture parses");
+        check(&ast)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_producer_consumer_passes() {
+        let diags = lint(
+            "CHAN c:\n\
+             PAR\n\
+             \x20 c ! 1\n\
+             \x20 VAR x:\n\
+             \x20 c ? x",
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn two_writers_in_par_is_an_error() {
+        let diags = lint(
+            "CHAN c:\n\
+             PAR\n\
+             \x20 c ! 1\n\
+             \x20 c ! 2\n\
+             \x20 VAR x:\n\
+             \x20 c ? x",
+        );
+        assert_eq!(codes(&diags), ["par-chan-output"]);
+        assert!(diags[0].is_error());
+        assert_eq!(diags[0].span.source_line(), Some(4));
+        // The span carries a column: the second `c ! 2` starts at col 3.
+        assert_eq!(diags[0].span, Span::at(4, 3));
+    }
+
+    #[test]
+    fn two_readers_in_par_is_an_error() {
+        let diags = lint(
+            "CHAN c:\n\
+             VAR x, y:\n\
+             PAR\n\
+             \x20 c ? x\n\
+             \x20 c ? y\n\
+             \x20 c ! 7",
+        );
+        assert_eq!(codes(&diags), ["par-chan-input"]);
+    }
+
+    #[test]
+    fn conflict_through_proc_parameter_direction() {
+        // sink inputs on its formal, so both branches input on c.
+        let diags = lint(
+            "CHAN c:\n\
+             PROC sink(CHAN in) =\n\
+             \x20 VAR x:\n\
+             \x20 in ? x\n\
+             :\n\
+             VAR y:\n\
+             PAR\n\
+             \x20 sink(c)\n\
+             \x20 c ? y\n\
+             \x20 c ! 1",
+        );
+        assert_eq!(codes(&diags), ["par-chan-input"]);
+    }
+
+    #[test]
+    fn vector_elements_do_not_conflict() {
+        let diags = lint(
+            "CHAN c[2]:\n\
+             VAR x, y:\n\
+             PAR\n\
+             \x20 c[0] ! 1\n\
+             \x20 c[1] ! 2\n\
+             \x20 SEQ\n\
+             \x20   c[0] ? x\n\
+             \x20   c[1] ? y",
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn replicated_par_needs_varying_subscript() {
+        let diags = lint(
+            "CHAN c[4]:\n\
+             CHAN out:\n\
+             PAR i = [0 FOR 4]\n\
+             \x20 out ! 1",
+        );
+        assert!(codes(&diags).contains(&"par-chan-output"), "got {diags:?}");
+    }
+
+    #[test]
+    fn replicated_par_with_indexed_channels_passes() {
+        let diags = lint(
+            "CHAN c[4]:\n\
+             PAR i = [0 FOR 4]\n\
+             \x20 c[i] ! i",
+        );
+        assert!(
+            !codes(&diags).contains(&"par-chan-output"),
+            "got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn unconnected_ends_warn() {
+        let diags = lint(
+            "CHAN c:\n\
+             c ! 1",
+        );
+        assert_eq!(codes(&diags), ["chan-no-reader"]);
+        assert!(!diags[0].is_error());
+        let diags = lint(
+            "CHAN c:\n\
+             VAR x:\n\
+             c ? x",
+        );
+        assert_eq!(codes(&diags), ["chan-no-writer"]);
+        let diags = lint(
+            "CHAN c:\n\
+             SKIP",
+        );
+        assert_eq!(codes(&diags), ["chan-unused"]);
+    }
+
+    #[test]
+    fn placed_channels_are_exempt_from_connection_checks() {
+        let diags = lint(
+            "CHAN c:\n\
+             PLACE c AT 0:\n\
+             c ! 1",
+        );
+        assert!(diags.is_empty(), "got {diags:?}");
+    }
+
+    #[test]
+    fn self_communication_warns() {
+        let diags = lint(
+            "CHAN c:\n\
+             VAR x:\n\
+             SEQ\n\
+             \x20 c ! 1\n\
+             \x20 c ? x",
+        );
+        assert!(
+            codes(&diags).contains(&"chan-self-communication"),
+            "got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn cyclic_two_process_wait_is_an_error() {
+        // Each branch inputs first and outputs second: classic deadlock.
+        let diags = lint(
+            "CHAN a, b:\n\
+             VAR x, y:\n\
+             PAR\n\
+             \x20 SEQ\n\
+             \x20   a ? x\n\
+             \x20   b ! 1\n\
+             \x20 SEQ\n\
+             \x20   b ? y\n\
+             \x20   a ! 2",
+        );
+        assert!(codes(&diags).contains(&"par-deadlock"), "got {diags:?}");
+    }
+
+    #[test]
+    fn matching_order_does_not_deadlock() {
+        let diags = lint(
+            "CHAN a, b:\n\
+             VAR x, y:\n\
+             PAR\n\
+             \x20 SEQ\n\
+             \x20   a ! 1\n\
+             \x20   b ? y\n\
+             \x20 SEQ\n\
+             \x20   a ? x\n\
+             \x20   b ! 2",
+        );
+        assert!(
+            !codes(&diags).contains(&"par-deadlock"),
+            "got {diags:?}"
+        );
+    }
+}

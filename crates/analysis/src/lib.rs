@@ -1,0 +1,40 @@
+//! Static analysis for the transputer toolchain (`txlint`).
+//!
+//! Two layers, matching the two trust boundaries in the toolchain:
+//!
+//! * [`channels`] — source-level occam analysis: PAR channel-usage
+//!   rules (one inputting branch, one outputting branch per channel),
+//!   direction conflicts through `PROC` channel parameters, and a
+//!   process/channel graph pass that reports unconnected channel
+//!   ends, self-communication, and trivial two-process cyclic waits.
+//! * [`verifier`] — bytecode-level verification of assembled I1 code:
+//!   evaluation-stack depth tracking over `Areg`/`Breg`/`Creg`, jump
+//!   targets landing on instruction boundaries, workspace offsets
+//!   within the codegen-allocated frame, and canonical (minimal)
+//!   prefix chains.
+//!
+//! Both layers report [`diag::Diagnostic`]s with source or code-offset
+//! spans; callers decide whether warnings are fatal.
+
+pub mod diag;
+
+pub mod channels;
+pub mod verifier;
+
+pub use diag::{Diagnostic, Severity, Span};
+pub use verifier::{verify_bytecode, CodeShape};
+
+/// Compile-free entry point: parse occam source and run the
+/// source-level lints (layer 1). Returns diagnostics sorted by
+/// source position; parse failures surface as a single error
+/// diagnostic rather than an `Err`, so the caller has one stream.
+pub fn lint_source(source: &str) -> Vec<Diagnostic> {
+    match occam::parse(source) {
+        Ok(program) => channels::check(&program),
+        Err(e) => vec![Diagnostic::error(
+            "parse",
+            Span::line(e.line),
+            e.to_string(),
+        )],
+    }
+}

@@ -1,0 +1,771 @@
+//! Layer 2: abstract interpretation of assembled I1 bytecode.
+//!
+//! The verifier decodes a code image into logical instructions (prefix
+//! chains folded, §3.2.7), then runs a worklist dataflow over them
+//! tracking:
+//!
+//! * **evaluation-stack depth** as an interval `[lo, hi]` over the
+//!   three-register A/B/C stack, using the per-instruction effects from
+//!   [`transputer::instr::StackEffect`] — definite underflow (an
+//!   instruction needs more operands than any path provides) and
+//!   definite overflow (a push that must discard a live `Creg`) are
+//!   errors;
+//! * **workspace displacement** relative to the entry workspace
+//!   pointer (`ajw` shifts it, `call`/`ret` balance, `gajw` loses it),
+//!   so `ldl`/`stl`/`ldlp` offsets can be bounds-checked against the
+//!   codegen-allocated frame ([`CodeShape`]);
+//! * **constant stack slots**, enough to discover `startp` child entry
+//!   points and `lend` back edges, which are Iptr-relative operands on
+//!   the stack rather than in the instruction.
+//!
+//! Reporting is *definite-error only*: a check fires when every path
+//! reaching the instruction exhibits the defect. Code the dataflow
+//! never reaches from the entry (e.g. `ALT` branches entered through
+//! `altend`'s computed jump) is re-seeded with an unknown state so its
+//! encodings and jump targets are still validated; its depth checks
+//! are then vacuous by construction rather than wrong.
+//!
+//! Deliberate model deviations from `cpu/exec.rs`:
+//!
+//! * `call` saves A/B/C whether or not they are live, so its pops are
+//!   non-strict (no underflow check) and the target starts at depth 1
+//!   (the return address).
+//! * After an instruction that can deschedule mid-stack (`in`, `out`),
+//!   register constants are dropped; the depth interval is kept, since
+//!   resumption restores control just after the instruction.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::diag::{Diagnostic, Span};
+use transputer::instr::{encoded_len, Direct, Op, StackEffect};
+
+/// The workspace frame shape a code image was compiled for: how many
+/// words sit at/above the entry workspace pointer (`locals`) and how
+/// many below it (`depth`), mirroring `occam::Program`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeShape {
+    /// Words at and above the initial workspace pointer.
+    pub locals: u32,
+    /// Words below the initial workspace pointer.
+    pub depth: u32,
+}
+
+impl CodeShape {
+    /// Shape of a compiled occam program.
+    pub fn of(program: &occam::Program) -> CodeShape {
+        CodeShape {
+            locals: program.locals,
+            depth: program.depth,
+        }
+    }
+}
+
+/// One decoded logical instruction (prefix chain folded in).
+#[derive(Debug, Clone, Copy)]
+struct Insn {
+    offset: usize,
+    len: usize,
+    fun: Direct,
+    operand: i64,
+    /// Decoded operation for `opr`; `None` when undefined.
+    op: Option<Op>,
+}
+
+impl Insn {
+    fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    fn span(&self) -> Span {
+        Span::code(self.offset as u32, self.len as u32)
+    }
+
+    fn mnemonic(&self) -> &'static str {
+        match (self.fun, self.op) {
+            (Direct::Operate, Some(op)) => op.mnemonic(),
+            (Direct::Operate, None) => "opr",
+            (fun, _) => fun.mnemonic(),
+        }
+    }
+}
+
+/// Abstract machine state at an instruction boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    /// Evaluation-stack depth interval, 0..=3.
+    lo: u8,
+    hi: u8,
+    /// Known workspace displacement (words) from the entry Wptr.
+    wadj: Option<i64>,
+    /// Known constants in A, B, C.
+    regs: [Option<i64>; 3],
+}
+
+impl State {
+    fn entry() -> State {
+        State {
+            lo: 0,
+            hi: 0,
+            wadj: Some(0),
+            regs: [None; 3],
+        }
+    }
+
+    fn unknown() -> State {
+        State {
+            lo: 0,
+            hi: 3,
+            wadj: None,
+            regs: [None; 3],
+        }
+    }
+
+    /// Lattice join; returns whether `self` widened.
+    fn merge(&mut self, other: &State) -> bool {
+        let before = self.clone();
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        if self.wadj != other.wadj {
+            self.wadj = None;
+        }
+        for i in 0..3 {
+            if self.regs[i] != other.regs[i] {
+                self.regs[i] = None;
+            }
+        }
+        *self != before
+    }
+
+    /// Apply `pops` then `pushes` unknown results.
+    fn apply(&mut self, e: StackEffect) {
+        for _ in 0..e.pops {
+            self.pop();
+        }
+        for _ in 0..e.pushes {
+            self.push(None);
+        }
+    }
+
+    fn pop(&mut self) {
+        self.lo = self.lo.saturating_sub(1);
+        self.hi = self.hi.saturating_sub(1);
+        // B moves into A, C into B; C keeps its (now duplicate) value,
+        // but for constant tracking we forget it.
+        self.regs = [self.regs[1], self.regs[2], None];
+    }
+
+    fn push(&mut self, v: Option<i64>) {
+        self.lo = (self.lo + 1).min(3);
+        self.hi = (self.hi + 1).min(3);
+        self.regs = [v, self.regs[0], self.regs[1]];
+    }
+}
+
+/// Verify a code image. `shape` enables the workspace-bounds check;
+/// pass `None` for raw images of unknown frame layout.
+pub fn verify_bytecode(code: &[u8], shape: Option<&CodeShape>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let insns = decode(code, &mut diags);
+    let index: BTreeMap<usize, usize> = insns
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.offset, i))
+        .collect();
+
+    // Static jump-target validation (j / cj / call operands).
+    for insn in &insns {
+        if matches!(
+            insn.fun,
+            Direct::Jump | Direct::ConditionalJump | Direct::Call
+        ) {
+            check_target(insn, insn.end() as i64 + insn.operand, code.len(), &index, &mut diags);
+        }
+    }
+
+    // Dataflow.
+    let mut states: Vec<Option<State>> = vec![None; insns.len()];
+    let mut reported: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+    // (instruction index, discovered target, description) from startp/lend.
+    let mut discovered: BTreeSet<(usize, i64, &'static str)> = BTreeSet::new();
+    if !insns.is_empty() {
+        flow(
+            0,
+            State::entry(),
+            &insns,
+            &index,
+            code.len(),
+            shape,
+            &mut states,
+            &mut reported,
+            &mut discovered,
+            &mut diags,
+        );
+        // Re-seed instructions only reachable through computed control
+        // transfers (altend) with an unknown state until everything has
+        // been visited at least once.
+        while let Some(i) = states.iter().position(Option::is_none) {
+            flow(
+                i,
+                State::unknown(),
+                &insns,
+                &index,
+                code.len(),
+                shape,
+                &mut states,
+                &mut reported,
+                &mut discovered,
+                &mut diags,
+            );
+        }
+    }
+
+    for (i, target, what) in discovered {
+        let insn = insns[i];
+        if !(0..=code.len() as i64).contains(&target)
+            || (target < code.len() as i64 && !index.contains_key(&(target as usize)))
+            || target == code.len() as i64
+        {
+            let kind = if (0..code.len() as i64).contains(&target) {
+                ("jump-mid-instruction", "inside an instruction")
+            } else {
+                ("jump-out-of-range", "outside the code")
+            };
+            if reported.insert((insn.offset, kind.0)) {
+                diags.push(Diagnostic::error(
+                    kind.0,
+                    insn.span(),
+                    format!(
+                        "{} {what} {target:#x} lands {}",
+                        insn.mnemonic(),
+                        kind.1
+                    ),
+                ));
+            }
+        }
+    }
+
+    crate::diag::sort(&mut diags);
+    diags
+}
+
+/// Verify a compiled occam program against its own frame shape.
+pub fn verify_program(program: &occam::Program) -> Vec<Diagnostic> {
+    verify_bytecode(&program.code, Some(&CodeShape::of(program)))
+}
+
+fn check_target(
+    insn: &Insn,
+    target: i64,
+    code_len: usize,
+    index: &BTreeMap<usize, usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !(0..code_len as i64).contains(&target) {
+        diags.push(Diagnostic::error(
+            "jump-out-of-range",
+            insn.span(),
+            format!(
+                "{} target {target:#x} is outside the code (0..{:#x})",
+                insn.mnemonic(),
+                code_len
+            ),
+        ));
+    } else if !index.contains_key(&(target as usize)) {
+        diags.push(Diagnostic::error(
+            "jump-mid-instruction",
+            insn.span(),
+            format!(
+                "{} target {target:#x} lands inside an instruction, not on a boundary",
+                insn.mnemonic()
+            ),
+        ));
+    }
+}
+
+/// Decode the image into logical instructions, reporting encoding-level
+/// findings (truncated chains, non-minimal prefixes, undefined
+/// operations).
+fn decode(code: &[u8], diags: &mut Vec<Diagnostic>) -> Vec<Insn> {
+    let mut insns = Vec::new();
+    let mut i = 0usize;
+    let mut oreg: i64 = 0;
+    let mut start = 0usize;
+    while i < code.len() {
+        let byte = code[i];
+        let fun = Direct::from_nibble(byte >> 4);
+        let data = i64::from(byte & 0xF);
+        i += 1;
+        match fun {
+            Direct::Prefix => {
+                oreg = (oreg | data) << 4;
+            }
+            Direct::NegativePrefix => {
+                oreg = !(oreg | data) << 4;
+            }
+            _ => {
+                let operand = oreg | data;
+                let len = i - start;
+                let op = if fun == Direct::Operate {
+                    u32::try_from(operand).ok().and_then(Op::from_code)
+                } else {
+                    None
+                };
+                let insn = Insn {
+                    offset: start,
+                    len,
+                    fun,
+                    operand,
+                    op,
+                };
+                if len > encoded_len(operand) {
+                    diags.push(Diagnostic::warning(
+                        "canonical-prefix",
+                        insn.span(),
+                        format!(
+                            "{} {operand} uses a {len}-byte prefix chain; the minimal encoding is {} byte(s)",
+                            fun.mnemonic(),
+                            encoded_len(operand)
+                        ),
+                    ));
+                }
+                if fun == Direct::Operate && op.is_none() {
+                    diags.push(Diagnostic::error(
+                        "undefined-operation",
+                        insn.span(),
+                        format!("operate with undefined operation code {operand:#x}"),
+                    ));
+                }
+                insns.push(insn);
+                oreg = 0;
+                start = i;
+            }
+        }
+    }
+    if start != i {
+        diags.push(Diagnostic::error(
+            "truncated-instruction",
+            Span::code(start as u32, (i - start) as u32),
+            "code ends inside a prefix chain (no final instruction byte)",
+        ));
+    }
+    insns
+}
+
+/// Control-flow classification of one instruction.
+enum Flow {
+    /// Continue to the next instruction.
+    Next,
+    /// Jump to a fixed target only.
+    Jump(i64),
+    /// Fall through or jump (cj).
+    Branch(i64),
+    /// No static successor (ret, endp, altend, gcall, stopp, haltsim).
+    Stop,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn flow(
+    seed: usize,
+    seed_state: State,
+    insns: &[Insn],
+    index: &BTreeMap<usize, usize>,
+    code_len: usize,
+    shape: Option<&CodeShape>,
+    states: &mut [Option<State>],
+    reported: &mut BTreeSet<(usize, &'static str)>,
+    discovered: &mut BTreeSet<(usize, i64, &'static str)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut work: VecDeque<usize> = VecDeque::new();
+    let merged = match &mut states[seed] {
+        Some(s) => s.merge(&seed_state),
+        slot @ None => {
+            *slot = Some(seed_state);
+            true
+        }
+    };
+    if merged {
+        work.push_back(seed);
+    }
+
+    while let Some(i) = work.pop_front() {
+        let insn = insns[i];
+        let state = states[i].clone().expect("queued with a state");
+        let mut next = state.clone();
+        let mut succ = Flow::Next;
+
+        let effect = match insn.fun {
+            Direct::Operate => insn.op.map(Op::stack_effect),
+            fun => fun.stack_effect(),
+        };
+
+        // Strict-pop underflow: fires only when even the deepest path
+        // cannot supply the operands. call is non-strict (see module
+        // docs); undefined operations have no effect to apply.
+        let strict = !matches!(insn.fun, Direct::Call);
+        if let Some(e) = effect {
+            if strict && e.pops > state.hi && reported.insert((insn.offset, "stack-underflow")) {
+                diags.push(Diagnostic::error(
+                    "stack-underflow",
+                    insn.span(),
+                    format!(
+                        "{} needs {} stack operand(s) but at most {} can be on the stack here",
+                        insn.mnemonic(),
+                        e.pops,
+                        state.hi
+                    ),
+                ));
+            }
+            let after_lo = state.lo.saturating_sub(e.pops);
+            if strict
+                && after_lo + e.pushes > 3
+                && reported.insert((insn.offset, "stack-overflow"))
+            {
+                diags.push(Diagnostic::error(
+                    "stack-overflow",
+                    insn.span(),
+                    format!(
+                        "{} pushes {} result(s) onto a stack already holding {}: Creg is lost",
+                        insn.mnemonic(),
+                        e.pushes,
+                        after_lo
+                    ),
+                ));
+            }
+        }
+
+        match insn.fun {
+            Direct::Jump => succ = Flow::Jump(insn.end() as i64 + insn.operand),
+            Direct::ConditionalJump => {
+                // Fall-through pops the condition; the taken edge keeps
+                // A (known zero). Both are folded into one successor
+                // state: depth interval spans both outcomes.
+                let mut taken = state.clone();
+                taken.regs[0] = Some(0);
+                next.apply(StackEffect::new(1, 0));
+                next.merge(&taken);
+                succ = Flow::Branch(insn.end() as i64 + insn.operand);
+            }
+            Direct::Call => {
+                // Fall-through resumes after the callee returns: the
+                // wptr balance is restored, but the callee chooses what
+                // the stack holds.
+                next.lo = 0;
+                next.hi = 3;
+                next.regs = [None; 3];
+                // The target runs with the return address in A and the
+                // wptr four words lower — but reached from potentially
+                // many sites, so its wadj is tracked only through the
+                // merge.
+                let target = insn.end() as i64 + insn.operand;
+                if (0..code_len as i64).contains(&target) {
+                    if let Some(&t) = index.get(&(target as usize)) {
+                        let callee = State {
+                            lo: 1,
+                            hi: 1,
+                            wadj: state.wadj.map(|w| w - 4),
+                            regs: [None; 3],
+                        };
+                        merge_into(t, &callee, states, &mut work);
+                    }
+                }
+            }
+            Direct::AdjustWorkspace => {
+                next.wadj = state.wadj.map(|w| w + insn.operand);
+            }
+            Direct::LoadLocal | Direct::StoreLocal | Direct::LoadLocalPointer => {
+                if let Some(e) = effect {
+                    next.apply(e);
+                }
+                if let (Some(shape), Some(w)) = (shape, state.wadj) {
+                    let slot = w + insn.operand;
+                    if (slot < -i64::from(shape.depth) || slot >= i64::from(shape.locals))
+                        && reported.insert((insn.offset, "workspace-oob"))
+                    {
+                        diags.push(Diagnostic::error(
+                            "workspace-oob",
+                            insn.span(),
+                            format!(
+                                "{} {} addresses workspace word {slot}, outside the allocated frame ({}..{})",
+                                insn.mnemonic(),
+                                insn.operand,
+                                -i64::from(shape.depth),
+                                shape.locals
+                            ),
+                        ));
+                    }
+                }
+            }
+            Direct::LoadConstant => {
+                next.push(Some(insn.operand));
+            }
+            Direct::Operate => match insn.op {
+                None => succ = Flow::Stop,
+                Some(op) => {
+                    match op {
+                        Op::StartProcess => {
+                            // B = child code offset from the end of this
+                            // instruction; the child starts with an empty
+                            // stack and its own workspace.
+                            if let Some(b) = state.regs[1] {
+                                let target = insn.end() as i64 + b;
+                                discovered.insert((i, target, "child entry"));
+                                if (0..code_len as i64).contains(&target) {
+                                    if let Some(&t) = index.get(&(target as usize)) {
+                                        let child = State {
+                                            lo: 0,
+                                            hi: 0,
+                                            wadj: None,
+                                            regs: [None; 3],
+                                        };
+                                        merge_into(t, &child, states, &mut work);
+                                    }
+                                }
+                            }
+                            next.apply(op.stack_effect());
+                        }
+                        Op::LoopEnd => {
+                            // A = bytes back to the loop start.
+                            next.apply(op.stack_effect());
+                            if let Some(a) = state.regs[0] {
+                                let target = insn.end() as i64 - a;
+                                discovered.insert((i, target, "loop start"));
+                                if (0..code_len as i64).contains(&target) {
+                                    if let Some(&t) = index.get(&(target as usize)) {
+                                        merge_into(t, &next, states, &mut work);
+                                    }
+                                }
+                            }
+                        }
+                        Op::GeneralAdjustWorkspace => {
+                            next.apply(op.stack_effect());
+                            next.wadj = None;
+                        }
+                        Op::EndProcess
+                        | Op::Return
+                        | Op::GeneralCall
+                        | Op::AltEnd
+                        | Op::StopProcess
+                        | Op::HaltSimulation => {
+                            next.apply(op.stack_effect());
+                            succ = Flow::Stop;
+                        }
+                        Op::InputMessage | Op::OutputMessage => {
+                            // Deschedule points: depth is restored on
+                            // resumption but register contents are not
+                            // worth trusting.
+                            next.apply(op.stack_effect());
+                            next.regs = [None; 3];
+                        }
+                        other => next.apply(other.stack_effect()),
+                    }
+                }
+            },
+            _ => {
+                if let Some(e) = effect {
+                    next.apply(e);
+                }
+            }
+        }
+
+        match succ {
+            Flow::Next => {
+                if i + 1 < insns.len() {
+                    merge_into(i + 1, &next, states, &mut work);
+                }
+            }
+            Flow::Jump(target) => {
+                if (0..code_len as i64).contains(&target) {
+                    if let Some(&t) = index.get(&(target as usize)) {
+                        merge_into(t, &next, states, &mut work);
+                    }
+                }
+            }
+            Flow::Branch(target) => {
+                if i + 1 < insns.len() {
+                    merge_into(i + 1, &next, states, &mut work);
+                }
+                if (0..code_len as i64).contains(&target) {
+                    if let Some(&t) = index.get(&(target as usize)) {
+                        merge_into(t, &next, states, &mut work);
+                    }
+                }
+            }
+            Flow::Stop => {}
+        }
+    }
+}
+
+fn merge_into(
+    target: usize,
+    incoming: &State,
+    states: &mut [Option<State>],
+    work: &mut VecDeque<usize>,
+) {
+    let widened = match &mut states[target] {
+        Some(s) => s.merge(incoming),
+        slot @ None => {
+            *slot = Some(incoming.clone());
+            true
+        }
+    };
+    if widened && !work.contains(&target) {
+        work.push_back(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transputer::instr::{encode, encode_into, encode_op};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn errors(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().filter(|d| d.is_error()).map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_straight_line_program_passes() {
+        let mut code = Vec::new();
+        encode_into(Direct::LoadConstant, 7, &mut code);
+        encode_into(Direct::StoreLocal, 0, &mut code);
+        code.extend(encode_op(Op::HaltSimulation));
+        let shape = CodeShape { locals: 1, depth: 0 };
+        assert!(verify_bytecode(&code, Some(&shape)).is_empty());
+    }
+
+    #[test]
+    fn underflow_is_definite_only() {
+        // add with an empty stack: definite underflow.
+        let code = encode_op(Op::Add);
+        assert_eq!(errors(&verify_bytecode(&code, None)), ["stack-underflow"]);
+        // One operand is still one short.
+        let mut code = encode(Direct::LoadConstant, 1);
+        code.extend(encode_op(Op::Add));
+        assert_eq!(errors(&verify_bytecode(&code, None)), ["stack-underflow"]);
+        // Two operands: fine.
+        let mut code = encode(Direct::LoadConstant, 1);
+        code.extend(encode(Direct::LoadConstant, 2));
+        code.extend(encode_op(Op::Add));
+        code.extend(encode_op(Op::HaltSimulation));
+        assert!(verify_bytecode(&code, None).is_empty());
+    }
+
+    #[test]
+    fn overflow_detects_creg_loss() {
+        let mut code = Vec::new();
+        for v in 0..4 {
+            encode_into(Direct::LoadConstant, v, &mut code);
+        }
+        code.extend(encode_op(Op::HaltSimulation));
+        assert_eq!(errors(&verify_bytecode(&code, None)), ["stack-overflow"]);
+    }
+
+    #[test]
+    fn jump_into_prefix_chain_is_flagged() {
+        // j 1 lands between the pfix bytes of the following ldc #754.
+        let mut code = encode(Direct::Jump, 1);
+        code.extend(encode(Direct::LoadConstant, 0x754));
+        assert_eq!(errors(&verify_bytecode(&code, None)), ["jump-mid-instruction"]);
+    }
+
+    #[test]
+    fn jump_out_of_code_is_flagged() {
+        let code = encode(Direct::Jump, 15);
+        assert_eq!(errors(&verify_bytecode(&code, None)), ["jump-out-of-range"]);
+    }
+
+    #[test]
+    fn workspace_bounds_respect_shape() {
+        let mut code = Vec::new();
+        encode_into(Direct::LoadConstant, 1, &mut code);
+        encode_into(Direct::StoreLocal, 9, &mut code);
+        code.extend(encode_op(Op::HaltSimulation));
+        let shape = CodeShape { locals: 2, depth: 0 };
+        assert_eq!(errors(&verify_bytecode(&code, Some(&shape))), ["workspace-oob"]);
+        // Without a shape the check is silent.
+        assert!(verify_bytecode(&code, None).is_empty());
+    }
+
+    #[test]
+    fn ajw_moves_the_checked_window() {
+        // ajw -2 then stl 1 addresses word -1: fine with depth 2.
+        let mut code = Vec::new();
+        encode_into(Direct::AdjustWorkspace, -2, &mut code);
+        encode_into(Direct::LoadConstant, 1, &mut code);
+        encode_into(Direct::StoreLocal, 1, &mut code);
+        code.extend(encode_op(Op::HaltSimulation));
+        let ok = CodeShape { locals: 1, depth: 2 };
+        assert!(verify_bytecode(&code, Some(&ok)).is_empty());
+        let too_small = CodeShape { locals: 1, depth: 0 };
+        assert_eq!(
+            errors(&verify_bytecode(&code, Some(&too_small))),
+            ["workspace-oob"]
+        );
+    }
+
+    #[test]
+    fn non_minimal_prefix_chain_warns() {
+        // pfix 0; ldc 5 encodes operand 5 in two bytes where one is enough.
+        let code = vec![0x20, 0x45];
+        let diags = verify_bytecode(&code, None);
+        assert_eq!(codes(&diags), ["canonical-prefix"]);
+        assert!(!diags[0].is_error());
+    }
+
+    #[test]
+    fn truncated_prefix_chain_is_an_error() {
+        let code = vec![0x21];
+        assert_eq!(errors(&verify_bytecode(&code, None)), ["truncated-instruction"]);
+    }
+
+    #[test]
+    fn undefined_operation_is_an_error() {
+        // opr 0x11 has no defined operation.
+        let code = encode(Direct::Operate, 0x11);
+        assert_eq!(errors(&verify_bytecode(&code, None)), ["undefined-operation"]);
+    }
+
+    #[test]
+    fn startp_child_entry_is_validated() {
+        // ldc offset; ldlp 0; startp with an offset landing mid-chain.
+        let mut code = Vec::new();
+        encode_into(Direct::LoadConstant, 1, &mut code);
+        encode_into(Direct::LoadLocalPointer, 0, &mut code);
+        code.extend(encode_op(Op::StartProcess));
+        code.extend(encode(Direct::LoadConstant, 0x754)); // 3-byte target zone
+        code.extend(encode_op(Op::HaltSimulation));
+        let diags = verify_bytecode(&code, None);
+        assert!(
+            errors(&diags).contains(&"jump-mid-instruction"),
+            "got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn conditional_jump_keeps_both_edges_sound() {
+        // ldc 1; cj over; ldc 2; stl 0; over: haltsim
+        let mut code = Vec::new();
+        encode_into(Direct::LoadConstant, 1, &mut code);
+        let body_len = {
+            let mut b = Vec::new();
+            encode_into(Direct::LoadConstant, 2, &mut b);
+            encode_into(Direct::StoreLocal, 0, &mut b);
+            b.len()
+        };
+        encode_into(Direct::ConditionalJump, body_len as i64, &mut code);
+        encode_into(Direct::LoadConstant, 2, &mut code);
+        encode_into(Direct::StoreLocal, 0, &mut code);
+        code.extend(encode_op(Op::HaltSimulation));
+        let shape = CodeShape { locals: 1, depth: 0 };
+        assert!(verify_bytecode(&code, Some(&shape)).is_empty());
+    }
+
+    #[test]
+    fn empty_code_is_clean() {
+        assert!(verify_bytecode(&[], None).is_empty());
+    }
+}

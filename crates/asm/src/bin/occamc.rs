@@ -9,7 +9,16 @@
 //!   --bounds-checks    emit csub0 subscript checks
 //!   --out <file>       write the raw code bytes
 //!   --trace <n>        (with --run) print the last n executed operations
+//!   --lint             run the channel-usage lints and bytecode
+//!                      verifier (the default)
+//!   --no-lint          skip them
 //! ```
+//!
+//! With linting enabled (the default), occamc runs the
+//! `transputer-analysis` checks after compilation: the occam
+//! channel-usage rules over the source, and the I1 bytecode verifier
+//! over the emitted code. Lint *errors* fail the build; warnings are
+//! printed but do not.
 
 use std::process::ExitCode;
 
@@ -21,6 +30,7 @@ struct Args {
     t222: bool,
     listing: bool,
     bounds_checks: bool,
+    lint: bool,
     out: Option<String>,
     trace: Option<usize>,
 }
@@ -32,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         t222: false,
         listing: false,
         bounds_checks: false,
+        lint: true,
         out: None,
         trace: None,
     };
@@ -42,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
             "--t222" => args.t222 = true,
             "--listing" => args.listing = true,
             "--bounds-checks" => args.bounds_checks = true,
+            "--lint" => args.lint = true,
+            "--no-lint" => args.lint = false,
             "--out" => args.out = Some(it.next().ok_or("--out needs a file name")?),
             "--trace" => {
                 let n = it.next().ok_or("--trace needs a count")?;
@@ -50,7 +63,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: occamc [--run] [--t222] [--listing] [--bounds-checks] \
-                            [--out FILE] [--trace N] <file.occ>"
+                            [--lint|--no-lint] [--out FILE] [--trace N] <file.occ>"
                         .to_string(),
                 )
             }
@@ -102,6 +115,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.lint {
+        for w in &program.warnings {
+            eprintln!("{path}: {w}");
+        }
+        let mut diags = transputer_analysis::lint_source(&source);
+        diags.extend(transputer_analysis::verifier::verify_program(&program));
+        let mut failed = false;
+        for d in &diags {
+            eprintln!("{path}: {d}");
+            failed |= d.is_error();
+        }
+        if failed {
+            eprintln!("{path}: lint errors (use --no-lint to bypass)");
+            return ExitCode::FAILURE;
+        }
+    }
     println!(
         "{path}: {} bytes of code, {} words of frame, {} words below",
         program.code.len(),

@@ -1,0 +1,185 @@
+//! `txlint` — standalone front end for the `transputer-analysis`
+//! checks.
+//!
+//! ```text
+//! txlint [options] <file>
+//!   <file>            raw I1 bytecode image (the default),
+//!                     assembler source with --asm,
+//!                     or occam source with --occam
+//!   --asm             assemble <file> first, then verify the bytes
+//!   --occam           parse and compile <file> as occam: run the
+//!                     channel-usage lints and verify the emitted code
+//!   --locals <n>      workspace words at/above the entry Wptr
+//!   --depth <n>       workspace words below the entry Wptr
+//!   --strict          exit nonzero on warnings too
+//! ```
+//!
+//! Diagnostics are printed one per line as
+//! `severity: message [code] at span`. The exit code is nonzero when
+//! any error (or, with `--strict`, any finding at all) is reported.
+//! The workspace-bounds check needs a frame shape: for occam input it
+//! comes from the compiler, for raw or assembled images pass
+//! `--locals`/`--depth` (otherwise that check is skipped).
+
+use std::process::ExitCode;
+
+use transputer_analysis::{verifier, CodeShape, Diagnostic};
+
+#[derive(PartialEq)]
+enum Input {
+    Raw,
+    Asm,
+    Occam,
+}
+
+struct Args {
+    file: Option<String>,
+    input: Input,
+    locals: Option<u32>,
+    depth: Option<u32>,
+    strict: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: None,
+        input: Input::Raw,
+        locals: None,
+        depth: None,
+        strict: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--asm" => args.input = Input::Asm,
+            "--occam" => args.input = Input::Occam,
+            "--strict" => args.strict = true,
+            "--locals" => {
+                let n = it.next().ok_or("--locals needs a count")?;
+                args.locals = Some(n.parse().map_err(|_| "--locals needs a number")?);
+            }
+            "--depth" => {
+                let n = it.next().ok_or("--depth needs a count")?;
+                args.depth = Some(n.parse().map_err(|_| "--depth needs a number")?);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: txlint [--asm|--occam] [--locals N] [--depth N] [--strict] <file>"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}` (try --help)"))
+            }
+            file => {
+                if args.file.replace(file.to_string()).is_some() {
+                    return Err("exactly one input file expected".to_string());
+                }
+            }
+        }
+    }
+    if args.file.is_none() {
+        return Err("no input file given (try --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let path = args.file.as_deref().expect("checked");
+
+    let shape = match (args.locals, args.depth) {
+        (None, None) => None,
+        (locals, depth) => Some(CodeShape {
+            locals: locals.unwrap_or(0),
+            depth: depth.unwrap_or(0),
+        }),
+    };
+
+    let diags: Vec<Diagnostic> = match args.input {
+        Input::Raw => {
+            let code = match std::fs::read(path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("txlint: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            verifier::verify_bytecode(&code, shape.as_ref())
+        }
+        Input::Asm => {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("txlint: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let code = match transputer_asm::assemble(&source) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            verifier::verify_bytecode(&code, shape.as_ref())
+        }
+        Input::Occam => {
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("txlint: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut diags = transputer_analysis::lint_source(&source);
+            match occam::compile(&source) {
+                Ok(program) => {
+                    diags.extend(program.warnings.iter().map(|w| {
+                        Diagnostic::warning(
+                            "par-usage",
+                            transputer_analysis::Span::line(w.line),
+                            w.message.clone(),
+                        )
+                    }));
+                    diags.extend(verifier::verify_program(&program));
+                }
+                Err(e) => {
+                    // A parse failure is already in `diags`; other
+                    // compile phases surface here.
+                    if !diags.iter().any(|d| d.code == "parse") {
+                        eprintln!("{path}: {e}");
+                    }
+                }
+            }
+            diags
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in &diags {
+        println!("{path}: {d}");
+        if d.is_error() {
+            errors += 1;
+        } else {
+            warnings += 1;
+        }
+    }
+    if errors + warnings > 0 {
+        println!("{path}: {errors} error(s), {warnings} warning(s)");
+    } else {
+        println!("{path}: ok");
+    }
+    if errors > 0 || (args.strict && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

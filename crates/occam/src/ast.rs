@@ -5,17 +5,24 @@
 //! the paper), plus IF and WHILE. Declarations (`VAR`, `CHAN`, `DEF`,
 //! `PROC`) prefix a process and scope over it.
 
-/// Source position for diagnostics (1-based line).
+/// Source position for diagnostics (1-based line and column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pos {
     /// Line number, 1-based.
     pub line: u32,
+    /// Column, 1-based; 0 when only the line is known.
+    pub col: u32,
 }
 
 impl Pos {
-    /// A position on `line`.
+    /// A position on `line` with no column information.
     pub fn new(line: u32) -> Pos {
-        Pos { line }
+        Pos { line, col: 0 }
+    }
+
+    /// A position at `line`:`col`.
+    pub fn at(line: u32, col: u32) -> Pos {
+        Pos { line, col }
     }
 }
 

@@ -762,6 +762,8 @@ impl Cg {
                 "PRI PAR takes exactly two components (high then low)",
             ));
         }
+        let refs: Vec<&Process> = branches.iter().collect();
+        self.pri_par_usage_check(&refs, line);
         let fm_hi = self.measure_frame(&branches[0], false)?;
         let fm_lo = self.measure_frame(&branches[1], false)?;
         let hi_off = 3 + fm_hi.down;

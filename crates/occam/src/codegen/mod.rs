@@ -73,6 +73,23 @@ pub(crate) const TEMP_SLOTS: i32 = 4;
 /// Scheduling slots every concurrent process needs below its workspace.
 pub(crate) const SCHED_SLOTS: i64 = 5;
 
+/// A non-fatal finding produced during compilation (e.g. a `PRI PAR`
+/// sharing a scalar between its components, which the historical
+/// compilers permitted but which defeats the usage rule's guarantee).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Source line (1-based).
+    pub line: u32,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "warning: line {}: {}", self.line, self.message)
+    }
+}
+
 /// A compiled program.
 #[derive(Debug, Clone)]
 pub struct Program {
@@ -86,6 +103,8 @@ pub struct Program {
     /// Offsets (in words, relative to the initial workspace pointer) of
     /// the top-level variables, for result inspection by harnesses.
     pub globals: HashMap<String, i32>,
+    /// Non-fatal findings collected during compilation.
+    pub warnings: Vec<Warning>,
 }
 
 impl Program {
@@ -293,6 +312,7 @@ pub(crate) struct Cg {
     pub contexts: Vec<Context>,
     pub options: Options,
     pub globals: HashMap<String, i32>,
+    pub warnings: Vec<Warning>,
 }
 
 impl Cg {
@@ -303,6 +323,7 @@ impl Cg {
             contexts: Vec::new(),
             options,
             globals: HashMap::new(),
+            warnings: Vec::new(),
         }
     }
 
@@ -380,5 +401,6 @@ pub fn compile_process(program: &Process, options: Options) -> Result<Program, C
         locals: fm.locals_total() as u32,
         depth: fm.down as u32,
         globals: cg.globals,
+        warnings: cg.warnings,
     })
 }

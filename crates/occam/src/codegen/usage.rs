@@ -13,8 +13,11 @@
 //! * vector elements are exempt (checking subscript disjointness needs
 //!   value analysis; historical compilers checked what they could and
 //!   trusted `[i]` partitioning — so do we);
-//! * `PRI PAR` is exempt: its components are ordered by priority, and
-//!   this implementation keeps the historical permissiveness there.
+//! * `PRI PAR` keeps the historical permissiveness — a violation is
+//!   reported as a *warning*, not an error: prioritised components were
+//!   commonly used for exactly the device-handler patterns that share a
+//!   word with the low-priority process, but the sharing still defeats
+//!   the usage rule's non-interference guarantee.
 //!
 //! The check is syntactic but scope-aware: names declared inside a
 //! branch shadow outer bindings, and `PROC` calls contribute the reads
@@ -22,7 +25,7 @@
 
 use std::collections::HashSet;
 
-use super::{Binding, Cg};
+use super::{Binding, Cg, Warning};
 use crate::ast::{Actual, AltKind, Decl, Expr, Lvalue, ParamMode, Process};
 use crate::error::CompileError;
 
@@ -70,6 +73,29 @@ impl Cg {
         if !self.options.par_checks {
             return Ok(());
         }
+        match self.par_usage_conflict(branches, replicated) {
+            Some(message) => Err(CompileError::check(line, message)),
+            None => Ok(()),
+        }
+    }
+
+    /// Check a `PRI PAR`'s components for the same conflicts, but report
+    /// a violation as a warning: the prioritised form stays compilable,
+    /// as in the historical compilers.
+    pub(crate) fn pri_par_usage_check(&mut self, branches: &[&Process], line: u32) {
+        if !self.options.par_checks {
+            return;
+        }
+        if let Some(message) = self.par_usage_conflict(branches, false) {
+            self.warnings.push(Warning {
+                line,
+                message: format!("PRI PAR: {message}"),
+            });
+        }
+    }
+
+    /// The first scalar-sharing violation among `branches`, if any.
+    fn par_usage_conflict(&self, branches: &[&Process], replicated: bool) -> Option<String> {
         let usages: Vec<Usage> = branches
             .iter()
             .map(|b| {
@@ -83,17 +109,14 @@ impl Cg {
         if replicated {
             for u in &usages {
                 if let Some(name) = u.writes.iter().min() {
-                    return Err(CompileError::check(
-                        line,
-                        format!(
-                            "replicated PAR: every copy would assign `{name}`; occam \
-                             forbids shared writable variables between parallel \
-                             processes (use a vector element per copy, or channels)"
-                        ),
+                    return Some(format!(
+                        "replicated PAR: every copy would assign `{name}`; occam \
+                         forbids shared writable variables between parallel \
+                         processes (use a vector element per copy, or channels)"
                     ));
                 }
             }
-            return Ok(());
+            return None;
         }
         for i in 0..usages.len() {
             for j in 0..usages.len() {
@@ -102,20 +125,17 @@ impl Cg {
                 }
                 for name in &usages[i].writes {
                     if usages[j].writes.contains(name) || usages[j].reads.contains(name) {
-                        return Err(CompileError::check(
-                            line,
-                            format!(
-                                "`{name}` is assigned in one component of this PAR and \
-                                 used in another; occam forbids shared variables \
-                                 between parallel processes (communicate over a \
-                                 channel instead)"
-                            ),
+                        return Some(format!(
+                            "`{name}` is assigned in one component of this PAR and \
+                             used in another; occam forbids shared variables \
+                             between parallel processes (communicate over a \
+                             channel instead)"
                         ));
                     }
                 }
             }
         }
-        Ok(())
+        None
     }
 
     /// Whether `name` is a free scalar variable (the kind the rule
@@ -291,5 +311,50 @@ impl Cg {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+
+    #[test]
+    fn par_scalar_conflict_is_an_error() {
+        let err = compile(
+            "VAR x:\n\
+             PAR\n\
+             \x20 x := 1\n\
+             \x20 x := 2",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("shared variables"), "{err}");
+    }
+
+    #[test]
+    fn pri_par_scalar_conflict_is_a_warning() {
+        let program = compile(
+            "VAR x:\n\
+             PRI PAR\n\
+             \x20 x := 1\n\
+             \x20 x := 2",
+        )
+        .expect("PRI PAR violation still compiles");
+        assert_eq!(program.warnings.len(), 1, "{:?}", program.warnings);
+        let w = &program.warnings[0];
+        assert_eq!(w.line, 2);
+        assert!(w.message.starts_with("PRI PAR:"), "{w}");
+        assert!(w.message.contains("`x`"), "{w}");
+    }
+
+    #[test]
+    fn clean_pri_par_has_no_warnings() {
+        let program = compile(
+            "VAR x, y:\n\
+             PRI PAR\n\
+             \x20 x := 1\n\
+             \x20 y := 2",
+        )
+        .expect("compiles");
+        assert!(program.warnings.is_empty(), "{:?}", program.warnings);
     }
 }

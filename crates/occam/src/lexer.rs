@@ -248,13 +248,16 @@ fn keyword(word: &str) -> Option<Keyword> {
     })
 }
 
-/// A token with its source line.
+/// A token with its source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lexeme {
     /// The token.
     pub token: Token,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column of the token's first character; 0 for
+    /// structural tokens (indent, dedent, newline, end of file).
+    pub col: u32,
 }
 
 /// Tokenize a complete source text.
@@ -300,6 +303,7 @@ pub fn lex(source: &str) -> Result<Vec<Lexeme>, CompileError> {
             out.push(Lexeme {
                 token: Token::Indent,
                 line: line_no,
+                col: 0,
             });
         } else if indent < current {
             while *levels.last().expect("levels never empty") > indent {
@@ -307,6 +311,7 @@ pub fn lex(source: &str) -> Result<Vec<Lexeme>, CompileError> {
                 out.push(Lexeme {
                     token: Token::Dedent,
                     line: line_no,
+                    col: 0,
                 });
             }
             if *levels.last().expect("levels never empty") != indent {
@@ -316,10 +321,11 @@ pub fn lex(source: &str) -> Result<Vec<Lexeme>, CompileError> {
                 ));
             }
         }
-        lex_line(without_comment.trim_start(), line_no, &mut out)?;
+        lex_line(without_comment.trim_start(), line_no, indent, &mut out)?;
         out.push(Lexeme {
             token: Token::Newline,
             line: line_no,
+            col: 0,
         });
     }
     let final_line = source.lines().count() as u32 + 1;
@@ -328,23 +334,30 @@ pub fn lex(source: &str) -> Result<Vec<Lexeme>, CompileError> {
         out.push(Lexeme {
             token: Token::Dedent,
             line: final_line,
+            col: 0,
         });
     }
     out.push(Lexeme {
         token: Token::Eof,
         line: final_line,
+        col: 0,
     });
     Ok(out)
 }
 
-fn lex_line(text: &str, line: u32, out: &mut Vec<Lexeme>) -> Result<(), CompileError> {
+fn lex_line(text: &str, line: u32, indent: usize, out: &mut Vec<Lexeme>) -> Result<(), CompileError> {
     let bytes = text.as_bytes();
     let mut i = 0;
-    let push = |out: &mut Vec<Lexeme>, token| out.push(Lexeme { token, line });
     while i < bytes.len() {
         let c = bytes[i] as char;
+        if c == ' ' {
+            i += 1;
+            continue;
+        }
+        // Token-start column in the original line (1-based).
+        let col = (indent + i + 1) as u32;
+        let push = move |out: &mut Vec<Lexeme>, token| out.push(Lexeme { token, line, col });
         match c {
-            ' ' => i += 1,
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {

@@ -61,7 +61,8 @@ impl Parser {
     }
 
     fn here(&self) -> Pos {
-        Pos::new(self.line())
+        let lexeme = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        Pos::at(lexeme.line, lexeme.col)
     }
 
     fn bump(&mut self) -> Token {

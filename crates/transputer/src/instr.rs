@@ -686,6 +686,162 @@ impl fmt::Display for Op {
     }
 }
 
+/// Net evaluation-stack effect of one instruction (§3.2.9).
+///
+/// The transputer's evaluation stack is the three registers A, B, C:
+/// pushing at depth three silently discards C, popping at depth zero
+/// reads junk. The effect table makes that discipline checkable by
+/// tools (the `transputer-analysis` bytecode verifier): `pops` operands
+/// are consumed from the top of the stack, then `pushes` results are
+/// left on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StackEffect {
+    /// Operands taken from the A/B/C stack.
+    pub pops: u8,
+    /// Results left on the stack.
+    pub pushes: u8,
+}
+
+impl StackEffect {
+    /// An effect consuming `pops` operands and producing `pushes`.
+    pub const fn new(pops: u8, pushes: u8) -> StackEffect {
+        StackEffect { pops, pushes }
+    }
+}
+
+impl Direct {
+    /// Stack effect of a direct function, or `None` for the prefixes
+    /// (`pfix`/`nfix` build operands, they are not complete
+    /// instructions) and for `operate` (whose effect is the selected
+    /// operation's, see [`Op::stack_effect`]).
+    ///
+    /// Two entries need care when consumed by a verifier:
+    ///
+    /// * `call` saves A, B and C into the new frame whether or not
+    ///   they hold live values — its three pops are *non-strict* (the
+    ///   occam compiler calls with 0–3 loaded arguments).
+    /// * `cj` pops the condition only on the fall-through path; on the
+    ///   taken path A (known zero) is preserved.
+    pub fn stack_effect(self) -> Option<StackEffect> {
+        Some(match self {
+            Direct::Jump => StackEffect::new(0, 0),
+            Direct::LoadLocalPointer => StackEffect::new(0, 1),
+            Direct::Prefix | Direct::NegativePrefix | Direct::Operate => return None,
+            Direct::LoadNonLocal => StackEffect::new(1, 1),
+            Direct::LoadConstant => StackEffect::new(0, 1),
+            Direct::LoadNonLocalPointer => StackEffect::new(1, 1),
+            Direct::LoadLocal => StackEffect::new(0, 1),
+            Direct::AddConstant => StackEffect::new(1, 1),
+            Direct::Call => StackEffect::new(3, 1),
+            Direct::ConditionalJump => StackEffect::new(1, 0),
+            Direct::AdjustWorkspace => StackEffect::new(0, 0),
+            Direct::EqualsConstant => StackEffect::new(1, 1),
+            Direct::StoreLocal => StackEffect::new(1, 0),
+            Direct::StoreNonLocal => StackEffect::new(2, 0),
+        })
+    }
+}
+
+impl Op {
+    /// Stack effect of an indirect function, mirroring the execution
+    /// semantics in `cpu/exec.rs` and `cpu/io.rs`.
+    ///
+    /// Operations with data-dependent result counts are tabulated with
+    /// their normal-path effect (`ldiv` pushes quotient and remainder;
+    /// its error path pushes a single zero).
+    pub fn stack_effect(self) -> StackEffect {
+        let (pops, pushes) = match self {
+            Op::Reverse => (2, 2),
+            Op::LoadByte => (1, 1),
+            Op::ByteSubscript => (2, 1),
+            Op::EndProcess => (1, 0),
+            Op::Difference => (2, 1),
+            Op::Add => (2, 1),
+            Op::GeneralCall => (1, 1),
+            Op::InputMessage => (3, 0),
+            Op::Product => (2, 1),
+            Op::GreaterThan => (2, 1),
+            Op::WordSubscript => (2, 1),
+            Op::OutputMessage => (3, 0),
+            Op::Subtract => (2, 1),
+            Op::StartProcess => (2, 0),
+            // outword/outbyte pop channel and value, spill the value to
+            // w[0], and run the general output on a rebuilt stack: the
+            // net effect is two operands consumed.
+            Op::OutputByte => (2, 0),
+            Op::OutputWord => (2, 0),
+            Op::SetError => (0, 0),
+            Op::ResetChannel => (1, 1),
+            Op::CheckSubscriptFromZero => (2, 1),
+            Op::StopProcess => (0, 0),
+            Op::LongAdd => (3, 1),
+            Op::StoreLowBack => (1, 0),
+            Op::StoreHighFront => (1, 0),
+            Op::Normalise => (2, 3),
+            Op::LongDivide => (3, 2),
+            Op::LoadPointerToInstruction => (1, 1),
+            Op::StoreLowFront => (1, 0),
+            Op::ExtendToDouble => (1, 2),
+            Op::LoadPriority => (0, 1),
+            Op::Remainder => (2, 1),
+            Op::Return => (0, 0),
+            Op::LoopEnd => (2, 0),
+            Op::LoadTimer => (0, 1),
+            Op::TestError => (0, 1),
+            Op::TestProcessorAnalysing => (0, 1),
+            Op::TimerInput => (1, 0),
+            Op::Divide => (2, 1),
+            Op::DisableTimer => (3, 1),
+            Op::DisableChannel => (3, 1),
+            Op::DisableSkip => (2, 1),
+            Op::LongMultiply => (3, 2),
+            Op::Not => (1, 1),
+            Op::ExclusiveOr => (2, 1),
+            Op::ByteCount => (1, 1),
+            Op::LongShiftRight => (3, 2),
+            Op::LongShiftLeft => (3, 2),
+            Op::LongSum => (3, 2),
+            Op::LongSubtract => (3, 1),
+            Op::RunProcess => (1, 0),
+            Op::ExtendWord => (2, 1),
+            Op::StoreByte => (2, 0),
+            Op::GeneralAdjustWorkspace => (1, 1),
+            Op::SaveLow => (1, 0),
+            Op::SaveHigh => (1, 0),
+            Op::WordCount => (1, 2),
+            Op::ShiftRight => (2, 1),
+            Op::ShiftLeft => (2, 1),
+            Op::MinimumInteger => (0, 1),
+            Op::Alt => (0, 0),
+            Op::AltWait => (0, 0),
+            Op::AltEnd => (0, 0),
+            Op::And => (2, 1),
+            Op::EnableTimer => (2, 1),
+            Op::EnableChannel => (2, 1),
+            // enbs tests the guard in A without popping it.
+            Op::EnableSkip => (1, 1),
+            Op::Move => (3, 0),
+            Op::Or => (2, 1),
+            Op::CheckSingle => (2, 1),
+            Op::CheckCountFromOne => (2, 1),
+            Op::TimerAlt => (0, 0),
+            Op::LongDiff => (3, 2),
+            Op::StoreHighBack => (1, 0),
+            Op::TimerAltWait => (0, 0),
+            Op::Sum => (2, 1),
+            Op::Multiply => (2, 1),
+            Op::StoreTimer => (1, 0),
+            Op::StopOnError => (0, 0),
+            Op::CheckWord => (2, 1),
+            Op::ClearHaltOnError => (0, 0),
+            Op::SetHaltOnError => (0, 0),
+            Op::TestHaltOnError => (0, 1),
+            Op::HaltSimulation => (0, 0),
+        };
+        StackEffect::new(pops, pushes)
+    }
+}
+
 /// Encode an instruction (direct function plus arbitrary-width operand)
 /// into the byte sequence the paper's prefixing scheme produces (§3.2.7).
 ///
@@ -795,6 +951,44 @@ mod tests {
         }
         assert_eq!(Op::from_code(0x11), None);
         assert_eq!(Op::from_code(0x17F), Some(Op::HaltSimulation));
+    }
+
+    #[test]
+    fn stack_effects_stay_within_the_three_registers() {
+        for d in Direct::ALL {
+            if let Some(e) = d.stack_effect() {
+                assert!(e.pops <= 3 && e.pushes <= 3, "{d}");
+            }
+        }
+        for op in Op::ALL {
+            let e = op.stack_effect();
+            assert!(e.pops <= 3 && e.pushes <= 3, "{op}");
+        }
+        // Prefixes and operate have no effect of their own.
+        assert_eq!(Direct::Prefix.stack_effect(), None);
+        assert_eq!(Direct::NegativePrefix.stack_effect(), None);
+        assert_eq!(Direct::Operate.stack_effect(), None);
+    }
+
+    #[test]
+    fn stack_effects_match_execution_semantics() {
+        // Spot checks against cpu/exec.rs / cpu/io.rs.
+        assert_eq!(Op::Add.stack_effect(), StackEffect::new(2, 1));
+        assert_eq!(Op::InputMessage.stack_effect(), StackEffect::new(3, 0));
+        assert_eq!(Op::OutputMessage.stack_effect(), StackEffect::new(3, 0));
+        assert_eq!(Op::StartProcess.stack_effect(), StackEffect::new(2, 0));
+        assert_eq!(Op::EndProcess.stack_effect(), StackEffect::new(1, 0));
+        assert_eq!(Op::Normalise.stack_effect(), StackEffect::new(2, 3));
+        assert_eq!(Op::EnableChannel.stack_effect(), StackEffect::new(2, 1));
+        assert_eq!(Op::DisableChannel.stack_effect(), StackEffect::new(3, 1));
+        assert_eq!(
+            Direct::LoadConstant.stack_effect(),
+            Some(StackEffect::new(0, 1))
+        );
+        assert_eq!(
+            Direct::StoreNonLocal.stack_effect(),
+            Some(StackEffect::new(2, 0))
+        );
     }
 
     #[test]

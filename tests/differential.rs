@@ -282,4 +282,35 @@ proptest! {
             );
         }
     }
+
+    /// Everything the compiler emits passes the static toolchain: the
+    /// channel-usage lint raises no errors on the generated source (the
+    /// PAR branches are constructed to respect the usage rules), and the
+    /// bytecode verifier accepts the emitted image — stack depths stay
+    /// in 0..=3, jumps land on instruction boundaries, workspace
+    /// offsets stay within the allocated frame.
+    #[test]
+    fn compiler_output_passes_lint_and_verifier(stmts in arb_stmts()) {
+        let mut src = String::from("VAR x0, x1, x2, x3:\nSEQ\n");
+        src.push_str("  x0 := 0\n  x1 := 0\n  x2 := 0\n  x3 := 0\n");
+        let mut body = String::new();
+        emit(&stmts, 1, 0, &mut body);
+        src.push_str(&body);
+
+        let lint = transputer_analysis::lint_source(&src);
+        let lint_errors: Vec<_> = lint.iter().filter(|d| d.is_error()).collect();
+        prop_assert!(
+            lint_errors.is_empty(),
+            "lint rejected compiler-clean source: {lint_errors:?}\n{src}"
+        );
+
+        let program = occam::compile(&src)
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+        let diags = transputer_analysis::verifier::verify_program(&program);
+        let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+        prop_assert!(
+            errors.is_empty(),
+            "verifier rejected emitted bytecode: {errors:?}\n{src}"
+        );
+    }
 }

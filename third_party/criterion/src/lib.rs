@@ -1,0 +1,162 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this vendors the
+//! small API surface the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`], [`black_box`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Instead of
+//! criterion's statistical machinery it runs a fixed warm-up plus a
+//! timed batch and prints mean wall-clock time per iteration — enough
+//! to compare configurations, not a substitute for real criterion.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration annotation, echoed in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs a closure repeatedly and records the mean time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, running enough iterations to pass a minimum measuring
+    /// window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration run.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~50ms of measurement, capped to keep CI fast.
+        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos())
+            .clamp(1, 10_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_mean = Some(t1.elapsed() / iters as u32);
+    }
+}
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// End the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    match (b.last_mean, throughput) {
+        (Some(mean), Some(Throughput::Elements(n))) => {
+            let per_sec = n as f64 / mean.as_secs_f64();
+            println!("{name}: {mean:?}/iter ({per_sec:.0} elem/s)");
+        }
+        (Some(mean), Some(Throughput::Bytes(n))) => {
+            let per_sec = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            println!("{name}: {mean:?}/iter ({per_sec:.1} MiB/s)");
+        }
+        (Some(mean), None) => println!("{name}: {mean:?}/iter"),
+        (None, _) => println!("{name}: no measurement recorded"),
+    }
+}
+
+/// Define a bench entry point running each target function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes `--bench` and filter arguments; the stub
+            // runs everything unconditionally.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.last_mean.is_some());
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(0)));
+    }
+}

@@ -1,0 +1,546 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendors the
+//! subset of proptest 1.x this workspace uses: the [`Strategy`] trait
+//! with `prop_map` / `prop_recursive` / `boxed`, tuple and range
+//! strategies, [`collection::vec`], `any::<T>()`, weighted
+//! [`prop_oneof!`], and the [`proptest!`] / [`prop_assume!`] /
+//! [`prop_assert*!`] macros. Differences from upstream:
+//!
+//! - **No shrinking.** A failing case is reported as generated.
+//! - **Deterministic seeding.** The RNG is seeded from a hash of the
+//!   test name, so CI failures reproduce exactly; upstream seeds from
+//!   OS entropy and persists regressions.
+//! - `.proptest-regressions` files are neither read nor written.
+
+use rand::rngs::StdRng;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+pub mod strategy {
+    use super::*;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Debug,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a recursive strategy: `recurse` receives a strategy
+        /// for the inner occurrences and returns the composite level.
+        /// Depth is bounded by `depth`; the size hints are accepted
+        /// for API compatibility and ignored (no shrinking here).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                // Mix the leaf back in so generated values vary in
+                // depth instead of always bottoming out at `depth`.
+                strat = Union::weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erase into a clonable, shareable strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy; clones share the underlying recipe.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Debug,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type.
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` pairs.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty or all weights are zero.
+        pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (w, strat) in &self.options {
+                let w = u64::from(*w);
+                if pick < w {
+                    return strat.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights changed during generation")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod arbitrary {
+    use super::*;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Draw one value covering the full domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// Strategy over the whole domain of `T` (see [`any`]).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::*;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate `Vec`s of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::*;
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (only the case count is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` passing cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's preconditions (`prop_assume!`) did not hold; it
+        /// is skipped without counting against the budget.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// Build a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    fn seed_for(name: &str) -> u64 {
+        // FNV-1a: stable across runs so failures reproduce exactly.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: generate inputs until `config.cases` pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case (printing the generated
+    /// input), or when rejections exceed the global budget.
+    pub fn run<S, F>(config: ProptestConfig, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed_for(name));
+        let reject_budget = config.cases.saturating_mul(16).max(1024);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let value = strategy.generate(&mut rng);
+            let shown = format!("{value:?}");
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_budget,
+                        "proptest {name}: too many rejected cases \
+                         ({rejected} rejections for {passed} passes)"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest {name} failed after {passed} passing case(s): \
+                         {msg}\ninput: {shown}"
+                    );
+                }
+                Err(payload) => {
+                    eprintln!("proptest {name}: panicked on input: {shown}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` body
+/// runs once per generated input tuple.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strat = ($($strat,)+);
+                $crate::test_runner::run(
+                    $config,
+                    stringify!($name),
+                    &strat,
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: `{:?} == {:?}`", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?} == {:?}`: {}",
+            a,
+            b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: `{:?} != {:?}`", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?} != {:?}`: {}",
+            a,
+            b,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Tree {
+        Leaf(#[allow(dead_code)] i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0u32..10, (b, c) in (0i64..5, Just(7u8))) {
+            prop_assert!(a < 10);
+            prop_assert!((0..5).contains(&b));
+            prop_assert_eq!(c, 7);
+        }
+
+        #[test]
+        fn recursion_respects_depth_bound(t in {
+            let leaf = (0i64..50).prop_map(Tree::Leaf);
+            leaf.prop_recursive(4, 24, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            })
+        }) {
+            prop_assert!(depth(&t) <= 4, "depth {} exceeds bound", depth(&t));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in any::<u8>()) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_covers_all_arms(v in prop_oneof![1 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert_ne!(v, 0);
+        }
+
+        #[test]
+        fn vectors_honour_size_range(v in crate::collection::vec(any::<u8>(), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+        }
+    }
+
+    #[test]
+    fn union_is_roughly_weighted() {
+        use crate::strategy::{Just, Strategy, Union};
+        use rand::{rngs::StdRng, SeedableRng};
+        let u = Union::weighted(vec![(3, Just(true).boxed()), (1, Just(false).boxed())]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let trues = (0..4000).filter(|_| u.generate(&mut rng)).count();
+        assert!((2600..3400).contains(&trues), "got {trues} trues");
+    }
+}
