@@ -94,7 +94,6 @@ pub struct DbSearch {
     net: Network,
     collector: NodeId,
     collector_word: WordLength,
-    got_addr: u32,
     answers_addr: u32,
     expected: Vec<u32>,
     node_ids: Vec<NodeId>,
@@ -225,9 +224,6 @@ impl DbSearch {
         let cpu = net.node_mut(collector);
         let collector_word = cpu.word_length();
         let cwptr = collector_prog.load(cpu)?;
-        let got_addr = collector_prog
-            .global_addr(word, cwptr, "got")
-            .ok_or("collector lacks got counter")?;
         let answers_addr = collector_prog
             .global_addr(word, cwptr, "answers")
             .ok_or("collector lacks answers vector")?;
@@ -248,7 +244,6 @@ impl DbSearch {
             net,
             collector,
             collector_word,
-            got_addr,
             answers_addr,
             expected,
             node_ids,
@@ -260,19 +255,32 @@ impl DbSearch {
         &self.net
     }
 
+    /// Mutable access to the underlying network (for driving the
+    /// simulation in custom increments).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
     /// Run the search to completion.
     ///
     /// # Errors
     ///
     /// Propagates simulation faults and budget exhaustion.
-    pub fn run(mut self, budget_ns: u64) -> Result<DbSearchReport, SimError> {
+    pub fn run(&mut self, budget_ns: u64) -> Result<DbSearchReport, SimError> {
         let n = self.config.requests;
         let mut answer_times = vec![0u64; n];
         let mut seen = 0usize;
-        let collector = self.collector;
-        let got_addr = self.got_addr;
+        // Answers are observed as delivered bytes on the collector's
+        // wire (the last wire built, collector at end 1). Wire counters
+        // advance at exact packet-delivery events in every engine, so
+        // the recorded answer times are engine-independent — unlike
+        // polling collector memory, which the sliced engines only expose
+        // at slice boundaries.
+        let answer_wire = self.net.wire_count() - 1;
+        let bytes_per_answer = u64::from(self.collector_word.bytes_per_word());
         self.net.run_until(budget_ns, |net| {
-            let got = net.node(collector).inspect_word(got_addr).unwrap_or(0) as usize;
+            let (_, to_collector) = net.wire_delivered(answer_wire);
+            let got = (to_collector / bytes_per_answer) as usize;
             while seen < got.min(n) {
                 answer_times[seen] = net.time_ns();
                 seen += 1;
@@ -306,7 +314,7 @@ impl DbSearch {
             .sum();
         Ok(DbSearchReport {
             answers,
-            expected: self.expected,
+            expected: self.expected.clone(),
             answer_times_ns: answer_times,
             first_answer_ns: first,
             pipeline_interval_ns: pipeline_interval,
@@ -456,7 +464,7 @@ mod tests {
             key_space: 20,
             net: NetworkConfig::default(),
         };
-        let sim = DbSearch::build(config).expect("builds");
+        let mut sim = DbSearch::build(config).expect("builds");
         let report = sim.run(2_000_000_000).expect("runs");
         assert!(
             report.all_correct(),
@@ -479,7 +487,7 @@ mod tests {
             key_space: 15,
             net: NetworkConfig::default(),
         };
-        let sim = DbSearch::build(config).expect("builds");
+        let mut sim = DbSearch::build(config).expect("builds");
         let report = sim.run(5_000_000_000).expect("runs");
         assert!(report.all_correct());
         // With pipelining the inter-answer gap is much smaller than the
@@ -521,7 +529,7 @@ mod tests {
                 ..transputer_net::NetworkConfig::default()
             },
         };
-        let sim = DbSearch::build(config).expect("builds");
+        let mut sim = DbSearch::build(config).expect("builds");
         let report = sim.run(2_000_000_000).expect("runs");
         assert!(
             report.all_correct(),

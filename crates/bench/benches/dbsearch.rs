@@ -19,7 +19,7 @@ fn dbsearch(c: &mut Criterion) {
                 key_space: 100,
                 net: NetworkConfig::default(),
             };
-            let sim = DbSearch::build(config).expect("builds");
+            let mut sim = DbSearch::build(config).expect("builds");
             let report = sim.run(1_000_000_000_000).expect("runs");
             assert!(report.all_correct());
             black_box(report.total_ns)

@@ -25,7 +25,7 @@ fn main() {
         config.total_records(),
         config.requests
     );
-    let sim = DbSearch::build(config).expect("builds");
+    let mut sim = DbSearch::build(config).expect("builds");
     let report = sim.run(1_000_000_000_000).expect("runs");
 
     table::header(&["metric", "measured", "paper"]);

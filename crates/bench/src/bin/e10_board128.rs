@@ -29,7 +29,7 @@ fn run_one(label: &str, config: DbSearchConfig) -> transputer_apps::DbSearchRepo
         config.total_records(),
         config.requests
     );
-    let sim = DbSearch::build(config).expect("builds");
+    let mut sim = DbSearch::build(config).expect("builds");
     let report = sim.run(10_000_000_000_000).expect("runs");
     table::header(&["metric", "measured", "paper"]);
     table::row(cells!["answers correct", report.all_correct(), "—"]);

@@ -1,0 +1,126 @@
+//! Host-performance harness: times the experiment suite and the e09/e10
+//! network benchmarks under the per-instruction event engine and the
+//! lookahead-batched engines, writing `BENCH_host.json`.
+//!
+//! Usage:
+//!   `cargo run --release -p transputer-bench --bin hostperf`
+//!   `hostperf --smoke`   — fast outcome-only gate for the tier-1 flow:
+//!                          fails on panics or regressed simulated
+//!                          outcomes, never on wall time.
+//!
+//! Output path: `BENCH_host.json` in the current directory, or the path
+//! named by the `BENCH_HOST_OUT` environment variable.
+
+use std::process::Command;
+use std::time::Instant;
+
+use transputer_bench::hostperf::{
+    board128, cross_check, figure8, figure8_smoke, run_network, to_json, NetRun, EXPERIMENTS,
+};
+use transputer_net::Engine;
+
+fn time_experiments() -> (Vec<(String, f64)>, Vec<String>) {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin directory");
+    let mut rows = Vec::new();
+    let mut problems = Vec::new();
+    for name in EXPERIMENTS {
+        let path = dir.join(name);
+        let start = Instant::now();
+        match Command::new(&path).output() {
+            Ok(out) => {
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let text = String::from_utf8_lossy(&out.stdout).to_string();
+                if !out.status.success() || text.contains("FAIL:") {
+                    problems.push(format!("{name}: failed"));
+                }
+                println!("  {name:<24} {wall_ms:>9.1} ms");
+                rows.push((name.to_string(), wall_ms));
+            }
+            Err(e) => problems.push(format!("{name}: failed to launch: {e}")),
+        }
+    }
+    (rows, problems)
+}
+
+fn print_net(r: &NetRun) {
+    println!(
+        "  {:<20} {:<9} {:>9.1} ms   {:>12.0} cyc/s   {:>7.2} MIPS   ok={}",
+        r.bench,
+        format!("{:?}", r.engine),
+        r.wall_ms,
+        r.cycles_per_sec(),
+        r.emulated_mips(),
+        r.answers_ok
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut networks: Vec<NetRun> = Vec::new();
+    let mut problems: Vec<String> = Vec::new();
+    let mut experiments: Vec<(String, f64)> = Vec::new();
+
+    if smoke {
+        println!("hostperf --smoke: outcome gate (wall times informational)");
+        let runs: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_network("e09_figure8_smoke", figure8_smoke(), e))
+            .collect();
+        for r in &runs {
+            print_net(r);
+        }
+        problems.extend(cross_check(&runs));
+        networks.extend(runs);
+    } else {
+        println!("hostperf: timing experiment binaries");
+        let (rows, probs) = time_experiments();
+        experiments = rows;
+        problems.extend(probs);
+
+        println!("hostperf: e09 figure-8 (16 transputers)");
+        let e09: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_network("e09_figure8", figure8(), e))
+            .collect();
+        for r in &e09 {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e09));
+        networks.extend(e09);
+
+        println!("hostperf: e10 board (128 transputers)");
+        let e10: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_network("e10_board128", board128(), e))
+            .collect();
+        for r in &e10 {
+            print_net(r);
+        }
+        let event = e10[0].wall_ms;
+        let sliced = e10[1].wall_ms;
+        println!(
+            "  e10 speedup: {:.2}x (event {:.1} ms -> sliced {:.1} ms)",
+            event / sliced,
+            event,
+            sliced
+        );
+        problems.extend(cross_check(&e10));
+        networks.extend(e10);
+    }
+
+    let json = to_json(smoke, &experiments, &networks, &problems);
+    let out_path =
+        std::env::var("BENCH_HOST_OUT").unwrap_or_else(|_| "BENCH_host.json".to_string());
+    std::fs::write(&out_path, &json).expect("write BENCH_host.json");
+    println!("wrote {out_path}");
+
+    if problems.is_empty() {
+        println!("hostperf PASS");
+    } else {
+        for p in &problems {
+            println!("FAIL: {p}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,27 +1,12 @@
 //! Run every experiment binary in order, producing the complete
-//! paper-vs-measured report (the source of EXPERIMENTS.md).
+//! paper-vs-measured report (the source of EXPERIMENTS.md), then the
+//! `hostperf --smoke` outcome gate.
 //!
 //! Usage: `cargo run --release -p transputer-bench --bin run_all`
 
 use std::process::Command;
 
-const EXPERIMENTS: &[&str] = &[
-    "e01_assignment",
-    "e02_staticlink",
-    "e03_prefix",
-    "e04_expressions",
-    "e05_comm_cost",
-    "e06_priority_latency",
-    "e07_link_protocol",
-    "e08_message_latency",
-    "e09_dbsearch16",
-    "e10_board128",
-    "e11_workstation",
-    "e12_encoding_density",
-    "e13_mips",
-    "e14_context_switch",
-    "e15_wordlength",
-];
+use transputer_bench::hostperf::EXPERIMENTS;
 
 fn main() {
     let exe = std::env::current_exe().expect("own path");
@@ -37,6 +22,19 @@ fn main() {
         if !out.status.success() || text.contains("FAIL:") {
             failures.push(*name);
         }
+    }
+    // The host-performance smoke gate: all engines must produce
+    // bit-identical simulated outcomes (wall time is informational).
+    // Its JSON goes next to the binaries so the full `hostperf` run's
+    // committed BENCH_host.json is not clobbered.
+    let smoke = Command::new(dir.join("hostperf"))
+        .arg("--smoke")
+        .env("BENCH_HOST_OUT", dir.join("BENCH_host_smoke.json"))
+        .output()
+        .expect("failed to launch hostperf");
+    print!("{}", String::from_utf8_lossy(&smoke.stdout));
+    if !smoke.status.success() {
+        failures.push("hostperf_smoke");
     }
     println!("\n---\n");
     if failures.is_empty() {

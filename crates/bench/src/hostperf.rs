@@ -1,0 +1,271 @@
+//! Host-side performance measurement of the simulator itself.
+//!
+//! Everything else in this crate measures *simulated* quantities —
+//! cycle counts, link utilisation, paper tables. This module measures
+//! the *host*: how fast the emulator executes, and what the
+//! lookahead-batched engines buy over the per-instruction event engine.
+//! Results are written to `BENCH_host.json`.
+//!
+//! Wall-clock numbers vary between machines; outcome fingerprints must
+//! not. The smoke mode (`hostperf --smoke`) therefore gates only on
+//! panics and regressed simulated outcomes, never on wall time.
+
+use std::time::Instant;
+
+use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
+use transputer_net::Engine;
+
+/// Every experiment binary, in report order (shared with `run_all`).
+pub const EXPERIMENTS: &[&str] = &[
+    "e01_assignment",
+    "e02_staticlink",
+    "e03_prefix",
+    "e04_expressions",
+    "e05_comm_cost",
+    "e06_priority_latency",
+    "e07_link_protocol",
+    "e08_message_latency",
+    "e09_dbsearch16",
+    "e10_board128",
+    "e11_workstation",
+    "e12_encoding_density",
+    "e13_mips",
+    "e14_context_switch",
+    "e15_wordlength",
+];
+
+/// One timed network simulation.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// Which benchmark network ran.
+    pub bench: &'static str,
+    /// Engine used.
+    pub engine: Engine,
+    /// Host wall-clock time, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated nanoseconds elapsed.
+    pub sim_ns: u64,
+    /// Processor cycles summed over all nodes.
+    pub cycles: u64,
+    /// Instructions executed summed over all nodes.
+    pub instructions: u64,
+    /// Whether every search answer matched the reference.
+    pub answers_ok: bool,
+    /// FNV-1a hash over answers, answer times, per-node halt cycles and
+    /// instruction counters, and per-wire delivered-byte counters. Equal
+    /// fingerprints mean bit-identical simulated outcomes.
+    pub fingerprint: u64,
+}
+
+impl NetRun {
+    /// Simulated processor cycles executed per host second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / (self.wall_ms / 1e3)
+    }
+
+    /// Emulated millions of instructions per host second.
+    pub fn emulated_mips(&self) -> f64 {
+        self.instructions as f64 / (self.wall_ms / 1e3) / 1e6
+    }
+}
+
+fn fnv1a(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Build and run one search network, timing the run and fingerprinting
+/// every engine-visible outcome.
+///
+/// # Panics
+///
+/// Panics if the network fails to build or faults while running — a
+/// panic here is exactly what the smoke gate exists to catch.
+pub fn run_network(bench: &'static str, config: DbSearchConfig, engine: Engine) -> NetRun {
+    let config = DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..config.net.clone()
+        },
+        ..config
+    };
+    let mut sim = DbSearch::build(config).expect("benchmark network builds");
+    let start = Instant::now();
+    let report = sim.run(100_000_000_000_000).expect("benchmark network runs");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let net = sim.network();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &a in &report.answers {
+        fnv1a(&mut hash, u64::from(a));
+    }
+    for &t in &report.answer_times_ns {
+        fnv1a(&mut hash, t);
+    }
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    for id in 0..net.len() {
+        let node = net.node(id);
+        cycles += node.cycles();
+        instructions += node.stats().instructions;
+        fnv1a(&mut hash, node.cycles());
+        fnv1a(&mut hash, node.stats().instructions);
+    }
+    for w in 0..net.wire_count() {
+        let (a, b) = net.wire_delivered(w);
+        fnv1a(&mut hash, a);
+        fnv1a(&mut hash, b);
+    }
+    NetRun {
+        bench,
+        engine,
+        wall_ms,
+        sim_ns: report.total_ns,
+        cycles,
+        instructions,
+        answers_ok: report.all_correct(),
+        fingerprint: hash,
+    }
+}
+
+/// The e09 figure-8 network, full size.
+pub fn figure8() -> DbSearchConfig {
+    DbSearchConfig::figure8()
+}
+
+/// The e09 topology with a trimmed database: seconds, not minutes,
+/// under the per-instruction engine in debug builds.
+pub fn figure8_smoke() -> DbSearchConfig {
+    DbSearchConfig {
+        records_per_node: 40,
+        requests: 3,
+        ..DbSearchConfig::figure8()
+    }
+}
+
+/// The e10 128-transputer board.
+pub fn board128() -> DbSearchConfig {
+    DbSearchConfig::board128()
+}
+
+/// Outcome checks over a set of runs of the *same* benchmark: all
+/// answers correct and every fingerprint identical. Returns error lines,
+/// empty when healthy.
+pub fn cross_check(runs: &[NetRun]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for r in runs {
+        if !r.answers_ok {
+            problems.push(format!("{} [{:?}]: wrong answers", r.bench, r.engine));
+        }
+    }
+    if let Some(first) = runs.first() {
+        for r in &runs[1..] {
+            if r.fingerprint != first.fingerprint {
+                problems.push(format!(
+                    "{}: {:?} fingerprint {:016x} != {:?} fingerprint {:016x}",
+                    r.bench, r.engine, r.fingerprint, first.engine, first.fingerprint
+                ));
+            }
+        }
+    }
+    problems
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the report as JSON (hand-rolled: no serialisation deps).
+pub fn to_json(
+    smoke: bool,
+    experiments: &[(String, f64)],
+    networks: &[NetRun],
+    problems: &[String],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (name, wall_ms)) in experiments.iter().enumerate() {
+        let comma = if i + 1 < experiments.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {wall_ms:.1}}}{comma}\n",
+            json_escape(name)
+        ));
+    }
+    out.push_str("  ],\n  \"networks\": [\n");
+    for (i, r) in networks.iter().enumerate() {
+        let comma = if i + 1 < networks.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"engine\": \"{:?}\", \"wall_ms\": {:.1}, \
+             \"sim_ns\": {}, \"cycles\": {}, \"instructions\": {}, \
+             \"sim_cycles_per_sec\": {:.0}, \"emulated_mips\": {:.2}, \
+             \"answers_ok\": {}, \"fingerprint\": \"{:016x}\"}}{comma}\n",
+            r.bench,
+            r.engine,
+            r.wall_ms,
+            r.sim_ns,
+            r.cycles,
+            r.instructions,
+            r.cycles_per_sec(),
+            r.emulated_mips(),
+            r.answers_ok,
+            r.fingerprint,
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    let mut lines = Vec::new();
+    let benches: Vec<&str> = {
+        let mut b: Vec<&str> = networks.iter().map(|r| r.bench).collect();
+        b.dedup();
+        b
+    };
+    for bench in benches {
+        let event = networks
+            .iter()
+            .find(|r| r.bench == bench && r.engine == Engine::Event);
+        let sliced = networks
+            .iter()
+            .find(|r| r.bench == bench && r.engine == Engine::Sliced);
+        if let (Some(e), Some(s)) = (event, sliced) {
+            lines.push(format!(
+                "    {{\"bench\": \"{bench}\", \"event_wall_ms\": {:.1}, \
+                 \"sliced_wall_ms\": {:.1}, \"speedup\": {:.2}, \"identical\": {}}}",
+                e.wall_ms,
+                s.wall_ms,
+                e.wall_ms / s.wall_ms,
+                e.fingerprint == s.fingerprint,
+            ));
+        }
+    }
+    out.push_str(&lines.join(",\n"));
+    if !lines.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"problems\": [\n");
+    for (i, p) in problems.iter().enumerate() {
+        let comma = if i + 1 < problems.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\"{comma}\n", json_escape(p)));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_engines_agree_and_json_renders() {
+        let runs: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_network("e09_figure8_smoke", figure8_smoke(), e))
+            .collect();
+        let problems = cross_check(&runs);
+        assert!(problems.is_empty(), "{problems:?}");
+        let json = to_json(true, &[], &runs, &problems);
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"identical\": true"));
+    }
+}

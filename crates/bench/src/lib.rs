@@ -8,6 +8,7 @@
 use transputer::{Cpu, CpuConfig, StepEvent};
 
 pub mod corpus;
+pub mod hostperf;
 pub mod table;
 
 /// Measure an exact instruction sequence: load `code` at the first user

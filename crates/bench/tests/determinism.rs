@@ -1,0 +1,159 @@
+//! Engine determinism: the lookahead-batched engines must be
+//! bit-identical to the per-instruction event engine.
+//!
+//! Two layers of evidence:
+//!
+//! * every corpus program, standalone: [`Cpu::run`] vs
+//!   [`Cpu::run_batched`] agree on halt cycle, instruction counters,
+//!   the checked global, and the complete final memory image;
+//! * the e09 16-node database-search network under all three
+//!   [`Engine`]s (plus the parallel engine with a forced worker count,
+//!   so its window-batching path runs even on single-core hosts):
+//!   identical answers and answer times, per-node halt
+//!   cycle counts, per-wire delivered-byte counters, per-node
+//!   instruction counters (the stats audit), and final memory images.
+
+use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome};
+use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
+use transputer_bench::corpus::CORPUS;
+use transputer_net::Engine;
+
+fn full_image(cpu: &Cpu) -> Vec<u8> {
+    let base = cpu.memory().base();
+    let len = cpu.memory().size() as usize;
+    cpu.memory().dump(base, len).expect("whole memory dumps")
+}
+
+#[test]
+fn corpus_programs_agree_between_engines() {
+    for item in CORPUS {
+        let program = occam::compile(item.source).expect("corpus program compiles");
+        let run_one = |batched: bool| {
+            let mut cpu = Cpu::new(CpuConfig::t424());
+            let wptr = program.load(&mut cpu).expect("loads");
+            let out = if batched {
+                cpu.run_batched(500_000_000)
+            } else {
+                cpu.run(500_000_000)
+            };
+            assert_eq!(
+                out.expect("halts"),
+                RunOutcome::Halted(HaltReason::Stopped),
+                "corpus `{}`",
+                item.name
+            );
+            (cpu, wptr)
+        };
+        let (mut event, we) = run_one(false);
+        let (mut sliced, ws) = run_one(true);
+        assert_eq!(we, ws);
+        assert_eq!(event.cycles(), sliced.cycles(), "corpus `{}`", item.name);
+        assert_eq!(
+            event.stats().instructions,
+            sliced.stats().instructions,
+            "corpus `{}`",
+            item.name
+        );
+        let got_e = program
+            .read_global(&mut event, we, item.check_global)
+            .unwrap();
+        let got_s = program
+            .read_global(&mut sliced, ws, item.check_global)
+            .unwrap();
+        assert_eq!(
+            event.word_length().to_signed(got_e),
+            item.expected,
+            "corpus `{}`",
+            item.name
+        );
+        assert_eq!(got_e, got_s, "corpus `{}`", item.name);
+        assert_eq!(
+            full_image(&event),
+            full_image(&sliced),
+            "corpus `{}` memory image",
+            item.name
+        );
+    }
+}
+
+#[test]
+fn e09_network_agrees_across_all_engines() {
+    // The e09 figure-8 topology (4x4 grid plus sender and collector),
+    // trimmed to a test-sized database so the per-instruction engine
+    // finishes promptly in debug builds.
+    let config = |engine| DbSearchConfig {
+        records_per_node: 40,
+        requests: 3,
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..DbSearchConfig::figure8()
+    };
+
+    // (engine, forced worker count). The last entry forces the
+    // parallel engine's window-batching path even on single-core CI
+    // hosts, where it would otherwise fall back to the sliced loop.
+    let variants = [
+        (Engine::Event, None),
+        (Engine::Sliced, None),
+        (Engine::Parallel, None),
+        (Engine::Parallel, Some(2)),
+    ];
+    let mut runs = Vec::new();
+    for (engine, workers) in variants {
+        let mut sim = DbSearch::build(config(engine)).expect("builds");
+        if let Some(w) = workers {
+            sim.network_mut().set_par_workers(w);
+        }
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "{engine:?}: answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        runs.push((engine, sim, report));
+    }
+
+    let (_, ref base_sim, ref base_report) = runs[0];
+    let base_net = base_sim.network();
+    for (engine, sim, report) in &runs[1..] {
+        let net = sim.network();
+        assert_eq!(report.answers, base_report.answers, "{engine:?}");
+        assert_eq!(
+            report.answer_times_ns, base_report.answer_times_ns,
+            "{engine:?}: answer arrival times"
+        );
+        assert_eq!(
+            report.total_instructions, base_report.total_instructions,
+            "{engine:?}: stats audit (instruction totals)"
+        );
+        assert_eq!(net.len(), base_net.len());
+        for id in 0..net.len() {
+            assert_eq!(
+                net.node(id).cycles(),
+                base_net.node(id).cycles(),
+                "{engine:?}: node {id} halt cycle count"
+            );
+            assert_eq!(
+                net.node(id).stats().instructions,
+                base_net.node(id).stats().instructions,
+                "{engine:?}: node {id} instruction counter"
+            );
+            assert_eq!(
+                full_image(net.node(id)),
+                full_image(base_net.node(id)),
+                "{engine:?}: node {id} memory image"
+            );
+        }
+        assert_eq!(net.wire_count(), base_net.wire_count());
+        for w in 0..net.wire_count() {
+            assert_eq!(
+                net.wire_delivered(w),
+                base_net.wire_delivered(w),
+                "{engine:?}: wire {w} delivered-byte counters"
+            );
+        }
+    }
+}

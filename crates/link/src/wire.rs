@@ -189,6 +189,14 @@ impl DuplexLink {
         }
     }
 
+    /// Take any start events produced by sends that have not yet been
+    /// drained by [`DuplexLink::advance`]. Schedulers that must handle
+    /// start events at their own stamped times (rather than at the next
+    /// `advance` call) use this to intercept them.
+    pub fn take_pending_events(&mut self) -> Vec<LinkEvent> {
+        std::mem::take(&mut self.pending_events)
+    }
+
     /// The earliest time at which something will complete, if any packet
     /// is in flight.
     pub fn next_deadline(&self) -> Option<u64> {

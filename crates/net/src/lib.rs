@@ -38,5 +38,5 @@
 pub mod sim;
 pub mod topology;
 
-pub use sim::{Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
+pub use sim::{Engine, Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
 pub use topology::{grid, pipeline, ring, GridNet};

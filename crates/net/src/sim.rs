@@ -1,14 +1,57 @@
 //! The co-simulation engine: nodes, wires, and a global event queue.
+//!
+//! Two execution engines share one event heap:
+//!
+//! * **Event** — the reference engine: one heap event per node
+//!   micro-step. Each pop executes a single instruction, then offers
+//!   transmit bytes and acknowledges to the node's wires.
+//! * **Sliced** (default, with an opt-in **Parallel** variant) — the
+//!   lookahead engine: each pop runs a whole *slice* of instructions via
+//!   [`Cpu::run_slice`], bounded by the earliest wire activity that could
+//!   affect the node. The heap holds one entry per node-slice instead of
+//!   one per instruction, which is what makes large networks fast to
+//!   simulate.
+//!
+//! The slice bound is conservative: for a node N it is the minimum over
+//! N's ports of (a) the next scheduled event on that port's wire
+//! (completions *and* pending data-start probes) and (b) the earliest
+//! time the peer node M can act plus the flight time of the first packet
+//! M could land on N (an acknowledge if N has a byte in flight, else a
+//! data packet). "Earliest M can act" is itself the minimum of M's
+//! scheduled slice, M's own wire deadlines, and the global heap frontier
+//! plus one acknowledge time (no chain of third-party events can reach M
+//! faster than that). Every instruction that changes wire-visible link
+//! state ends its slice ([`SliceOutcome`]), so wires always observe link
+//! state at the exact instruction boundary that produced it; the engines
+//! are bit-identical in cycle counts, delivered bytes, and memory images.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
-use transputer::{Cpu, CpuConfig, HaltReason, StepEvent};
-use transputer_link::{AckPolicy, DuplexLink, End, LinkEvent, LinkSpeed};
+use transputer::{Cpu, CpuConfig, HaltReason, SliceOutcome, StepEvent};
+use transputer_link::{AckPolicy, DuplexLink, End, LinkEvent, LinkSpeed, PacketKind};
 
 /// Index of a node in a [`Network`].
 pub type NodeId = usize;
+
+/// Cap on a single slice, so an instruction-loop without interaction
+/// points still yields to the heap (and to `run_until` predicates /
+/// budget checks) every so often.
+const MAX_SLICE_CYCLES: u64 = 1 << 22;
+
+/// Which execution engine a [`Network`] uses to advance time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One heap event per node micro-step (the reference engine).
+    Event,
+    /// Conservative lookahead windows: one heap entry per node-slice.
+    #[default]
+    Sliced,
+    /// The sliced engine, with the node slices of each window run on
+    /// scoped threads. Bit-identical to `Sliced` (and so to `Event`).
+    Parallel,
+}
 
 /// Network-wide configuration.
 #[derive(Debug, Clone)]
@@ -21,6 +64,8 @@ pub struct NetworkConfig {
     /// When receivers acknowledge (the paper's design is early
     /// acknowledge; `AfterStop` exists for the ablation benchmark).
     pub ack_policy: AckPolicy,
+    /// Execution engine.
+    pub engine: Engine,
 }
 
 impl Default for NetworkConfig {
@@ -29,6 +74,7 @@ impl Default for NetworkConfig {
             cpu: CpuConfig::t424(),
             link_speed: LinkSpeed::standard(),
             ack_policy: AckPolicy::Early,
+            engine: Engine::default(),
         }
     }
 }
@@ -89,6 +135,28 @@ struct Wire {
     early_acked: [bool; 2],
     /// Data bytes delivered in each direction (toward end 0 / end 1).
     delivered: [u64; 2],
+    /// Data-start probes not yet resolved, with their stamped times.
+    /// Only the sliced engines use these: a send performed at a slice
+    /// exit is stamped with the exit instruction's start time, which may
+    /// lie ahead of the global frontier, so the early-acknowledge
+    /// decision is deferred to a heap event at that stamp.
+    probes: Vec<(u64, End)>,
+}
+
+/// Per-port early-acknowledge history: enough state to answer "would
+/// this port have acknowledged early at time `stamp`" for one probe
+/// stamped earlier than the port's latest state change. One level of
+/// history suffices: a node's slice ends at the instruction that changes
+/// this state, and the node is rescheduled at or after that instruction,
+/// so at most one applied change can postdate any in-flight probe.
+#[derive(Debug, Clone, Copy, Default)]
+struct EaState {
+    /// Value after the most recent recorded change.
+    last: bool,
+    /// Stamp of the most recent recorded change.
+    stamp: u64,
+    /// Value before that change.
+    prev: bool,
 }
 
 /// Incremental builder for a [`Network`].
@@ -166,10 +234,14 @@ impl NetworkBuilder {
                     ends: [a, b],
                     early_acked: [false; 2],
                     delivered: [0; 2],
+                    probes: Vec::new(),
                 }
             })
             .collect();
         let n = self.nodes.len();
+        let w = wires.len();
+        let data_ns = self.config.link_speed.packet_ns(PacketKind::Data(0));
+        let ack_ns = self.config.link_speed.packet_ns(PacketKind::Ack);
         let mut net = Network {
             config: self.config,
             nodes: self.nodes,
@@ -179,6 +251,14 @@ impl NetworkBuilder {
             seq: 0,
             now_ns: 0,
             node_scheduled: vec![false; n],
+            node_next_ns: vec![0; n],
+            ea: vec![[EaState::default(); 4]; n],
+            ea_primed: false,
+            horizon_ns: None,
+            data_ns,
+            ack_ns,
+            wire_next: vec![u64::MAX; w],
+            par_workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
         };
         for i in 0..n {
             net.schedule_node(i, 0);
@@ -205,6 +285,25 @@ pub struct Network {
     now_ns: u64,
     /// Guards against flooding the queue with duplicate node events.
     node_scheduled: Vec<bool>,
+    /// The heap time of each scheduled node (valid while
+    /// `node_scheduled`); feeds the peer-activity bound.
+    node_next_ns: Vec<u64>,
+    /// Early-acknowledge history per node per port (sliced engines).
+    ea: Vec<[EaState; 4]>,
+    /// Whether `ea` has been initialised from live link state.
+    ea_primed: bool,
+    /// Hard upper bound on slice extents during `run_for`/`run_until`.
+    horizon_ns: Option<u64>,
+    /// Flight time of a data packet at the configured link speed.
+    data_ns: u64,
+    /// Flight time of an acknowledge packet.
+    ack_ns: u64,
+    /// Cached [`Self::wire_next_event_ns`] per wire (`u64::MAX` = none),
+    /// maintained by [`Self::schedule_wire`]; feeds the slice bounds
+    /// without rescanning link state.
+    wire_next: Vec<u64>,
+    /// Host threads available to the parallel engine (cached once).
+    par_workers: usize,
 }
 
 impl Network {
@@ -221,6 +320,27 @@ impl Network {
     /// Current simulated time in nanoseconds.
     pub fn time_ns(&self) -> u64 {
         self.now_ns
+    }
+
+    /// The engine advancing this network.
+    pub fn engine(&self) -> Engine {
+        self.config.engine
+    }
+
+    /// Switch engines. Safe at any event boundary: all engines share the
+    /// same heap discipline and observable state.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.config.engine = engine;
+        self.ea_primed = false;
+    }
+
+    /// Override the parallel engine's cached host-thread count. Intended
+    /// for tests that must exercise the window-batching path on hosts
+    /// without real parallelism; the engines are bit-identical either
+    /// way.
+    #[doc(hidden)]
+    pub fn set_par_workers(&mut self, workers: usize) {
+        self.par_workers = workers.max(1);
     }
 
     /// Immutable access to a node.
@@ -263,15 +383,32 @@ impl Network {
     fn schedule_node(&mut self, node: usize, at: u64) {
         if !self.node_scheduled[node] {
             self.node_scheduled[node] = true;
+            self.node_next_ns[node] = at;
             self.seq += 1;
             self.queue.push(Reverse((at, self.seq, Actor::Node(node))));
         }
     }
 
+
+    /// Earliest pending activity on a wire: an in-flight packet
+    /// completion or an unresolved data-start probe.
+    fn wire_next_event_ns(&self, wire: usize) -> Option<u64> {
+        let w = &self.wires[wire];
+        let probe = w.probes.iter().map(|&(t, _)| t).min();
+        match (w.link.next_deadline(), probe) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     fn schedule_wire(&mut self, wire: usize) {
-        if let Some(t) = self.wires[wire].link.next_deadline() {
-            self.seq += 1;
-            self.queue.push(Reverse((t, self.seq, Actor::Wire(wire))));
+        match self.wire_next_event_ns(wire) {
+            Some(t) => {
+                self.wire_next[wire] = t;
+                self.seq += 1;
+                self.queue.push(Reverse((t, self.seq, Actor::Wire(wire))));
+            }
+            None => self.wire_next[wire] = u64::MAX,
         }
     }
 
@@ -360,9 +497,7 @@ impl Network {
     }
 
     fn node_cycle_ns(&self, node: usize) -> u64 {
-        // All nodes share the configured processor cycle time.
-        let _ = node;
-        transputer::timing::CYCLE_NS
+        self.nodes[node].cycle_time_ns()
     }
 
     /// Advance the simulation by exactly one event. Returns false when
@@ -409,6 +544,504 @@ impl Network {
         Ok(true)
     }
 
+    // ------------------------------------------------------------------
+    // The lookahead (sliced) engine.
+    // ------------------------------------------------------------------
+
+    /// Initialise the early-acknowledge history from live link state.
+    /// Runs at the first sliced step so program loading and boot
+    /// configuration between `build()` and the first run are captured.
+    fn prime_ea(&mut self) {
+        if self.ea_primed {
+            return;
+        }
+        self.ea_primed = true;
+        for node in 0..self.nodes.len() {
+            for port in 0..4 {
+                if self.port_to_wire[node][port] == usize::MAX {
+                    continue;
+                }
+                let live = self.nodes[node].link_rx_early_ack(port);
+                self.ea[node][port] = EaState {
+                    last: live,
+                    stamp: self.now_ns,
+                    prev: live,
+                };
+            }
+        }
+    }
+
+    /// Record any change to a node's receiver-visible link state, stamped
+    /// with the instruction (or wire event) that caused it.
+    fn refresh_ea(&mut self, node: usize, stamp: u64) {
+        for port in 0..4 {
+            if self.port_to_wire[node][port] == usize::MAX {
+                continue;
+            }
+            let live = self.nodes[node].link_rx_early_ack(port);
+            let e = &mut self.ea[node][port];
+            if live != e.last {
+                e.prev = e.last;
+                e.stamp = stamp;
+                e.last = live;
+            }
+        }
+    }
+
+    /// Would `node`'s receiver on `port` have acknowledged early at time
+    /// `stamp`? Current state answers for stamps at or after the latest
+    /// recorded change; the one-deep history answers for older probes.
+    fn ea_at(&self, node: usize, port: usize, stamp: u64) -> bool {
+        let e = &self.ea[node][port];
+        if stamp >= e.stamp {
+            self.nodes[node].link_rx_early_ack(port)
+        } else {
+            e.prev
+        }
+    }
+
+    /// Earliest time node `m` can next act: its scheduled slice, a wire
+    /// event addressed to it, or a chain of other events reaching it (no
+    /// faster than the heap frontier plus one acknowledge flight).
+    fn peer_activity_ns(&self, m: usize, t_peek: Option<u64>, batch: &[(u64, usize)]) -> u64 {
+        let mut act = u64::MAX;
+        if self.node_scheduled[m] {
+            act = self.node_next_ns[m];
+        }
+        for &(tb, nb) in batch {
+            if nb == m {
+                act = act.min(tb);
+            }
+        }
+        for port in 0..4 {
+            let w = self.port_to_wire[m][port];
+            if w != usize::MAX {
+                act = act.min(self.wire_next[w]);
+            }
+        }
+        if let Some(tp) = t_peek {
+            // Only pay for the peer's link state when the frontier term
+            // could bind at all.
+            if tp.saturating_add(self.ack_ns.min(self.data_ns)) < act {
+                // An acknowledge can only land on a port whose transmit
+                // is in flight; any other first arrival is a data packet.
+                let mut hop_in = self.data_ns;
+                for port in 0..4 {
+                    if self.port_to_wire[m][port] != usize::MAX
+                        && self.nodes[m].link_tx_in_flight(port)
+                    {
+                        hop_in = hop_in.min(self.ack_ns);
+                        break;
+                    }
+                }
+                act = act.min(tp.saturating_add(hop_in));
+            }
+        }
+        act
+    }
+
+    /// How far node `node`, popped at `t`, may run without interacting
+    /// with anything the wires could deliver first. `t_peek` is the heap
+    /// frontier after the pop; `batch` carries the pop times of nodes
+    /// running concurrently in the same parallel window.
+    fn slice_bound_ns(&self, node: usize, t_peek: Option<u64>, batch: &[(u64, usize)]) -> u64 {
+        let mut direct = u64::MAX;
+        for port in 0..4 {
+            let w = self.port_to_wire[node][port];
+            if w == usize::MAX {
+                continue;
+            }
+            direct = direct.min(self.wire_next[w]);
+            let (a, b) = (self.wires[w].ends[0], self.wires[w].ends[1]);
+            let peer = if a == (node, port) { b.0 } else { a.0 };
+            // The first packet the peer could land on this node: an
+            // acknowledge if our byte is on the wire, else a data byte.
+            let hop = if self.nodes[node].link_tx_in_flight(port) {
+                self.ack_ns
+            } else {
+                self.data_ns
+            };
+            let act = self.peer_activity_ns(peer, t_peek, batch);
+            direct = direct.min(act.saturating_add(hop));
+        }
+        self.horizon_ns.unwrap_or(u64::MAX).min(direct)
+    }
+
+    /// Run one slice of `node`, popped at heap time `t`. Advances an idle
+    /// node's clock first, exactly as the event engine does at a pop.
+    /// Returns what the slice did plus the node's cycle count at entry.
+    fn run_node_slice(&mut self, node: usize, t: u64, bound: u64) -> (u64, SliceOutcome) {
+        let cyc = self.node_cycle_ns(node);
+        if self.nodes[node].is_idle() {
+            self.nodes[node].advance_idle_to(t / cyc);
+        }
+        let pop_cycles = self.nodes[node].cycles();
+        // An instruction runs iff it *starts* before the bound; zero
+        // budget still runs one micro-step, matching the event engine's
+        // behaviour at ties.
+        let budget = if bound > t {
+            (bound - t).div_ceil(cyc).min(MAX_SLICE_CYCLES)
+        } else {
+            0
+        };
+        let outcome = self.nodes[node].run_slice(budget);
+        (pop_cycles, outcome)
+    }
+
+    /// Apply a finished slice: stamp and service link activity, record
+    /// receiver-state history, and reschedule the node. `t` is the pop
+    /// time and `pop_cycles` the node's cycle count at the pop, so
+    /// `stamp = t + (interaction_cycle - pop_cycles) * cycle_ns`
+    /// reproduces the event engine's per-instruction event times even
+    /// when an idle wake left the node's local clock behind global time.
+    fn finish_slice(
+        &mut self,
+        node: usize,
+        t: u64,
+        pop_cycles: u64,
+        outcome: SliceOutcome,
+    ) -> Result<(), SimError> {
+        let cyc = self.node_cycle_ns(node);
+        let end_ns = t + (self.nodes[node].cycles() - pop_cycles) * cyc;
+        match outcome {
+            SliceOutcome::Halted(HaltReason::Stopped) => {
+                if self.nodes[node].take_links_dirty() {
+                    let stamp =
+                        t + (self.nodes[node].slice_interaction_cycle() - pop_cycles) * cyc;
+                    self.refresh_ea(node, stamp);
+                    self.service_node_links_at(node, stamp);
+                }
+            }
+            SliceOutcome::Halted(reason) => {
+                return Err(SimError::NodeFault { node, reason });
+            }
+            SliceOutcome::Idle => {
+                if let Some(wake_cycle) = self.nodes[node].next_timer_wake_cycle() {
+                    let at = (wake_cycle * cyc).max(end_ns + 1);
+                    self.schedule_node(node, at);
+                }
+                // Otherwise: the node sleeps until a wire wakes it.
+            }
+            SliceOutcome::TxReady
+            | SliceOutcome::RxWait
+            | SliceOutcome::AckRaised
+            | SliceOutcome::Preempted
+            | SliceOutcome::BudgetExpired => {
+                let stamp = t + (self.nodes[node].slice_interaction_cycle() - pop_cycles) * cyc;
+                if self.nodes[node].take_links_dirty() {
+                    self.refresh_ea(node, stamp);
+                    self.service_node_links_at(node, stamp);
+                } else if outcome == SliceOutcome::RxWait {
+                    // An input began but sent nothing: the receiver state
+                    // still changed at the interaction instruction.
+                    self.refresh_ea(node, stamp);
+                }
+                self.schedule_node(node, end_ns);
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Network::service_node_links`], but with sends stamped at
+    /// `stamp` (the exit instruction's start time, possibly ahead of the
+    /// global frontier) and early-acknowledge probes deferred to heap
+    /// events at their stamps instead of resolved inline.
+    fn service_node_links_at(&mut self, node: usize, stamp: u64) {
+        for port in 0..4 {
+            let w = self.port_to_wire[node][port];
+            if w == usize::MAX {
+                continue;
+            }
+            let end = if self.wires[w].ends[0] == (node, port) {
+                End::A
+            } else {
+                End::B
+            };
+            let mut touched = false;
+            if self.nodes[node].link_take_deferred_ack(port) {
+                self.wires[w].link.send_ack(end, stamp);
+                touched = true;
+            }
+            if let Some(byte) = self.nodes[node].link_tx_poll(port) {
+                self.wires[w].link.send_data(end, byte, stamp);
+                touched = true;
+            }
+            if touched {
+                for ev in self.wires[w].link.take_pending_events() {
+                    if let LinkEvent::DataStarted { to } = ev {
+                        self.wires[w].probes.push((stamp, to));
+                    }
+                }
+                self.schedule_wire(w);
+            }
+        }
+    }
+
+    /// The early-acknowledge decision for a data packet that started
+    /// arriving at `to` at time `stamp`.
+    fn resolve_probe(&mut self, w: usize, to: End, stamp: u64) {
+        let (node, port) = self.wire_end(w, to);
+        let early =
+            self.config.ack_policy == AckPolicy::Early && self.ea_at(node, port, stamp);
+        self.wires[w].early_acked[end_index(to)] = early;
+        if early {
+            self.wires[w].link.send_ack(to, stamp);
+        }
+    }
+
+    /// Whether a wire pop at `t` must wait for node slices scheduled at
+    /// the same instant. A data-start probe stamped exactly `t` ties with
+    /// any instruction starting at `t`; the event engine executes the
+    /// instruction first (its heap entry was pushed before the sender's
+    /// step ran), so the sliced engine re-queues the wire behind the
+    /// pending node entries to observe the same post-instruction state.
+    fn wire_pop_deferred(&mut self, w: usize, t: u64) -> bool {
+        if !self.wires[w].probes.iter().any(|&(s, _)| s == t) {
+            return false;
+        }
+        let node_pending = (0..self.nodes.len())
+            .any(|n| self.node_scheduled[n] && self.node_next_ns[n] == t);
+        if node_pending {
+            self.seq += 1;
+            self.queue.push(Reverse((t, self.seq, Actor::Wire(w))));
+            return true;
+        }
+        false
+    }
+
+    /// Sliced-engine wire processing: resolve due probes at their own
+    /// stamps, then drain completions at the frontier.
+    fn process_wire_sliced(&mut self, w: usize) {
+        let now = self.now_ns;
+        if !self.wires[w].probes.is_empty() {
+            let mut due: Vec<(u64, End)> = Vec::new();
+            self.wires[w].probes.retain(|&(t, to)| {
+                if t <= now {
+                    due.push((t, to));
+                    false
+                } else {
+                    true
+                }
+            });
+            due.sort_by_key(|&(t, _)| t);
+            for (t, to) in due {
+                self.resolve_probe(w, to, t);
+            }
+        }
+        let events = self.wires[w].link.advance(now);
+        for ev in events {
+            match ev {
+                LinkEvent::DataStarted { to } => {
+                    // A queued packet chained onto a completion: it
+                    // starts exactly now.
+                    self.resolve_probe(w, to, now);
+                }
+                LinkEvent::DataDelivered { to, byte } => {
+                    let (node, port) = self.wire_end(w, to);
+                    let ei = end_index(to);
+                    self.wires[w].delivered[ei] += 1;
+                    let was_idle = self.nodes[node].is_idle();
+                    let ack_now = self.nodes[node].link_rx_deliver(port, byte);
+                    if ack_now && !self.wires[w].early_acked[ei] {
+                        self.wires[w].link.send_ack(to, now);
+                    }
+                    self.wires[w].early_acked[ei] = false;
+                    self.refresh_ea(node, now);
+                    if was_idle && !self.nodes[node].is_idle() {
+                        self.sync_and_wake(node);
+                    }
+                }
+                LinkEvent::AckDelivered { to } => {
+                    let (node, port) = self.wire_end(w, to);
+                    let was_idle = self.nodes[node].is_idle();
+                    self.nodes[node].link_tx_ack(port);
+                    if was_idle && !self.nodes[node].is_idle() {
+                        self.sync_and_wake(node);
+                    }
+                    // The output port may have another byte ready now.
+                    self.service_node_links_at(node, now);
+                }
+            }
+        }
+        self.schedule_wire(w);
+    }
+
+    /// Advance the simulation by one heap event under the sliced engine:
+    /// a wire event, or one whole node slice.
+    fn step_sliced(&mut self) -> Result<bool, SimError> {
+        self.prime_ea();
+        let Reverse((t, _, actor)) = match self.queue.pop() {
+            Some(e) => e,
+            None => return Ok(false),
+        };
+        self.now_ns = self.now_ns.max(t);
+        match actor {
+            Actor::Wire(w) => {
+                if !self.wire_pop_deferred(w, t) {
+                    self.process_wire_sliced(w);
+                }
+            }
+            Actor::Node(n) => {
+                self.node_scheduled[n] = false;
+                let t_peek = self.queue.peek().map(|Reverse((pt, _, _))| *pt);
+                let bound = self.slice_bound_ns(n, t_peek, &[]);
+                let (pop_cycles, outcome) = self.run_node_slice(n, t, bound);
+                self.finish_slice(n, t, pop_cycles, outcome)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Advance by one heap event under the parallel engine. Consecutive
+    /// node entries at the heap top form a window whose slices run on
+    /// scoped threads; their results are merged in pop order, so the
+    /// result is bit-identical to [`Engine::Sliced`].
+    fn step_parallel(&mut self) -> Result<bool, SimError> {
+        self.prime_ea();
+        let Reverse((t0, _, actor)) = match self.queue.pop() {
+            Some(e) => e,
+            None => return Ok(false),
+        };
+        self.now_ns = self.now_ns.max(t0);
+        let n0 = match actor {
+            Actor::Wire(w) => {
+                if !self.wire_pop_deferred(w, t0) {
+                    self.process_wire_sliced(w);
+                }
+                return Ok(true);
+            }
+            Actor::Node(n) => n,
+        };
+        self.node_scheduled[n0] = false;
+        let window_end = t0.saturating_add(self.ack_ns.min(self.data_ns));
+        let mut batch: Vec<(u64, usize)> = vec![(t0, n0)];
+        while let Some(&Reverse((t, _, Actor::Node(n)))) = self.queue.peek() {
+            if t > window_end {
+                break;
+            }
+            self.queue.pop();
+            self.node_scheduled[n] = false;
+            batch.push((t, n));
+        }
+        if batch.len() == 1 {
+            let t_peek = self.queue.peek().map(|Reverse((pt, _, _))| *pt);
+            let bound = self.slice_bound_ns(n0, t_peek, &[]);
+            let (pop_cycles, outcome) = self.run_node_slice(n0, t0, bound);
+            return self.finish_slice(n0, t0, pop_cycles, outcome).map(|()| true);
+        }
+        let remaining_top = self.queue.peek().map(|Reverse((pt, _, _))| *pt);
+        // Bounds are computed against pre-window state; a batch member's
+        // own influence on its neighbours is covered by its pop time
+        // appearing in `batch` (its sends are stamped no earlier).
+        struct Plan {
+            node: usize,
+            t: u64,
+            bound: u64,
+        }
+        let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
+        for (i, &(t, n)) in batch.iter().enumerate() {
+            let other_min = batch
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &(tj, _))| tj)
+                .min();
+            let t_peek = match (remaining_top, other_min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let bound = self.slice_bound_ns(n, t_peek, &batch);
+            plans.push(Plan { node: n, t, bound });
+        }
+        let workers = self.par_workers.min(plans.len()).max(1);
+        let mut results: Vec<(u64, SliceOutcome)> = Vec::with_capacity(plans.len());
+        // Thread spawns only pay off with real parallelism and enough
+        // work per window; small windows run inline, bit-identically:
+        // every slice runs against pre-window state either way, and
+        // results merge in pop order below.
+        if workers == 1 || plans.len() < 4 {
+            for plan in &plans {
+                results.push(self.run_node_slice(plan.node, plan.t, plan.bound));
+            }
+        } else {
+            let mut plan_of_node = vec![usize::MAX; self.nodes.len()];
+            for (pi, plan) in plans.iter().enumerate() {
+                plan_of_node[plan.node] = pi;
+            }
+            struct Job<'a> {
+                plan: usize,
+                cpu: &'a mut Cpu,
+                t: u64,
+                bound: u64,
+                pop_cycles: u64,
+                outcome: SliceOutcome,
+            }
+            let mut jobs: Vec<Job> = self
+                .nodes
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(n, cpu)| {
+                    let pi = plan_of_node[n];
+                    (pi != usize::MAX).then(|| Job {
+                        plan: pi,
+                        cpu,
+                        t: plans[pi].t,
+                        bound: plans[pi].bound,
+                        pop_cycles: 0,
+                        outcome: SliceOutcome::BudgetExpired,
+                    })
+                })
+                .collect();
+            let chunk = jobs.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                for ch in jobs.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for j in ch.iter_mut() {
+                            let cyc = j.cpu.cycle_time_ns();
+                            if j.cpu.is_idle() {
+                                j.cpu.advance_idle_to(j.t / cyc);
+                            }
+                            j.pop_cycles = j.cpu.cycles();
+                            let budget = if j.bound > j.t {
+                                (j.bound - j.t).div_ceil(cyc).min(MAX_SLICE_CYCLES)
+                            } else {
+                                0
+                            };
+                            j.outcome = j.cpu.run_slice(budget);
+                        }
+                    });
+                }
+            });
+            results.resize(plans.len(), (0, SliceOutcome::BudgetExpired));
+            for j in &jobs {
+                results[j.plan] = (j.pop_cycles, j.outcome);
+            }
+        }
+        for (pi, plan) in plans.iter().enumerate() {
+            let (pop_cycles, outcome) = results[pi];
+            self.finish_slice(plan.node, plan.t, pop_cycles, outcome)?;
+        }
+        Ok(true)
+    }
+
+    /// Advance by one event under the configured engine.
+    fn advance_one(&mut self) -> Result<bool, SimError> {
+        match self.config.engine {
+            Engine::Event => self.step_event(),
+            Engine::Sliced => self.step_sliced(),
+            Engine::Parallel => {
+                if self.par_workers > 1 {
+                    self.step_parallel()
+                } else {
+                    // No host parallelism: window batching only shortens
+                    // slices. The sequential sliced step is the same
+                    // algorithm with a window of one.
+                    self.step_sliced()
+                }
+            }
+        }
+    }
+
     /// Whether every node has halted cleanly.
     pub fn all_halted(&self) -> bool {
         self.nodes
@@ -439,23 +1072,36 @@ impl Network {
     /// [`SimError::NodeFault`] if a node faults.
     pub fn run_for(&mut self, duration_ns: u64) -> Result<SimOutcome, SimError> {
         let end = self.now_ns + duration_ns;
-        loop {
+        // Instructions run iff they start strictly before `end`, in both
+        // engines.
+        let saved = self.horizon_ns;
+        self.horizon_ns = Some(end);
+        let result = loop {
             if self.now_ns >= end {
-                return Ok(SimOutcome::TimeLimit);
+                break Ok(SimOutcome::TimeLimit);
             }
             if let Some(Reverse((t, _, _))) = self.queue.peek() {
                 if *t >= end {
                     self.now_ns = end;
-                    return Ok(SimOutcome::TimeLimit);
+                    break Ok(SimOutcome::TimeLimit);
                 }
             }
-            if !self.step_event()? {
-                return Ok(SimOutcome::Deadlock);
+            match self.advance_one() {
+                Ok(true) => {}
+                Ok(false) => break Ok(SimOutcome::Deadlock),
+                Err(e) => break Err(e),
             }
-        }
+        };
+        self.horizon_ns = saved;
+        result
     }
 
-    /// Run until a predicate over the network holds.
+    /// Run until a predicate over the network holds. The predicate is
+    /// evaluated after every heap event; under the sliced engines that is
+    /// after every node *slice* rather than every instruction, but wire
+    /// observables (delivered-byte counts, wire times) change at heap
+    /// events only, so predicates over them fire at identical times in
+    /// all engines.
     ///
     /// # Errors
     ///
@@ -466,20 +1112,28 @@ impl Network {
         F: FnMut(&Network) -> Option<SimOutcome>,
     {
         let end = self.now_ns.saturating_add(budget_ns);
-        loop {
+        let saved = self.horizon_ns;
+        self.horizon_ns = Some(end.saturating_add(1));
+        let result = loop {
             if let Some(out) = pred(self) {
-                return Ok(out);
+                break Ok(out);
             }
             if self.now_ns > end {
-                return Err(SimError::Budget { ns: budget_ns });
+                break Err(SimError::Budget { ns: budget_ns });
             }
-            if !self.step_event()? {
-                if let Some(out) = pred(self) {
-                    return Ok(out);
+            match self.advance_one() {
+                Ok(true) => {}
+                Ok(false) => {
+                    if let Some(out) = pred(self) {
+                        break Ok(out);
+                    }
+                    break Ok(SimOutcome::Deadlock);
                 }
-                return Ok(SimOutcome::Deadlock);
+                Err(e) => break Err(e),
             }
-        }
+        };
+        self.horizon_ns = saved;
+        result
     }
 }
 
@@ -541,15 +1195,7 @@ mod tests {
         assert_eq!(out, SimOutcome::AllHalted);
     }
 
-    /// Sender transmits one word over link 0; receiver stores it and halts.
-    #[test]
-    fn one_word_over_a_link() {
-        let mut b = NetworkBuilder::new(NetworkConfig::default());
-        let tx = b.add_node();
-        let rx = b.add_node();
-        b.connect((tx, 0), (rx, 0));
-        let mut net = b.build();
-
+    fn one_word_sender() -> Vec<u8> {
         // Sender: outword 0xBEEF on link 0 output channel, then halt.
         // The link-0 output channel word is at MostNeg (reserved word 0):
         // its address is mint + LINK_OUT_BASE words.
@@ -559,7 +1205,10 @@ mod tests {
         sender.extend(encode(Direct::LoadNonLocalPointer, LINK_OUT_BASE as i64));
         sender.extend(encode_op(Op::OutputWord));
         sender.extend(encode_op(Op::HaltSimulation));
+        sender
+    }
 
+    fn one_word_receiver() -> Vec<u8> {
         // Receiver: in 4 bytes from link 0 input channel into w[1].
         let mut receiver = Vec::new();
         receiver.extend(encode(Direct::LoadLocalPointer, 1));
@@ -570,13 +1219,60 @@ mod tests {
         receiver.extend(encode_op(Op::InputMessage));
         receiver.extend(encode(Direct::LoadLocal, 1));
         receiver.extend(encode_op(Op::HaltSimulation));
+        receiver
+    }
 
-        net.node_mut(tx).load_boot_program(&sender).unwrap();
-        net.node_mut(rx).load_boot_program(&receiver).unwrap();
-        net.run_until_all_halted(10_000_000).unwrap();
-        assert_eq!(net.node(rx).areg(), 0xBEEF);
-        let (to_end0, to_end1) = net.wire_delivered(0);
-        assert_eq!(to_end0 + to_end1, 4, "four data bytes crossed the wire");
+    /// Sender transmits one word over link 0; receiver stores it and halts.
+    #[test]
+    fn one_word_over_a_link() {
+        for engine in [Engine::Event, Engine::Sliced, Engine::Parallel] {
+            let mut b = NetworkBuilder::new(NetworkConfig {
+                engine,
+                ..NetworkConfig::default()
+            });
+            let tx = b.add_node();
+            let rx = b.add_node();
+            b.connect((tx, 0), (rx, 0));
+            let mut net = b.build();
+            net.node_mut(tx).load_boot_program(&one_word_sender()).unwrap();
+            net.node_mut(rx)
+                .load_boot_program(&one_word_receiver())
+                .unwrap();
+            net.run_until_all_halted(10_000_000).unwrap();
+            assert_eq!(net.node(rx).areg(), 0xBEEF, "{engine:?}");
+            let (to_end0, to_end1) = net.wire_delivered(0);
+            assert_eq!(
+                to_end0 + to_end1,
+                4,
+                "four data bytes crossed the wire ({engine:?})"
+            );
+        }
+    }
+
+    /// All three engines agree on per-node cycle counts for a transfer.
+    #[test]
+    fn engines_agree_on_one_word_transfer() {
+        let mut reference: Option<(u64, u64)> = None;
+        for engine in [Engine::Event, Engine::Sliced, Engine::Parallel] {
+            let mut b = NetworkBuilder::new(NetworkConfig {
+                engine,
+                ..NetworkConfig::default()
+            });
+            let tx = b.add_node();
+            let rx = b.add_node();
+            b.connect((tx, 0), (rx, 0));
+            let mut net = b.build();
+            net.node_mut(tx).load_boot_program(&one_word_sender()).unwrap();
+            net.node_mut(rx)
+                .load_boot_program(&one_word_receiver())
+                .unwrap();
+            net.run_until_all_halted(10_000_000).unwrap();
+            let got = (net.node(tx).cycles(), net.node(rx).cycles());
+            match reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(got, want, "{engine:?} diverged"),
+            }
+        }
     }
 
     /// The paper (§4.2): "It takes about 6 microseconds to send a 4 byte

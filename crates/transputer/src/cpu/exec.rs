@@ -65,7 +65,10 @@ impl Cpu {
         if self.op_len == 0 {
             self.op_start = self.iptr;
         }
-        let byte = self.mem.read_byte(self.iptr)?;
+        let byte = match self.mem.fetch_byte_fast(self.iptr) {
+            Some(b) => b,
+            None => self.mem.read_byte(self.iptr)?,
+        };
         self.iptr = self.word.mask(self.iptr.wrapping_add(1));
         self.stats.instructions += 1;
         self.op_len += 1;
@@ -279,9 +282,12 @@ impl Cpu {
                         if link < 4 {
                             if is_out {
                                 self.link_out[link as usize] = Default::default();
+                                self.slice_exit = Some(super::SliceOutcome::TxReady);
                             } else {
                                 self.link_in[link as usize] = Default::default();
+                                self.slice_exit = Some(super::SliceOutcome::RxWait);
                             }
+                            self.links_dirty = true;
                         }
                         self.areg = self.magic.not_process;
                     } else {

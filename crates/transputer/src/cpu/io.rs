@@ -6,7 +6,7 @@
 //! allowing a process to be written and compiled without knowledge of
 //! where its channels are connected."
 
-use super::{Cpu, Resume};
+use super::{Cpu, Resume, SliceOutcome};
 use crate::error::HaltReason;
 use crate::linkif::{RxOutcome, Transfer};
 use crate::process::{workspace_word, ProcDesc, PW_IPTR, PW_STATE};
@@ -203,6 +203,8 @@ impl Cpu {
         self.stats.message_bytes += u64::from(count);
         self.stats.deschedules += 1;
         self.dispatch_next();
+        self.links_dirty = true;
+        self.slice_exit = Some(SliceOutcome::TxReady);
         Ok(timing::LINK_INITIATE)
     }
 
@@ -244,12 +246,21 @@ impl Cpu {
                 debug_assert_eq!(done, me);
                 self.stats.messages += 1;
                 self.stats.message_bytes += u64::from(count);
+                self.links_dirty = true;
+                self.slice_exit = Some(SliceOutcome::AckRaised);
                 return Ok(timing::LINK_INITIATE);
             }
         }
         self.ws_write(PW_IPTR, self.iptr)?;
         self.stats.deschedules += 1;
         self.dispatch_next();
+        if buffered.is_some() {
+            // The buffered byte was taken: its deferred acknowledge is due.
+            self.links_dirty = true;
+            self.slice_exit = Some(SliceOutcome::AckRaised);
+        } else {
+            self.slice_exit = Some(SliceOutcome::RxWait);
+        }
         Ok(timing::LINK_INITIATE)
     }
 
@@ -326,6 +337,13 @@ impl Cpu {
     /// Whether a link output channel has an active transfer (diagnostic).
     pub fn link_output_busy(&self, link: usize) -> bool {
         self.link_out[link].is_busy()
+    }
+
+    /// Whether a transmitted byte on a link is still awaiting its
+    /// acknowledge. Used by the network scheduler's lookahead window:
+    /// an in-flight byte means the peer owes this node an acknowledge.
+    pub fn link_tx_in_flight(&self, link: usize) -> bool {
+        self.link_out[link].awaiting_ack()
     }
 
     /// Whether a link input channel holds a buffered byte (diagnostic).

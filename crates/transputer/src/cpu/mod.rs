@@ -126,6 +126,29 @@ pub enum StepEvent {
     Halted(HaltReason),
 }
 
+/// Why [`Cpu::run_slice`] stopped executing. Every variant except
+/// [`SliceOutcome::BudgetExpired`] is an *interaction point*: a state
+/// change the outside world (the wires of a network simulation) must
+/// observe before the processor may continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// A link output channel has a byte ready for the wire to take.
+    TxReady,
+    /// A process began waiting for external input on a link.
+    RxWait,
+    /// A deferred link acknowledge was raised and must reach the wire.
+    AckRaised,
+    /// Nothing is runnable; the processor is waiting for a timer, a
+    /// link, or an event.
+    Idle,
+    /// The processor halted.
+    Halted(HaltReason),
+    /// A high-priority process preempted the running low-priority one.
+    Preempted,
+    /// The cycle budget expired without reaching an interaction point.
+    BudgetExpired,
+}
+
 /// Outcome of [`Cpu::run`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -209,6 +232,14 @@ pub struct Cpu {
     pub(crate) timeslice_cycles: u64,
     pub(crate) last_dispatch: u64,
     pub(crate) stats: Stats,
+
+    /// Interaction point reached by the instruction just executed; taken
+    /// by [`Cpu::run_slice`] to end the slice.
+    pub(crate) slice_exit: Option<SliceOutcome>,
+    /// Wire-visible link state has changed since the flag was last taken.
+    pub(crate) links_dirty: bool,
+    /// Cycle at which the instruction that ended the last slice began.
+    pub(crate) slice_mark: u64,
 }
 
 impl Cpu {
@@ -259,6 +290,9 @@ impl Cpu {
             timeslice_cycles: config.timeslice_cycles,
             last_dispatch: 0,
             stats: Stats::default(),
+            slice_exit: None,
+            links_dirty: false,
+            slice_mark: 0,
         }
     }
 
@@ -536,6 +570,7 @@ impl Cpu {
         if let Some(r) = self.halted {
             return StepEvent::Halted(r);
         }
+        self.slice_exit = None;
         let before = self.cycles;
         if !self.has_current_process() && !self.dispatch_next() {
             return StepEvent::Idle;
@@ -561,6 +596,88 @@ impl Cpu {
                 }
             }
         }
+        self.record_pending_trace();
+        if let Some(r) = self.halted {
+            return StepEvent::Halted(r);
+        }
+        StepEvent::Ran {
+            cycles: (self.cycles - before) as u32,
+        }
+    }
+
+    /// Execute instructions inline until an interaction point is reached
+    /// or `cycle_budget` cycles have elapsed. Instructions execute in the
+    /// exact micro-step sequence [`Cpu::step`] would produce: an
+    /// instruction runs iff it *starts* strictly before
+    /// `cycles() + cycle_budget`, and at least one micro-step executes
+    /// even with a zero budget (matching the event-driven engine's
+    /// behaviour for nodes scheduled at identical times).
+    ///
+    /// On an interaction exit, [`Cpu::slice_interaction_cycle`] reports
+    /// the cycle at which the interacting instruction *began* — the time
+    /// the per-instruction engine would have observed the interaction.
+    pub fn run_slice(&mut self, cycle_budget: u64) -> SliceOutcome {
+        if let Some(r) = self.halted {
+            return SliceOutcome::Halted(r);
+        }
+        let limit = self.cycles.saturating_add(cycle_budget);
+        loop {
+            self.slice_mark = self.cycles;
+            if !self.has_current_process() && !self.dispatch_next() {
+                return SliceOutcome::Idle;
+            }
+            if self.priority() == Priority::Low && self.fptr[0] != self.magic.not_process {
+                self.preempt_to_high();
+                return SliceOutcome::Preempted;
+            }
+            let cycles = match self.resume {
+                Some(_) => self.continue_resume(),
+                None => self.exec_one(),
+            };
+            match cycles {
+                Ok(c) => {
+                    let c = c + self.mem.take_penalty_cycles();
+                    self.advance_time(c);
+                }
+                Err(reason) => {
+                    self.halted = Some(reason);
+                    return SliceOutcome::Halted(reason);
+                }
+            }
+            self.record_pending_trace();
+            if let Some(r) = self.halted {
+                return SliceOutcome::Halted(r);
+            }
+            if let Some(exit) = self.slice_exit.take() {
+                return exit;
+            }
+            if self.cycles >= limit {
+                return SliceOutcome::BudgetExpired;
+            }
+        }
+    }
+
+    /// The cycle at which the instruction that ended the last slice began
+    /// executing. Only meaningful directly after [`Cpu::run_slice`]
+    /// returned an interaction outcome.
+    pub fn slice_interaction_cycle(&self) -> u64 {
+        self.slice_mark
+    }
+
+    /// Take the dirty-link flag: whether any wire-visible link state
+    /// (output transfer, deferred acknowledge, ALT guard on a link)
+    /// changed since the flag was last taken. When false, a caller
+    /// driving the links can skip scanning the four ports entirely.
+    pub fn take_links_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.links_dirty)
+    }
+
+    /// Processor cycle time in nanoseconds.
+    pub fn cycle_time_ns(&self) -> u64 {
+        self.cycle_ns
+    }
+
+    fn record_pending_trace(&mut self) {
         if let Some((fun, operand)) = self.pending_trace.take() {
             if let Some(ring) = self.trace.as_mut() {
                 let op = if fun == crate::instr::Direct::Operate {
@@ -578,12 +695,6 @@ impl Cpu {
                     areg: self.areg,
                 });
             }
-        }
-        if let Some(r) = self.halted {
-            return StepEvent::Halted(r);
-        }
-        StepEvent::Ran {
-            cycles: (self.cycles - before) as u32,
         }
     }
 
@@ -606,6 +717,32 @@ impl Cpu {
                     Some(c) => self.advance_idle_to(c.max(self.cycles + 1)),
                     None => return Ok(RunOutcome::Deadlock),
                 },
+            }
+        }
+    }
+
+    /// [`Cpu::run`], but batched: executes via [`Cpu::run_slice`] instead
+    /// of one [`Cpu::step`] per micro-step. For a standalone processor
+    /// (no wires attached) link interaction points simply continue, and
+    /// the instruction sequence — hence every cycle count and result —
+    /// is identical to [`Cpu::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError::CycleBudgetExhausted`] if the budget runs out.
+    pub fn run_batched(&mut self, max_cycles: u64) -> Result<RunOutcome, CpuError> {
+        let limit = self.cycles.saturating_add(max_cycles);
+        loop {
+            if self.cycles >= limit {
+                return Err(CpuError::CycleBudgetExhausted { budget: max_cycles });
+            }
+            match self.run_slice(limit - self.cycles) {
+                SliceOutcome::Halted(r) => return Ok(RunOutcome::Halted(r)),
+                SliceOutcome::Idle => match self.next_timer_wake_cycle() {
+                    Some(c) => self.advance_idle_to(c.max(self.cycles + 1)),
+                    None => return Ok(RunOutcome::Deadlock),
+                },
+                _ => {}
             }
         }
     }

@@ -53,7 +53,7 @@ pub mod timing;
 pub mod trace;
 pub mod word;
 
-pub use cpu::{Cpu, CpuConfig, RunOutcome, StepEvent};
+pub use cpu::{Cpu, CpuConfig, RunOutcome, SliceOutcome, StepEvent};
 pub use error::{CpuError, HaltReason};
 pub use memory::{Memory, MemoryConfig};
 pub use process::{Priority, ProcDesc};

@@ -96,6 +96,13 @@ impl LinkOut {
     pub fn is_busy(&self) -> bool {
         self.transfer.is_some()
     }
+
+    /// Whether a byte has been handed to the wire and its acknowledge is
+    /// still outstanding. Used by the network scheduler's lookahead: an
+    /// in-flight byte means the peer will owe an acknowledge.
+    pub fn awaiting_ack(&self) -> bool {
+        self.in_flight
+    }
 }
 
 /// What a delivered byte did on the input side.

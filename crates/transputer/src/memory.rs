@@ -80,6 +80,10 @@ pub struct Memory {
     off_chip_penalty: u32,
     /// Cycles accrued from off-chip accesses since last drained.
     penalty_accrued: u32,
+    /// Bytes below this offset can be fetched without penalty
+    /// bookkeeping: the whole memory when no off-chip penalty is
+    /// configured, otherwise just the on-chip block.
+    fast_bytes: usize,
 }
 
 impl Memory {
@@ -92,6 +96,11 @@ impl Memory {
             on_chip_bytes: config.on_chip_bytes,
             off_chip_penalty: config.off_chip_penalty,
             penalty_accrued: 0,
+            fast_bytes: if config.off_chip_penalty == 0 {
+                total
+            } else {
+                config.on_chip_bytes as usize
+            },
         }
     }
 
@@ -199,6 +208,20 @@ impl Memory {
             v >>= 8;
         }
         Ok(())
+    }
+
+    /// Instruction-fetch fast path: read one byte with neither `Result`
+    /// plumbing nor penalty bookkeeping. Returns `None` when the address
+    /// is out of range or would accrue an off-chip penalty, in which case
+    /// the caller must fall back to [`Memory::read_byte`].
+    #[inline]
+    pub fn fetch_byte_fast(&self, addr: u32) -> Option<u8> {
+        let off = self.word.mask(addr.wrapping_sub(self.base())) as usize;
+        if off < self.fast_bytes {
+            Some(self.bytes[off])
+        } else {
+            None
+        }
     }
 
     /// Read one byte.

@@ -1,0 +1,240 @@
+//! One test per [`SliceOutcome`] variant, plus batched-vs-stepped
+//! equivalence checks for `run_slice` / `run_batched`.
+//!
+//! The slice engine must stop at exactly the interaction points the
+//! per-instruction engine would observe, so each variant is provoked
+//! with the smallest program that reaches it.
+
+use transputer::instr::{encode, encode_op, Direct, Op};
+use transputer::memory::{LINK_IN_BASE, LINK_OUT_BASE};
+use transputer::{Cpu, CpuConfig, HaltReason, Priority, SliceOutcome};
+
+/// Outword 0xBEEF on the link-0 output channel, then halt.
+fn sender_code() -> Vec<u8> {
+    let mut code = Vec::new();
+    code.extend(encode(Direct::LoadConstant, 0xBEEF));
+    code.extend(encode_op(Op::MinimumInteger));
+    code.extend(encode(Direct::LoadNonLocalPointer, LINK_OUT_BASE as i64));
+    code.extend(encode_op(Op::OutputWord));
+    code.extend(encode_op(Op::HaltSimulation));
+    code
+}
+
+/// Input 4 bytes from the link-0 input channel into w[1], then halt.
+fn receiver_code() -> Vec<u8> {
+    let mut code = Vec::new();
+    code.extend(encode(Direct::LoadLocalPointer, 1));
+    code.extend(encode_op(Op::MinimumInteger));
+    code.extend(encode(Direct::LoadNonLocalPointer, LINK_IN_BASE as i64));
+    code.extend(encode(Direct::LoadConstant, 4));
+    code.extend(encode_op(Op::InputMessage));
+    code.extend(encode(Direct::LoadLocal, 1));
+    code.extend(encode_op(Op::HaltSimulation));
+    code
+}
+
+#[test]
+fn slice_exits_at_tx_ready() {
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&sender_code()).unwrap();
+    let out = cpu.run_slice(1 << 20);
+    assert_eq!(out, SliceOutcome::TxReady);
+    assert!(cpu.take_links_dirty(), "tx start changes wire-visible state");
+    // The interacting instruction began no later than the current cycle.
+    assert!(cpu.slice_interaction_cycle() <= cpu.cycles());
+    // The wire can now collect the first byte of the word.
+    assert!(cpu.link_tx_poll(0).is_some());
+}
+
+#[test]
+fn slice_exits_at_rx_wait() {
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&receiver_code()).unwrap();
+    let out = cpu.run_slice(1 << 20);
+    assert_eq!(out, SliceOutcome::RxWait);
+    // Nothing is runnable while the input blocks, and the receiver now
+    // accepts an early acknowledge for the first incoming byte.
+    assert!(cpu.is_idle());
+    assert!(cpu.link_rx_early_ack(0));
+}
+
+#[test]
+fn slice_exits_at_ack_raised() {
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    cpu.load_boot_program(&receiver_code()).unwrap();
+    // A byte arrives before any process waits: it buffers, and the
+    // acknowledge is deferred until a process takes it.
+    let ack_now = cpu.link_rx_deliver(0, 0x11);
+    assert!(!ack_now, "no process waiting: byte buffers, ack deferred");
+    let out = cpu.run_slice(1 << 20);
+    assert_eq!(out, SliceOutcome::AckRaised);
+    assert!(
+        cpu.link_take_deferred_ack(0),
+        "the deferred acknowledge is owed to the wire"
+    );
+}
+
+#[test]
+fn slice_exits_idle_with_timer_wake() {
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    let mut code = Vec::new();
+    code.extend(encode_op(Op::LoadTimer));
+    code.extend(encode(Direct::AddConstant, 2));
+    code.extend(encode_op(Op::TimerInput));
+    code.extend(encode_op(Op::HaltSimulation));
+    cpu.load_boot_program(&code).unwrap();
+    let out = cpu.run_slice(1 << 20);
+    assert_eq!(out, SliceOutcome::Idle);
+    let wake = cpu.next_timer_wake_cycle().expect("timer wait is armed");
+    cpu.advance_idle_to(wake.max(cpu.cycles() + 1));
+    assert_eq!(
+        cpu.run_slice(1 << 20),
+        SliceOutcome::Halted(HaltReason::Stopped)
+    );
+}
+
+#[test]
+fn slice_exits_halted_and_stays_halted() {
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    let mut code = Vec::new();
+    code.extend(encode(Direct::LoadConstant, 1));
+    code.extend(encode_op(Op::HaltSimulation));
+    cpu.load_boot_program(&code).unwrap();
+    assert_eq!(
+        cpu.run_slice(1 << 20),
+        SliceOutcome::Halted(HaltReason::Stopped)
+    );
+    // Idempotent: further slices report the same halt without running.
+    let cycles = cpu.cycles();
+    assert_eq!(
+        cpu.run_slice(1 << 20),
+        SliceOutcome::Halted(HaltReason::Stopped)
+    );
+    assert_eq!(cpu.cycles(), cycles);
+}
+
+#[test]
+fn slice_exits_preempted_by_high_priority() {
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    let mut code = Vec::new();
+    // Low: endless multiply loop; High: one timer wait, then halt.
+    let lo = code.len();
+    code.extend(encode(Direct::LoadConstant, 3));
+    code.extend(encode(Direct::LoadConstant, 3));
+    code.extend(encode_op(Op::Multiply));
+    code.extend(encode(Direct::StoreLocal, 1));
+    let dist = lo as i64 - (code.len() as i64 + 2);
+    code.extend(encode(Direct::Jump, dist));
+    let hi = code.len();
+    code.extend(encode_op(Op::LoadTimer));
+    code.extend(encode(Direct::AddConstant, 2));
+    code.extend(encode_op(Op::TimerInput));
+    code.extend(encode_op(Op::HaltSimulation));
+    let entry = cpu.memory().mem_start();
+    cpu.load(entry, &code).expect("fits");
+    let w = cpu.default_boot_workspace();
+    cpu.spawn(w, entry, Priority::Low);
+    cpu.spawn(w.wrapping_sub(256), entry + hi as u32, Priority::High);
+
+    let mut outcomes = Vec::new();
+    for _ in 0..10_000 {
+        let out = cpu.run_slice(1 << 16);
+        outcomes.push(out);
+        match out {
+            SliceOutcome::Halted(_) => break,
+            SliceOutcome::Idle => {
+                let wake = cpu.next_timer_wake_cycle().expect("timer armed");
+                cpu.advance_idle_to(wake.max(cpu.cycles() + 1));
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        outcomes.contains(&SliceOutcome::Preempted),
+        "the timer wake must preempt the low-priority loop: {outcomes:?}"
+    );
+    assert_eq!(
+        *outcomes.last().unwrap(),
+        SliceOutcome::Halted(HaltReason::Stopped)
+    );
+    assert!(cpu.stats().preemptions >= 1);
+}
+
+#[test]
+fn slice_exits_budget_expired_at_instruction_boundary() {
+    let mut batched = Cpu::new(CpuConfig::t424());
+    let mut stepped = Cpu::new(CpuConfig::t424());
+    let mut code = Vec::new();
+    let lo = code.len();
+    code.extend(encode(Direct::LoadConstant, 3));
+    code.extend(encode(Direct::LoadConstant, 3));
+    code.extend(encode_op(Op::Multiply));
+    code.extend(encode(Direct::StoreLocal, 1));
+    let dist = lo as i64 - (code.len() as i64 + 2);
+    code.extend(encode(Direct::Jump, dist));
+    batched.load_boot_program(&code).unwrap();
+    stepped.load_boot_program(&code).unwrap();
+
+    let out = batched.run_slice(1_000);
+    assert_eq!(out, SliceOutcome::BudgetExpired);
+    // Every instruction *starting* inside the budget ran; the last may
+    // finish past it, but only by one instruction's worth of cycles.
+    assert!(batched.cycles() >= 1_000);
+
+    // The stepped twin reaches the identical state at the same cycle.
+    while stepped.cycles() < batched.cycles() {
+        stepped.step();
+    }
+    assert_eq!(stepped.cycles(), batched.cycles());
+    assert_eq!(stepped.iptr(), batched.iptr());
+    assert_eq!(stepped.areg(), batched.areg());
+    assert_eq!(
+        stepped.stats().instructions,
+        batched.stats().instructions,
+        "stats audit: instruction counters agree between engines"
+    );
+}
+
+#[test]
+fn run_batched_matches_run_on_a_standalone_program() {
+    // A compute-plus-timer program: run() and run_batched() must agree
+    // on cycles, instruction counts, and the final memory image.
+    let mut code = Vec::new();
+    let lo = code.len();
+    code.extend(encode(Direct::LoadConstant, 7));
+    code.extend(encode(Direct::LoadConstant, 9));
+    code.extend(encode_op(Op::Multiply));
+    code.extend(encode(Direct::StoreLocal, 1));
+    let dist = lo as i64 - (code.len() as i64 + 2);
+    code.extend(encode(Direct::Jump, dist));
+    let hi = code.len();
+    code.extend(encode_op(Op::LoadTimer));
+    code.extend(encode(Direct::AddConstant, 3));
+    code.extend(encode_op(Op::TimerInput));
+    code.extend(encode_op(Op::HaltSimulation));
+
+    let build = |code: &[u8]| {
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        let entry = cpu.memory().mem_start();
+        cpu.load(entry, code).expect("fits");
+        let w = cpu.default_boot_workspace();
+        cpu.spawn(w, entry, Priority::Low);
+        cpu.spawn(w.wrapping_sub(256), entry + hi as u32, Priority::High);
+        cpu
+    };
+    let mut a = build(&code);
+    let mut b = build(&code);
+    let ra = a.run(1_000_000).expect("halts");
+    let rb = b.run_batched(1_000_000).expect("halts");
+    assert_eq!(ra, rb);
+    assert_eq!(a.cycles(), b.cycles());
+    assert_eq!(a.stats().instructions, b.stats().instructions);
+    assert_eq!(a.stats().preemptions, b.stats().preemptions);
+    let start = a.memory().mem_start();
+    let len = 4096usize;
+    assert_eq!(
+        a.memory().dump(start, len).unwrap(),
+        b.memory().dump(start, len).unwrap(),
+        "final memory images agree"
+    );
+}

@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.total_records(),
         config.requests
     );
-    let sim = DbSearch::build(config)?;
+    let mut sim = DbSearch::build(config)?;
     let report = sim.run(1_000_000_000_000)?;
 
     println!("\nanswers (match counts per request): {:?}", report.answers);
