@@ -294,7 +294,9 @@ impl Checker {
                 None => self.visit_par(branches, usage),
             },
             Process::PriPar(branches, _) => self.visit_par(branches, usage),
-            Process::Declared(decls, body, pos) => self.visit_declared(decls, body, pos.line, usage),
+            Process::Declared(decls, body, pos) => {
+                self.visit_declared(decls, body, pos.line, usage)
+            }
             Process::Call(name, actuals, pos) => self.visit_call(name, actuals, *pos, usage),
         }
     }
@@ -497,7 +499,11 @@ impl Checker {
                         Dir::Input => "input",
                         Dir::Output => "output",
                     };
-                    let (early, late) = if a.line() <= b.line() { (&a, &b) } else { (&b, &a) };
+                    let (early, late) = if a.line() <= b.line() {
+                        (&a, &b)
+                    } else {
+                        (&b, &a)
+                    };
                     let (first, second) = (early.line(), late.line());
                     let late_pos = late.pos;
                     self.error(
@@ -589,7 +595,9 @@ impl Checker {
                     // actual; the formal's mode decides what it means.
                     let resolved = match actuals.get(i) {
                         Some(Actual::Chan(cref)) => self.resolve(cref),
-                        Some(Actual::Expr(Expr::Name(n))) => self.resolve(&ChanRef::Name(n.clone())),
+                        Some(Actual::Expr(Expr::Name(n))) => {
+                            self.resolve(&ChanRef::Name(n.clone()))
+                        }
                         Some(Actual::Expr(Expr::Index(n, e))) => {
                             self.resolve(&ChanRef::Index(n.clone(), e.clone()))
                         }
@@ -901,10 +909,7 @@ mod tests {
              PAR i = [0 FOR 4]\n\
              \x20 c[i] ! i",
         );
-        assert!(
-            !codes(&diags).contains(&"par-chan-output"),
-            "got {diags:?}"
-        );
+        assert!(!codes(&diags).contains(&"par-chan-output"), "got {diags:?}");
     }
 
     #[test]
@@ -983,9 +988,6 @@ mod tests {
              \x20   a ? x\n\
              \x20   b ! 2",
         );
-        assert!(
-            !codes(&diags).contains(&"par-deadlock"),
-            "got {diags:?}"
-        );
+        assert!(!codes(&diags).contains(&"par-deadlock"), "got {diags:?}");
     }
 }

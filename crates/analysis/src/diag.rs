@@ -164,7 +164,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let d = Diagnostic::error("stack-underflow", Span::code(0x12, 2), "pop from empty stack");
+        let d = Diagnostic::error(
+            "stack-underflow",
+            Span::code(0x12, 2),
+            "pop from empty stack",
+        );
         let s = d.to_string();
         assert!(s.contains("error"));
         assert!(s.contains("stack-underflow"));

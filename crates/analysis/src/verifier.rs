@@ -178,7 +178,13 @@ pub fn verify_bytecode(code: &[u8], shape: Option<&CodeShape>) -> Vec<Diagnostic
             insn.fun,
             Direct::Jump | Direct::ConditionalJump | Direct::Call
         ) {
-            check_target(insn, insn.end() as i64 + insn.operand, code.len(), &index, &mut diags);
+            check_target(
+                insn,
+                insn.end() as i64 + insn.operand,
+                code.len(),
+                &index,
+                &mut diags,
+            );
         }
     }
 
@@ -234,11 +240,7 @@ pub fn verify_bytecode(code: &[u8], shape: Option<&CodeShape>) -> Vec<Diagnostic
                 diags.push(Diagnostic::error(
                     kind.0,
                     insn.span(),
-                    format!(
-                        "{} {what} {target:#x} lands {}",
-                        insn.mnemonic(),
-                        kind.1
-                    ),
+                    format!("{} {what} {target:#x} lands {}", insn.mnemonic(), kind.1),
                 ));
             }
         }
@@ -417,9 +419,7 @@ fn flow(
                 ));
             }
             let after_lo = state.lo.saturating_sub(e.pops);
-            if strict
-                && after_lo + e.pushes > 3
-                && reported.insert((insn.offset, "stack-overflow"))
+            if strict && after_lo + e.pushes > 3 && reported.insert((insn.offset, "stack-overflow"))
             {
                 diags.push(Diagnostic::error(
                     "stack-overflow",
@@ -624,7 +624,11 @@ mod tests {
     }
 
     fn errors(diags: &[Diagnostic]) -> Vec<&'static str> {
-        diags.iter().filter(|d| d.is_error()).map(|d| d.code).collect()
+        diags
+            .iter()
+            .filter(|d| d.is_error())
+            .map(|d| d.code)
+            .collect()
     }
 
     #[test]
@@ -633,7 +637,10 @@ mod tests {
         encode_into(Direct::LoadConstant, 7, &mut code);
         encode_into(Direct::StoreLocal, 0, &mut code);
         code.extend(encode_op(Op::HaltSimulation));
-        let shape = CodeShape { locals: 1, depth: 0 };
+        let shape = CodeShape {
+            locals: 1,
+            depth: 0,
+        };
         assert!(verify_bytecode(&code, Some(&shape)).is_empty());
     }
 
@@ -669,7 +676,10 @@ mod tests {
         // j 1 lands between the pfix bytes of the following ldc #754.
         let mut code = encode(Direct::Jump, 1);
         code.extend(encode(Direct::LoadConstant, 0x754));
-        assert_eq!(errors(&verify_bytecode(&code, None)), ["jump-mid-instruction"]);
+        assert_eq!(
+            errors(&verify_bytecode(&code, None)),
+            ["jump-mid-instruction"]
+        );
     }
 
     #[test]
@@ -684,8 +694,14 @@ mod tests {
         encode_into(Direct::LoadConstant, 1, &mut code);
         encode_into(Direct::StoreLocal, 9, &mut code);
         code.extend(encode_op(Op::HaltSimulation));
-        let shape = CodeShape { locals: 2, depth: 0 };
-        assert_eq!(errors(&verify_bytecode(&code, Some(&shape))), ["workspace-oob"]);
+        let shape = CodeShape {
+            locals: 2,
+            depth: 0,
+        };
+        assert_eq!(
+            errors(&verify_bytecode(&code, Some(&shape))),
+            ["workspace-oob"]
+        );
         // Without a shape the check is silent.
         assert!(verify_bytecode(&code, None).is_empty());
     }
@@ -698,9 +714,15 @@ mod tests {
         encode_into(Direct::LoadConstant, 1, &mut code);
         encode_into(Direct::StoreLocal, 1, &mut code);
         code.extend(encode_op(Op::HaltSimulation));
-        let ok = CodeShape { locals: 1, depth: 2 };
+        let ok = CodeShape {
+            locals: 1,
+            depth: 2,
+        };
         assert!(verify_bytecode(&code, Some(&ok)).is_empty());
-        let too_small = CodeShape { locals: 1, depth: 0 };
+        let too_small = CodeShape {
+            locals: 1,
+            depth: 0,
+        };
         assert_eq!(
             errors(&verify_bytecode(&code, Some(&too_small))),
             ["workspace-oob"]
@@ -719,14 +741,20 @@ mod tests {
     #[test]
     fn truncated_prefix_chain_is_an_error() {
         let code = vec![0x21];
-        assert_eq!(errors(&verify_bytecode(&code, None)), ["truncated-instruction"]);
+        assert_eq!(
+            errors(&verify_bytecode(&code, None)),
+            ["truncated-instruction"]
+        );
     }
 
     #[test]
     fn undefined_operation_is_an_error() {
         // opr 0x11 has no defined operation.
         let code = encode(Direct::Operate, 0x11);
-        assert_eq!(errors(&verify_bytecode(&code, None)), ["undefined-operation"]);
+        assert_eq!(
+            errors(&verify_bytecode(&code, None)),
+            ["undefined-operation"]
+        );
     }
 
     #[test]
@@ -760,7 +788,10 @@ mod tests {
         encode_into(Direct::LoadConstant, 2, &mut code);
         encode_into(Direct::StoreLocal, 0, &mut code);
         code.extend(encode_op(Op::HaltSimulation));
-        let shape = CodeShape { locals: 1, depth: 0 };
+        let shape = CodeShape {
+            locals: 1,
+            depth: 0,
+        };
         assert!(verify_bytecode(&code, Some(&shape)).is_empty());
     }
 

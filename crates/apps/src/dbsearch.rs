@@ -9,23 +9,33 @@
 //! \[are\] merged with the answer generated from the local data and
 //! forwarded."
 //!
-//! The flood and merge are deterministic here: requests enter at the
-//! north-west corner, propagate east along every row and south along
-//! column 0; partial answers accumulate eastwards along each row and then
-//! southwards down the last column, leaving at the south-east corner.
-//! Requests pipeline: "requests can be pipelined through the system with
-//! a further request being input before the previous one has come out"
-//! (§4.2).
+//! The flood and merge are deterministic here: requests flow down a
+//! breadth-first spanning tree rooted at the north-west corner, and
+//! partial answers merge up a second spanning tree rooted at the
+//! south-east corner, leaving through that corner. On an intact grid the
+//! parent preferences (west-then-north for requests, east-then-south for
+//! answers) reproduce the classic routing of the paper's figure —
+//! requests east along every row and south down column 0, answers east
+//! along each row and south down the last column. When a
+//! [`transputer_link::FaultPlan`] declares grid wires dead at boot, both
+//! trees are recomputed over the surviving links: the search routes
+//! around the damage, and any node cut off from either corner is excluded
+//! from the search (its records drop out of the expected counts and the
+//! report is flagged degraded). Requests pipeline: "requests can be
+//! pipelined through the system with a further request being input before
+//! the previous one has come out" (§4.2).
 //!
-//! Every node runs the same occam program (specialised only by its edge
-//! position), compiled by the `occam` crate and executed on emulated
-//! transputers wired with bit-level links.
+//! Every node runs the same occam program (specialised only by its
+//! position in the two trees), compiled by the `occam` crate and executed
+//! on emulated transputers wired with bit-level links.
+
+use std::collections::{HashSet, VecDeque};
 
 use crate::workload::{Workload, RECORD_WORDS};
 use occam::places;
 use transputer::WordLength;
-use transputer_net::topology::{PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
-use transputer_net::{Network, NetworkBuilder, NetworkConfig, NodeId, SimError};
+use transputer_net::topology::{grid_edge_wire, PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+use transputer_net::{Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
 
 /// Configuration of a database-search array.
 #[derive(Debug, Clone)]
@@ -87,6 +97,150 @@ impl DbSearchConfig {
     }
 }
 
+/// Parent preference for the request tree rooted at the north-west
+/// corner: prefer the classic west-to-east, north-to-south flood.
+const REQ_PARENT_PREF: [usize; 4] = [PORT_WEST, PORT_NORTH, PORT_EAST, PORT_SOUTH];
+/// Forwarding order for request children (east first, as in the classic
+/// row flood).
+const REQ_CHILD_ORDER: [usize; 4] = [PORT_EAST, PORT_SOUTH, PORT_WEST, PORT_NORTH];
+/// Parent preference for the answer tree rooted at the south-east
+/// corner: prefer the classic east-along-rows, south-down-last-column
+/// merge.
+const ANS_PARENT_PREF: [usize; 4] = [PORT_EAST, PORT_SOUTH, PORT_WEST, PORT_NORTH];
+/// Gathering order for answer children (west first, as in the classic
+/// row merge).
+const ANS_CHILD_ORDER: [usize; 4] = [PORT_WEST, PORT_NORTH, PORT_EAST, PORT_SOUTH];
+
+/// One node's position in the request and answer spanning trees.
+#[derive(Debug, Clone, Default)]
+struct NodeRoutes {
+    /// Whether the node participates in the search at all (it is cut
+    /// off when boot-dead wires separate it from either corner).
+    included: bool,
+    /// Port requests arrive on (the host link for the origin corner).
+    req_parent: usize,
+    /// Ports requests are forwarded to, in forwarding order.
+    req_children: Vec<usize>,
+    /// Ports partial answers arrive on, in gathering order.
+    ans_children: Vec<usize>,
+    /// Port the merged answer leaves on (the host link for the exit
+    /// corner).
+    ans_parent: usize,
+}
+
+/// Grid neighbour of `(x, y)` through `port`, if it exists.
+fn neighbor(w: usize, h: usize, x: usize, y: usize, port: usize) -> Option<(usize, usize)> {
+    match port {
+        PORT_NORTH if y > 0 => Some((x, y - 1)),
+        PORT_EAST if x + 1 < w => Some((x + 1, y)),
+        PORT_SOUTH if y + 1 < h => Some((x, y + 1)),
+        PORT_WEST if x > 0 => Some((x - 1, y)),
+        _ => None,
+    }
+}
+
+/// Wire index of the grid edge leaving `(x, y)` through `port`.
+fn edge_wire(w: usize, h: usize, x: usize, y: usize, port: usize) -> usize {
+    match port {
+        PORT_EAST => grid_edge_wire(w, h, x, y, true),
+        PORT_WEST => grid_edge_wire(w, h, x - 1, y, true),
+        PORT_SOUTH => grid_edge_wire(w, h, x, y, false),
+        PORT_NORTH => grid_edge_wire(w, h, x, y - 1, false),
+        _ => unreachable!("not a grid port: {port}"),
+    }
+}
+
+/// The opposite grid port (the port the neighbour sees the edge on).
+fn opposite(port: usize) -> usize {
+    match port {
+        PORT_NORTH => PORT_SOUTH,
+        PORT_SOUTH => PORT_NORTH,
+        PORT_EAST => PORT_WEST,
+        PORT_WEST => PORT_EAST,
+        _ => unreachable!("not a grid port: {port}"),
+    }
+}
+
+/// Compute both spanning trees over the grid links that are alive at
+/// boot. Nodes outside the component containing both corners are marked
+/// excluded.
+fn plan_routes(w: usize, h: usize, dead: &HashSet<usize>) -> Vec<NodeRoutes> {
+    let n = w * h;
+    let idx = |x: usize, y: usize| y * w + x;
+    let alive = |x: usize, y: usize, port: usize| !dead.contains(&edge_wire(w, h, x, y, port));
+    let bfs = |root: (usize, usize)| -> Vec<Option<u32>> {
+        let mut dist = vec![None; n];
+        let mut queue = VecDeque::new();
+        dist[idx(root.0, root.1)] = Some(0u32);
+        queue.push_back(root);
+        while let Some((x, y)) = queue.pop_front() {
+            let d = dist[idx(x, y)].unwrap();
+            for port in [PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST] {
+                if let Some((nx, ny)) = neighbor(w, h, x, y, port) {
+                    if alive(x, y, port) && dist[idx(nx, ny)].is_none() {
+                        dist[idx(nx, ny)] = Some(d + 1);
+                        queue.push_back((nx, ny));
+                    }
+                }
+            }
+        }
+        dist
+    };
+    let from_origin = bfs((0, 0));
+    let from_exit = bfs((w - 1, h - 1));
+    // The alive-link graph is undirected, so when the two corners share
+    // a component the intersection below is exactly that component;
+    // otherwise no node can both receive a request and deliver an
+    // answer, and everything is excluded.
+    let mut routes: Vec<NodeRoutes> = (0..n)
+        .map(|i| NodeRoutes {
+            included: from_origin[i].is_some() && from_exit[i].is_some(),
+            ..NodeRoutes::default()
+        })
+        .collect();
+    let mut pick_parents =
+        |dist: &[Option<u32>], pref: [usize; 4], root: (usize, usize), request: bool| {
+            for y in 0..h {
+                for x in 0..w {
+                    let i = idx(x, y);
+                    if !routes[i].included || (x, y) == root {
+                        continue;
+                    }
+                    let d = dist[i].unwrap();
+                    let parent = pref
+                        .into_iter()
+                        .find(|&port| {
+                            neighbor(w, h, x, y, port).is_some_and(|(nx, ny)| {
+                                alive(x, y, port)
+                                    && routes[idx(nx, ny)].included
+                                    && dist[idx(nx, ny)] == Some(d - 1)
+                            })
+                        })
+                        .expect("a BFS-reachable node has a parent one step closer");
+                    let (px, py) = neighbor(w, h, x, y, parent).unwrap();
+                    if request {
+                        routes[i].req_parent = parent;
+                        routes[idx(px, py)].req_children.push(opposite(parent));
+                    } else {
+                        routes[i].ans_parent = parent;
+                        routes[idx(px, py)].ans_children.push(opposite(parent));
+                    }
+                }
+            }
+        };
+    pick_parents(&from_origin, REQ_PARENT_PREF, (0, 0), true);
+    pick_parents(&from_exit, ANS_PARENT_PREF, (w - 1, h - 1), false);
+    // The corners talk to the hosts over their free edge ports.
+    routes[idx(0, 0)].req_parent = PORT_NORTH;
+    routes[idx(w - 1, h - 1)].ans_parent = PORT_SOUTH;
+    let order_of = |order: [usize; 4]| move |p: &usize| order.iter().position(|o| o == p);
+    for r in &mut routes {
+        r.req_children.sort_by_key(order_of(REQ_CHILD_ORDER));
+        r.ans_children.sort_by_key(order_of(ANS_CHILD_ORDER));
+    }
+    routes
+}
+
 /// A built, loaded search array ready to run.
 #[derive(Debug)]
 pub struct DbSearch {
@@ -97,16 +251,30 @@ pub struct DbSearch {
     answers_addr: u32,
     expected: Vec<u32>,
     node_ids: Vec<NodeId>,
+    excluded: usize,
 }
 
 /// Results of a search run.
 #[derive(Debug, Clone)]
 pub struct DbSearchReport {
-    /// Match counts received at the output corner, in request order.
+    /// Match counts received at the output corner, in request order
+    /// (truncated to the answers that actually arrived).
     pub answers: Vec<u32>,
-    /// Reference answers computed in Rust from the same records.
+    /// Reference answers computed in Rust from the records of every
+    /// participating node.
     pub expected: Vec<u32>,
-    /// Simulated nanoseconds at which each answer arrived.
+    /// Answers that arrived before the run ended (equals `requests` on
+    /// a clean run).
+    pub received: usize,
+    /// Whether the result is degraded: boot-dead links excluded nodes
+    /// from the search, or the run ended (link declared failed mid-run,
+    /// simulation budget spent under faults) before every answer
+    /// arrived.
+    pub degraded: bool,
+    /// Nodes cut off from the corners by boot-dead links and excluded
+    /// from the search.
+    pub excluded_nodes: usize,
+    /// Simulated nanoseconds at which each received answer arrived.
     pub answer_times_ns: Vec<u64>,
     /// Time of the first answer: request propagation + one search wave +
     /// answer merge (the paper's ~1.3 ms for 25 000 records).
@@ -125,9 +293,14 @@ pub struct DbSearchReport {
 }
 
 impl DbSearchReport {
-    /// Whether every answer matched the reference count.
+    /// Whether every received answer matched the reference count: all of
+    /// them on a clean run, the received prefix on a degraded one.
     pub fn all_correct(&self) -> bool {
-        self.answers == self.expected
+        if !self.degraded && self.answers.len() != self.expected.len() {
+            return false;
+        }
+        self.answers.len() <= self.expected.len()
+            && self.answers[..] == self.expected[..self.answers.len()]
     }
 
     /// Searches per second once the pipeline is full.
@@ -141,8 +314,9 @@ impl DbSearchReport {
 }
 
 impl DbSearch {
-    /// Build the array: generate per-node occam, compile, wire, load,
-    /// and poke the synthetic database into each node's memory.
+    /// Build the array: plan the spanning trees around any boot-dead
+    /// wires, generate per-node occam, compile, wire, load, and poke the
+    /// synthetic database into each participating node's memory.
     ///
     /// # Errors
     ///
@@ -176,18 +350,41 @@ impl DbSearch {
         b.connect((at(w - 1, h - 1), PORT_SOUTH), (collector, PORT_NORTH));
         let mut net = b.build();
 
-        // Per-node programs and databases.
+        // Route around wires that are dead from boot; wires that die
+        // later degrade the run instead.
+        let boot_dead: HashSet<usize> = config
+            .net
+            .fault
+            .as_ref()
+            .map(|plan| {
+                plan.dead
+                    .iter()
+                    .filter(|d| d.from_ns == 0)
+                    .map(|d| d.wire)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let routes = plan_routes(w, h, &boot_dead);
+        let excluded = routes.iter().filter(|r| !r.included).count();
+
+        // Per-node programs and databases. Excluded nodes still consume
+        // their workload draw so the records of every other node match
+        // the intact-grid run record for record.
         let mut workload = Workload::new(config.seed, config.key_space);
-        let mut all_records: Vec<Vec<u32>> = Vec::new();
+        let mut live_records: Vec<Vec<u32>> = Vec::new();
         for y in 0..h {
             for x in 0..w {
-                let src = node_source(x, y, w, h, config.records_per_node);
+                let r = &routes[y * w + x];
+                let src = node_source(config.records_per_node, r);
                 let program = occam::compile(&src)
                     .map_err(|e| format!("node ({x},{y}) source failed to compile: {e}\n{src}"))?;
                 let cpu = net.node_mut(at(x, y));
                 let word = cpu.word_length();
                 let wptr = program.load(cpu)?;
                 let records = workload.records(config.records_per_node);
+                if !r.included {
+                    continue;
+                }
                 let db_addr = program
                     .global_addr(word, wptr, "db")
                     .ok_or("node program lacks a db vector")?;
@@ -196,7 +393,7 @@ impl DbSearch {
                 }
                 // Reference counting respects the node's word width.
                 let records = records.iter().map(|v| word.mask(*v)).collect();
-                all_records.push(records);
+                live_records.push(records);
             }
         }
 
@@ -228,11 +425,12 @@ impl DbSearch {
             .global_addr(word, cwptr, "answers")
             .ok_or("collector lacks answers vector")?;
 
-        // Reference answers: each request key against every record.
+        // Reference answers: each request key against every record held
+        // by a participating node.
         let expected = keys
             .iter()
             .map(|k| {
-                all_records
+                live_records
                     .iter()
                     .map(|r| Workload::count_matches(r, *k))
                     .sum()
@@ -247,6 +445,7 @@ impl DbSearch {
             answers_addr,
             expected,
             node_ids,
+            excluded,
         })
     }
 
@@ -261,11 +460,22 @@ impl DbSearch {
         &mut self.net
     }
 
+    /// Nodes excluded from the search by boot-dead links.
+    pub fn excluded_nodes(&self) -> usize {
+        self.excluded
+    }
+
     /// Run the search to completion.
+    ///
+    /// Under an injected fault plan a run that deadlocks (a link
+    /// exhausted its retries and was declared failed) or exhausts its
+    /// budget yields a *degraded* report carrying the answers received
+    /// so far, rather than an error.
     ///
     /// # Errors
     ///
-    /// Propagates simulation faults and budget exhaustion.
+    /// Propagates simulation faults, and budget exhaustion when no
+    /// fault plan is injected.
     pub fn run(&mut self, budget_ns: u64) -> Result<DbSearchReport, SimError> {
         let n = self.config.requests;
         let mut answer_times = vec![0u64; n];
@@ -278,7 +488,7 @@ impl DbSearch {
         // at slice boundaries.
         let answer_wire = self.net.wire_count() - 1;
         let bytes_per_answer = u64::from(self.collector_word.bytes_per_word());
-        self.net.run_until(budget_ns, |net| {
+        let result = self.net.run_until(budget_ns, |net| {
             let (_, to_collector) = net.wire_delivered(answer_wire);
             let got = (to_collector / bytes_per_answer) as usize;
             while seen < got.min(n) {
@@ -286,14 +496,25 @@ impl DbSearch {
                 seen += 1;
             }
             if net.all_halted() {
-                Some(transputer_net::SimOutcome::AllHalted)
+                Some(SimOutcome::AllHalted)
             } else {
                 None
             }
-        })?;
+        });
+        let outcome = match result {
+            Ok(out) => out,
+            // Under injected faults, running out of budget is one more
+            // way the array degrades, not a caller error.
+            Err(SimError::Budget { .. }) if self.config.net.fault.is_some() => {
+                SimOutcome::TimeLimit
+            }
+            Err(e) => return Err(e),
+        };
 
+        let received = seen;
+        let degraded = self.excluded > 0 || received < n || outcome != SimOutcome::AllHalted;
         let word = self.collector_word;
-        let answers: Vec<u32> = (0..n)
+        let answers: Vec<u32> = (0..received)
             .map(|i| {
                 self.net
                     .node(self.collector)
@@ -301,9 +522,10 @@ impl DbSearch {
                     .unwrap_or(u32::MAX)
             })
             .collect();
+        answer_times.truncate(received);
         let first = answer_times.first().copied().unwrap_or(0);
-        let pipeline_interval = if n >= 2 {
-            (answer_times[n - 1] - answer_times[0]) / (n as u64 - 1)
+        let pipeline_interval = if received >= 2 {
+            (answer_times[received - 1] - answer_times[0]) / (received as u64 - 1)
         } else {
             0
         };
@@ -315,6 +537,9 @@ impl DbSearch {
         Ok(DbSearchReport {
             answers,
             expected: self.expected.clone(),
+            received,
+            degraded,
+            excluded_nodes: self.excluded,
             answer_times_ns: answer_times,
             first_answer_ns: first,
             pipeline_interval_ns: pipeline_interval,
@@ -326,50 +551,82 @@ impl DbSearch {
     }
 }
 
-/// Occam source for the array node at `(x, y)`.
-fn node_source(x: usize, y: usize, w: usize, h: usize, nrec: usize) -> String {
+/// Channel name for a request forwarded out of `port` (the classic
+/// grid's names for its east and south forwards, extended to the other
+/// directions for rerouted trees).
+fn req_chan(port: usize) -> &'static str {
+    match port {
+        PORT_NORTH => "northreq",
+        PORT_EAST => "east",
+        PORT_SOUTH => "southreq",
+        PORT_WEST => "westreq",
+        _ => unreachable!("not a grid port: {port}"),
+    }
+}
+
+/// Channel name for a partial answer arriving on `port`.
+fn ans_chan(port: usize) -> &'static str {
+    match port {
+        PORT_NORTH => "northin",
+        PORT_EAST => "eastin",
+        PORT_SOUTH => "southin",
+        PORT_WEST => "westin",
+        _ => unreachable!("not a grid port: {port}"),
+    }
+}
+
+/// Occam source for an array node with the given tree position. On the
+/// intact grid this emits byte-for-byte the classic Figure 8 program for
+/// the node's coordinates; excluded nodes get a trivial program that
+/// halts immediately.
+fn node_source(nrec: usize, r: &NodeRoutes) -> String {
+    if !r.included {
+        return "SEQ\n  SKIP\n".to_string();
+    }
     let mut s = String::new();
     let words = nrec * RECORD_WORDS;
     s.push_str(&format!("DEF nrec = {nrec}:\n"));
     s.push_str(&format!("VAR db[{words}]:\n"));
     s.push_str("VAR going, key, count, partial:\n");
-    // Request input: west for inner columns, north for column 0 and the
-    // origin (whose north link goes to the host).
-    let reqin_place = if x > 0 {
-        places::link_in(PORT_WEST as u32)
-    } else {
-        places::link_in(PORT_NORTH as u32)
-    };
     s.push_str("CHAN reqin:\n");
-    s.push_str(&format!("PLACE reqin AT {reqin_place}:\n"));
-    if x + 1 < w {
-        s.push_str("CHAN east:\n");
+    s.push_str(&format!(
+        "PLACE reqin AT {}:\n",
+        places::link_in(r.req_parent as u32)
+    ));
+    for &port in &r.req_children {
+        s.push_str(&format!("CHAN {}:\n", req_chan(port)));
         s.push_str(&format!(
-            "PLACE east AT {}:\n",
-            places::link_out(PORT_EAST as u32)
+            "PLACE {} AT {}:\n",
+            req_chan(port),
+            places::link_out(port as u32)
         ));
     }
-    if x == 0 && y + 1 < h {
-        s.push_str("CHAN southreq:\n");
+    // An answer child on the request-parent link shares the reqin
+    // channel: the parent interleaves keys and its merged count on the
+    // same wire, exactly as in the classic row flood/merge.
+    for &port in &r.ans_children {
+        if port == r.req_parent {
+            continue;
+        }
+        s.push_str(&format!("CHAN {}:\n", ans_chan(port)));
         s.push_str(&format!(
-            "PLACE southreq AT {}:\n",
-            places::link_out(PORT_SOUTH as u32)
+            "PLACE {} AT {}:\n",
+            ans_chan(port),
+            places::link_in(port as u32)
         ));
     }
-    if x == w - 1 && y > 0 {
-        s.push_str("CHAN northin:\n");
-        s.push_str(&format!(
-            "PLACE northin AT {}:\n",
-            places::link_in(PORT_NORTH as u32)
-        ));
-    }
-    if x == w - 1 {
+    // Likewise the answer parent shares the forwarding channel when it
+    // is also a request child.
+    let ans_out = if r.req_children.contains(&r.ans_parent) {
+        req_chan(r.ans_parent).to_string()
+    } else {
         s.push_str("CHAN ansout:\n");
         s.push_str(&format!(
             "PLACE ansout AT {}:\n",
-            places::link_out(PORT_SOUTH as u32)
+            places::link_out(r.ans_parent as u32)
         ));
-    }
+        "ansout".to_string()
+    };
     s.push_str("SEQ\n");
     s.push_str("  going := TRUE\n");
     s.push_str("  WHILE going\n");
@@ -378,22 +635,16 @@ fn node_source(x: usize, y: usize, w: usize, h: usize, nrec: usize) -> String {
     s.push_str("      IF\n");
     s.push_str("        key = -1\n");
     s.push_str("          SEQ\n");
-    if x + 1 < w {
-        s.push_str("            east ! -1\n");
-    }
-    if x == 0 && y + 1 < h {
-        s.push_str("            southreq ! -1\n");
+    for &port in &r.req_children {
+        s.push_str(&format!("            {} ! -1\n", req_chan(port)));
     }
     s.push_str("            going := FALSE\n");
     s.push_str("        TRUE\n");
     s.push_str("          SEQ\n");
     // Forward the request before searching, so the flood proceeds while
     // the local search runs (§4.2).
-    if x + 1 < w {
-        s.push_str("            east ! key\n");
-    }
-    if x == 0 && y + 1 < h {
-        s.push_str("            southreq ! key\n");
+    for &port in &r.req_children {
+        s.push_str(&format!("            {} ! key\n", req_chan(port)));
     }
     s.push_str("            count := 0\n");
     s.push_str("            SEQ i = [0 FOR nrec]\n");
@@ -402,19 +653,16 @@ fn node_source(x: usize, y: usize, w: usize, h: usize, nrec: usize) -> String {
     s.push_str("                  count := count + 1\n");
     s.push_str("                TRUE\n");
     s.push_str("                  SKIP\n");
-    if x > 0 {
-        s.push_str("            reqin ? partial\n");
+    for &port in &r.ans_children {
+        let chan = if port == r.req_parent {
+            "reqin"
+        } else {
+            ans_chan(port)
+        };
+        s.push_str(&format!("            {chan} ? partial\n"));
         s.push_str("            count := count + partial\n");
     }
-    if x == w - 1 && y > 0 {
-        s.push_str("            northin ? partial\n");
-        s.push_str("            count := count + partial\n");
-    }
-    if x + 1 < w {
-        s.push_str("            east ! count\n");
-    } else {
-        s.push_str("            ansout ! count\n");
-    }
+    s.push_str(&format!("            {ans_out} ! count\n"));
     s
 }
 
@@ -452,6 +700,7 @@ fn collector_source(nreq: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use transputer_link::FaultPlan;
 
     #[test]
     fn small_array_answers_correctly() {
@@ -472,6 +721,8 @@ mod tests {
             report.answers,
             report.expected
         );
+        assert!(!report.degraded);
+        assert_eq!(report.received, 3);
         assert!(report.first_answer_ns > 0);
         assert_eq!(report.total_records, 48);
     }
@@ -497,7 +748,166 @@ mod tests {
     }
 
     #[test]
+    fn intact_grid_routes_match_the_classic_flood() {
+        // On an undamaged 4x4 the spanning trees must reproduce the
+        // paper's figure: requests east along rows and south down
+        // column 0, answers east along rows and south down the last
+        // column.
+        let routes = plan_routes(4, 4, &HashSet::new());
+        for y in 0..4usize {
+            for x in 0..4usize {
+                let r = &routes[y * 4 + x];
+                assert!(r.included);
+                let want_req_parent = if x > 0 { PORT_WEST } else { PORT_NORTH };
+                assert_eq!(r.req_parent, want_req_parent, "({x},{y})");
+                let mut want_children = Vec::new();
+                if x + 1 < 4 {
+                    want_children.push(PORT_EAST);
+                }
+                if x == 0 && y + 1 < 4 {
+                    want_children.push(PORT_SOUTH);
+                }
+                assert_eq!(r.req_children, want_children, "({x},{y})");
+                let want_ans_parent = if x + 1 < 4 { PORT_EAST } else { PORT_SOUTH };
+                assert_eq!(r.ans_parent, want_ans_parent, "({x},{y})");
+                let mut want_ans = Vec::new();
+                if x > 0 {
+                    want_ans.push(PORT_WEST);
+                }
+                if x == 3 && y > 0 {
+                    want_ans.push(PORT_NORTH);
+                }
+                assert_eq!(r.ans_children, want_ans, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_link_reroutes_without_degrading() {
+        // Kill the wire from (0,0) to (1,0) at boot: the top row must be
+        // re-parented through row 1, but the grid stays connected, so
+        // nothing is excluded and every answer arrives.
+        let dead_wire = grid_edge_wire(3, 3, 0, 0, true);
+        let config = DbSearchConfig {
+            width: 3,
+            height: 3,
+            records_per_node: 8,
+            requests: 3,
+            seed: 13,
+            key_space: 16,
+            net: NetworkConfig {
+                fault: Some(FaultPlan::uniform(5, 0.0).with_dead_link(dead_wire, 0)),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build(config).expect("builds");
+        assert_eq!(sim.excluded_nodes(), 0);
+        let report = sim.run(5_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded);
+        assert_eq!(report.received, 3);
+    }
+
+    #[test]
+    fn severed_corner_is_excluded_and_flagged() {
+        // Kill both wires of the north-east corner of a 3x3: the corner
+        // cannot be reached, its records drop out of the expected
+        // counts, and the remaining eight nodes still answer correctly
+        // under a degraded flag.
+        let cut_w = grid_edge_wire(3, 3, 1, 0, true);
+        let cut_s = grid_edge_wire(3, 3, 2, 0, false);
+        let plan = FaultPlan::uniform(5, 0.0)
+            .with_dead_link(cut_w, 0)
+            .with_dead_link(cut_s, 0);
+        let config = DbSearchConfig {
+            width: 3,
+            height: 3,
+            records_per_node: 8,
+            requests: 3,
+            seed: 17,
+            key_space: 16,
+            net: NetworkConfig {
+                fault: Some(plan),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build(config).expect("builds");
+        assert_eq!(sim.excluded_nodes(), 1);
+        let report = sim.run(5_000_000_000).expect("runs");
+        assert!(report.degraded);
+        assert_eq!(report.excluded_nodes, 1);
+        assert_eq!(report.received, 3);
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+    }
+
+    #[test]
+    fn mid_run_link_death_degrades_instead_of_erroring() {
+        // The sender's wire (the first host wire, built right after the
+        // four grid wires of a 2x2) dies just after boot — from_ns > 0,
+        // so no re-planning happens. The first key is never delivered,
+        // the sender exhausts its retries, and the run degrades to an
+        // empty but well-formed report.
+        let config = DbSearchConfig {
+            width: 2,
+            height: 2,
+            records_per_node: 6,
+            requests: 2,
+            seed: 19,
+            key_space: 10,
+            net: NetworkConfig {
+                fault: Some(FaultPlan::uniform(5, 0.0).with_dead_link(4, 1)),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build(config).expect("builds");
+        let report = sim.run(2_000_000_000).expect("degrades, not errors");
+        assert!(report.degraded);
+        assert_eq!(report.received, 0);
+        assert!(report.answers.is_empty());
+        assert!(report.all_correct(), "an empty prefix is vacuously correct");
+        assert!(sim.network().any_link_failed());
+    }
+
+    #[test]
+    fn search_survives_link_faults() {
+        // A small array under a light uniform fault plan: retransmission
+        // hides every fault and the search completes cleanly.
+        let config = DbSearchConfig {
+            width: 2,
+            height: 2,
+            records_per_node: 8,
+            requests: 2,
+            seed: 23,
+            key_space: 12,
+            net: NetworkConfig {
+                fault: Some(FaultPlan::uniform(9, 0.002)),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build(config).expect("builds");
+        let report = sim.run(5_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded);
+    }
+
+    #[test]
     fn node_source_compiles_for_all_positions() {
+        let routes = plan_routes(4, 4, &HashSet::new());
         for (x, y) in [
             (0, 0),
             (1, 0),
@@ -508,9 +918,12 @@ mod tests {
             (3, 3),
             (2, 2),
         ] {
-            let src = node_source(x, y, 4, 4, 5);
+            let src = node_source(5, &routes[y * 4 + x]);
             occam::compile(&src).unwrap_or_else(|e| panic!("({x},{y}): {e}\n{src}"));
         }
+        // The excluded-node stub compiles too.
+        let stub = node_source(5, &NodeRoutes::default());
+        occam::compile(&stub).expect("excluded-node stub compiles");
     }
 
     #[test]

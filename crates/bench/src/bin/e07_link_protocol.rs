@@ -40,11 +40,10 @@ fn stream(n: u64, policy: AckPolicy) -> u64 {
                         link.send_ack(End::B, now);
                     }
                 }
-                LinkEvent::AckDelivered { to: End::A }
-                    if sent < n => {
-                        link.send_data(End::A, 0x5A, now);
-                        sent += 1;
-                    }
+                LinkEvent::AckDelivered { to: End::A, .. } if sent < n => {
+                    link.send_data(End::A, 0x5A, now);
+                    sent += 1;
+                }
                 _ => {}
             }
         }

@@ -8,6 +8,7 @@
 //! wired with bit-level links; 200 records per node, pipelined requests.
 
 use transputer_apps::{DbSearch, DbSearchConfig};
+use transputer_bench::hostperf::fault_plan_from_env;
 use transputer_bench::{cells, table};
 
 fn main() {
@@ -17,7 +18,14 @@ fn main() {
         "Figure 8, §4.2",
     );
 
-    let config = DbSearchConfig::figure8();
+    let mut config = DbSearchConfig::figure8();
+    if let Some(plan) = fault_plan_from_env() {
+        println!(
+            "fault injection: uniform rate {} (seed {}) on every link\n",
+            plan.drop_rate, plan.seed
+        );
+        config.net.fault = Some(plan);
+    }
     println!(
         "{} transputers, {} records each ({} total), {} pipelined requests\n",
         config.width * config.height,
@@ -59,6 +67,18 @@ fn main() {
         report.total_instructions,
         "—"
     ]);
+    if report.degraded {
+        table::row(cells![
+            "degraded",
+            format!(
+                "{} of {} answers, {} node(s) excluded",
+                report.received,
+                report.expected.len(),
+                report.excluded_nodes
+            ),
+            "—"
+        ]);
+    }
 
     let per_node_search_ms = report.pipeline_interval_ns as f64 / 1e6;
     println!();

@@ -18,9 +18,17 @@
 //! doubles the array to 256 transputers and 51,200 records.
 
 use transputer_apps::{DbSearch, DbSearchConfig};
+use transputer_bench::hostperf::fault_plan_from_env;
 use transputer_bench::{cells, table};
 
-fn run_one(label: &str, config: DbSearchConfig) -> transputer_apps::DbSearchReport {
+fn run_one(label: &str, mut config: DbSearchConfig) -> transputer_apps::DbSearchReport {
+    if let Some(plan) = fault_plan_from_env() {
+        println!(
+            "\nfault injection: uniform rate {} (seed {}) on every link",
+            plan.drop_rate, plan.seed
+        );
+        config.net.fault = Some(plan);
+    }
     println!(
         "\n{label}: {}×{} = {} transputers, {} records ({} requests pipelined)",
         config.width,
@@ -59,6 +67,18 @@ fn run_one(label: &str, config: DbSearchConfig) -> transputer_apps::DbSearchRepo
         format!("{:.0} searches/s", report.throughput_per_sec()),
         "not adversely affected by scale"
     ]);
+    if report.degraded {
+        table::row(cells![
+            "degraded",
+            format!(
+                "{} of {} answers, {} node(s) excluded",
+                report.received,
+                report.expected.len(),
+                report.excluded_nodes
+            ),
+            "—"
+        ]);
+    }
     report
 }
 

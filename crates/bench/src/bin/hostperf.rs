@@ -15,9 +15,21 @@ use std::process::Command;
 use std::time::Instant;
 
 use transputer_bench::hostperf::{
-    board128, cross_check, figure8, figure8_smoke, run_network, to_json, NetRun, EXPERIMENTS,
+    board128, cross_check, faulted, figure8, figure8_smoke, run_network, to_json, NetRun,
+    EXPERIMENTS, FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
 };
 use transputer_net::Engine;
+
+/// Per-packet fault rate for the faulted variants: `FAULT_RATE` when
+/// set, otherwise the default. The smoke variant scales the rate up so
+/// faults actually fire on its much shorter run.
+fn fault_rate() -> f64 {
+    std::env::var("FAULT_RATE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|r| *r > 0.0)
+        .unwrap_or(FAULT_RATE_DEFAULT)
+}
 
 fn time_experiments() -> (Vec<(String, f64)>, Vec<String>) {
     let exe = std::env::current_exe().expect("own path");
@@ -72,6 +84,28 @@ fn main() {
         }
         problems.extend(cross_check(&runs));
         networks.extend(runs);
+
+        // The same topology under injected link faults: the retry
+        // machinery must hide every fault and stay bit-identical
+        // across engines. The short smoke run sees few packets, so the
+        // rate is scaled up to make faults certain to fire.
+        let smoke_rate = (fault_rate() * 20.0).min(0.01);
+        println!("hostperf --smoke: faulted variant (rate {smoke_rate})");
+        let faulted_runs: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| {
+                run_network(
+                    "e09_smoke_faulted",
+                    faulted(figure8_smoke(), FAULT_SEED_DEFAULT, smoke_rate),
+                    e,
+                )
+            })
+            .collect();
+        for r in &faulted_runs {
+            print_net(r);
+        }
+        problems.extend(cross_check(&faulted_runs));
+        networks.extend(faulted_runs);
     } else {
         println!("hostperf: timing experiment binaries");
         let (rows, probs) = time_experiments();
@@ -107,6 +141,45 @@ fn main() {
         );
         problems.extend(cross_check(&e10));
         networks.extend(e10);
+
+        // Faulted variants: the acceptance bar for the fault layer is
+        // that the search completes correct (possibly degraded-flagged)
+        // with identical fingerprints on every engine while each link
+        // suffers deterministic drops, corruption, and jitter.
+        let rate = fault_rate();
+        println!("hostperf: e09 figure-8 under faults (rate {rate})");
+        let e09f: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| {
+                run_network(
+                    "e09_faulted",
+                    faulted(figure8(), FAULT_SEED_DEFAULT, rate),
+                    e,
+                )
+            })
+            .collect();
+        for r in &e09f {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e09f));
+        networks.extend(e09f);
+
+        println!("hostperf: e10 board (128 transputers) under faults (rate {rate})");
+        let e10f: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| {
+                run_network(
+                    "e10_faulted",
+                    faulted(board128(), FAULT_SEED_DEFAULT, rate),
+                    e,
+                )
+            })
+            .collect();
+        for r in &e10f {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e10f));
+        networks.extend(e10f);
     }
 
     let json = to_json(smoke, &experiments, &networks, &problems);

@@ -96,7 +96,21 @@ fn main() {
     println!();
     println!("| operand | `ldc` encoding |");
     println!("|---|---|");
-    for v in [0i64, 15, 16, 0x754, 255, 256, -1, -256, -257, i32::MAX as i64] {
-        println!("| {v} (#{v:X}) | `{}` |", hex(&encode(Direct::LoadConstant, v)));
+    for v in [
+        0i64,
+        15,
+        16,
+        0x754,
+        255,
+        256,
+        -1,
+        -256,
+        -257,
+        i32::MAX as i64,
+    ] {
+        println!(
+            "| {v} (#{v:X}) | `{}` |",
+            hex(&encode(Direct::LoadConstant, v))
+        );
     }
 }

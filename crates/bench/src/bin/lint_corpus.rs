@@ -1,0 +1,48 @@
+//! Lint gate over the occam workload corpus: every program must pass
+//! the `transputer-analysis` checks that back `txlint` — source-level
+//! channel-usage lints, compiler PAR-usage warnings, and bytecode
+//! verification of the emitted I1 code.
+//!
+//! Usage: `cargo run --release -p transputer-bench --bin lint_corpus`
+//!
+//! Warnings are reported but only errors fail the gate (the corpus is
+//! expected to be warning-clean too; a count is printed either way).
+
+use transputer_analysis::{verifier, Diagnostic, Span};
+use transputer_bench::corpus::CORPUS;
+
+fn main() {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for item in CORPUS {
+        let mut diags = transputer_analysis::lint_source(item.source);
+        match occam::compile(item.source) {
+            Ok(program) => {
+                diags.extend(program.warnings.iter().map(|w| {
+                    Diagnostic::warning("par-usage", Span::line(w.line), w.message.clone())
+                }));
+                diags.extend(verifier::verify_program(&program));
+            }
+            Err(e) => diags.push(Diagnostic::error("compile", Span::line(0), e.to_string())),
+        }
+        for d in &diags {
+            println!("{}: {d}", item.name);
+            if d.is_error() {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+        }
+        if diags.is_empty() {
+            println!("{}: ok", item.name);
+        }
+    }
+    println!(
+        "\nlint gate: {} program(s), {errors} error(s), {warnings} warning(s)",
+        CORPUS.len()
+    );
+    if errors > 0 {
+        println!("FAIL: lint errors in the occam corpus");
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 use std::time::Instant;
 
 use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
+use transputer_link::FaultPlan;
 use transputer_net::Engine;
 
 /// Every experiment binary, in report order (shared with `run_all`).
@@ -93,7 +94,9 @@ pub fn run_network(bench: &'static str, config: DbSearchConfig, engine: Engine) 
     };
     let mut sim = DbSearch::build(config).expect("benchmark network builds");
     let start = Instant::now();
-    let report = sim.run(100_000_000_000_000).expect("benchmark network runs");
+    let report = sim
+        .run(100_000_000_000_000)
+        .expect("benchmark network runs");
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let net = sim.network();
@@ -148,6 +151,42 @@ pub fn figure8_smoke() -> DbSearchConfig {
 /// The e10 128-transputer board.
 pub fn board128() -> DbSearchConfig {
     DbSearchConfig::board128()
+}
+
+/// Default per-packet fault rate for the faulted benchmark variants:
+/// drop, corruption, and jitter each at one packet in ten thousand.
+pub const FAULT_RATE_DEFAULT: f64 = 1e-4;
+
+/// Default fault seed (the paper's year, matching the workload seed).
+pub const FAULT_SEED_DEFAULT: u64 = 1985;
+
+/// `config` with a uniform deterministic fault plan injected: every
+/// link switches to the robust sequenced protocol and suffers drops,
+/// corruption, and jitter at `rate` per packet.
+pub fn faulted(config: DbSearchConfig, seed: u64, rate: f64) -> DbSearchConfig {
+    DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            fault: Some(FaultPlan::uniform(seed, rate)),
+            ..config.net.clone()
+        },
+        ..config
+    }
+}
+
+/// Fault plan selected by the `FAULT_RATE` / `FAULT_SEED` environment
+/// variables; `None` when `FAULT_RATE` is unset, unparsable, or zero.
+/// The experiment binaries (e09, e10) consult this so the whole report
+/// can be regenerated under injected link faults.
+pub fn fault_plan_from_env() -> Option<FaultPlan> {
+    let rate: f64 = std::env::var("FAULT_RATE").ok()?.parse().ok()?;
+    if rate <= 0.0 {
+        return None;
+    }
+    let seed = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(FAULT_SEED_DEFAULT);
+    Some(FaultPlan::uniform(seed, rate))
 }
 
 /// Outcome checks over a set of runs of the *same* benchmark: all

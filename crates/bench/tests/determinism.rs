@@ -16,6 +16,7 @@
 use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome};
 use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
 use transputer_bench::corpus::CORPUS;
+use transputer_link::FaultPlan;
 use transputer_net::Engine;
 
 fn full_image(cpu: &Cpu) -> Vec<u8> {
@@ -155,5 +156,102 @@ fn e09_network_agrees_across_all_engines() {
                 "{engine:?}: wire {w} delivered-byte counters"
             );
         }
+    }
+}
+
+#[test]
+fn e09_network_agrees_across_engines_under_faults() {
+    // The same e09 topology with a seeded fault plan on every link:
+    // packets are dropped, corrupted, and jittered, the robust protocol
+    // retries them, and every engine must still land on bit-identical
+    // outcomes — answers, arrival times, per-node cycle and instruction
+    // counters, per-wire delivered bytes, memory images, and the link
+    // fault counters themselves. The rate is high enough that the
+    // retry machinery demonstrably fires (asserted below).
+    let config = |engine| DbSearchConfig {
+        records_per_node: 40,
+        requests: 3,
+        net: transputer_net::NetworkConfig {
+            engine,
+            fault: Some(FaultPlan::uniform(1985, 2e-3)),
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..DbSearchConfig::figure8()
+    };
+
+    let variants = [
+        (Engine::Event, None),
+        (Engine::Sliced, None),
+        (Engine::Parallel, None),
+        (Engine::Parallel, Some(2)),
+    ];
+    let mut runs = Vec::new();
+    for (engine, workers) in variants {
+        let mut sim = DbSearch::build(config(engine)).expect("builds");
+        if let Some(w) = workers {
+            sim.network_mut().set_par_workers(w);
+        }
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "{engine:?}: answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded, "{engine:?}: retries must hide the faults");
+        runs.push((engine, sim, report));
+    }
+
+    let (_, ref base_sim, ref base_report) = runs[0];
+    let base_net = base_sim.network();
+    let base_retries: u64 = (0..base_net.len())
+        .map(|id| base_net.node(id).stats().link_retries)
+        .sum();
+    let base_rx_errors: u64 = (0..base_net.len())
+        .map(|id| base_net.node(id).stats().link_rx_errors)
+        .sum();
+    assert!(
+        base_retries > 0,
+        "the fault rate must be high enough to force retransmissions"
+    );
+    for (engine, sim, report) in &runs[1..] {
+        let net = sim.network();
+        assert_eq!(report.answers, base_report.answers, "{engine:?}");
+        assert_eq!(
+            report.answer_times_ns, base_report.answer_times_ns,
+            "{engine:?}: answer arrival times under faults"
+        );
+        for id in 0..net.len() {
+            assert_eq!(
+                net.node(id).cycles(),
+                base_net.node(id).cycles(),
+                "{engine:?}: node {id} halt cycle count"
+            );
+            assert_eq!(
+                net.node(id).stats().instructions,
+                base_net.node(id).stats().instructions,
+                "{engine:?}: node {id} instruction counter"
+            );
+            assert_eq!(
+                full_image(net.node(id)),
+                full_image(base_net.node(id)),
+                "{engine:?}: node {id} memory image"
+            );
+        }
+        for w in 0..net.wire_count() {
+            assert_eq!(
+                net.wire_delivered(w),
+                base_net.wire_delivered(w),
+                "{engine:?}: wire {w} delivered-byte counters"
+            );
+        }
+        let retries: u64 = (0..net.len())
+            .map(|id| net.node(id).stats().link_retries)
+            .sum();
+        let rx_errors: u64 = (0..net.len())
+            .map(|id| net.node(id).stats().link_rx_errors)
+            .sum();
+        assert_eq!(retries, base_retries, "{engine:?}: retry counters");
+        assert_eq!(rx_errors, base_rx_errors, "{engine:?}: rx-error counters");
     }
 }

@@ -21,10 +21,14 @@
 //! a maximum performance of about 1 Mbyte/sec in each direction on each
 //! link" (§2.3.1). Both claims are reproduced by experiment E7.
 
+pub mod fault;
 pub mod packet;
 pub mod wire;
 
-pub use packet::{PacketKind, ACK_PACKET_BITS, DATA_PACKET_BITS};
+pub use fault::{DeadLink, Fate, FaultPlan, LineFaultCounts, LineFaults, Xorshift64};
+pub use packet::{
+    LinkProtocol, PacketKind, ACK_PACKET_BITS, DATA_PACKET_BITS, ROBUST_CTRL_BITS, ROBUST_DATA_BITS,
+};
 pub use wire::{AckPolicy, DuplexLink, End, LinkEvent, LinkSpeed};
 
 #[cfg(test)]
@@ -50,18 +54,17 @@ mod tests {
             }
             for ev in evs {
                 match ev {
-                    LinkEvent::DataStarted { to: End::B }
-                        if policy == AckPolicy::Early => {
-                            // Receiver is ready: acknowledge at once.
-                            link.send_ack(End::B, now);
-                        }
+                    LinkEvent::DataStarted { to: End::B } if policy == AckPolicy::Early => {
+                        // Receiver is ready: acknowledge at once.
+                        link.send_ack(End::B, now);
+                    }
                     LinkEvent::DataDelivered { to: End::B, .. } => {
                         delivered += 1;
                         if policy == AckPolicy::AfterStop {
                             link.send_ack(End::B, now);
                         }
                     }
-                    LinkEvent::AckDelivered { to: End::A } => {
+                    LinkEvent::AckDelivered { to: End::A, .. } => {
                         acked += 1;
                         last_ack_time = now;
                         if sent < n {
@@ -143,11 +146,15 @@ mod tests {
             now = d;
             for ev in link.advance(now) {
                 match ev {
-                    LinkEvent::DataDelivered { to: End::B, byte } => {
+                    LinkEvent::DataDelivered {
+                        to: End::B, byte, ..
+                    } => {
                         assert_eq!(byte, 1);
                         got_b = true;
                     }
-                    LinkEvent::DataDelivered { to: End::A, byte } => {
+                    LinkEvent::DataDelivered {
+                        to: End::A, byte, ..
+                    } => {
                         assert_eq!(byte, 2);
                         got_a = true;
                     }

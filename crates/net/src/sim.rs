@@ -29,8 +29,11 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
 
+use transputer::linkif::SeqCheck;
 use transputer::{Cpu, CpuConfig, HaltReason, SliceOutcome, StepEvent};
-use transputer_link::{AckPolicy, DuplexLink, End, LinkEvent, LinkSpeed, PacketKind};
+use transputer_link::{
+    AckPolicy, DuplexLink, End, FaultPlan, LinkEvent, LinkProtocol, LinkSpeed, PacketKind,
+};
 
 /// Index of a node in a [`Network`].
 pub type NodeId = usize;
@@ -66,6 +69,11 @@ pub struct NetworkConfig {
     pub ack_policy: AckPolicy,
     /// Execution engine.
     pub engine: Engine,
+    /// Fault schedule. `Some` switches every wire to the robust link
+    /// protocol (sequence + parity frames, timeout/retry at the sender)
+    /// and injects the planned faults; `None` is the paper's perfect
+    /// classic network.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for NetworkConfig {
@@ -75,6 +83,7 @@ impl Default for NetworkConfig {
             link_speed: LinkSpeed::standard(),
             ack_policy: AckPolicy::Early,
             engine: Engine::default(),
+            fault: None,
         }
     }
 }
@@ -126,6 +135,22 @@ impl std::error::Error for SimError {}
 /// One end of a wire: which node, which of its four link ports.
 type Port = (NodeId, usize);
 
+/// Retransmission state for the data byte a wire end has in flight
+/// (robust protocol). Cleared by the fresh acknowledge; fired by wire
+/// pops when the deadline passes.
+#[derive(Debug, Clone, Copy)]
+struct Resend {
+    byte: u8,
+    seq: bool,
+    /// When to retransmit if no acknowledge (or busy) arrives first.
+    deadline: u64,
+    /// Timeouts burned since the last acknowledge or busy.
+    attempts: u32,
+    /// Current deadline spacing; doubled by each busy notice so a slow
+    /// receiver is polled, not flooded.
+    interval_ns: u64,
+}
+
 #[derive(Debug)]
 struct Wire {
     link: DuplexLink,
@@ -134,6 +159,8 @@ struct Wire {
     /// already acknowledged early (indexed by receiving end).
     early_acked: [bool; 2],
     /// Data bytes delivered in each direction (toward end 0 / end 1).
+    /// Under the robust protocol, only *accepted* (non-duplicate) bytes
+    /// count, so the counts match the classic protocol's exactly.
     delivered: [u64; 2],
     /// Data-start probes not yet resolved, with their stamped times.
     /// Only the sliced engines use these: a send performed at a slice
@@ -141,6 +168,11 @@ struct Wire {
     /// lie ahead of the global frontier, so the early-acknowledge
     /// decision is deferred to a heap event at that stamp.
     probes: Vec<(u64, End)>,
+    /// Robust protocol: retransmission state per *sending* end.
+    resend: [Option<Resend>; 2],
+    /// Directions declared failed after the retry budget ran out
+    /// (indexed by sending end).
+    failed: [bool; 2],
 }
 
 /// Per-port early-acknowledge history: enough state to answer "would
@@ -222,26 +254,52 @@ impl NetworkBuilder {
     /// Finish: produce the network.
     pub fn build(self) -> Network {
         let mut port_to_wire = vec![[usize::MAX; 4]; self.nodes.len()];
+        let speed = self.config.link_speed;
+        let fault = self.config.fault.clone();
         let wires: Vec<Wire> = self
             .wires
             .iter()
             .enumerate()
             .map(|(i, &(a, b))| {
+                let link = match &fault {
+                    Some(plan) => DuplexLink::new_robust(
+                        speed,
+                        [Some(plan.line_faults(i, 0)), Some(plan.line_faults(i, 1))],
+                        plan.dead_from(i),
+                    ),
+                    None => DuplexLink::new(speed),
+                };
                 port_to_wire[a.0][a.1] = i;
                 port_to_wire[b.0][b.1] = i;
                 Wire {
-                    link: DuplexLink::new(self.config.link_speed),
+                    link,
                     ends: [a, b],
                     early_acked: [false; 2],
                     delivered: [0; 2],
                     probes: Vec::new(),
+                    resend: [None; 2],
+                    failed: [false; 2],
                 }
             })
             .collect();
         let n = self.nodes.len();
         let w = wires.len();
-        let data_ns = self.config.link_speed.packet_ns(PacketKind::Data(0));
-        let ack_ns = self.config.link_speed.packet_ns(PacketKind::Ack);
+        let protocol = if fault.is_some() {
+            LinkProtocol::Robust
+        } else {
+            LinkProtocol::Classic
+        };
+        let data_ns = speed.frame_ns(protocol, PacketKind::Data(0));
+        let ack_ns = speed.frame_ns(protocol, PacketKind::Ack);
+        let bit_ns = speed.bit_time_ns;
+        let (timeout_ns, max_retries) = match &fault {
+            Some(plan) => (
+                u64::from(plan.timeout_bits.max(1)) * bit_ns,
+                plan.max_retries,
+            ),
+            None => (0, 0),
+        };
+        let robust = fault.is_some();
         let mut net = Network {
             config: self.config,
             nodes: self.nodes,
@@ -257,6 +315,9 @@ impl NetworkBuilder {
             horizon_ns: None,
             data_ns,
             ack_ns,
+            robust,
+            timeout_ns,
+            max_retries,
             wire_next: vec![u64::MAX; w],
             par_workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
         };
@@ -298,6 +359,12 @@ pub struct Network {
     data_ns: u64,
     /// Flight time of an acknowledge packet.
     ack_ns: u64,
+    /// Whether the wires speak the robust protocol (fault plan present).
+    robust: bool,
+    /// Sender resend timeout under the robust protocol.
+    timeout_ns: u64,
+    /// Retry budget per data byte under the robust protocol.
+    max_retries: u32,
     /// Cached [`Self::wire_next_event_ns`] per wire (`u64::MAX` = none),
     /// maintained by [`Self::schedule_wire`]; feeds the slice bounds
     /// without rescanning link state.
@@ -353,9 +420,22 @@ impl Network {
         &mut self.nodes[id]
     }
 
-    /// Data bytes delivered over a wire, per direction.
+    /// Data bytes delivered over a wire, per direction. Under the robust
+    /// protocol only accepted (non-duplicate) bytes count.
     pub fn wire_delivered(&self, wire: usize) -> (u64, u64) {
         (self.wires[wire].delivered[0], self.wires[wire].delivered[1])
+    }
+
+    /// Whether each transmit direction of a wire (from end 0, from end 1)
+    /// has been declared failed after exhausting its retry budget.
+    pub fn wire_failed(&self, wire: usize) -> (bool, bool) {
+        (self.wires[wire].failed[0], self.wires[wire].failed[1])
+    }
+
+    /// Whether any wire direction in the network has been declared
+    /// failed.
+    pub fn any_link_failed(&self) -> bool {
+        self.wires.iter().any(|w| w.failed[0] || w.failed[1])
     }
 
     /// Number of wires.
@@ -389,16 +469,16 @@ impl Network {
         }
     }
 
-
     /// Earliest pending activity on a wire: an in-flight packet
-    /// completion or an unresolved data-start probe.
+    /// completion, an unresolved data-start probe, or a resend deadline.
     fn wire_next_event_ns(&self, wire: usize) -> Option<u64> {
         let w = &self.wires[wire];
         let probe = w.probes.iter().map(|&(t, _)| t).min();
-        match (w.link.next_deadline(), probe) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        let resend = w.resend.iter().flatten().map(|r| r.deadline).min();
+        [w.link.next_deadline(), probe, resend]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     fn schedule_wire(&mut self, wire: usize) {
@@ -415,6 +495,14 @@ impl Network {
     /// Process a node's link-facing state after it ran or was poked:
     /// offer transmit bytes and deferred acknowledges to its wires.
     fn service_node_links(&mut self, node: usize) {
+        if self.robust {
+            // The robust protocol has no reception-start decisions, so
+            // the stamped path (which defers all wire work to heap
+            // events) is exact for every engine; sharing it keeps the
+            // engines' robust behaviour structurally identical.
+            self.service_node_links_at(node, self.now_ns);
+            return;
+        }
         for port in 0..4 {
             let w = self.port_to_wire[node][port];
             if w == usize::MAX {
@@ -444,6 +532,10 @@ impl Network {
     fn process_wire(&mut self, w: usize) {
         let events = self.wires[w].link.advance(self.now_ns);
         for ev in events {
+            if self.robust {
+                self.process_robust_event(w, ev);
+                continue;
+            }
             match ev {
                 LinkEvent::DataStarted { to } => {
                     let (node, port) = self.wire_end(w, to);
@@ -455,7 +547,7 @@ impl Network {
                         self.wires[w].link.send_ack(to, self.now_ns);
                     }
                 }
-                LinkEvent::DataDelivered { to, byte } => {
+                LinkEvent::DataDelivered { to, byte, .. } => {
                     let (node, port) = self.wire_end(w, to);
                     let ei = end_index(to);
                     self.wires[w].delivered[ei] += 1;
@@ -471,7 +563,7 @@ impl Network {
                     // Delivery may have completed a message and the woken
                     // process is not needed for further RX; nothing else.
                 }
-                LinkEvent::AckDelivered { to } => {
+                LinkEvent::AckDelivered { to, .. } => {
                     let (node, port) = self.wire_end(w, to);
                     let was_idle = self.nodes[node].is_idle();
                     self.nodes[node].link_tx_ack(port);
@@ -480,6 +572,9 @@ impl Network {
                     }
                     // The output port may have another byte ready now.
                     self.service_node_links(node);
+                }
+                LinkEvent::BusyDelivered { .. } | LinkEvent::Garbled { .. } => {
+                    unreachable!("classic lines emit no robust events")
                 }
             }
         }
@@ -509,7 +604,12 @@ impl Network {
         };
         self.now_ns = self.now_ns.max(t);
         match actor {
-            Actor::Wire(w) => self.process_wire(w),
+            Actor::Wire(w) => {
+                if !self.wire_pop_deferred(w, t) {
+                    self.process_wire(w);
+                    self.fire_due_resends(w);
+                }
+            }
             Actor::Node(n) => {
                 self.node_scheduled[n] = false;
                 if self.nodes[n].is_idle() {
@@ -706,8 +806,7 @@ impl Network {
         match outcome {
             SliceOutcome::Halted(HaltReason::Stopped) => {
                 if self.nodes[node].take_links_dirty() {
-                    let stamp =
-                        t + (self.nodes[node].slice_interaction_cycle() - pop_cycles) * cyc;
+                    let stamp = t + (self.nodes[node].slice_interaction_cycle() - pop_cycles) * cyc;
                     self.refresh_ea(node, stamp);
                     self.service_node_links_at(node, stamp);
                 }
@@ -759,11 +858,28 @@ impl Network {
             };
             let mut touched = false;
             if self.nodes[node].link_take_deferred_ack(port) {
-                self.wires[w].link.send_ack(end, stamp);
+                if self.robust {
+                    let seq = self.nodes[node].link_rx_last_seq(port);
+                    self.wires[w].link.send_ack_seq(end, seq, stamp);
+                } else {
+                    self.wires[w].link.send_ack(end, stamp);
+                }
                 touched = true;
             }
             if let Some(byte) = self.nodes[node].link_tx_poll(port) {
-                self.wires[w].link.send_data(end, byte, stamp);
+                if self.robust {
+                    let seq = self.nodes[node].link_tx_seq(port);
+                    self.wires[w].link.send_data_seq(end, byte, seq, stamp);
+                    self.wires[w].resend[end_index(end)] = Some(Resend {
+                        byte,
+                        seq,
+                        deadline: stamp + self.timeout_ns,
+                        attempts: 0,
+                        interval_ns: self.timeout_ns,
+                    });
+                } else {
+                    self.wires[w].link.send_data(end, byte, stamp);
+                }
                 touched = true;
             }
             if touched {
@@ -777,30 +893,145 @@ impl Network {
         }
     }
 
+    /// Fire any due retransmissions on a wire (robust protocol). Called
+    /// at wire pops only, *after* the due completions — an acknowledge
+    /// landing at the deadline instant wins the race — so every engine
+    /// resolves the tie the same way.
+    fn fire_due_resends(&mut self, w: usize) {
+        if !self.robust {
+            return;
+        }
+        let now = self.now_ns;
+        let mut fired = false;
+        for ei in 0..2 {
+            let due = matches!(self.wires[w].resend[ei], Some(r) if r.deadline <= now);
+            if !due {
+                continue;
+            }
+            let mut r = self.wires[w].resend[ei].expect("checked above");
+            let (node, _) = self.wires[w].ends[ei];
+            if r.attempts >= self.max_retries {
+                self.wires[w].resend[ei] = None;
+                self.wires[w].failed[ei] = true;
+                self.nodes[node].note_link_failure();
+                fired = true;
+                continue;
+            }
+            r.attempts += 1;
+            r.deadline = now + r.interval_ns;
+            self.wires[w].resend[ei] = Some(r);
+            self.nodes[node].note_link_retry();
+            let end = if ei == 0 { End::A } else { End::B };
+            self.wires[w].link.send_data_seq(end, r.byte, r.seq, now);
+            fired = true;
+        }
+        if fired {
+            self.schedule_wire(w);
+        }
+    }
+
+    /// Route one robust-protocol wire event. Shared verbatim by all
+    /// engines: without reception-start decisions there is no
+    /// engine-specific stamping beyond the frontier time.
+    fn process_robust_event(&mut self, w: usize, ev: LinkEvent) {
+        let now = self.now_ns;
+        match ev {
+            LinkEvent::DataStarted { .. } => {
+                unreachable!("robust lines emit no start events")
+            }
+            LinkEvent::DataDelivered { to, byte, seq } => {
+                let (node, port) = self.wire_end(w, to);
+                match self.nodes[node].link_rx_accept(port, seq) {
+                    SeqCheck::Accept => {
+                        self.wires[w].delivered[end_index(to)] += 1;
+                        let was_idle = self.nodes[node].is_idle();
+                        let ack_now = self.nodes[node].link_rx_deliver(port, byte);
+                        if ack_now {
+                            let aseq = self.nodes[node].link_rx_last_seq(port);
+                            self.wires[w].link.send_ack_seq(to, aseq, now);
+                        }
+                        if was_idle && !self.nodes[node].is_idle() {
+                            self.sync_and_wake(node);
+                        }
+                    }
+                    SeqCheck::DupReAck => {
+                        // Our acknowledge was evidently lost: repeat it.
+                        let aseq = self.nodes[node].link_rx_last_seq(port);
+                        self.wires[w].link.send_ack_seq(to, aseq, now);
+                    }
+                    SeqCheck::DupBusy => {
+                        let aseq = self.nodes[node].link_rx_last_seq(port);
+                        self.wires[w].link.send_busy(to, aseq, now);
+                    }
+                }
+            }
+            LinkEvent::AckDelivered { to, seq } => {
+                let (node, port) = self.wire_end(w, to);
+                let was_idle = self.nodes[node].is_idle();
+                if self.nodes[node].link_tx_ack_robust(port, seq) {
+                    self.wires[w].resend[end_index(to)] = None;
+                    if was_idle && !self.nodes[node].is_idle() {
+                        self.sync_and_wake(node);
+                    }
+                    // The output port may have another byte ready now.
+                    self.service_node_links_at(node, now);
+                }
+                // Stale acknowledges change nothing anywhere.
+            }
+            LinkEvent::BusyDelivered { to, seq } => {
+                // The receiver holds our byte but cannot release the
+                // acknowledge yet: poll with backoff instead of burning
+                // the retry budget.
+                if let Some(r) = &mut self.wires[w].resend[end_index(to)] {
+                    if r.seq == seq {
+                        r.attempts = 0;
+                        r.interval_ns = r.interval_ns.saturating_mul(2).min(self.timeout_ns * 16);
+                        r.deadline = now + r.interval_ns;
+                    }
+                }
+            }
+            LinkEvent::Garbled { to } => {
+                let (node, _) = self.wire_end(w, to);
+                self.nodes[node].note_link_rx_error();
+            }
+        }
+    }
+
     /// The early-acknowledge decision for a data packet that started
     /// arriving at `to` at time `stamp`.
     fn resolve_probe(&mut self, w: usize, to: End, stamp: u64) {
         let (node, port) = self.wire_end(w, to);
-        let early =
-            self.config.ack_policy == AckPolicy::Early && self.ea_at(node, port, stamp);
+        let early = self.config.ack_policy == AckPolicy::Early && self.ea_at(node, port, stamp);
         self.wires[w].early_acked[end_index(to)] = early;
         if early {
             self.wires[w].link.send_ack(to, stamp);
         }
     }
 
-    /// Whether a wire pop at `t` must wait for node slices scheduled at
+    /// Whether a wire pop at `t` must wait for node entries scheduled at
     /// the same instant. A data-start probe stamped exactly `t` ties with
     /// any instruction starting at `t`; the event engine executes the
     /// instruction first (its heap entry was pushed before the sender's
     /// step ran), so the sliced engine re-queues the wire behind the
     /// pending node entries to observe the same post-instruction state.
+    /// A resend deadline at exactly `t` ties the same way (the node's
+    /// sends at `t` must enter the line queue before the retransmission
+    /// starts); *every* engine applies that deferral, establishing one
+    /// canonical order. Requeueing terminates because each node
+    /// micro-step costs at least one cycle, so after the tied nodes run
+    /// they are rescheduled strictly later than `t`.
     fn wire_pop_deferred(&mut self, w: usize, t: u64) -> bool {
-        if !self.wires[w].probes.iter().any(|&(s, _)| s == t) {
+        let tie = self.wires[w].probes.iter().any(|&(s, _)| s == t)
+            || self.wires[w]
+                .resend
+                .iter()
+                .flatten()
+                .any(|r| r.deadline == t);
+        if !tie {
             return false;
         }
-        let node_pending = (0..self.nodes.len())
-            .any(|n| self.node_scheduled[n] && self.node_next_ns[n] == t);
+        let node_pending =
+            (0..self.nodes.len()).any(|n| self.node_scheduled[n] && self.node_next_ns[n] == t);
         if node_pending {
             self.seq += 1;
             self.queue.push(Reverse((t, self.seq, Actor::Wire(w))));
@@ -830,13 +1061,17 @@ impl Network {
         }
         let events = self.wires[w].link.advance(now);
         for ev in events {
+            if self.robust {
+                self.process_robust_event(w, ev);
+                continue;
+            }
             match ev {
                 LinkEvent::DataStarted { to } => {
                     // A queued packet chained onto a completion: it
                     // starts exactly now.
                     self.resolve_probe(w, to, now);
                 }
-                LinkEvent::DataDelivered { to, byte } => {
+                LinkEvent::DataDelivered { to, byte, .. } => {
                     let (node, port) = self.wire_end(w, to);
                     let ei = end_index(to);
                     self.wires[w].delivered[ei] += 1;
@@ -851,7 +1086,7 @@ impl Network {
                         self.sync_and_wake(node);
                     }
                 }
-                LinkEvent::AckDelivered { to } => {
+                LinkEvent::AckDelivered { to, .. } => {
                     let (node, port) = self.wire_end(w, to);
                     let was_idle = self.nodes[node].is_idle();
                     self.nodes[node].link_tx_ack(port);
@@ -860,6 +1095,9 @@ impl Network {
                     }
                     // The output port may have another byte ready now.
                     self.service_node_links_at(node, now);
+                }
+                LinkEvent::BusyDelivered { .. } | LinkEvent::Garbled { .. } => {
+                    unreachable!("classic lines emit no robust events")
                 }
             }
         }
@@ -879,6 +1117,7 @@ impl Network {
             Actor::Wire(w) => {
                 if !self.wire_pop_deferred(w, t) {
                     self.process_wire_sliced(w);
+                    self.fire_due_resends(w);
                 }
             }
             Actor::Node(n) => {
@@ -907,6 +1146,7 @@ impl Network {
             Actor::Wire(w) => {
                 if !self.wire_pop_deferred(w, t0) {
                     self.process_wire_sliced(w);
+                    self.fire_due_resends(w);
                 }
                 return Ok(true);
             }
@@ -927,7 +1167,9 @@ impl Network {
             let t_peek = self.queue.peek().map(|Reverse((pt, _, _))| *pt);
             let bound = self.slice_bound_ns(n0, t_peek, &[]);
             let (pop_cycles, outcome) = self.run_node_slice(n0, t0, bound);
-            return self.finish_slice(n0, t0, pop_cycles, outcome).map(|()| true);
+            return self
+                .finish_slice(n0, t0, pop_cycles, outcome)
+                .map(|()| true);
         }
         let remaining_top = self.queue.peek().map(|Reverse((pt, _, _))| *pt);
         // Bounds are computed against pre-window state; a batch member's
@@ -1234,7 +1476,9 @@ mod tests {
             let rx = b.add_node();
             b.connect((tx, 0), (rx, 0));
             let mut net = b.build();
-            net.node_mut(tx).load_boot_program(&one_word_sender()).unwrap();
+            net.node_mut(tx)
+                .load_boot_program(&one_word_sender())
+                .unwrap();
             net.node_mut(rx)
                 .load_boot_program(&one_word_receiver())
                 .unwrap();
@@ -1262,7 +1506,9 @@ mod tests {
             let rx = b.add_node();
             b.connect((tx, 0), (rx, 0));
             let mut net = b.build();
-            net.node_mut(tx).load_boot_program(&one_word_sender()).unwrap();
+            net.node_mut(tx)
+                .load_boot_program(&one_word_sender())
+                .unwrap();
             net.node_mut(rx)
                 .load_boot_program(&one_word_receiver())
                 .unwrap();

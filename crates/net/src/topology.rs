@@ -85,6 +85,35 @@ impl GridNet {
     }
 }
 
+/// Wire index of a grid edge under the row-major east-then-south sweep
+/// used by [`grid`] (and by any builder that wires a grid the same way,
+/// such as the database-search array): `east` selects the wire from
+/// `(x, y)` to `(x + 1, y)`, otherwise the wire to `(x, y + 1)`. This is
+/// how a [`transputer_link::FaultPlan`] dead-link entry is aimed at a
+/// specific grid edge.
+///
+/// # Panics
+///
+/// Panics if the named edge does not exist in the grid.
+pub fn grid_edge_wire(width: usize, height: usize, x: usize, y: usize, east: bool) -> usize {
+    assert!(x < width && y < height, "({x},{y}) outside grid");
+    assert!(
+        if east { x + 1 < width } else { y + 1 < height },
+        "({x},{y}) has no {} edge",
+        if east { "east" } else { "south" }
+    );
+    let mut index = 0;
+    for yy in 0..height {
+        for xx in 0..width {
+            if (xx, yy) == (x, y) {
+                return index + if east { 0 } else { usize::from(x + 1 < width) };
+            }
+            index += usize::from(xx + 1 < width) + usize::from(yy + 1 < height);
+        }
+    }
+    unreachable!()
+}
+
 /// A `width` × `height` grid: east-west neighbours share a wire on ports
 /// 1/3, north-south neighbours on ports 2/0 (Figure 8: "16 transputers
 /// ... connected into a square array").
@@ -146,6 +175,26 @@ mod tests {
         assert_eq!(g.at(3, 3), g.ids[15]);
         // Corner-to-corner distance: 6 links on a 4x4.
         assert_eq!(g.link_distance((0, 0), (3, 3)), 6);
+    }
+
+    #[test]
+    fn grid_edge_wire_matches_connect_order() {
+        // 4x4: (0,0) connects east first (wire 0) then south (wire 1);
+        // row-major sweep thereafter.
+        assert_eq!(grid_edge_wire(4, 4, 0, 0, true), 0);
+        assert_eq!(grid_edge_wire(4, 4, 0, 0, false), 1);
+        assert_eq!(grid_edge_wire(4, 4, 1, 0, true), 2);
+        // (3,0) has no east edge, only south.
+        assert_eq!(grid_edge_wire(4, 4, 3, 0, false), 6);
+        assert_eq!(grid_edge_wire(4, 4, 0, 1, true), 7);
+        // Bottom row has no south edges; last wire is (2,3) east.
+        assert_eq!(grid_edge_wire(4, 4, 2, 3, true), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "no east edge")]
+    fn grid_edge_wire_rejects_missing_edges() {
+        let _ = grid_edge_wire(4, 4, 3, 0, true);
     }
 
     #[test]

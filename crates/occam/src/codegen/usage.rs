@@ -299,9 +299,10 @@ impl Cg {
                     match (mode, actual) {
                         (ParamMode::Value, Actual::Expr(e)) => self.read_expr(e, locals, u),
                         (ParamMode::Var, Actual::Expr(Expr::Name(n)))
-                            if !locals.contains(n) && self.is_checked_scalar(n) => {
-                                u.writes.insert(n.clone());
-                            }
+                            if !locals.contains(n) && self.is_checked_scalar(n) =>
+                        {
+                            u.writes.insert(n.clone());
+                        }
                         (ParamMode::Var, Actual::Expr(Expr::Index(_, idx))) => {
                             self.read_expr(idx, locals, u);
                         }

@@ -345,7 +345,12 @@ pub fn lex(source: &str) -> Result<Vec<Lexeme>, CompileError> {
     Ok(out)
 }
 
-fn lex_line(text: &str, line: u32, indent: usize, out: &mut Vec<Lexeme>) -> Result<(), CompileError> {
+fn lex_line(
+    text: &str,
+    line: u32,
+    indent: usize,
+    out: &mut Vec<Lexeme>,
+) -> Result<(), CompileError> {
     let bytes = text.as_bytes();
     let mut i = 0;
     while i < bytes.len() {

@@ -613,43 +613,42 @@ impl Parser {
         self.bump(); // PROC
         let name = self.expect_ident()?;
         let mut params = Vec::new();
-        if self.eat(&Token::LParen)
-            && !self.eat(&Token::RParen) {
-                let mut mode = ParamMode::Value;
-                loop {
-                    match self.peek() {
-                        Token::Key(Keyword::Value) => {
-                            self.bump();
-                            mode = ParamMode::Value;
-                        }
-                        Token::Key(Keyword::Var) => {
-                            self.bump();
-                            mode = ParamMode::Var;
-                        }
-                        Token::Key(Keyword::Chan) => {
-                            self.bump();
-                            mode = ParamMode::Chan;
-                        }
-                        _ => {}
+        if self.eat(&Token::LParen) && !self.eat(&Token::RParen) {
+            let mut mode = ParamMode::Value;
+            loop {
+                match self.peek() {
+                    Token::Key(Keyword::Value) => {
+                        self.bump();
+                        mode = ParamMode::Value;
                     }
-                    let pname = self.expect_ident()?;
-                    let is_vector = if self.eat(&Token::LBracket) {
-                        self.expect(&Token::RBracket)?;
-                        true
-                    } else {
-                        false
-                    };
-                    params.push(Param {
-                        mode,
-                        name: pname,
-                        is_vector,
-                    });
-                    if !self.eat(&Token::Comma) {
-                        break;
+                    Token::Key(Keyword::Var) => {
+                        self.bump();
+                        mode = ParamMode::Var;
                     }
+                    Token::Key(Keyword::Chan) => {
+                        self.bump();
+                        mode = ParamMode::Chan;
+                    }
+                    _ => {}
                 }
-                self.expect(&Token::RParen)?;
+                let pname = self.expect_ident()?;
+                let is_vector = if self.eat(&Token::LBracket) {
+                    self.expect(&Token::RBracket)?;
+                    true
+                } else {
+                    false
+                };
+                params.push(Param {
+                    mode,
+                    name: pname,
+                    is_vector,
+                });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
             }
+            self.expect(&Token::RParen)?;
+        }
         self.expect(&Token::Equals)?;
         self.expect(&Token::Newline)?;
         self.expect(&Token::Indent)?;

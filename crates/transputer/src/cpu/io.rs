@@ -8,7 +8,7 @@
 
 use super::{Cpu, Resume, SliceOutcome};
 use crate::error::HaltReason;
-use crate::linkif::{RxOutcome, Transfer};
+use crate::linkif::{AckCheck, RxOutcome, SeqCheck, Transfer};
 use crate::process::{workspace_word, ProcDesc, PW_IPTR, PW_STATE};
 use crate::timing;
 
@@ -290,6 +290,60 @@ impl Cpu {
 
             self.schedule(p, now);
         }
+    }
+
+    /// Sequence bit to transmit with a link's current/next outgoing byte
+    /// (robust protocol).
+    pub fn link_tx_seq(&self, link: usize) -> bool {
+        self.link_out[link].seq()
+    }
+
+    /// A robust-protocol acknowledge with sequence bit `seq` arrived.
+    /// Returns `false` for a stale duplicate (nothing changed).
+    pub fn link_tx_ack_robust(&mut self, link: usize, seq: bool) -> bool {
+        match self.link_out[link].acknowledged_robust(seq) {
+            AckCheck::Stale => false,
+            AckCheck::Fresh(done) => {
+                if let Some(p) = done {
+                    let now = self.cycles;
+                    self.schedule(p, now);
+                }
+                true
+            }
+        }
+    }
+
+    /// Classify an incoming robust-protocol data byte by sequence bit,
+    /// *before* any boot or delivery handling. Only [`SeqCheck::Accept`]
+    /// bytes should reach [`Cpu::link_rx_deliver`]; duplicates update the
+    /// dup counter here.
+    pub fn link_rx_accept(&mut self, link: usize, seq: bool) -> SeqCheck {
+        let verdict = self.link_in[link].check_seq(seq);
+        if verdict != SeqCheck::Accept {
+            self.stats.link_dup_data += 1;
+        }
+        verdict
+    }
+
+    /// Sequence bit every acknowledge on a link's input side must carry:
+    /// that of the last accepted byte.
+    pub fn link_rx_last_seq(&self, link: usize) -> bool {
+        self.link_in[link].last_seq()
+    }
+
+    /// Count a detected-and-discarded corrupt frame on this node's input.
+    pub fn note_link_rx_error(&mut self) {
+        self.stats.link_rx_errors += 1;
+    }
+
+    /// Count a timeout-driven retransmission from this node.
+    pub fn note_link_retry(&mut self) {
+        self.stats.link_retries += 1;
+    }
+
+    /// Count a link direction declared failed at this node.
+    pub fn note_link_failure(&mut self) {
+        self.stats.link_failures += 1;
     }
 
     /// Whether reception on a link may be acknowledged as soon as it

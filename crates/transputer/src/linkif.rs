@@ -27,6 +27,33 @@ pub struct Transfer {
     pub remaining: u32,
 }
 
+/// Verdict on an incoming acknowledge under the robust link protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckCheck {
+    /// Sequence mismatch (or nothing in flight): a duplicate of an
+    /// acknowledge already acted on. Ignore it.
+    Stale,
+    /// The acknowledge for the in-flight byte. Carries the process to
+    /// wake if this completed the message.
+    Fresh(Option<ProcDesc>),
+}
+
+/// Verdict on an incoming data byte's sequence bit under the robust
+/// link protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqCheck {
+    /// The expected byte: deliver it.
+    Accept,
+    /// A duplicate whose acknowledge was evidently lost: re-acknowledge,
+    /// do not deliver again.
+    DupReAck,
+    /// A duplicate whose acknowledge has not yet been *released* (the
+    /// byte sits in the buffer, or the deferred acknowledge is still
+    /// queued): tell the sender the interface is busy so it backs off
+    /// instead of counting the resend against its retry budget.
+    DupBusy,
+}
+
 /// Output half of a link: one occam channel out of the transputer.
 #[derive(Debug, Clone, Default)]
 pub struct LinkOut {
@@ -35,6 +62,9 @@ pub struct LinkOut {
     /// outstanding. "After transmitting a data byte, the sender waits
     /// until an acknowledge is received" (§2.3).
     in_flight: bool,
+    /// Alternating sequence bit of the current/next outgoing byte
+    /// (robust protocol; flips on each fresh acknowledge).
+    tx_seq: bool,
 }
 
 impl LinkOut {
@@ -103,6 +133,24 @@ impl LinkOut {
     pub fn awaiting_ack(&self) -> bool {
         self.in_flight
     }
+
+    /// Sequence bit to transmit with the current/next byte (robust
+    /// protocol).
+    pub fn seq(&self) -> bool {
+        self.tx_seq
+    }
+
+    /// An acknowledge with sequence bit `seq` arrived (robust protocol).
+    /// Only a fresh acknowledge — matching the in-flight byte — advances
+    /// the transfer and flips the sequence bit; duplicates of an earlier
+    /// acknowledge are reported [`AckCheck::Stale`] and change nothing.
+    pub fn acknowledged_robust(&mut self, seq: bool) -> AckCheck {
+        if !self.in_flight || seq != self.tx_seq {
+            return AckCheck::Stale;
+        }
+        self.tx_seq = !self.tx_seq;
+        AckCheck::Fresh(self.acknowledged())
+    }
 }
 
 /// What a delivered byte did on the input side.
@@ -130,6 +178,9 @@ pub struct LinkIn {
     /// "instructions for enabling and disabling channels provide support
     /// for an implementation of alternative input without polling").
     alting: Option<ProcDesc>,
+    /// Sequence bit the next fresh byte must carry (robust protocol;
+    /// flips on each accepted byte).
+    rx_seq: bool,
 }
 
 impl LinkIn {
@@ -214,6 +265,26 @@ impl LinkIn {
         std::mem::take(&mut self.ack_due)
     }
 
+    /// Classify an incoming data byte by its sequence bit (robust
+    /// protocol). Call *before* [`LinkIn::deliver`]; only
+    /// [`SeqCheck::Accept`] should reach `deliver`.
+    pub fn check_seq(&mut self, seq: bool) -> SeqCheck {
+        if seq == self.rx_seq {
+            self.rx_seq = !self.rx_seq;
+            SeqCheck::Accept
+        } else if self.buffer.is_some() || self.ack_due {
+            SeqCheck::DupBusy
+        } else {
+            SeqCheck::DupReAck
+        }
+    }
+
+    /// Sequence bit of the last accepted byte — the bit every
+    /// acknowledge (immediate, deferred or repeated) must carry.
+    pub fn last_seq(&self) -> bool {
+        !self.rx_seq
+    }
+
     /// Whether a transfer is active (for diagnostics).
     pub fn is_busy(&self) -> bool {
         self.transfer.is_some()
@@ -287,6 +358,74 @@ mod tests {
         assert_eq!(li.store_addr(), Some(0x8000_0301));
         li.deliver(2);
         assert_eq!(li.byte_stored(false), Some(proc1()));
+    }
+
+    #[test]
+    fn robust_output_ignores_stale_acks() {
+        let mut out = LinkOut::default();
+        out.begin(Transfer {
+            process: proc1(),
+            pointer: 0x8000_0200,
+            remaining: 2,
+        });
+        assert!(!out.seq());
+        out.byte_taken();
+        // A stale acknowledge (wrong sequence bit) changes nothing.
+        assert_eq!(out.acknowledged_robust(true), AckCheck::Stale);
+        assert!(out.awaiting_ack());
+        // The fresh one advances and flips the sequence bit.
+        assert_eq!(out.acknowledged_robust(false), AckCheck::Fresh(None));
+        assert!(out.seq());
+        out.byte_taken();
+        // A duplicate of the *first* acknowledge is now stale.
+        assert_eq!(out.acknowledged_robust(false), AckCheck::Stale);
+        assert_eq!(
+            out.acknowledged_robust(true),
+            AckCheck::Fresh(Some(proc1()))
+        );
+        // Nothing in flight: any acknowledge is stale.
+        assert_eq!(out.acknowledged_robust(false), AckCheck::Stale);
+    }
+
+    #[test]
+    fn robust_input_classifies_duplicates() {
+        let mut li = LinkIn::default();
+        li.begin(Transfer {
+            process: proc1(),
+            pointer: 0x8000_0300,
+            remaining: 2,
+        });
+        assert_eq!(li.check_seq(false), SeqCheck::Accept);
+        assert!(!li.last_seq());
+        li.deliver(1);
+        li.byte_stored(false);
+        // The acknowledge was released immediately (process waiting), so
+        // a resend of the same byte just needs re-acknowledging.
+        assert_eq!(li.check_seq(false), SeqCheck::DupReAck);
+        assert_eq!(li.check_seq(true), SeqCheck::Accept);
+        assert!(li.last_seq());
+    }
+
+    #[test]
+    fn robust_input_reports_busy_while_ack_is_held() {
+        let mut li = LinkIn::default();
+        // No process waiting: byte goes to the buffer, ack deferred.
+        assert_eq!(li.check_seq(false), SeqCheck::Accept);
+        li.deliver(7);
+        // Resend while the byte is buffered: busy, not re-ack.
+        assert_eq!(li.check_seq(false), SeqCheck::DupBusy);
+        // Process takes the byte; the deferred ack is due but unsent.
+        let got = li.begin(Transfer {
+            process: proc1(),
+            pointer: 0x8000_0300,
+            remaining: 1,
+        });
+        assert_eq!(got, Some(7));
+        li.byte_stored(true);
+        assert_eq!(li.check_seq(false), SeqCheck::DupBusy);
+        // Ack released: further duplicates are re-acknowledged.
+        assert!(li.take_ack_due());
+        assert_eq!(li.check_seq(false), SeqCheck::DupReAck);
     }
 
     #[test]

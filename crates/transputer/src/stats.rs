@@ -44,6 +44,15 @@ pub struct Stats {
     pub messages: u64,
     /// Bytes moved through channels (internal and external).
     pub message_bytes: u64,
+    /// Link bytes retransmitted after an acknowledge timeout (robust
+    /// protocol, counted at the sending node).
+    pub link_retries: u64,
+    /// Corrupt link frames detected and discarded at this node's inputs.
+    pub link_rx_errors: u64,
+    /// Duplicate data bytes identified by sequence bit and suppressed.
+    pub link_dup_data: u64,
+    /// Link directions declared failed after the retry budget ran out.
+    pub link_failures: u64,
 }
 
 impl Default for Stats {
@@ -62,6 +71,10 @@ impl Default for Stats {
             priority_lowerings: 0,
             messages: 0,
             message_bytes: 0,
+            link_retries: 0,
+            link_rx_errors: 0,
+            link_dup_data: 0,
+            link_failures: 0,
         }
     }
 }

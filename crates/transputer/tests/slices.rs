@@ -39,7 +39,10 @@ fn slice_exits_at_tx_ready() {
     cpu.load_boot_program(&sender_code()).unwrap();
     let out = cpu.run_slice(1 << 20);
     assert_eq!(out, SliceOutcome::TxReady);
-    assert!(cpu.take_links_dirty(), "tx start changes wire-visible state");
+    assert!(
+        cpu.take_links_dirty(),
+        "tx start changes wire-visible state"
+    );
     // The interacting instruction began no later than the current cycle.
     assert!(cpu.slice_interaction_cycle() <= cpu.cycles());
     // The wire can now collect the first byte of the word.

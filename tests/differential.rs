@@ -166,11 +166,7 @@ fn restrict_to(stmts: &mut [St], only: usize) {
         match e {
             SE::Lit(_) | SE::LoopVar => {}
             SE::Var(i) => *i = only,
-            SE::Add(a, b)
-            | SE::Sub(a, b)
-            | SE::Mul(a, b)
-            | SE::BitAnd(a, b)
-            | SE::BitXor(a, b) => {
+            SE::Add(a, b) | SE::Sub(a, b) | SE::Mul(a, b) | SE::BitAnd(a, b) | SE::BitXor(a, b) => {
                 fix_expr(a, only);
                 fix_expr(b, only);
             }

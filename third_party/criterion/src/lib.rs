@@ -39,8 +39,8 @@ impl Bencher {
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
         // Aim for ~50ms of measurement, capped to keep CI fast.
-        let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos())
-            .clamp(1, 10_000) as u64;
+        let iters =
+            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
         let t1 = Instant::now();
         for _ in 0..iters {
             black_box(f());
