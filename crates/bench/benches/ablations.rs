@@ -155,7 +155,7 @@ fn ack_policy_system(c: &mut Criterion) {
                 ..NetworkConfig::default()
             },
         };
-        let sim = DbSearch::build(config).expect("builds");
+        let mut sim = DbSearch::build(config).expect("builds");
         let report = sim.run(1_000_000_000_000).expect("runs");
         assert!(report.all_correct());
         report.first_answer_ns

@@ -23,7 +23,7 @@ fn stream_bytes(n: u64, policy: AckPolicy) -> u64 {
                 LinkEvent::DataDelivered { to: End::B, .. } if policy == AckPolicy::AfterStop => {
                     link.send_ack(End::B, now)
                 }
-                LinkEvent::AckDelivered { to: End::A } => {
+                LinkEvent::AckDelivered { to: End::A, .. } => {
                     acked += 1;
                     if sent < n {
                         link.send_data(End::A, 0xA5, now);

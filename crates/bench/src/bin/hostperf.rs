@@ -15,8 +15,9 @@ use std::process::Command;
 use std::time::Instant;
 
 use transputer_bench::hostperf::{
-    board128, cross_check, faulted, figure8, figure8_smoke, run_network, to_json, NetRun,
-    EXPERIMENTS, FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
+    baseline_cpu_mips, board128, cpu_corpus_bench, cpu_cross_check, cross_check, faulted, figure8,
+    figure8_smoke, run_network, to_json, CpuRun, NetRun, EXPERIMENTS, FAULT_RATE_DEFAULT,
+    FAULT_SEED_DEFAULT,
 };
 use transputer_net::Engine;
 
@@ -57,24 +58,89 @@ fn time_experiments() -> (Vec<(String, f64)>, Vec<String>) {
 
 fn print_net(r: &NetRun) {
     println!(
-        "  {:<20} {:<9} {:>9.1} ms   {:>12.0} cyc/s   {:>7.2} MIPS   ok={}",
+        "  {:<20} {:<9} {:>9.1} ms   {:>12.0} cyc/s   {:>7.2} MIPS   ok={}   \
+         dcache {}h/{}m/{}i/{}b",
         r.bench,
         format!("{:?}", r.engine),
         r.wall_ms,
         r.cycles_per_sec(),
         r.emulated_mips(),
-        r.answers_ok
+        r.answers_ok,
+        r.decode.0,
+        r.decode.1,
+        r.decode.2,
+        r.decode.3,
     );
+}
+
+fn print_cpu(r: &CpuRun) {
+    println!(
+        "  cpu_corpus decode_cache={:<5} {:>9.1} ms   {:>7.2} MIPS   \
+         dcache {}h/{}m/{}i/{}b (hit rate {:.1}%)",
+        r.decode_cache,
+        r.wall_ms,
+        r.emulated_mips(),
+        r.decode.0,
+        r.decode.1,
+        r.decode.2,
+        r.decode.3,
+        r.hit_rate() * 100.0,
+    );
+}
+
+/// Non-blocking perf check: compare the cache-on CPU-corpus emulated
+/// MIPS against the committed `BENCH_host.json`, warning (never
+/// failing) on a >20% regression. Wall-clock numbers vary between
+/// machines, so this stays advisory; CI surfaces the line in the smoke
+/// job log.
+fn warn_on_mips_regression(current: &CpuRun) {
+    let committed = match std::fs::read_to_string("BENCH_host.json") {
+        Ok(s) => s,
+        Err(_) => {
+            println!("  perf check: no committed BENCH_host.json here; skipping");
+            return;
+        }
+    };
+    match baseline_cpu_mips(&committed) {
+        Some(baseline) if baseline > 0.0 => {
+            let now = current.emulated_mips();
+            let ratio = now / baseline;
+            if ratio < 0.8 {
+                println!(
+                    "WARN: emulated MIPS regression: cpu corpus {now:.2} MIPS vs committed \
+                     {baseline:.2} MIPS ({:.0}% of baseline)",
+                    ratio * 100.0
+                );
+            } else {
+                println!(
+                    "  perf check: cpu corpus {now:.2} MIPS vs committed {baseline:.2} MIPS \
+                     ({:.0}% of baseline) — ok",
+                    ratio * 100.0
+                );
+            }
+        }
+        _ => println!("  perf check: committed BENCH_host.json has no cpu section; skipping"),
+    }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut networks: Vec<NetRun> = Vec::new();
+    let mut cpu_runs: Vec<CpuRun> = Vec::new();
     let mut problems: Vec<String> = Vec::new();
     let mut experiments: Vec<(String, f64)> = Vec::new();
 
     if smoke {
         println!("hostperf --smoke: outcome gate (wall times informational)");
+        println!("hostperf --smoke: cpu corpus (decode cache on/off must agree)");
+        let on = cpu_corpus_bench(true, 1);
+        let off = cpu_corpus_bench(false, 1);
+        print_cpu(&on);
+        print_cpu(&off);
+        problems.extend(cpu_cross_check(&[on.clone(), off.clone()]));
+        warn_on_mips_regression(&on);
+        cpu_runs.push(on);
+        cpu_runs.push(off);
         let runs: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
             .into_iter()
             .map(|e| run_network("e09_figure8_smoke", figure8_smoke(), e))
@@ -111,6 +177,22 @@ fn main() {
         let (rows, probs) = time_experiments();
         experiments = rows;
         problems.extend(probs);
+
+        println!("hostperf: cpu corpus (pure-CPU emulation throughput)");
+        let on = cpu_corpus_bench(true, 20);
+        let off = cpu_corpus_bench(false, 20);
+        print_cpu(&on);
+        print_cpu(&off);
+        println!(
+            "  cpu corpus decode-cache speedup: {:.2}x (off {:.2} MIPS -> on {:.2} MIPS)",
+            on.emulated_mips() / off.emulated_mips(),
+            off.emulated_mips(),
+            on.emulated_mips()
+        );
+        problems.extend(cpu_cross_check(&[on.clone(), off.clone()]));
+        warn_on_mips_regression(&on);
+        cpu_runs.push(on);
+        cpu_runs.push(off);
 
         println!("hostperf: e09 figure-8 (16 transputers)");
         let e09: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
@@ -182,7 +264,7 @@ fn main() {
         networks.extend(e10f);
     }
 
-    let json = to_json(smoke, &experiments, &networks, &problems);
+    let json = to_json(smoke, &experiments, &cpu_runs, &networks, &problems);
     let out_path =
         std::env::var("BENCH_HOST_OUT").unwrap_or_else(|_| "BENCH_host.json".to_string());
     std::fs::write(&out_path, &json).expect("write BENCH_host.json");

@@ -12,9 +12,12 @@
 
 use std::time::Instant;
 
+use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome};
 use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
 use transputer_link::FaultPlan;
 use transputer_net::Engine;
+
+use crate::corpus;
 
 /// Every experiment binary, in report order (shared with `run_all`).
 pub const EXPERIMENTS: &[&str] = &[
@@ -56,6 +59,10 @@ pub struct NetRun {
     /// instruction counters, and per-wire delivered-byte counters. Equal
     /// fingerprints mean bit-identical simulated outcomes.
     pub fingerprint: u64,
+    /// Aggregate decode-cache counters over all nodes:
+    /// `(hits, misses, invalidations, bypasses)`. Host-side only,
+    /// excluded from the fingerprint.
+    pub decode: (u64, u64, u64, u64),
 }
 
 impl NetRun {
@@ -129,6 +136,128 @@ pub fn run_network(bench: &'static str, config: DbSearchConfig, engine: Engine) 
         cycles,
         instructions,
         answers_ok: report.all_correct(),
+        fingerprint: hash,
+        decode: net.decode_stats(),
+    }
+}
+
+/// One timed run of the occam corpus on a standalone processor: the
+/// pure-CPU emulation throughput the decode cache targets, without any
+/// network scheduling in the way (the e13 "emulated MIPS" measurement).
+#[derive(Debug, Clone)]
+pub struct CpuRun {
+    /// Whether the predecoded instruction cache was enabled.
+    pub decode_cache: bool,
+    /// Host wall-clock time over all programs and repeats, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated cycles summed over all runs.
+    pub cycles: u64,
+    /// Instruction bytes executed summed over all runs.
+    pub instructions: u64,
+    /// Decode-cache counters summed over all runs:
+    /// `(hits, misses, invalidations, bypasses)`.
+    pub decode: (u64, u64, u64, u64),
+    /// FNV-1a hash over each program's result word, halt cycle count and
+    /// instruction count. Cache-on and cache-off runs must produce equal
+    /// fingerprints.
+    pub fingerprint: u64,
+}
+
+impl CpuRun {
+    /// Emulated millions of instructions per host second.
+    pub fn emulated_mips(&self) -> f64 {
+        self.instructions as f64 / (self.wall_ms / 1e3) / 1e6
+    }
+
+    /// Cache hit rate over all lookups (hits + misses), in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.decode.0 + self.decode.1;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.decode.0 as f64 / lookups as f64
+    }
+}
+
+/// Run every corpus program `repeats` times on a fresh T424 through the
+/// batched engine, timing the whole sweep. Compilation happens outside
+/// the timed region; execution, including boot-program loading, is
+/// timed.
+///
+/// # Panics
+///
+/// Panics if a corpus program fails to compile, halt cleanly, or
+/// produce its expected answer — wrong results must never become a
+/// performance number.
+pub fn cpu_corpus_bench(decode_cache: bool, repeats: u32) -> CpuRun {
+    let programs: Vec<(&corpus::CorpusItem, occam::Program)> = corpus::CORPUS
+        .iter()
+        .map(|item| {
+            (
+                item,
+                occam::compile(item.source).expect("corpus program compiles"),
+            )
+        })
+        .collect();
+    let config = CpuConfig::t424().with_decode_cache(decode_cache);
+    // One untimed warm-up sweep: the first execution pays one-off host
+    // costs (page faults, frequency ramp-up, cold caches) that are not
+    // emulation throughput and would otherwise swamp short runs.
+    for (_, program) in &programs {
+        let mut cpu = Cpu::new(config.clone());
+        program.load(&mut cpu).expect("corpus program loads");
+        cpu.run_batched(500_000_000).expect("corpus program runs");
+    }
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    let mut decode = (0u64, 0u64, 0u64, 0u64);
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    // Only execution is timed: processor construction and program
+    // loading are setup, not emulation throughput.
+    let mut wall = std::time::Duration::ZERO;
+    for rep in 0..repeats {
+        for (item, program) in &programs {
+            let mut cpu = Cpu::new(config.clone());
+            let wptr = program.load(&mut cpu).expect("corpus program loads");
+            let start = Instant::now();
+            let outcome = cpu.run_batched(500_000_000);
+            wall += start.elapsed();
+            match outcome {
+                Ok(RunOutcome::Halted(HaltReason::Stopped)) => {}
+                other => panic!(
+                    "corpus program {} did not halt cleanly: {other:?}",
+                    item.name
+                ),
+            }
+            let value = program
+                .read_global(&mut cpu, wptr, item.check_global)
+                .expect("check global exists");
+            assert_eq!(
+                cpu.word_length().to_signed(value),
+                item.expected,
+                "corpus program {} produced a wrong answer",
+                item.name
+            );
+            let s = cpu.stats();
+            cycles += cpu.cycles();
+            instructions += s.instructions;
+            decode.0 += s.decode_hits;
+            decode.1 += s.decode_misses;
+            decode.2 += s.decode_invalidations;
+            decode.3 += s.decode_bypasses;
+            if rep == 0 {
+                fnv1a(&mut hash, u64::from(value));
+                fnv1a(&mut hash, cpu.cycles());
+                fnv1a(&mut hash, s.instructions);
+            }
+        }
+    }
+    CpuRun {
+        decode_cache,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        cycles,
+        instructions,
+        decode,
         fingerprint: hash,
     }
 }
@@ -216,10 +345,46 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Outcome checks over CPU-corpus runs: the cache-on and cache-off
+/// sweeps must fingerprint identically. Returns error lines, empty when
+/// healthy.
+pub fn cpu_cross_check(runs: &[CpuRun]) -> Vec<String> {
+    let mut problems = Vec::new();
+    if let Some(first) = runs.first() {
+        for r in &runs[1..] {
+            if r.fingerprint != first.fingerprint {
+                problems.push(format!(
+                    "cpu_corpus: decode_cache={} fingerprint {:016x} != decode_cache={} \
+                     fingerprint {:016x}",
+                    r.decode_cache, r.fingerprint, first.decode_cache, first.fingerprint
+                ));
+            }
+        }
+    }
+    problems
+}
+
+/// Pull the committed cache-on CPU-corpus emulated MIPS out of a
+/// `BENCH_host.json` rendered by [`to_json`] (hand-rolled companion to
+/// the hand-rolled renderer). `None` when the file predates the `cpu`
+/// section or the number fails to parse.
+pub fn baseline_cpu_mips(json: &str) -> Option<f64> {
+    let entry = json
+        .lines()
+        .find(|l| l.contains("\"decode_cache\": true") && l.contains("\"emulated_mips\""))?;
+    let rest = entry.split("\"emulated_mips\": ").nth(1)?;
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
 /// Render the report as JSON (hand-rolled: no serialisation deps).
 pub fn to_json(
     smoke: bool,
     experiments: &[(String, f64)],
+    cpu_runs: &[CpuRun],
     networks: &[NetRun],
     problems: &[String],
 ) -> String {
@@ -233,6 +398,26 @@ pub fn to_json(
             json_escape(name)
         ));
     }
+    out.push_str("  ],\n  \"cpu\": [\n");
+    for (i, r) in cpu_runs.iter().enumerate() {
+        let comma = if i + 1 < cpu_runs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"decode_cache\": {}, \"wall_ms\": {:.1}, \"cycles\": {}, \
+             \"instructions\": {}, \"emulated_mips\": {:.2}, \"decode_hits\": {}, \
+             \"decode_misses\": {}, \"decode_invalidations\": {}, \
+             \"decode_bypasses\": {}, \"fingerprint\": \"{:016x}\"}}{comma}\n",
+            r.decode_cache,
+            r.wall_ms,
+            r.cycles,
+            r.instructions,
+            r.emulated_mips(),
+            r.decode.0,
+            r.decode.1,
+            r.decode.2,
+            r.decode.3,
+            r.fingerprint,
+        ));
+    }
     out.push_str("  ],\n  \"networks\": [\n");
     for (i, r) in networks.iter().enumerate() {
         let comma = if i + 1 < networks.len() { "," } else { "" };
@@ -240,6 +425,8 @@ pub fn to_json(
             "    {{\"bench\": \"{}\", \"engine\": \"{:?}\", \"wall_ms\": {:.1}, \
              \"sim_ns\": {}, \"cycles\": {}, \"instructions\": {}, \
              \"sim_cycles_per_sec\": {:.0}, \"emulated_mips\": {:.2}, \
+             \"decode_hits\": {}, \"decode_misses\": {}, \"decode_invalidations\": {}, \
+             \"decode_bypasses\": {}, \
              \"answers_ok\": {}, \"fingerprint\": \"{:016x}\"}}{comma}\n",
             r.bench,
             r.engine,
@@ -249,6 +436,10 @@ pub fn to_json(
             r.instructions,
             r.cycles_per_sec(),
             r.emulated_mips(),
+            r.decode.0,
+            r.decode.1,
+            r.decode.2,
+            r.decode.3,
             r.answers_ok,
             r.fingerprint,
         ));
@@ -303,8 +494,24 @@ mod tests {
             .collect();
         let problems = cross_check(&runs);
         assert!(problems.is_empty(), "{problems:?}");
-        let json = to_json(true, &[], &runs, &problems);
+        let json = to_json(true, &[], &[], &runs, &problems);
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"identical\": true"));
+    }
+
+    #[test]
+    fn cpu_corpus_cache_is_transparent_and_effective() {
+        let on = cpu_corpus_bench(true, 1);
+        let off = cpu_corpus_bench(false, 1);
+        let problems = cpu_cross_check(&[on.clone(), off.clone()]);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(on.cycles, off.cycles);
+        assert_eq!(on.instructions, off.instructions);
+        assert!(on.decode.0 > 0, "cache-on run recorded no hits");
+        assert_eq!(off.decode, (0, 0, 0, 0), "cache-off run touched the cache");
+        let json = to_json(true, &[], &[on.clone(), off], &[], &problems);
+        assert!(json.contains("\"decode_cache\": true"));
+        let baseline = baseline_cpu_mips(&json).expect("cpu section parses back");
+        assert!((baseline - (on.emulated_mips() * 100.0).round() / 100.0).abs() < 0.01);
     }
 }

@@ -293,7 +293,7 @@ mod tests {
         for _ in 0..256 {
             match lf.next_fate(13, 100) {
                 Fate::Deliver { extra_ns } => {
-                    assert!(extra_ns >= 100 && extra_ns <= 400);
+                    assert!((100..=400).contains(&extra_ns));
                 }
                 other => panic!("jitter produced {other:?}"),
             }

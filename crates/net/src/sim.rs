@@ -438,6 +438,22 @@ impl Network {
         self.wires.iter().any(|w| w.failed[0] || w.failed[1])
     }
 
+    /// Aggregate predecoded-instruction-cache counters over all nodes:
+    /// `(hits, misses, invalidations, bypasses)`. Host-side only — the
+    /// cache never affects simulated outcomes — but reported by
+    /// `hostperf` so cache effectiveness on real networks is visible.
+    pub fn decode_stats(&self) -> (u64, u64, u64, u64) {
+        let mut totals = (0u64, 0u64, 0u64, 0u64);
+        for cpu in &self.nodes {
+            let s = cpu.stats();
+            totals.0 += s.decode_hits;
+            totals.1 += s.decode_misses;
+            totals.2 += s.decode_invalidations;
+            totals.3 += s.decode_bypasses;
+        }
+        totals
+    }
+
     /// Number of wires.
     pub fn wire_count(&self) -> usize {
         self.wires.len()

@@ -95,10 +95,20 @@ impl Cpu {
         if self.trace.is_some() {
             self.pending_trace = Some((fun, operand));
         }
+        self.exec_direct(fun, operand)
+    }
+
+    /// Execute a fully decoded direct function with its fused operand;
+    /// returns cycles consumed. Shared by the byte-at-a-time path above
+    /// and the predecoded-cache path, so both execute identical
+    /// semantics by construction.
+    pub(crate) fn exec_direct(&mut self, fun: Direct, operand: u32) -> Result<u32, HaltReason> {
         let bpw = self.word.bytes_per_word();
 
         let cycles = match fun {
-            Direct::Prefix | Direct::NegativePrefix => unreachable!("handled above"),
+            Direct::Prefix | Direct::NegativePrefix => {
+                unreachable!("prefixes are folded into the operand before dispatch")
+            }
             Direct::Jump => {
                 self.iptr = self
                     .word
@@ -350,7 +360,7 @@ impl Cpu {
                     self.set_wptr(w);
                 }
                 Op::LoadTimer => {
-                    let c = self.clock[self.priority().index()];
+                    let c = self.clock_now(self.priority());
                     self.push(c);
                 }
                 Op::TestError => {
@@ -665,7 +675,7 @@ impl Cpu {
             }
             Op::TimerInput => {
                 let t = self.pop();
-                let now = self.clock[self.priority().index()];
+                let now = self.clock_now(self.priority());
                 if word.after(now, t) || now == t {
                     4
                 } else {
@@ -699,7 +709,7 @@ impl Cpu {
                     let tstate = self.ws_read(PW_TLINK)?;
                     if tstate == self.magic.time_set {
                         let t = self.ws_read(PW_TIME)?;
-                        let now = self.clock[self.priority().index()];
+                        let now = self.clock_now(self.priority());
                         if word.after(now, t) || now == t {
                             // Timeout already passed: ready immediately.
                             self.ws_write(PW_STATE, self.magic.ready)?;
@@ -850,7 +860,7 @@ impl Cpu {
         // The process may still be linked into the timer queue from
         // `timer alt wait`; the first disable removes it.
         self.timer_remove_current()?;
-        let now = self.clock[self.priority().index()];
+        let now = self.clock_now(self.priority());
         let ready = b != MACHINE_FALSE && (self.word.after(now, c) || now == c);
         let taken = ready && self.select_branch(a)?;
         self.push(if taken { MACHINE_TRUE } else { MACHINE_FALSE });

@@ -8,6 +8,7 @@
 //! workspaces threaded through memory.
 
 mod boot;
+mod decode;
 mod exec;
 mod io;
 mod sched;
@@ -36,6 +37,12 @@ pub struct CpuConfig {
     /// Low-priority timeslice period in cycles. Low-priority processes
     /// yield at jump and loop-end instructions once this has elapsed.
     pub timeslice_cycles: u64,
+    /// Use the host-side predecoded instruction cache. Pure emulator
+    /// optimisation: simulated timing, results and statistics are
+    /// bit-identical either way (only the `decode_*` host counters in
+    /// [`Stats`] differ). On by default; switchable off for differential
+    /// testing.
+    pub decode_cache: bool,
 }
 
 impl CpuConfig {
@@ -48,6 +55,7 @@ impl CpuConfig {
             halt_on_error: false,
             cycle_ns: timing::CYCLE_NS,
             timeslice_cycles: 2 * timing::LO_TICK_CYCLES,
+            decode_cache: true,
         }
     }
 
@@ -68,6 +76,12 @@ impl CpuConfig {
     /// Replace the memory configuration.
     pub fn with_memory(mut self, memory: MemoryConfig) -> CpuConfig {
         self.memory = memory;
+        self
+    }
+
+    /// Enable or disable the predecoded instruction cache.
+    pub fn with_decode_cache(mut self, on: bool) -> CpuConfig {
+        self.decode_cache = on;
         self
     }
 }
@@ -233,6 +247,20 @@ pub struct Cpu {
     pub(crate) last_dispatch: u64,
     pub(crate) stats: Stats,
 
+    /// The predecoded instruction cache (host-side; see `cpu/decode.rs`).
+    pub(crate) dcache: decode::DecodeCache,
+    /// Whether `run_slice` may enter the fused fast loop at all:
+    /// the cache is enabled and reserved-word reads carry no penalty
+    /// (so timer-queue head checks are timing-free).
+    pub(crate) decode_fast_ok: bool,
+    /// Whether reserved-word reads are penalty-free (cached from the
+    /// memory configuration for the tick fast path).
+    pub(crate) reserved_free: bool,
+    /// Cached per-priority "timer queue head is NotProcess" flags,
+    /// refreshed from memory whenever a write lands in the reserved
+    /// words (see [`Cpu::refresh_timer_heads`]).
+    pub(crate) timer_head_empty: [bool; 2],
+
     /// Interaction point reached by the instruction just executed; taken
     /// by [`Cpu::run_slice`] to end the slice.
     pub(crate) slice_exit: Option<SliceOutcome>,
@@ -255,6 +283,8 @@ impl Cpu {
             mem.write_word(addr, magic.not_process)
                 .expect("reserved words in range");
         }
+        let reserved_free = mem.reserved_reads_free();
+        let decode_fast_ok = config.decode_cache && reserved_free;
         Cpu {
             word,
             magic,
@@ -290,6 +320,10 @@ impl Cpu {
             timeslice_cycles: config.timeslice_cycles,
             last_dispatch: 0,
             stats: Stats::default(),
+            dcache: decode::DecodeCache::new(),
+            decode_fast_ok,
+            reserved_free,
+            timer_head_empty: [false; 2],
             slice_exit: None,
             links_dirty: false,
             slice_mark: 0,
@@ -369,7 +403,7 @@ impl Cpu {
     /// The clock of a priority (§2.2.2: "each timer being implemented as
     /// an incrementing clock").
     pub fn clock_value(&self, pri: Priority) -> u32 {
-        self.clock[pri.index()]
+        self.clock_now(pri)
     }
 
     /// Execution statistics.
@@ -526,6 +560,10 @@ impl Cpu {
         if !self.timers_running {
             return None;
         }
+        // Catch a timer head poked into place since the last advance
+        // (materialises any lazily elided ticks of that priority, so
+        // the clock/next_tick arithmetic below is exact).
+        self.refresh_timer_heads();
         let mut best: Option<u64> = None;
         for pri in [Priority::High, Priority::Low] {
             let head_addr = self.mem.reserved_addr(TPTR_LOC[pri.index()]);
@@ -556,11 +594,11 @@ impl Cpu {
     }
 
     /// Advance an idle processor's clock to an absolute cycle, waking any
-    /// timer waits that come due.
+    /// timer waits that come due. The gap may exceed `u32::MAX` cycles
+    /// (e.g. a lone process sleeping for minutes of simulated time).
     pub fn advance_idle_to(&mut self, cycle: u64) {
         if cycle > self.cycles {
-            let delta = (cycle - self.cycles) as u32;
-            self.advance_time(delta);
+            self.advance_time64(cycle - self.cycles);
         }
     }
 
@@ -629,6 +667,17 @@ impl Cpu {
             if self.priority() == Priority::Low && self.fptr[0] != self.magic.not_process {
                 self.preempt_to_high();
                 return SliceOutcome::Preempted;
+            }
+            // Fast path: at an operation boundary, execute predecoded
+            // fused operations back to back (see `cpu/decode.rs`). Falls
+            // through to the byte-at-a-time micro-step whenever it cannot
+            // make progress, which guarantees the loop never spins.
+            if self.decode_fast_ok && self.resume.is_none() && self.op_len == 0 {
+                match self.run_decoded(limit) {
+                    (_, Some(outcome)) => return outcome,
+                    (true, None) => continue,
+                    (false, None) => {}
+                }
             }
             let cycles = match self.resume {
                 Some(_) => self.continue_resume(),

@@ -194,24 +194,192 @@ impl Cpu {
 
     /// Advance simulated time, ticking the per-priority clocks and waking
     /// timer queue entries that come due.
+    #[inline]
     pub(crate) fn advance_time(&mut self, cycles: u32) {
-        self.cycles += u64::from(cycles);
-        if !self.timers_running {
+        self.advance_time64(u64::from(cycles));
+    }
+
+    /// [`Cpu::advance_time`] with a 64-bit delta, so arbitrarily long
+    /// idle gaps advance in one call without truncation.
+    ///
+    /// Ticks of a priority whose timer queue is empty are *lazy*: with
+    /// nothing to wake, a tick's only effect is the clock increment,
+    /// which [`Cpu::clock_now`] reconstructs in closed form on demand.
+    /// The common case of the hot loop is therefore a bare addition.
+    /// Laziness requires penalty-free reserved-word reads
+    /// (`reserved_free`); otherwise every tick's head read is walked
+    /// eagerly so its timing cost lands exactly where it always has.
+    #[inline]
+    pub(crate) fn advance_time64(&mut self, cycles: u64) {
+        if self.timers_running && self.reserved_free {
+            // Refresh BEFORE bumping the cycle counter: a timer insert
+            // during the instruction just executed flips a queue
+            // non-empty, and its lazy ticks must be materialised only
+            // up to the pre-advance instant — ticks inside the window
+            // being advanced now are then walked eagerly below, exactly
+            // where the eager baseline processes them.
+            self.refresh_timer_heads();
+            self.cycles += cycles;
+            if (!self.timer_head_empty[0] && self.next_tick[0] <= self.cycles)
+                || (!self.timer_head_empty[1] && self.next_tick[1] <= self.cycles)
+            {
+                self.catch_up_ticks();
+            }
+        } else {
+            self.cycles += cycles;
+            if self.timers_running
+                && (self.next_tick[0] <= self.cycles || self.next_tick[1] <= self.cycles)
+            {
+                self.catch_up_ticks();
+            }
+        }
+    }
+
+    /// The current value of a priority's clock: the stored register
+    /// plus any ticks that have elapsed but not been materialised
+    /// (lazy ticks of an empty-queue priority).
+    #[inline]
+    pub(crate) fn clock_now(&self, pri: Priority) -> u32 {
+        let i = pri.index();
+        if !self.timers_running || self.cycles < self.next_tick[i] {
+            return self.clock[i];
+        }
+        let period = match pri {
+            Priority::High => timing::HI_TICK_CYCLES,
+            Priority::Low => timing::LO_TICK_CYCLES,
+        };
+        let pending = (self.cycles - self.next_tick[i]) / period + 1;
+        self.word
+            .wrapping_add(self.clock[i], self.word.mask64(pending))
+    }
+
+    /// Materialise a priority's lazily elided ticks into the stored
+    /// clock register, so eager per-tick processing can resume.
+    fn sync_lazy_clock(&mut self, pri: Priority) {
+        let i = pri.index();
+        if !self.timers_running || self.next_tick[i] > self.cycles {
             return;
         }
+        let period = match pri {
+            Priority::High => timing::HI_TICK_CYCLES,
+            Priority::Low => timing::LO_TICK_CYCLES,
+        };
+        let pending = (self.cycles - self.next_tick[i]) / period + 1;
+        self.clock[i] = self
+            .word
+            .wrapping_add(self.clock[i], self.word.mask64(pending));
+        self.next_tick[i] += pending * period;
+    }
+
+    /// Re-read the timer queue heads into the cached emptiness flags if
+    /// any write has landed in the reserved words since the last look.
+    /// A priority whose queue goes empty→non-empty has its lazy ticks
+    /// materialised first, so eager wake processing starts from an
+    /// exact clock.
+    #[inline(always)]
+    pub(crate) fn refresh_timer_heads(&mut self) {
+        if self.mem.take_reserved_dirty() {
+            self.reload_timer_heads();
+        }
+    }
+
+    /// Dirty path of [`Cpu::refresh_timer_heads`], kept out of line so
+    /// the clean-case check inlines to a load and a branch.
+    #[cold]
+    fn reload_timer_heads(&mut self) {
         for pri in [Priority::High, Priority::Low] {
             let i = pri.index();
+            let head_loc = self.mem.reserved_addr(TPTR_LOC[i]);
+            let head = self
+                .mem
+                .peek_word(head_loc)
+                .unwrap_or(self.magic.not_process);
+            let empty = head == self.magic.not_process;
+            if !empty && self.timer_head_empty[i] {
+                self.sync_lazy_clock(pri);
+            }
+            self.timer_head_empty[i] = empty;
+        }
+    }
+
+    /// Process every clock tick due at or before the current cycle.
+    ///
+    /// Semantically this is the per-tick loop the event path has always
+    /// run: bump the clock, wake due timer-queue heads. Runs of ticks
+    /// that provably do nothing but bump the clock — the queue head is
+    /// empty, or is not due for many ticks yet, and the head reads are
+    /// penalty-free — are collapsed into one arithmetic step, which is
+    /// what makes huge idle jumps and the fused decode path cheap. The
+    /// collapsed form is bit-identical: an elided tick's only effect
+    /// would have been the clock increment it still receives.
+    fn catch_up_ticks(&mut self) {
+        for pri in [Priority::High, Priority::Low] {
+            let i = pri.index();
+            if self.reserved_free && self.timer_head_empty[i] {
+                // Lazy priority: its pure ticks stay elided; the clock
+                // is reconstructed on read by [`Cpu::clock_now`] and
+                // materialised by `sync_lazy_clock` when the queue
+                // gains a head.
+                continue;
+            }
             let period = match pri {
                 Priority::High => timing::HI_TICK_CYCLES,
                 Priority::Low => timing::LO_TICK_CYCLES,
             };
             while self.next_tick[i] <= self.cycles {
-                self.clock[i] = self.word.wrapping_add(self.clock[i], 1);
-                let tick_cycle = self.next_tick[i];
-                self.next_tick[i] += period;
-                self.wake_due_timers(pri, tick_cycle);
+                let pending = (self.cycles - self.next_tick[i]) / period + 1;
+                match self.pure_tick_run(pri, pending) {
+                    Some(skip) if skip > 0 => {
+                        self.clock[i] = self
+                            .word
+                            .wrapping_add(self.clock[i], self.word.mask64(skip));
+                        self.next_tick[i] += skip * period;
+                    }
+                    _ => {
+                        self.clock[i] = self.word.wrapping_add(self.clock[i], 1);
+                        let tick_cycle = self.next_tick[i];
+                        self.next_tick[i] += period;
+                        self.wake_due_timers(pri, tick_cycle);
+                    }
+                }
             }
         }
+    }
+
+    /// How many of the next `pending` ticks of `pri` are pure clock
+    /// bumps (no queue wake, no penalty accrual), or `None` when that
+    /// cannot be proven and the ticks must be walked one at a time.
+    fn pure_tick_run(&mut self, pri: Priority, pending: u64) -> Option<u64> {
+        if !self.reserved_free {
+            // The per-tick head read would itself accrue an off-chip
+            // penalty; eliding it would change timing.
+            return None;
+        }
+        self.refresh_timer_heads();
+        if self.timer_head_empty[pri.index()] {
+            return Some(pending);
+        }
+        if !self.mem.timing_pure() {
+            // Reading the head's wake time may accrue a penalty.
+            return None;
+        }
+        let head_loc = self.mem.reserved_addr(TPTR_LOC[pri.index()]);
+        let head = self
+            .mem
+            .peek_word(head_loc)
+            .unwrap_or(self.magic.not_process);
+        if head == self.magic.not_process {
+            return Some(pending);
+        }
+        let due = self
+            .mem
+            .peek_word(workspace_word(self.word, head, PW_TIME))
+            .unwrap_or(0);
+        // Ticks until the head's wake condition (`!after(due, clock)`)
+        // first holds; every tick strictly before that is a pure bump.
+        let delta = self.word.wrapping_sub(due, self.clock[pri.index()]);
+        let ticks_until_due = self.word.to_signed(delta).max(0) as u64;
+        Some(pending.min(ticks_until_due.saturating_sub(1)))
     }
 
     /// Wake every head of a timer queue whose time has been reached.

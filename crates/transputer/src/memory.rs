@@ -30,6 +30,12 @@ pub const TPTR_LOC: [u32; 2] = [9, 10];
 /// Default on-chip memory of the T424: 4K bytes (§3.1).
 pub const T424_ON_CHIP_BYTES: u32 = 4 * 1024;
 
+/// Log2 of the decode-cache block size: the granularity at which code
+/// generations are tracked for the predecoded-instruction cache.
+pub(crate) const CODE_BLOCK_SHIFT: usize = 6;
+/// Bytes per decode-cache block.
+pub(crate) const CODE_BLOCK_BYTES: usize = 1 << CODE_BLOCK_SHIFT;
+
 /// Memory configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryConfig {
@@ -84,12 +90,26 @@ pub struct Memory {
     /// bookkeeping: the whole memory when no off-chip penalty is
     /// configured, otherwise just the on-chip block.
     fast_bytes: usize,
+    /// Per-block code generation, bumped on a write into a block that
+    /// the decode cache has marked cached. Cache lines snapshot the
+    /// generation at fill time; a mismatch means stale.
+    code_gen: Vec<u32>,
+    /// Write gate: only blocks the decode cache actually holds pay the
+    /// generation bump, so ordinary data writes stay one branch.
+    code_cached: Vec<bool>,
+    /// A write landed in the reserved words (link channels, timer queue
+    /// heads) since the flag was last taken. The CPU uses this to keep
+    /// its cached timer-queue-empty knowledge honest.
+    reserved_dirty: bool,
+    /// Byte size of the reserved region, precomputed.
+    reserved_bytes: usize,
 }
 
 impl Memory {
     /// Create a memory for the given word length.
     pub fn new(word: WordLength, config: MemoryConfig) -> Memory {
         let total = (config.on_chip_bytes + config.off_chip_bytes) as usize;
+        let blocks = total.div_ceil(CODE_BLOCK_BYTES);
         Memory {
             word,
             bytes: vec![0; total],
@@ -101,6 +121,10 @@ impl Memory {
             } else {
                 config.on_chip_bytes as usize
             },
+            code_gen: vec![0; blocks],
+            code_cached: vec![false; blocks],
+            reserved_dirty: true,
+            reserved_bytes: (RESERVED_WORDS * word.bytes_per_word()) as usize,
         }
     }
 
@@ -184,6 +208,84 @@ impl Memory {
         std::mem::take(&mut self.penalty_accrued)
     }
 
+    /// Write gate for the decode cache: bump the generation of a block
+    /// that holds cached code, and flag writes into the reserved words.
+    #[inline]
+    fn note_write(&mut self, off: usize) {
+        let b = off >> CODE_BLOCK_SHIFT;
+        if self.code_cached[b] {
+            self.code_cached[b] = false;
+            self.code_gen[b] = self.code_gen[b].wrapping_add(1);
+        }
+        if off < self.reserved_bytes {
+            self.reserved_dirty = true;
+        }
+    }
+
+    /// [`Memory::note_write`] over a byte range (bulk loads).
+    fn note_write_range(&mut self, off: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off >> CODE_BLOCK_SHIFT;
+        let last = (off + len - 1) >> CODE_BLOCK_SHIFT;
+        for b in first..=last {
+            if self.code_cached[b] {
+                self.code_cached[b] = false;
+                self.code_gen[b] = self.code_gen[b].wrapping_add(1);
+            }
+        }
+        if off < self.reserved_bytes {
+            self.reserved_dirty = true;
+        }
+    }
+
+    /// Current generation of a code block.
+    #[inline]
+    pub(crate) fn code_block_gen(&self, block: usize) -> u32 {
+        self.code_gen[block]
+    }
+
+    /// Mark a block as held by the decode cache, arming the write gate.
+    #[inline]
+    pub(crate) fn note_code_cached(&mut self, block: usize) {
+        self.code_cached[block] = true;
+    }
+
+    /// Take the reserved-words-written flag.
+    #[inline]
+    pub(crate) fn take_reserved_dirty(&mut self) -> bool {
+        // Checked on the hot path: branch on the common (clean) case
+        // rather than storing `false` unconditionally.
+        if self.reserved_dirty {
+            self.reserved_dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether reads of the reserved words never accrue a penalty (they
+    /// sit on chip, or no off-chip penalty is configured). When true,
+    /// the per-tick timer-queue-head reads are provably side-effect
+    /// free, so runs of idle ticks may be processed in bulk.
+    pub(crate) fn reserved_reads_free(&self) -> bool {
+        self.off_chip_penalty == 0 || self.reserved_bytes <= self.on_chip_bytes as usize
+    }
+
+    /// Whether *no* read anywhere can accrue a penalty, i.e. reads are
+    /// pure observations. Allows eliding provably no-op timer-queue
+    /// scans wholesale.
+    pub(crate) fn timing_pure(&self) -> bool {
+        self.off_chip_penalty == 0
+    }
+
+    /// One past the highest offset [`Memory::fetch_byte_fast`] serves.
+    #[inline]
+    pub(crate) fn fast_limit(&self) -> usize {
+        self.fast_bytes
+    }
+
     /// Read a machine word. The address is word-aligned first, as on the
     /// hardware.
     pub fn read_word(&mut self, addr: u32) -> Result<u32, HaltReason> {
@@ -202,6 +304,7 @@ impl Memory {
         let addr = self.word.align_word(addr);
         let off = self.offset(addr)?;
         self.note_access(off);
+        self.note_write(off);
         let mut v = self.word.mask(value);
         for i in 0..self.word.bytes_per_word() as usize {
             self.bytes[off + i] = (v & 0xFF) as u8;
@@ -235,6 +338,7 @@ impl Memory {
     pub fn write_byte(&mut self, addr: u32, value: u8) -> Result<(), HaltReason> {
         let off = self.offset(self.word.mask(addr))?;
         self.note_access(off);
+        self.note_write(off);
         self.bytes[off] = value;
         Ok(())
     }
@@ -247,6 +351,7 @@ impl Memory {
                 address: addr.wrapping_add(data.len() as u32),
             });
         }
+        self.note_write_range(off, data.len());
         self.bytes[off..off + data.len()].copy_from_slice(data);
         Ok(())
     }
@@ -277,6 +382,7 @@ impl Memory {
 
     /// Fill all of memory with a byte (diagnostic).
     pub fn fill(&mut self, value: u8) {
+        self.note_write_range(0, self.bytes.len());
         self.bytes.fill(value);
     }
 }
@@ -364,6 +470,40 @@ mod tests {
         let a = m.mem_start();
         m.load(a, &[1, 2, 3, 4, 5]).unwrap();
         assert_eq!(m.dump(a, 5).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn code_generations_bump_only_when_cached() {
+        let mut m = mem32();
+        let a = m.mem_start();
+        let block = m.word.mask(a.wrapping_sub(m.base())) as usize >> CODE_BLOCK_SHIFT;
+        let g0 = m.code_block_gen(block);
+        // Un-gated: ordinary writes leave the generation alone.
+        m.write_word(a, 1).unwrap();
+        assert_eq!(m.code_block_gen(block), g0);
+        // Gated: a write into a cached block bumps the generation once
+        // and disarms the gate.
+        m.note_code_cached(block);
+        m.write_byte(a, 2).unwrap();
+        m.write_byte(a, 3).unwrap();
+        assert_eq!(m.code_block_gen(block), g0.wrapping_add(1));
+        // Bulk loads hit every touched block.
+        m.note_code_cached(block);
+        m.note_code_cached(block + 1);
+        m.load(a, &[0u8; 2 * CODE_BLOCK_BYTES]).unwrap();
+        assert_eq!(m.code_block_gen(block), g0.wrapping_add(2));
+        assert_eq!(m.code_block_gen(block + 1), 1);
+    }
+
+    #[test]
+    fn reserved_dirty_tracks_reserved_writes() {
+        let mut m = mem32();
+        assert!(m.take_reserved_dirty(), "starts dirty");
+        assert!(!m.take_reserved_dirty());
+        m.write_word(m.reserved_addr(TPTR_LOC[0]), 7).unwrap();
+        assert!(m.take_reserved_dirty());
+        m.write_word(m.mem_start(), 7).unwrap();
+        assert!(!m.take_reserved_dirty(), "user writes do not flag");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::instr::{Direct, Op};
 
 /// Counters accumulated while a [`crate::Cpu`] executes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stats {
     /// Instruction bytes executed, including prefixing instructions
     /// (each prefix is itself a one-byte, one-cycle instruction, §3.2.7).
@@ -53,6 +53,21 @@ pub struct Stats {
     pub link_dup_data: u64,
     /// Link directions declared failed after the retry budget ran out.
     pub link_failures: u64,
+    /// Predecoded-instruction-cache lookups served from a valid entry.
+    /// Host-side instrumentation only: the decode cache never changes
+    /// simulated timing, so these counters are excluded from outcome
+    /// fingerprints and differential comparisons.
+    pub decode_hits: u64,
+    /// Lookups that had to decode the byte stream and fill an entry.
+    pub decode_misses: u64,
+    /// Cache lines or entries discarded because a write landed in their
+    /// code block since they were filled.
+    pub decode_invalidations: u64,
+    /// Operations executed through the byte-at-a-time path because their
+    /// entry crosses an interaction point (`j` timeslice, resumable
+    /// `operate`), lies outside penalty-free memory, or abuts the slice
+    /// budget.
+    pub decode_bypasses: u64,
 }
 
 impl Default for Stats {
@@ -75,6 +90,10 @@ impl Default for Stats {
             link_rx_errors: 0,
             link_dup_data: 0,
             link_failures: 0,
+            decode_hits: 0,
+            decode_misses: 0,
+            decode_invalidations: 0,
+            decode_bypasses: 0,
         }
     }
 }
@@ -137,6 +156,19 @@ impl Stats {
     /// Executions of one direct function.
     pub fn direct_count(&self, fun: Direct) -> u64 {
         self.direct_counts[fun.nibble() as usize]
+    }
+
+    /// These stats with the host-side decode-cache counters zeroed:
+    /// every *simulated* quantity, suitable for asserting that the
+    /// decode cache changes nothing the program can observe.
+    pub fn simulated(&self) -> Stats {
+        Stats {
+            decode_hits: 0,
+            decode_misses: 0,
+            decode_invalidations: 0,
+            decode_bypasses: 0,
+            ..self.clone()
+        }
     }
 }
 

@@ -1,0 +1,250 @@
+//! The predecoded instruction cache must be invisible: any program
+//! must produce bit-identical results, cycle counts, and memory images
+//! with the cache enabled or disabled — including programs that rewrite
+//! their own code. Plus the `advance_idle_to` widening regression.
+
+use transputer::instr::{encode, encode_op, Direct, Op};
+use transputer::{Cpu, CpuConfig, HaltReason, Priority, RunOutcome};
+
+/// Encode a jump-family instruction at code offset `at` whose
+/// displacement reaches `target`, resolving the length/operand
+/// fixpoint (the operand is relative to the *end* of the instruction,
+/// whose length depends on the operand).
+fn jump_to(fun: Direct, at: usize, target: usize) -> Vec<u8> {
+    for len in 1..=4 {
+        let operand = target as i64 - (at + len) as i64;
+        let e = encode(fun, operand);
+        if e.len() == len {
+            return e;
+        }
+    }
+    panic!("no encoding fixpoint for jump from {at} to {target}");
+}
+
+/// Append `ldc d; ldpi` so that A becomes the address of code offset
+/// `target`, resolving the same length fixpoint.
+fn push_code_address(c: &mut Vec<u8>, target: usize) {
+    let ldpi = encode_op(Op::LoadPointerToInstruction);
+    for len in 1..=4 {
+        let after = c.len() + len + ldpi.len();
+        let d = target as i64 - after as i64;
+        let e = encode(Direct::LoadConstant, d);
+        if e.len() == len {
+            c.extend(e);
+            c.extend(&ldpi);
+            return;
+        }
+    }
+    panic!("no encoding fixpoint for code address of {target}");
+}
+
+fn run_with(code: &[u8], decode_cache: bool) -> Cpu {
+    let mut cpu = Cpu::new(CpuConfig::t424().with_decode_cache(decode_cache));
+    cpu.load_boot_program(code).expect("program fits");
+    match cpu.run_batched(10_000_000).expect("no budget overrun") {
+        RunOutcome::Halted(HaltReason::Stopped) => {}
+        other => panic!("program did not halt cleanly: {other:?}"),
+    }
+    cpu
+}
+
+/// Run a program both ways and assert every observable — the answer
+/// word, cycle count, simulated statistics, and the full memory image —
+/// is identical. Returns the cache-enabled run for extra assertions.
+fn assert_transparent(code: &[u8]) -> Cpu {
+    let on = run_with(code, true);
+    let off = run_with(code, false);
+    assert_eq!(on.cycles(), off.cycles(), "cycle counts diverged");
+    assert_eq!(
+        on.stats().simulated(),
+        off.stats().simulated(),
+        "simulated statistics diverged"
+    );
+    let base = on.memory().base();
+    let size = on.memory().size() as usize;
+    assert_eq!(
+        on.memory().dump(base, size).unwrap(),
+        off.memory().dump(base, size).unwrap(),
+        "memory images diverged"
+    );
+    assert!(
+        on.stats().decode_hits + on.stats().decode_misses > 0,
+        "cache never engaged"
+    );
+    assert_eq!(off.stats().decode_hits, 0, "disabled cache served hits");
+    assert_eq!(off.stats().decode_misses, 0, "disabled cache decoded");
+    on
+}
+
+fn local_word(cpu: &mut Cpu, index: u32) -> u32 {
+    let addr = cpu.default_boot_workspace() + 4 * index;
+    cpu.peek_word(addr).expect("workspace in range")
+}
+
+#[test]
+fn advance_idle_to_is_not_truncated_to_u32() {
+    // The gap far exceeds u32::MAX cycles; the pre-widening code
+    // advanced only `gap as u32` and landed short.
+    let target = 5 * (u64::from(u32::MAX) + 1) + 12_345;
+    let mut one = Cpu::new(CpuConfig::t424());
+    one.advance_idle_to(target);
+    assert_eq!(one.cycles(), target, "idle gap was truncated");
+
+    // The same distance in small hops must land on identical clocks:
+    // the closed-form (lazy) tick reconstruction equals ticking through.
+    let mut many = Cpu::new(CpuConfig::t424());
+    let mut at = 0u64;
+    while at < target {
+        at = (at + 999_983).min(target);
+        many.advance_idle_to(at);
+    }
+    assert_eq!(many.cycles(), target);
+    for pri in [Priority::High, Priority::Low] {
+        assert_eq!(
+            one.clock_value(pri),
+            many.clock_value(pri),
+            "{pri:?} clock diverged between one jump and many hops"
+        );
+    }
+}
+
+/// `ldc 0` at offset 0 is executed, then rewritten to `ldc 1` by a
+/// store the program itself performs, then re-executed. A stale decode
+/// entry would replay `ldc 0` and loop forever.
+fn self_modifying_program() -> Vec<u8> {
+    let mut c: Vec<u8> = Vec::new();
+    // T (offset 0): patched from `ldc 0` (0x40) to `ldc 1` (0x41).
+    c.extend(encode(Direct::LoadConstant, 0));
+    c.extend(encode(Direct::StoreLocal, 1));
+    c.extend(encode(Direct::LoadLocal, 1));
+    let halt = encode_op(Op::HaltSimulation);
+    // First pass: A == 0, so cj skips the halt into the patch code.
+    c.extend(encode(Direct::ConditionalJump, halt.len() as i64));
+    c.extend(&halt);
+    // Patch: mem[T] := 0x41, then loop back to T.
+    c.extend(encode(Direct::LoadConstant, 0x41));
+    push_code_address(&mut c, 0);
+    c.extend(encode_op(Op::StoreByte));
+    let at = c.len();
+    c.extend(jump_to(Direct::Jump, at, 0));
+    c
+}
+
+#[test]
+fn rewriting_an_executed_instruction_invalidates_its_entry() {
+    let mut on = assert_transparent(&self_modifying_program());
+    assert_eq!(local_word(&mut on, 1), 1, "second pass ran stale code");
+    assert!(
+        on.stats().decode_invalidations > 0,
+        "the rewrite must invalidate the cached block"
+    );
+}
+
+/// A `pfix`/`ldc` chain straddling the 64-byte block boundary: the
+/// first byte sits at offset 63, the terminal at offset 64. The
+/// program rewrites the byte in the *next* block; the spanning entry
+/// (cached in the first block's line) must still be invalidated.
+fn spanning_chain_program() -> Vec<u8> {
+    let mut c: Vec<u8> = Vec::new();
+    // Padding so the two-byte `pfix 1; ldc 0` starts on the last byte
+    // of block 0.
+    while c.len() < 63 {
+        c.extend(encode(Direct::LoadConstant, 0));
+    }
+    // T (offsets 63..=64): `ldc 0x10`; the byte at offset 64 is
+    // patched from 0x40 (`ldc 0` terminal) to 0x41, making `ldc 0x11`.
+    let t = c.len();
+    c.extend(encode(Direct::LoadConstant, 0x10));
+    assert_eq!(c.len(), 65, "chain must straddle the block boundary");
+    c.extend(encode(Direct::StoreLocal, 1));
+    c.extend(encode(Direct::LoadLocal, 1));
+    c.extend(encode(Direct::EqualsConstant, 0x10));
+    // First pass: A == 1 (w1 == 0x10), falls through into the patch.
+    // Second pass: A == 0, jumps over it to the halt.
+    let halt = encode_op(Op::HaltSimulation);
+    let mut patch: Vec<u8> = Vec::new();
+    patch.extend(encode(Direct::LoadConstant, 0x41));
+    // The patch target is the terminal byte in block 1.
+    let cj = encode(Direct::ConditionalJump, 0); // length probe only
+    let patch_base = c.len() + cj.len();
+    {
+        let ldpi = encode_op(Op::LoadPointerToInstruction);
+        let target = 64usize;
+        let mut found = false;
+        for len in 1..=4 {
+            let after = patch_base + patch.len() + len + ldpi.len();
+            let d = target as i64 - after as i64;
+            let e = encode(Direct::LoadConstant, d);
+            if e.len() == len {
+                patch.extend(e);
+                patch.extend(&ldpi);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no encoding fixpoint for patch address");
+    }
+    patch.extend(encode_op(Op::StoreByte));
+    let at = patch_base + patch.len();
+    patch.extend(jump_to(Direct::Jump, at, t));
+    let cj = encode(Direct::ConditionalJump, patch.len() as i64);
+    assert_eq!(cj.len(), 1, "cj displacement must stay single-byte");
+    c.extend(cj);
+    c.extend(patch);
+    c.extend(encode_op(Op::HaltSimulation));
+    c
+}
+
+#[test]
+fn writing_into_the_next_cache_line_invalidates_spanning_entries() {
+    let mut on = assert_transparent(&spanning_chain_program());
+    assert_eq!(
+        local_word(&mut on, 1),
+        0x11,
+        "second pass fused a stale spanning chain"
+    );
+    assert!(
+        on.stats().decode_invalidations > 0,
+        "the next-block write must invalidate the spanning entry"
+    );
+}
+
+#[test]
+fn straight_line_arithmetic_is_transparent() {
+    // A dense loop of fused multi-byte operations: ldc/adc/stl with
+    // operands needing prefixes, plus a backward jump.
+    let mut c: Vec<u8> = Vec::new();
+    c.extend(encode(Direct::LoadConstant, 0));
+    c.extend(encode(Direct::StoreLocal, 1));
+    c.extend(encode(Direct::LoadConstant, 200)); // loop counter
+    c.extend(encode(Direct::StoreLocal, 2));
+    let top = c.len();
+    c.extend(encode(Direct::LoadLocal, 1));
+    c.extend(encode(Direct::AddConstant, 0x1234));
+    c.extend(encode(Direct::StoreLocal, 1));
+    c.extend(encode(Direct::LoadLocal, 2));
+    c.extend(encode(Direct::AddConstant, -1));
+    c.extend(encode(Direct::StoreLocal, 2));
+    c.extend(encode(Direct::LoadLocal, 2));
+    let at = c.len();
+    c.extend(jump_to(Direct::ConditionalJump, at, top));
+    // ConditionalJump falls through while the counter is non-zero —
+    // invert: cj jumps when A == 0, so jump out of the loop instead.
+    let mut c2: Vec<u8> = Vec::new();
+    c2.extend_from_slice(&c[..at]);
+    let exit_cj = encode(Direct::ConditionalJump, 0);
+    let back_at = at + exit_cj.len();
+    let back = jump_to(Direct::Jump, back_at, top);
+    let exit_cj = encode(Direct::ConditionalJump, back.len() as i64);
+    assert_eq!(exit_cj.len(), 1);
+    c2.extend(exit_cj);
+    c2.extend(back);
+    c2.extend(encode_op(Op::HaltSimulation));
+    let mut on = assert_transparent(&c2);
+    let expected = (0x1234u32).wrapping_mul(200);
+    assert_eq!(local_word(&mut on, 1), expected);
+    assert!(
+        on.stats().decode_hits > on.stats().decode_misses,
+        "a hot loop must be served mostly from the cache"
+    );
+}
