@@ -520,9 +520,7 @@ impl Checker {
             }
         }
 
-        if let [a, b] = branches {
-            self.check_cyclic_wait(a, b);
-        }
+        self.check_cyclic_wait(branches);
 
         for bu in &branch_usages {
             merge_map(&mut usage.total, &bu.total);
@@ -675,39 +673,114 @@ impl Checker {
         }
     }
 
-    /// Definite-deadlock check for a two-branch `PAR` of straight-line
-    /// processes: simulate the rendezvous sequence; if both heads
-    /// block and each head's partner occurs later in the other branch,
-    /// neither can ever proceed.
-    fn check_cyclic_wait(&mut self, a: &Process, b: &Process) {
-        let (Some(ea), Some(eb)) = (self.extract(a), self.extract(b)) else {
-            return;
-        };
-        let (mut i, mut j) = (0usize, 0usize);
-        while let (Some(x), Some(y)) = (ea.get(i), eb.get(j)) {
-            if x.rendezvous_with(y) {
-                i += 1;
-                j += 1;
-                continue;
-            }
-            let x_later = eb[j + 1..].iter().any(|e| x.rendezvous_with(e));
-            let y_later = ea[i + 1..].iter().any(|e| y.rendezvous_with(e));
-            if x_later && y_later {
-                let (xn, yn, xl, yl) = (x.name.clone(), y.name.clone(), x.pos.line, y.pos.line);
-                let anchor = if xl <= yl { x.pos } else { y.pos };
-                self.error(
-                    x.key,
-                    "par-deadlock",
-                    sp(anchor),
-                    format!(
-                        "PAR branches deadlock: the communication on `{xn}` (line {xl}) and \
-                         the communication on `{yn}` (line {yl}) each wait for a rendezvous \
-                         the other branch only reaches later"
-                    ),
-                );
-            }
+    /// Definite-deadlock check for an N-branch `PAR` of straight-line
+    /// processes. Simulate the rendezvous interleaving to a fixpoint
+    /// (any pair of branch heads that can communicate does); at the
+    /// fixpoint, build the wait-for graph over the stuck branches —
+    /// an edge `i -> j` when the head of branch `i` can only
+    /// rendezvous with an event branch `j` has not reached yet. Since
+    /// each branch is straight-line, a branch advances only by
+    /// completing its head, so any cycle in this graph is a definite
+    /// deadlock; the full cycle is reported with every blocked
+    /// communication's channel and line.
+    fn check_cyclic_wait(&mut self, branches: &[Process]) {
+        if branches.len() < 2 {
             return;
         }
+        // Every branch must have a trivially-ordered communication
+        // sequence, or the simulation is unsound (a branch we cannot
+        // model might supply any rendezvous).
+        let mut seqs = Vec::with_capacity(branches.len());
+        for b in branches {
+            let Some(e) = self.extract(b) else { return };
+            seqs.push(e);
+        }
+        let n = seqs.len();
+        let mut heads = vec![0usize; n];
+        loop {
+            let mut advanced = false;
+            'scan: for i in 0..n {
+                let Some(x) = seqs[i].get(heads[i]) else {
+                    continue;
+                };
+                for j in i + 1..n {
+                    let Some(y) = seqs[j].get(heads[j]) else {
+                        continue;
+                    };
+                    if x.rendezvous_with(y) {
+                        heads[i] += 1;
+                        heads[j] += 1;
+                        advanced = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        // Wait-for edges. A stuck head whose partner never occurs is
+        // an unconnected end (covered by the graph lints), not a wait.
+        // At the fixpoint no two current heads rendezvous, so scanning
+        // from `heads[j]` only finds strictly-later partners.
+        let mut edge: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            let Some(x) = seqs[i].get(heads[i]) else {
+                continue;
+            };
+            edge[i] = (0..n)
+                .find(|&j| j != i && seqs[j][heads[j]..].iter().any(|e| x.rendezvous_with(e)));
+        }
+        // Each node has at most one successor: walk every chain once
+        // and report the cycle it runs into, if any.
+        let mut color = vec![0u8; n]; // 0 = new, 1 = on current chain, 2 = done
+        for s in 0..n {
+            if color[s] != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut u = s;
+            while color[u] == 0 {
+                color[u] = 1;
+                path.push(u);
+                match edge[u] {
+                    Some(v) => u = v,
+                    None => break,
+                }
+            }
+            if color[u] == 1 && edge[u].is_some() {
+                let start = path.iter().position(|&p| p == u).expect("on chain");
+                self.report_cycle(&seqs, &heads, &path[start..]);
+            }
+            for &p in &path {
+                color[p] = 2;
+            }
+        }
+    }
+
+    /// Report one wait-for cycle, naming every blocked communication.
+    fn report_cycle(&mut self, seqs: &[Vec<Ev>], heads: &[usize], cycle: &[usize]) {
+        let evs: Vec<&Ev> = cycle.iter().map(|&i| &seqs[i][heads[i]]).collect();
+        let chain = evs
+            .iter()
+            .map(|e| format!("`{}` (line {})", e.name, e.pos.line))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let anchor = evs
+            .iter()
+            .min_by_key(|e| (e.pos.line, e.pos.col))
+            .expect("cycle is nonempty");
+        let (key, pos, n) = (anchor.key, anchor.pos, cycle.len());
+        self.error(
+            key,
+            "par-deadlock",
+            sp(pos),
+            format!(
+                "PAR branches deadlock: the communications on {chain} form a cyclic wait \
+                 among {n} branches; each waits for a rendezvous another blocked branch \
+                 only reaches later"
+            ),
+        );
     }
 
     /// The straight-line communication sequence of a branch, or `None`
@@ -987,6 +1060,71 @@ mod tests {
              \x20 SEQ\n\
              \x20   a ? x\n\
              \x20   b ! 2",
+        );
+        assert!(!codes(&diags).contains(&"par-deadlock"), "got {diags:?}");
+    }
+
+    #[test]
+    fn three_process_cyclic_wait_is_an_error() {
+        // a waits on b, b waits on c, c waits on a: a three-party
+        // cycle no pairwise check can see.
+        let diags = lint(
+            "CHAN a, b, c:\n\
+             VAR x, y, z:\n\
+             PAR\n\
+             \x20 SEQ\n\
+             \x20   a ? x\n\
+             \x20   b ! 1\n\
+             \x20 SEQ\n\
+             \x20   b ? y\n\
+             \x20   c ! 1\n\
+             \x20 SEQ\n\
+             \x20   c ? z\n\
+             \x20   a ! 1",
+        );
+        let d = diags
+            .iter()
+            .find(|d| d.code == "par-deadlock")
+            .unwrap_or_else(|| panic!("no par-deadlock in {diags:?}"));
+        assert!(d.message.contains("3 branches"), "got {}", d.message);
+        for name in ["`a`", "`b`", "`c`"] {
+            assert!(d.message.contains(name), "missing {name} in {}", d.message);
+        }
+    }
+
+    #[test]
+    fn three_process_pipeline_does_not_deadlock() {
+        let diags = lint(
+            "CHAN a, b:\n\
+             VAR x, y:\n\
+             PAR\n\
+             \x20 a ! 1\n\
+             \x20 SEQ\n\
+             \x20   a ? x\n\
+             \x20   b ! 2\n\
+             \x20 b ? y",
+        );
+        assert!(!codes(&diags).contains(&"par-deadlock"), "got {diags:?}");
+    }
+
+    #[test]
+    fn unmodelled_branch_suppresses_deadlock_check() {
+        // The WHILE branch could supply either rendezvous first, so
+        // the simulation must not claim a definite deadlock.
+        let diags = lint(
+            "CHAN a, b:\n\
+             VAR x, y, going:\n\
+             PAR\n\
+             \x20 SEQ\n\
+             \x20   a ? x\n\
+             \x20   b ! 1\n\
+             \x20 SEQ\n\
+             \x20   going := 1\n\
+             \x20   WHILE going > 0\n\
+             \x20     SEQ\n\
+             \x20       b ? y\n\
+             \x20       a ! 2\n\
+             \x20       going := 0",
         );
         assert!(!codes(&diags).contains(&"par-deadlock"), "got {diags:?}");
     }

@@ -1,26 +1,43 @@
 //! Static analysis for the transputer toolchain (`txlint`).
 //!
-//! Two layers, matching the two trust boundaries in the toolchain:
+//! Four layers, from source text down to cycle counts:
 //!
 //! * [`channels`] — source-level occam analysis: PAR channel-usage
 //!   rules (one inputting branch, one outputting branch per channel),
-//!   direction conflicts through `PROC` channel parameters, and a
+//!   direction conflicts through `PROC` channel parameters, a
 //!   process/channel graph pass that reports unconnected channel
-//!   ends, self-communication, and trivial two-process cyclic waits.
+//!   ends and self-communication, and an N-process deadlock detector
+//!   that reduces statically extractable PAR branches to a wait-for
+//!   graph and reports any cyclic wait with its full chain.
 //! * [`verifier`] — bytecode-level verification of assembled I1 code:
 //!   evaluation-stack depth tracking over `Areg`/`Breg`/`Creg`, jump
 //!   targets landing on instruction boundaries, workspace offsets
 //!   within the codegen-allocated frame, and canonical (minimal)
 //!   prefix chains.
+//! * [`mod@cfg`] — basic-block control-flow graph recovery over the fused
+//!   instruction stream, with the verifier's transfer function re-run
+//!   as a worklist dataflow joining at block entries
+//!   ([`verify_bytecode_cfg`] reproduces or strictly extends the
+//!   linear pass), a code/store taint scan that flags self-modifying
+//!   images, and Graphviz output ([`cfg::Cfg::to_dot`]).
+//! * [`cost`] — a static cycle-cost model over the CFG: per-block and
+//!   loop-bounded whole-program cycle/byte/operation predictions from
+//!   the `transputer::timing` tables (the same tables the emulator
+//!   charges from), exact on the programs it accepts and explicit
+//!   about why it refuses the ones it does not.
 //!
-//! Both layers report [`diag::Diagnostic`]s with source or code-offset
+//! All layers report [`diag::Diagnostic`]s with source or code-offset
 //! spans; callers decide whether warnings are fatal.
 
 pub mod diag;
 
+pub mod cfg;
 pub mod channels;
+pub mod cost;
 pub mod verifier;
 
+pub use cfg::{verify_bytecode_cfg, verify_program_cfg, Cfg};
+pub use cost::CostReport;
 pub use diag::{Diagnostic, Severity, Span};
 pub use verifier::{verify_bytecode, CodeShape};
 

@@ -62,25 +62,32 @@ impl CodeShape {
 
 /// One decoded logical instruction (prefix chain folded in).
 #[derive(Debug, Clone, Copy)]
-struct Insn {
-    offset: usize,
-    len: usize,
-    fun: Direct,
-    operand: i64,
+pub struct Insn {
+    /// Byte offset of the first (prefix) byte.
+    pub offset: usize,
+    /// Total encoded length, prefix chain included.
+    pub len: usize,
+    /// The final function byte.
+    pub fun: Direct,
+    /// The fused operand.
+    pub operand: i64,
     /// Decoded operation for `opr`; `None` when undefined.
-    op: Option<Op>,
+    pub op: Option<Op>,
 }
 
 impl Insn {
-    fn end(&self) -> usize {
+    /// Offset just past the last byte (the base of relative operands).
+    pub fn end(&self) -> usize {
         self.offset + self.len
     }
 
-    fn span(&self) -> Span {
+    /// The instruction's code span.
+    pub fn span(&self) -> Span {
         Span::code(self.offset as u32, self.len as u32)
     }
 
-    fn mnemonic(&self) -> &'static str {
+    /// Display name (`ldc`, `lend`, ...).
+    pub fn mnemonic(&self) -> &'static str {
         match (self.fun, self.op) {
             (Direct::Operate, Some(op)) => op.mnemonic(),
             (Direct::Operate, None) => "opr",
@@ -91,18 +98,18 @@ impl Insn {
 
 /// Abstract machine state at an instruction boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct State {
+pub(crate) struct State {
     /// Evaluation-stack depth interval, 0..=3.
-    lo: u8,
-    hi: u8,
+    pub lo: u8,
+    pub hi: u8,
     /// Known workspace displacement (words) from the entry Wptr.
-    wadj: Option<i64>,
+    pub wadj: Option<i64>,
     /// Known constants in A, B, C.
-    regs: [Option<i64>; 3],
+    pub regs: [Option<i64>; 3],
 }
 
 impl State {
-    fn entry() -> State {
+    pub fn entry() -> State {
         State {
             lo: 0,
             hi: 0,
@@ -111,7 +118,7 @@ impl State {
         }
     }
 
-    fn unknown() -> State {
+    pub fn unknown() -> State {
         State {
             lo: 0,
             hi: 3,
@@ -121,7 +128,7 @@ impl State {
     }
 
     /// Lattice join; returns whether `self` widened.
-    fn merge(&mut self, other: &State) -> bool {
+    pub fn merge(&mut self, other: &State) -> bool {
         let before = self.clone();
         self.lo = self.lo.min(other.lo);
         self.hi = self.hi.max(other.hi);
@@ -161,9 +168,34 @@ impl State {
     }
 }
 
+/// Everything the instruction-level dataflow learns about a code image,
+/// for reuse by the CFG layer (`crate::cfg`).
+#[derive(Debug)]
+pub(crate) struct Analysis {
+    /// Decoded instructions, in address order.
+    pub insns: Vec<Insn>,
+    /// Byte offset → instruction index.
+    pub index: BTreeMap<usize, usize>,
+    /// Entry state per instruction (`None` only for empty images).
+    pub states: Vec<Option<State>>,
+    /// (instruction index, target address, description) pairs from
+    /// `startp`/`lend` constant operands.
+    pub discovered: BTreeSet<(usize, i64, &'static str)>,
+    /// All findings, unsorted.
+    pub diags: Vec<Diagnostic>,
+}
+
 /// Verify a code image. `shape` enables the workspace-bounds check;
 /// pass `None` for raw images of unknown frame layout.
 pub fn verify_bytecode(code: &[u8], shape: Option<&CodeShape>) -> Vec<Diagnostic> {
+    let mut diags = analyze(code, shape).diags;
+    crate::diag::sort(&mut diags);
+    diags
+}
+
+/// Run decode, static target checks and the worklist dataflow, keeping
+/// the per-instruction states and discovered targets.
+pub(crate) fn analyze(code: &[u8], shape: Option<&CodeShape>) -> Analysis {
     let mut diags = Vec::new();
     let insns = decode(code, &mut diags);
     let index: BTreeMap<usize, usize> = insns
@@ -225,7 +257,7 @@ pub fn verify_bytecode(code: &[u8], shape: Option<&CodeShape>) -> Vec<Diagnostic
         }
     }
 
-    for (i, target, what) in discovered {
+    for &(i, target, what) in &discovered {
         let insn = insns[i];
         if !(0..=code.len() as i64).contains(&target)
             || (target < code.len() as i64 && !index.contains_key(&(target as usize)))
@@ -246,8 +278,13 @@ pub fn verify_bytecode(code: &[u8], shape: Option<&CodeShape>) -> Vec<Diagnostic
         }
     }
 
-    crate::diag::sort(&mut diags);
-    diags
+    Analysis {
+        insns,
+        index,
+        states,
+        discovered,
+        diags,
+    }
 }
 
 /// Verify a compiled occam program against its own frame shape.
@@ -287,7 +324,7 @@ fn check_target(
 /// Decode the image into logical instructions, reporting encoding-level
 /// findings (truncated chains, non-minimal prefixes, undefined
 /// operations).
-fn decode(code: &[u8], diags: &mut Vec<Diagnostic>) -> Vec<Insn> {
+pub fn decode(code: &[u8], diags: &mut Vec<Diagnostic>) -> Vec<Insn> {
     let mut insns = Vec::new();
     let mut i = 0usize;
     let mut oreg: i64 = 0;
@@ -354,7 +391,8 @@ fn decode(code: &[u8], diags: &mut Vec<Diagnostic>) -> Vec<Insn> {
 }
 
 /// Control-flow classification of one instruction.
-enum Flow {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
     /// Continue to the next instruction.
     Next,
     /// Jump to a fixed target only.
@@ -363,6 +401,199 @@ enum Flow {
     Branch(i64),
     /// No static successor (ret, endp, altend, gcall, stopp, haltsim).
     Stop,
+}
+
+/// Result of abstractly executing one instruction.
+pub(crate) struct StepOut {
+    /// State on the outgoing edge(s).
+    pub next: State,
+    /// Static successor classification.
+    pub succ: Flow,
+    /// Extra entry points this instruction creates: (unvalidated byte
+    /// address, entry state) for `call` targets, `startp` children and
+    /// `lend` back edges.
+    pub seeds: Vec<(i64, State)>,
+}
+
+/// Abstractly execute instruction `i` in `state`, reporting stack and
+/// workspace findings. The single transfer function shared by the
+/// linear worklist below and the block-level pass in [`crate::cfg`].
+pub(crate) fn step(
+    i: usize,
+    insn: &Insn,
+    state: &State,
+    shape: Option<&CodeShape>,
+    reported: &mut BTreeSet<(usize, &'static str)>,
+    discovered: &mut BTreeSet<(usize, i64, &'static str)>,
+    diags: &mut Vec<Diagnostic>,
+) -> StepOut {
+    let mut next = state.clone();
+    let mut succ = Flow::Next;
+    let mut seeds: Vec<(i64, State)> = Vec::new();
+
+    let effect = match insn.fun {
+        Direct::Operate => insn.op.map(Op::stack_effect),
+        fun => fun.stack_effect(),
+    };
+
+    // Strict-pop underflow: fires only when even the deepest path
+    // cannot supply the operands. call is non-strict (see module
+    // docs); undefined operations have no effect to apply.
+    let strict = !matches!(insn.fun, Direct::Call);
+    if let Some(e) = effect {
+        if strict && e.pops > state.hi && reported.insert((insn.offset, "stack-underflow")) {
+            diags.push(Diagnostic::error(
+                "stack-underflow",
+                insn.span(),
+                format!(
+                    "{} needs {} stack operand(s) but at most {} can be on the stack here",
+                    insn.mnemonic(),
+                    e.pops,
+                    state.hi
+                ),
+            ));
+        }
+        let after_lo = state.lo.saturating_sub(e.pops);
+        if strict && after_lo + e.pushes > 3 && reported.insert((insn.offset, "stack-overflow")) {
+            diags.push(Diagnostic::error(
+                "stack-overflow",
+                insn.span(),
+                format!(
+                    "{} pushes {} result(s) onto a stack already holding {}: Creg is lost",
+                    insn.mnemonic(),
+                    e.pushes,
+                    after_lo
+                ),
+            ));
+        }
+    }
+
+    match insn.fun {
+        Direct::Jump => succ = Flow::Jump(insn.end() as i64 + insn.operand),
+        Direct::ConditionalJump => {
+            // Fall-through pops the condition; the taken edge keeps
+            // A (known zero). Both are folded into one successor
+            // state: depth interval spans both outcomes.
+            let mut taken = state.clone();
+            taken.regs[0] = Some(0);
+            next.apply(StackEffect::new(1, 0));
+            next.merge(&taken);
+            succ = Flow::Branch(insn.end() as i64 + insn.operand);
+        }
+        Direct::Call => {
+            // Fall-through resumes after the callee returns: the
+            // wptr balance is restored, but the callee chooses what
+            // the stack holds.
+            next.lo = 0;
+            next.hi = 3;
+            next.regs = [None; 3];
+            // The target runs with the return address in A and the
+            // wptr four words lower — but reached from potentially
+            // many sites, so its wadj is tracked only through the
+            // merge. The return-address copy is dead on arrival
+            // (`ret` reloads it from w[0]), so model it as
+            // possibly-absent: a callee that loads its arguments
+            // three-deep pushes it off the stack by design, and that
+            // must not count as losing a live Creg.
+            let callee = State {
+                lo: 0,
+                hi: 1,
+                wadj: state.wadj.map(|w| w - 4),
+                regs: [None; 3],
+            };
+            seeds.push((insn.end() as i64 + insn.operand, callee));
+        }
+        Direct::AdjustWorkspace => {
+            next.wadj = state.wadj.map(|w| w + insn.operand);
+        }
+        Direct::LoadLocal | Direct::StoreLocal | Direct::LoadLocalPointer => {
+            if let Some(e) = effect {
+                next.apply(e);
+            }
+            if let (Some(shape), Some(w)) = (shape, state.wadj) {
+                let slot = w + insn.operand;
+                if (slot < -i64::from(shape.depth) || slot >= i64::from(shape.locals))
+                    && reported.insert((insn.offset, "workspace-oob"))
+                {
+                    diags.push(Diagnostic::error(
+                        "workspace-oob",
+                        insn.span(),
+                        format!(
+                            "{} {} addresses workspace word {slot}, outside the allocated frame ({}..{})",
+                            insn.mnemonic(),
+                            insn.operand,
+                            -i64::from(shape.depth),
+                            shape.locals
+                        ),
+                    ));
+                }
+            }
+        }
+        Direct::LoadConstant => {
+            next.push(Some(insn.operand));
+        }
+        Direct::Operate => match insn.op {
+            None => succ = Flow::Stop,
+            Some(op) => {
+                match op {
+                    Op::StartProcess => {
+                        // B = child code offset from the end of this
+                        // instruction; the child starts with an empty
+                        // stack and its own workspace.
+                        if let Some(b) = state.regs[1] {
+                            let target = insn.end() as i64 + b;
+                            discovered.insert((i, target, "child entry"));
+                            let child = State {
+                                lo: 0,
+                                hi: 0,
+                                wadj: None,
+                                regs: [None; 3],
+                            };
+                            seeds.push((target, child));
+                        }
+                        next.apply(op.stack_effect());
+                    }
+                    Op::LoopEnd => {
+                        // A = bytes back to the loop start.
+                        next.apply(op.stack_effect());
+                        if let Some(a) = state.regs[0] {
+                            let target = insn.end() as i64 - a;
+                            discovered.insert((i, target, "loop start"));
+                            seeds.push((target, next.clone()));
+                        }
+                    }
+                    Op::GeneralAdjustWorkspace => {
+                        next.apply(op.stack_effect());
+                        next.wadj = None;
+                    }
+                    Op::EndProcess
+                    | Op::Return
+                    | Op::GeneralCall
+                    | Op::AltEnd
+                    | Op::StopProcess
+                    | Op::HaltSimulation => {
+                        next.apply(op.stack_effect());
+                        succ = Flow::Stop;
+                    }
+                    Op::InputMessage | Op::OutputMessage => {
+                        // Deschedule points: depth is restored on
+                        // resumption but register contents are not
+                        // worth trusting.
+                        next.apply(op.stack_effect());
+                        next.regs = [None; 3];
+                    }
+                    other => next.apply(other.stack_effect()),
+                }
+            }
+        },
+        _ => {
+            if let Some(e) = effect {
+                next.apply(e);
+            }
+        }
+    }
+
+    StepOut { next, succ, seeds }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -393,202 +624,35 @@ fn flow(
     while let Some(i) = work.pop_front() {
         let insn = insns[i];
         let state = states[i].clone().expect("queued with a state");
-        let mut next = state.clone();
-        let mut succ = Flow::Next;
+        let out = step(i, &insn, &state, shape, reported, discovered, diags);
 
-        let effect = match insn.fun {
-            Direct::Operate => insn.op.map(Op::stack_effect),
-            fun => fun.stack_effect(),
+        // An edge to a byte address lands only if it is in range and on
+        // an instruction boundary; bad targets are diagnosed separately.
+        for (target, entry) in &out.seeds {
+            if (0..code_len as i64).contains(target) {
+                if let Some(&t) = index.get(&(*target as usize)) {
+                    merge_into(t, entry, states, &mut work);
+                }
+            }
+        }
+        let jump = |target: i64, states: &mut [Option<State>], work: &mut VecDeque<usize>| {
+            if (0..code_len as i64).contains(&target) {
+                if let Some(&t) = index.get(&(target as usize)) {
+                    merge_into(t, &out.next, states, work);
+                }
+            }
         };
-
-        // Strict-pop underflow: fires only when even the deepest path
-        // cannot supply the operands. call is non-strict (see module
-        // docs); undefined operations have no effect to apply.
-        let strict = !matches!(insn.fun, Direct::Call);
-        if let Some(e) = effect {
-            if strict && e.pops > state.hi && reported.insert((insn.offset, "stack-underflow")) {
-                diags.push(Diagnostic::error(
-                    "stack-underflow",
-                    insn.span(),
-                    format!(
-                        "{} needs {} stack operand(s) but at most {} can be on the stack here",
-                        insn.mnemonic(),
-                        e.pops,
-                        state.hi
-                    ),
-                ));
-            }
-            let after_lo = state.lo.saturating_sub(e.pops);
-            if strict && after_lo + e.pushes > 3 && reported.insert((insn.offset, "stack-overflow"))
-            {
-                diags.push(Diagnostic::error(
-                    "stack-overflow",
-                    insn.span(),
-                    format!(
-                        "{} pushes {} result(s) onto a stack already holding {}: Creg is lost",
-                        insn.mnemonic(),
-                        e.pushes,
-                        after_lo
-                    ),
-                ));
-            }
-        }
-
-        match insn.fun {
-            Direct::Jump => succ = Flow::Jump(insn.end() as i64 + insn.operand),
-            Direct::ConditionalJump => {
-                // Fall-through pops the condition; the taken edge keeps
-                // A (known zero). Both are folded into one successor
-                // state: depth interval spans both outcomes.
-                let mut taken = state.clone();
-                taken.regs[0] = Some(0);
-                next.apply(StackEffect::new(1, 0));
-                next.merge(&taken);
-                succ = Flow::Branch(insn.end() as i64 + insn.operand);
-            }
-            Direct::Call => {
-                // Fall-through resumes after the callee returns: the
-                // wptr balance is restored, but the callee chooses what
-                // the stack holds.
-                next.lo = 0;
-                next.hi = 3;
-                next.regs = [None; 3];
-                // The target runs with the return address in A and the
-                // wptr four words lower — but reached from potentially
-                // many sites, so its wadj is tracked only through the
-                // merge.
-                let target = insn.end() as i64 + insn.operand;
-                if (0..code_len as i64).contains(&target) {
-                    if let Some(&t) = index.get(&(target as usize)) {
-                        let callee = State {
-                            lo: 1,
-                            hi: 1,
-                            wadj: state.wadj.map(|w| w - 4),
-                            regs: [None; 3],
-                        };
-                        merge_into(t, &callee, states, &mut work);
-                    }
-                }
-            }
-            Direct::AdjustWorkspace => {
-                next.wadj = state.wadj.map(|w| w + insn.operand);
-            }
-            Direct::LoadLocal | Direct::StoreLocal | Direct::LoadLocalPointer => {
-                if let Some(e) = effect {
-                    next.apply(e);
-                }
-                if let (Some(shape), Some(w)) = (shape, state.wadj) {
-                    let slot = w + insn.operand;
-                    if (slot < -i64::from(shape.depth) || slot >= i64::from(shape.locals))
-                        && reported.insert((insn.offset, "workspace-oob"))
-                    {
-                        diags.push(Diagnostic::error(
-                            "workspace-oob",
-                            insn.span(),
-                            format!(
-                                "{} {} addresses workspace word {slot}, outside the allocated frame ({}..{})",
-                                insn.mnemonic(),
-                                insn.operand,
-                                -i64::from(shape.depth),
-                                shape.locals
-                            ),
-                        ));
-                    }
-                }
-            }
-            Direct::LoadConstant => {
-                next.push(Some(insn.operand));
-            }
-            Direct::Operate => match insn.op {
-                None => succ = Flow::Stop,
-                Some(op) => {
-                    match op {
-                        Op::StartProcess => {
-                            // B = child code offset from the end of this
-                            // instruction; the child starts with an empty
-                            // stack and its own workspace.
-                            if let Some(b) = state.regs[1] {
-                                let target = insn.end() as i64 + b;
-                                discovered.insert((i, target, "child entry"));
-                                if (0..code_len as i64).contains(&target) {
-                                    if let Some(&t) = index.get(&(target as usize)) {
-                                        let child = State {
-                                            lo: 0,
-                                            hi: 0,
-                                            wadj: None,
-                                            regs: [None; 3],
-                                        };
-                                        merge_into(t, &child, states, &mut work);
-                                    }
-                                }
-                            }
-                            next.apply(op.stack_effect());
-                        }
-                        Op::LoopEnd => {
-                            // A = bytes back to the loop start.
-                            next.apply(op.stack_effect());
-                            if let Some(a) = state.regs[0] {
-                                let target = insn.end() as i64 - a;
-                                discovered.insert((i, target, "loop start"));
-                                if (0..code_len as i64).contains(&target) {
-                                    if let Some(&t) = index.get(&(target as usize)) {
-                                        merge_into(t, &next, states, &mut work);
-                                    }
-                                }
-                            }
-                        }
-                        Op::GeneralAdjustWorkspace => {
-                            next.apply(op.stack_effect());
-                            next.wadj = None;
-                        }
-                        Op::EndProcess
-                        | Op::Return
-                        | Op::GeneralCall
-                        | Op::AltEnd
-                        | Op::StopProcess
-                        | Op::HaltSimulation => {
-                            next.apply(op.stack_effect());
-                            succ = Flow::Stop;
-                        }
-                        Op::InputMessage | Op::OutputMessage => {
-                            // Deschedule points: depth is restored on
-                            // resumption but register contents are not
-                            // worth trusting.
-                            next.apply(op.stack_effect());
-                            next.regs = [None; 3];
-                        }
-                        other => next.apply(other.stack_effect()),
-                    }
-                }
-            },
-            _ => {
-                if let Some(e) = effect {
-                    next.apply(e);
-                }
-            }
-        }
-
-        match succ {
+        match out.succ {
             Flow::Next => {
                 if i + 1 < insns.len() {
-                    merge_into(i + 1, &next, states, &mut work);
+                    merge_into(i + 1, &out.next, states, &mut work);
                 }
             }
-            Flow::Jump(target) => {
-                if (0..code_len as i64).contains(&target) {
-                    if let Some(&t) = index.get(&(target as usize)) {
-                        merge_into(t, &next, states, &mut work);
-                    }
-                }
-            }
+            Flow::Jump(target) => jump(target, states, &mut work),
             Flow::Branch(target) => {
+                jump(target, states, &mut work);
                 if i + 1 < insns.len() {
-                    merge_into(i + 1, &next, states, &mut work);
-                }
-                if (0..code_len as i64).contains(&target) {
-                    if let Some(&t) = index.get(&(target as usize)) {
-                        merge_into(t, &next, states, &mut work);
-                    }
+                    merge_into(i + 1, &out.next, states, &mut work);
                 }
             }
             Flow::Stop => {}

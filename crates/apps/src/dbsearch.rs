@@ -666,6 +666,28 @@ fn node_source(nrec: usize, r: &NodeRoutes) -> String {
     s
 }
 
+/// The occam program texts a Figure 8 database-search array runs: one
+/// per grid position plus the request injector and answer collector,
+/// each paired with a descriptive name. Exposed so the corpus lint
+/// gate can run the static checks over every generated node program.
+pub fn array_sources(config: &DbSearchConfig) -> Vec<(String, String)> {
+    let routes = plan_routes(config.width, config.height, &HashSet::new());
+    let mut out = Vec::with_capacity(routes.len() + 2);
+    for (i, r) in routes.iter().enumerate() {
+        let (x, y) = (i % config.width, i / config.width);
+        out.push((
+            format!("dbsearch-node-{x}-{y}"),
+            node_source(config.records_per_node, r),
+        ));
+    }
+    out.push(("dbsearch-sender".into(), sender_source(config.requests)));
+    out.push((
+        "dbsearch-collector".into(),
+        collector_source(config.requests),
+    ));
+    out
+}
+
 /// Occam source for the request-injecting host.
 fn sender_source(nreq: usize) -> String {
     format!(

@@ -154,6 +154,85 @@ fn logical_procs(cfg: &WorkstationConfig) -> String {
     )
 }
 
+/// The occam program text loaded onto each transputer of a placement,
+/// application node first — the exact sources [`Workstation::build`]
+/// compiles. Public so the corpus lint gate can run the static checks
+/// over every program the simulation executes.
+pub fn placement_sources(placement: Placement, config: &WorkstationConfig) -> Vec<String> {
+    let procs = logical_procs(config);
+    match placement {
+        Placement::One => vec![format!(
+            "{procs}\
+             VAR check:\n\
+             CHAN dreq, drsp, greq, grsp:\n\
+             PAR\n\
+             \x20 app (dreq, drsp, greq, grsp, check)\n\
+             \x20 disk (dreq, drsp)\n\
+             \x20 graphics (greq, grsp)\n"
+        )],
+        Placement::Two => {
+            let main_ad = format!(
+                "{procs}\
+                 VAR check:\n\
+                 CHAN dreq, drsp:\n\
+                 CHAN greq, grsp:\n\
+                 PLACE greq AT {go}:\n\
+                 PLACE grsp AT {gi}:\n\
+                 PAR\n\
+                 \x20 app (dreq, drsp, greq, grsp, check)\n\
+                 \x20 disk (dreq, drsp)\n",
+                go = occam::places::link_out(PORT_EAST as u32),
+                gi = occam::places::link_in(PORT_EAST as u32),
+            );
+            let main_g = format!(
+                "{procs}\
+                 CHAN req, rsp:\n\
+                 PLACE req AT {ri}:\n\
+                 PLACE rsp AT {ro}:\n\
+                 graphics (req, rsp)\n",
+                ri = occam::places::link_in(PORT_WEST as u32),
+                ro = occam::places::link_out(PORT_WEST as u32),
+            );
+            vec![main_ad, main_g]
+        }
+        Placement::Three => {
+            let main_a = format!(
+                "{procs}\
+                 VAR check:\n\
+                 CHAN dreq, drsp, greq, grsp:\n\
+                 PLACE dreq AT {dout}:\n\
+                 PLACE drsp AT {din}:\n\
+                 PLACE greq AT {gout}:\n\
+                 PLACE grsp AT {gin}:\n\
+                 app (dreq, drsp, greq, grsp, check)\n",
+                dout = occam::places::link_out(PORT_WEST as u32),
+                din = occam::places::link_in(PORT_WEST as u32),
+                gout = occam::places::link_out(PORT_EAST as u32),
+                gin = occam::places::link_in(PORT_EAST as u32),
+            );
+            let main_d = format!(
+                "{procs}\
+                 CHAN req, rsp:\n\
+                 PLACE req AT {ri}:\n\
+                 PLACE rsp AT {ro}:\n\
+                 disk (req, rsp)\n",
+                ri = occam::places::link_in(PORT_EAST as u32),
+                ro = occam::places::link_out(PORT_EAST as u32),
+            );
+            let main_g = format!(
+                "{procs}\
+                 CHAN req, rsp:\n\
+                 PLACE req AT {ri}:\n\
+                 PLACE rsp AT {ro}:\n\
+                 graphics (req, rsp)\n",
+                ri = occam::places::link_in(PORT_WEST as u32),
+                ro = occam::places::link_out(PORT_WEST as u32),
+            );
+            vec![main_a, main_d, main_g]
+        }
+    }
+}
+
 impl Workstation {
     /// Build a workstation with the given placement.
     ///
@@ -164,62 +243,15 @@ impl Workstation {
         placement: Placement,
         config: WorkstationConfig,
     ) -> Result<Workstation, Box<dyn std::error::Error>> {
-        let procs = logical_procs(&config);
         let word = WordLength::Bits32;
         let mut b = NetworkBuilder::new(config.net.clone());
-        let (net, app_node, nodes, program_srcs): (
-            Network,
-            NodeId,
-            Vec<NodeId>,
-            Vec<(NodeId, String)>,
-        );
-        match placement {
-            Placement::One => {
-                let n0 = b.add_node();
-                let main = format!(
-                    "{procs}\
-                     VAR check:\n\
-                     CHAN dreq, drsp, greq, grsp:\n\
-                     PAR\n\
-                     \x20 app (dreq, drsp, greq, grsp, check)\n\
-                     \x20 disk (dreq, drsp)\n\
-                     \x20 graphics (greq, grsp)\n"
-                );
-                net = b.build();
-                app_node = n0;
-                nodes = vec![n0];
-                program_srcs = vec![(n0, main)];
-            }
+        let nodes: Vec<NodeId> = match placement {
+            Placement::One => vec![b.add_node()],
             Placement::Two => {
                 let ad = b.add_node();
                 let g = b.add_node();
                 b.connect((ad, PORT_EAST), (g, PORT_WEST));
-                let main_ad = format!(
-                    "{procs}\
-                     VAR check:\n\
-                     CHAN dreq, drsp:\n\
-                     CHAN greq, grsp:\n\
-                     PLACE greq AT {go}:\n\
-                     PLACE grsp AT {gi}:\n\
-                     PAR\n\
-                     \x20 app (dreq, drsp, greq, grsp, check)\n\
-                     \x20 disk (dreq, drsp)\n",
-                    go = occam::places::link_out(PORT_EAST as u32),
-                    gi = occam::places::link_in(PORT_EAST as u32),
-                );
-                let main_g = format!(
-                    "{procs}\
-                     CHAN req, rsp:\n\
-                     PLACE req AT {ri}:\n\
-                     PLACE rsp AT {ro}:\n\
-                     graphics (req, rsp)\n",
-                    ri = occam::places::link_in(PORT_WEST as u32),
-                    ro = occam::places::link_out(PORT_WEST as u32),
-                );
-                net = b.build();
-                app_node = ad;
-                nodes = vec![ad, g];
-                program_srcs = vec![(ad, main_ad), (g, main_g)];
+                vec![ad, g]
             }
             Placement::Three => {
                 let a = b.add_node();
@@ -227,44 +259,16 @@ impl Workstation {
                 let g = b.add_node();
                 b.connect((a, PORT_WEST), (d, PORT_EAST));
                 b.connect((a, PORT_EAST), (g, PORT_WEST));
-                let main_a = format!(
-                    "{procs}\
-                     VAR check:\n\
-                     CHAN dreq, drsp, greq, grsp:\n\
-                     PLACE dreq AT {dout}:\n\
-                     PLACE drsp AT {din}:\n\
-                     PLACE greq AT {gout}:\n\
-                     PLACE grsp AT {gin}:\n\
-                     app (dreq, drsp, greq, grsp, check)\n",
-                    dout = occam::places::link_out(PORT_WEST as u32),
-                    din = occam::places::link_in(PORT_WEST as u32),
-                    gout = occam::places::link_out(PORT_EAST as u32),
-                    gin = occam::places::link_in(PORT_EAST as u32),
-                );
-                let main_d = format!(
-                    "{procs}\
-                     CHAN req, rsp:\n\
-                     PLACE req AT {ri}:\n\
-                     PLACE rsp AT {ro}:\n\
-                     disk (req, rsp)\n",
-                    ri = occam::places::link_in(PORT_EAST as u32),
-                    ro = occam::places::link_out(PORT_EAST as u32),
-                );
-                let main_g = format!(
-                    "{procs}\
-                     CHAN req, rsp:\n\
-                     PLACE req AT {ri}:\n\
-                     PLACE rsp AT {ro}:\n\
-                     graphics (req, rsp)\n",
-                    ri = occam::places::link_in(PORT_WEST as u32),
-                    ro = occam::places::link_out(PORT_WEST as u32),
-                );
-                net = b.build();
-                app_node = a;
-                nodes = vec![a, d, g];
-                program_srcs = vec![(a, main_a), (d, main_d), (g, main_g)];
+                vec![a, d, g]
             }
-        }
+        };
+        let app_node = nodes[0];
+        let net: Network = b.build();
+        let program_srcs: Vec<(NodeId, String)> = nodes
+            .iter()
+            .copied()
+            .zip(placement_sources(placement, &config))
+            .collect();
 
         let mut net = net;
         let mut check_addr = 0;

@@ -120,7 +120,7 @@ fn main() -> ExitCode {
             eprintln!("{path}: {w}");
         }
         let mut diags = transputer_analysis::lint_source(&source);
-        diags.extend(transputer_analysis::verifier::verify_program(&program));
+        diags.extend(transputer_analysis::verify_program_cfg(&program));
         let mut failed = false;
         for d in &diags {
             eprintln!("{path}: {d}");

@@ -11,19 +11,39 @@
 //!                     channel-usage lints and verify the emitted code
 //!   --locals <n>      workspace words at/above the entry Wptr
 //!   --depth <n>       workspace words below the entry Wptr
-//!   --strict          exit nonzero on warnings too
+//!   --deny-warnings   treat warnings as errors (exit 2)
+//!   --strict          synonym for --deny-warnings
+//!   --cfg-dot         print the recovered control-flow graph as
+//!                     Graphviz DOT instead of lint output
+//!   --cost            print the static cycle-cost prediction (or why
+//!                     the image is unpredictable)
+//!   --deadlock        report only `par-deadlock` findings (occam)
 //! ```
 //!
 //! Diagnostics are printed one per line as
-//! `severity: message [code] at span`. The exit code is nonzero when
-//! any error (or, with `--strict`, any finding at all) is reported.
-//! The workspace-bounds check needs a frame shape: for occam input it
-//! comes from the compiler, for raw or assembled images pass
-//! `--locals`/`--depth` (otherwise that check is skipped).
+//! `severity: message [code] at span`. Exit codes are stable so
+//! scripts and CI can gate on them:
+//!
+//! * `0` — clean: no findings,
+//! * `1` — warnings only (becomes `2` under `--deny-warnings`),
+//! * `2` — errors, bad usage, or unreadable input.
+//!
+//! The bytecode pass is the CFG-based verifier
+//! ([`transputer_analysis::verify_bytecode_cfg`]), whose findings are
+//! a superset of the linear pass. The workspace-bounds check needs a
+//! frame shape: for occam input it comes from the compiler, for raw
+//! or assembled images pass `--locals`/`--depth` (otherwise that
+//! check is skipped).
 
 use std::process::ExitCode;
 
-use transputer_analysis::{verifier, CodeShape, Diagnostic};
+use transputer::WordLength;
+use transputer_analysis::cfg::Cfg;
+use transputer_analysis::{cost, CodeShape, Diagnostic};
+
+const EXIT_CLEAN: u8 = 0;
+const EXIT_WARNINGS: u8 = 1;
+const EXIT_ERRORS: u8 = 2;
 
 #[derive(PartialEq)]
 enum Input {
@@ -37,7 +57,10 @@ struct Args {
     input: Input,
     locals: Option<u32>,
     depth: Option<u32>,
-    strict: bool,
+    deny_warnings: bool,
+    cfg_dot: bool,
+    cost: bool,
+    deadlock_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,14 +69,20 @@ fn parse_args() -> Result<Args, String> {
         input: Input::Raw,
         locals: None,
         depth: None,
-        strict: false,
+        deny_warnings: false,
+        cfg_dot: false,
+        cost: false,
+        deadlock_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--asm" => args.input = Input::Asm,
             "--occam" => args.input = Input::Occam,
-            "--strict" => args.strict = true,
+            "--strict" | "--deny-warnings" => args.deny_warnings = true,
+            "--cfg-dot" => args.cfg_dot = true,
+            "--cost" => args.cost = true,
+            "--deadlock" => args.deadlock_only = true,
             "--locals" => {
                 let n = it.next().ok_or("--locals needs a count")?;
                 args.locals = Some(n.parse().map_err(|_| "--locals needs a number")?);
@@ -64,7 +93,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: txlint [--asm|--occam] [--locals N] [--depth N] [--strict] <file>"
+                    "usage: txlint [--asm|--occam] [--locals N] [--depth N] [--deny-warnings] \
+                     [--cfg-dot] [--cost] [--deadlock] <file>"
                         .to_string(),
                 )
             }
@@ -84,17 +114,50 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// What the front end produced for the back half of the run.
+struct Analyzed {
+    diags: Vec<Diagnostic>,
+    /// The compiled/assembled/raw image, when there is one.
+    code: Option<Vec<u8>>,
+    /// Frame shape for the image, when known.
+    shape: Option<CodeShape>,
+    /// Counted-loop metadata (occam input only).
+    loops: Vec<cost::CountedLoop>,
+}
+
+fn print_cost(path: &str, cfg: &Cfg, loops: &[cost::CountedLoop]) {
+    match cost::analyze_cost(cfg, loops, WordLength::Bits32) {
+        Ok(report) => {
+            println!(
+                "{path}: predicted {} cycles, {} instruction bytes, {} operations \
+                 (CPI {:.3})",
+                report.cycles,
+                report.instruction_bytes,
+                report.operations,
+                report.cpi()
+            );
+            for b in &report.blocks {
+                println!(
+                    "{path}:   block {:>3}  {:#06x}..{:#06x}  freq {:>8}  {:>10} cycles",
+                    b.block, b.start, b.end, b.freq, b.cycles
+                );
+            }
+        }
+        Err(e) => println!("{path}: cost model refused: {e}"),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERRORS);
         }
     };
     let path = args.file.as_deref().expect("checked");
 
-    let shape = match (args.locals, args.depth) {
+    let arg_shape = match (args.locals, args.depth) {
         (None, None) => None,
         (locals, depth) => Some(CodeShape {
             locals: locals.unwrap_or(0),
@@ -102,40 +165,50 @@ fn main() -> ExitCode {
         }),
     };
 
-    let diags: Vec<Diagnostic> = match args.input {
+    let analyzed: Analyzed = match args.input {
         Input::Raw => {
             let code = match std::fs::read(path) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("txlint: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_ERRORS);
                 }
             };
-            verifier::verify_bytecode(&code, shape.as_ref())
+            Analyzed {
+                diags: Vec::new(),
+                code: Some(code),
+                shape: arg_shape,
+                loops: Vec::new(),
+            }
         }
         Input::Asm => {
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("txlint: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_ERRORS);
                 }
             };
             let code = match transputer_asm::assemble(&source) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("{path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_ERRORS);
                 }
             };
-            verifier::verify_bytecode(&code, shape.as_ref())
+            Analyzed {
+                diags: Vec::new(),
+                code: Some(code),
+                shape: arg_shape,
+                loops: Vec::new(),
+            }
         }
         Input::Occam => {
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("txlint: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_ERRORS);
                 }
             };
             let mut diags = transputer_analysis::lint_source(&source);
@@ -148,7 +221,14 @@ fn main() -> ExitCode {
                             w.message.clone(),
                         )
                     }));
-                    diags.extend(verifier::verify_program(&program));
+                    let shape = CodeShape::of(&program);
+                    let loops = program.loops.iter().map(cost::CountedLoop::from).collect();
+                    Analyzed {
+                        diags,
+                        code: Some(program.code),
+                        shape: Some(shape),
+                        loops,
+                    }
                 }
                 Err(e) => {
                     // A parse failure is already in `diags`; other
@@ -156,11 +236,37 @@ fn main() -> ExitCode {
                     if !diags.iter().any(|d| d.code == "parse") {
                         eprintln!("{path}: {e}");
                     }
+                    Analyzed {
+                        diags,
+                        code: None,
+                        shape: None,
+                        loops: Vec::new(),
+                    }
                 }
             }
-            diags
         }
     };
+
+    let mut diags = analyzed.diags;
+    if let Some(code) = &analyzed.code {
+        let cfg = Cfg::recover_with_shape(code, analyzed.shape.as_ref());
+        if args.cfg_dot {
+            print!("{}", cfg.to_dot(path));
+            return ExitCode::from(EXIT_CLEAN);
+        }
+        if args.cost {
+            print_cost(path, &cfg, &analyzed.loops);
+        }
+        diags.extend(cfg.diags);
+        transputer_analysis::diag::sort(&mut diags);
+    } else if args.cfg_dot || args.cost {
+        eprintln!("txlint: {path} did not compile; no code to analyze");
+        return ExitCode::from(EXIT_ERRORS);
+    }
+
+    if args.deadlock_only {
+        diags.retain(|d| d.code == "par-deadlock");
+    }
 
     let mut errors = 0usize;
     let mut warnings = 0usize;
@@ -177,9 +283,11 @@ fn main() -> ExitCode {
     } else {
         println!("{path}: ok");
     }
-    if errors > 0 || (args.strict && warnings > 0) {
-        ExitCode::FAILURE
+    if errors > 0 || (args.deny_warnings && warnings > 0) {
+        ExitCode::from(EXIT_ERRORS)
+    } else if warnings > 0 {
+        ExitCode::from(EXIT_WARNINGS)
     } else {
-        ExitCode::SUCCESS
+        ExitCode::from(EXIT_CLEAN)
     }
 }

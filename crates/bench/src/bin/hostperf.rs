@@ -9,15 +9,20 @@
 //!                          outcomes, never on wall time.
 //!
 //! Output path: `BENCH_host.json` in the current directory, or the path
-//! named by the `BENCH_HOST_OUT` environment variable.
+//! named by the `BENCH_HOST_OUT` environment variable. Every run also
+//! appends a one-line JSONL record of the CPU-corpus throughput to
+//! `BENCH_history.jsonl` (override with `BENCH_HISTORY_OUT`). A >20%
+//! emulated-MIPS regression against the committed baseline prints a
+//! WARN; with `PERF_GATE=hard` (set by CI) a collapse below 50% of the
+//! baseline fails the run.
 
 use std::process::Command;
 use std::time::Instant;
 
 use transputer_bench::hostperf::{
     baseline_cpu_mips, board128, cpu_corpus_bench, cpu_cross_check, cross_check, faulted, figure8,
-    figure8_smoke, run_network, to_json, CpuRun, NetRun, EXPERIMENTS, FAULT_RATE_DEFAULT,
-    FAULT_SEED_DEFAULT,
+    figure8_smoke, run_network, static_model_runs, to_json, CpuRun, NetRun, EXPERIMENTS,
+    FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
 };
 use transputer_net::Engine;
 
@@ -88,38 +93,77 @@ fn print_cpu(r: &CpuRun) {
     );
 }
 
-/// Non-blocking perf check: compare the cache-on CPU-corpus emulated
-/// MIPS against the committed `BENCH_host.json`, warning (never
-/// failing) on a >20% regression. Wall-clock numbers vary between
-/// machines, so this stays advisory; CI surfaces the line in the smoke
-/// job log.
-fn warn_on_mips_regression(current: &CpuRun) {
-    let committed = match std::fs::read_to_string("BENCH_host.json") {
-        Ok(s) => s,
-        Err(_) => {
-            println!("  perf check: no committed BENCH_host.json here; skipping");
-            return;
-        }
+/// Append one JSONL record of this run's CPU-corpus throughput to the
+/// append-only history (`BENCH_history.jsonl`, or the path named by
+/// `BENCH_HISTORY_OUT`). The history makes a slow drift visible that
+/// any single committed-baseline comparison would miss.
+fn append_history(smoke: bool, current: &CpuRun, baseline: Option<f64>) {
+    let path =
+        std::env::var("BENCH_HISTORY_OUT").unwrap_or_else(|_| "BENCH_history.jsonl".to_string());
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let now = current.emulated_mips();
+    let (baseline_s, ratio_s) = match baseline {
+        Some(b) if b > 0.0 => (format!("{b:.2}"), format!("{:.3}", now / b)),
+        _ => ("null".to_string(), "null".to_string()),
     };
-    match baseline_cpu_mips(&committed) {
-        Some(baseline) if baseline > 0.0 => {
-            let now = current.emulated_mips();
-            let ratio = now / baseline;
-            if ratio < 0.8 {
-                println!(
-                    "WARN: emulated MIPS regression: cpu corpus {now:.2} MIPS vs committed \
-                     {baseline:.2} MIPS ({:.0}% of baseline)",
-                    ratio * 100.0
-                );
-            } else {
-                println!(
-                    "  perf check: cpu corpus {now:.2} MIPS vs committed {baseline:.2} MIPS \
-                     ({:.0}% of baseline) — ok",
-                    ratio * 100.0
-                );
-            }
+    let line = format!(
+        "{{\"unix_s\": {unix_s}, \"smoke\": {smoke}, \"cpu_mips\": {now:.2}, \
+         \"baseline_mips\": {baseline_s}, \"ratio\": {ratio_s}}}\n",
+    );
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = f.write_all(line.as_bytes());
+            println!("  perf history: appended to {path}");
         }
-        _ => println!("  perf check: committed BENCH_host.json has no cpu section; skipping"),
+        Err(e) => println!("  perf history: cannot append to {path}: {e}"),
+    }
+}
+
+/// Perf check against the committed `BENCH_host.json`: every run is
+/// appended to the history, a >20% regression of the cache-on
+/// CPU-corpus emulated MIPS prints a WARN, and with `PERF_GATE=hard`
+/// (set by CI) a collapse below half the committed baseline becomes a
+/// hard failure. Wall-clock numbers vary between machines, so the
+/// hard gate only catches order-of-magnitude breakage.
+fn check_mips_regression(smoke: bool, current: &CpuRun, problems: &mut Vec<String>) {
+    let baseline = std::fs::read_to_string("BENCH_host.json")
+        .ok()
+        .and_then(|s| baseline_cpu_mips(&s))
+        .filter(|b| *b > 0.0);
+    append_history(smoke, current, baseline);
+    let Some(baseline) = baseline else {
+        println!("  perf check: no committed cpu baseline here; skipping");
+        return;
+    };
+    let now = current.emulated_mips();
+    let ratio = now / baseline;
+    let hard = std::env::var("PERF_GATE").is_ok_and(|v| v == "hard");
+    if hard && ratio < 0.5 {
+        problems.push(format!(
+            "emulated MIPS collapse: cpu corpus {now:.2} MIPS vs committed {baseline:.2} MIPS \
+             ({:.0}% of baseline, PERF_GATE=hard)",
+            ratio * 100.0
+        ));
+    } else if ratio < 0.8 {
+        println!(
+            "WARN: emulated MIPS regression: cpu corpus {now:.2} MIPS vs committed \
+             {baseline:.2} MIPS ({:.0}% of baseline)",
+            ratio * 100.0
+        );
+    } else {
+        println!(
+            "  perf check: cpu corpus {now:.2} MIPS vs committed {baseline:.2} MIPS \
+             ({:.0}% of baseline) — ok",
+            ratio * 100.0
+        );
     }
 }
 
@@ -138,7 +182,7 @@ fn main() {
         print_cpu(&on);
         print_cpu(&off);
         problems.extend(cpu_cross_check(&[on.clone(), off.clone()]));
-        warn_on_mips_regression(&on);
+        check_mips_regression(smoke, &on, &mut problems);
         cpu_runs.push(on);
         cpu_runs.push(off);
         let runs: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
@@ -190,7 +234,7 @@ fn main() {
             on.emulated_mips()
         );
         problems.extend(cpu_cross_check(&[on.clone(), off.clone()]));
-        warn_on_mips_regression(&on);
+        check_mips_regression(smoke, &on, &mut problems);
         cpu_runs.push(on);
         cpu_runs.push(off);
 
@@ -264,7 +308,27 @@ fn main() {
         networks.extend(e10f);
     }
 
-    let json = to_json(smoke, &experiments, &cpu_runs, &networks, &problems);
+    println!("hostperf: static cost model vs emulator");
+    let static_model = static_model_runs(&mut problems);
+    for r in &static_model {
+        println!(
+            "  static_model {:<14} predicted {:>8}  measured {:>8}  error {}",
+            r.name,
+            r.predicted.map_or("refused".to_string(), |p| p.to_string()),
+            r.measured,
+            r.error_pct()
+                .map_or("—".to_string(), |e| format!("{e:.3}%")),
+        );
+    }
+
+    let json = to_json(
+        smoke,
+        &experiments,
+        &cpu_runs,
+        &static_model,
+        &networks,
+        &problems,
+    );
     let out_path =
         std::env::var("BENCH_HOST_OUT").unwrap_or_else(|_| "BENCH_host.json".to_string());
     std::fs::write(&out_path, &json).expect("write BENCH_host.json");

@@ -1,48 +1,184 @@
-//! Lint gate over the occam workload corpus: every program must pass
-//! the `transputer-analysis` checks that back `txlint` — source-level
-//! channel-usage lints, compiler PAR-usage warnings, and bytecode
-//! verification of the emitted I1 code.
+//! Lint gate over everything the benchmarks execute: the occam
+//! workload corpus, the generated experiment sources, and the
+//! hand-assembled experiment images — every program must pass the
+//! `transputer-analysis` checks that back `txlint`.
 //!
 //! Usage: `cargo run --release -p transputer-bench --bin lint_corpus`
 //!
-//! Warnings are reported but only errors fail the gate (the corpus is
-//! expected to be warning-clean too; a count is printed either way).
+//! Four passes, all gating on errors (warnings are reported and
+//! counted but do not fail):
+//!
+//! 1. **Corpus sources** — channel-usage lints, compiler PAR-usage
+//!    warnings, and the CFG-based bytecode verifier over the emitted
+//!    code; plus a differential proving the CFG verifier's findings
+//!    are a superset of the linear pass on every program.
+//! 2. **Experiment sources** — the same stack over every occam source
+//!    the experiment binaries generate (compiler-shape checks, the
+//!    e09 database-search node programs, the e11 workstation
+//!    placements).
+//! 3. **Experiment images** — CFG recovery and bytecode verification
+//!    over every hand-assembled image e01–e14 load into a CPU.
+//! 4. **Static cost model** — `cost::analyze_program` versus the
+//!    emulator over the compute-class validation corpus; any program
+//!    the model refuses, or predicts with more than 5 % cycle error,
+//!    fails the gate. The table is printed with a `static-model: `
+//!    prefix so CI can lift it into the job summary.
 
-use transputer_analysis::{verifier, Diagnostic, Span};
-use transputer_bench::corpus::CORPUS;
+use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome, WordLength};
+use transputer_analysis::cfg::Cfg;
+use transputer_analysis::{cost, verifier, Diagnostic, Span};
+use transputer_bench::corpus::{CORPUS, STATIC_MODEL_CORPUS};
+use transputer_bench::expimages;
 
-fn main() {
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    for item in CORPUS {
-        let mut diags = transputer_analysis::lint_source(item.source);
-        match occam::compile(item.source) {
-            Ok(program) => {
-                diags.extend(program.warnings.iter().map(|w| {
-                    Diagnostic::warning("par-usage", Span::line(w.line), w.message.clone())
-                }));
-                diags.extend(verifier::verify_program(&program));
-            }
-            Err(e) => diags.push(Diagnostic::error("compile", Span::line(0), e.to_string())),
-        }
-        for d in &diags {
-            println!("{}: {d}", item.name);
+/// Largest tolerated |predicted − measured| / measured, in percent.
+const MODEL_ERROR_LIMIT: f64 = 5.0;
+
+struct Tally {
+    errors: usize,
+    warnings: usize,
+}
+
+impl Tally {
+    fn report(&mut self, name: &str, diags: &[Diagnostic]) {
+        for d in diags {
+            println!("{name}: {d}");
             if d.is_error() {
-                errors += 1;
+                self.errors += 1;
             } else {
-                warnings += 1;
+                self.warnings += 1;
             }
         }
         if diags.is_empty() {
-            println!("{}: ok", item.name);
+            println!("{name}: ok");
         }
     }
+}
+
+/// Lint an occam source end to end: source lints, PAR-usage warnings,
+/// CFG-based bytecode verification of the emitted code.
+fn lint_occam(source: &str) -> Vec<Diagnostic> {
+    let mut diags = transputer_analysis::lint_source(source);
+    match occam::compile(source) {
+        Ok(program) => {
+            diags.extend(
+                program.warnings.iter().map(|w| {
+                    Diagnostic::warning("par-usage", Span::line(w.line), w.message.clone())
+                }),
+            );
+            diags.extend(transputer_analysis::verify_program_cfg(&program));
+        }
+        Err(e) => diags.push(Diagnostic::error("compile", Span::line(0), e.to_string())),
+    }
+    diags
+}
+
+/// Check the CFG verifier reproduces (or strictly extends) the linear
+/// verifier on a program; returns the findings the CFG pass missed.
+fn cfg_misses(program: &occam::Program) -> Vec<String> {
+    let linear: Vec<String> = verifier::verify_program(program)
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    let cfg: Vec<String> = transputer_analysis::verify_program_cfg(program)
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    linear.into_iter().filter(|d| !cfg.contains(d)).collect()
+}
+
+/// Run a compiled program to a clean halt and return its cycle count.
+fn measure_cycles(program: &occam::Program) -> u64 {
+    let mut cpu = Cpu::new(CpuConfig::t424());
+    program.load(&mut cpu).expect("validation program loads");
+    match cpu.run(500_000_000).expect("validation program runs") {
+        RunOutcome::Halted(HaltReason::Stopped) => {}
+        other => panic!("validation program did not halt cleanly: {other:?}"),
+    }
+    cpu.cycles()
+}
+
+fn main() {
+    let mut tally = Tally {
+        errors: 0,
+        warnings: 0,
+    };
+
+    // Pass 1: the occam workload corpus, plus the linear-vs-CFG
+    // differential.
+    println!("== occam corpus ==");
+    for item in CORPUS {
+        tally.report(item.name, &lint_occam(item.source));
+        if let Ok(program) = occam::compile(item.source) {
+            for missed in cfg_misses(&program) {
+                println!("{}: CFG pass lost a linear finding: {missed}", item.name);
+                tally.errors += 1;
+            }
+        }
+    }
+
+    // Pass 2: generated experiment sources.
+    println!("\n== experiment sources ==");
+    let sources = expimages::experiment_sources();
+    for (name, source) in &sources {
+        tally.report(name, &lint_occam(source));
+    }
+
+    // Pass 3: hand-assembled experiment images.
+    println!("\n== experiment images ==");
+    let images = expimages::experiment_images();
+    for img in &images {
+        let cfg = Cfg::recover(&img.code);
+        tally.report(img.name, &cfg.diags);
+        for u in &cfg.unanalyzable {
+            println!("{}: note: {u}", img.name);
+        }
+    }
+
+    // Pass 4: the static cost model against the emulator.
+    println!("\n== static cost model ==");
+    println!("static-model: | program | predicted cycles | measured cycles | error |");
+    println!("static-model: |---|---:|---:|---:|");
+    for item in STATIC_MODEL_CORPUS {
+        let program = occam::compile(item.source).expect("validation program compiles");
+        let measured = measure_cycles(&program);
+        match cost::analyze_program(&program, WordLength::Bits32) {
+            Ok(report) => {
+                let err = 100.0 * (report.cycles as f64 - measured as f64).abs() / measured as f64;
+                println!(
+                    "static-model: | {} | {} | {measured} | {err:.3}% |",
+                    item.name, report.cycles
+                );
+                if err > MODEL_ERROR_LIMIT {
+                    println!(
+                        "{}: static model off by {err:.3}% (limit {MODEL_ERROR_LIMIT}%)",
+                        item.name
+                    );
+                    tally.errors += 1;
+                }
+            }
+            Err(e) => {
+                println!(
+                    "static-model: | {} | (refused) | {measured} | — |",
+                    item.name
+                );
+                println!("{}: static model refused: {e}", item.name);
+                tally.errors += 1;
+            }
+        }
+    }
+
     println!(
-        "\nlint gate: {} program(s), {errors} error(s), {warnings} warning(s)",
-        CORPUS.len()
+        "\nlint gate: {} corpus + {} experiment source(s) + {} image(s) + {} model check(s), \
+         {} error(s), {} warning(s)",
+        CORPUS.len(),
+        sources.len(),
+        images.len(),
+        STATIC_MODEL_CORPUS.len(),
+        tally.errors,
+        tally.warnings
     );
-    if errors > 0 {
-        println!("FAIL: lint errors in the occam corpus");
+    if tally.errors > 0 {
+        println!("FAIL: lint errors in the benchmark workloads");
         std::process::exit(1);
     }
 }

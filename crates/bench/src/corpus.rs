@@ -315,6 +315,73 @@ SEQ
 /// The whole corpus.
 pub const CORPUS: &[CorpusItem] = &[SIEVE, SORT, FIB, GCD, PIPELINE, MATMUL, FARM, BYTESUM];
 
+/// Horner polynomial evaluation: counted loops, multiply, subscripts.
+/// `acc := acc*3 + c[i]` over `c = [2,3,4,5,6]`.
+pub const POLY: CorpusItem = CorpusItem {
+    name: "poly",
+    source: "\
+VAR c[5], acc, y:
+SEQ
+  SEQ i = [0 FOR 5]
+    c[i] := i + 2
+  acc := 0
+  SEQ i = [0 FOR 5]
+    acc := (acc * 3) + c[i]
+  y := acc",
+    check_global: "y",
+    expected: 300,
+    word16_safe: true,
+};
+
+/// Constant-distance shifts in a counted loop (the shift count is an
+/// immediate, so `shl`/`shr` timing is statically known).
+pub const SHIFTS: CorpusItem = CorpusItem {
+    name: "shifts",
+    source: "\
+VAR x, y:
+SEQ
+  x := 1
+  SEQ i = [0 FOR 5]
+    x := (x << 2) + 1
+  y := x >> 3",
+    check_global: "y",
+    expected: 1365 >> 3,
+    word16_safe: true,
+};
+
+/// Division and remainder folded over a counted loop.
+pub const DIVSUM: CorpusItem = CorpusItem {
+    name: "divsum",
+    source: "\
+VAR s:
+SEQ
+  s := 0
+  SEQ i = [0 FOR 10]
+    s := (s + (((i * 7) + 5) / 3)) + (((i * 11) + 2) \\ 4)",
+    check_global: "s",
+    expected: {
+        let mut s = 0i64;
+        let mut i = 0i64;
+        while i < 10 {
+            s += ((i * 7) + 5) / 3 + ((i * 11) + 2) % 4;
+            i += 1;
+        }
+        s
+    },
+    word16_safe: true,
+};
+
+/// The compute-class programs whose cycle counts the static cost model
+/// ([`transputer_analysis::cost`]) must predict: straight-line or
+/// counted-loop kernels with no data-dependent control flow or timing.
+/// `lint_corpus` runs the model against the emulator over this list and
+/// gates on ≤5 % error; the result lands in BENCH_host.json's
+/// `"static_model"` section. `FIB` and `MATMUL` come from the main
+/// corpus; the other three widen the instruction coverage (multiply,
+/// constant shifts, divide/remainder) without touching `CORPUS` — the
+/// benchmark fingerprints are derived from `CORPUS` and must not move.
+pub const STATIC_MODEL_CORPUS: &[CorpusItem] = &[FIB, MATMUL, POLY, SHIFTS, DIVSUM];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +392,25 @@ mod tests {
         for item in CORPUS {
             assert!(!item.name.is_empty());
             assert!(!item.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn static_model_corpus_computes_expected_values() {
+        for item in STATIC_MODEL_CORPUS {
+            let program = occam::compile(item.source).expect(item.name);
+            let mut cpu = transputer::Cpu::new(transputer::CpuConfig::t424());
+            let wptr = program.load(&mut cpu).expect(item.name);
+            cpu.run(500_000_000).expect(item.name);
+            let got = program
+                .read_global(&mut cpu, wptr, item.check_global)
+                .unwrap();
+            assert_eq!(
+                cpu.word_length().to_signed(got),
+                item.expected,
+                "static-model corpus `{}`",
+                item.name
+            );
         }
     }
 }

@@ -345,6 +345,72 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The static cost model checked against the emulator on one program.
+#[derive(Debug, Clone)]
+pub struct StaticModelRun {
+    /// Validation-corpus program name.
+    pub name: &'static str,
+    /// Cycles the model predicts, `None` when it refuses the program.
+    pub predicted: Option<u64>,
+    /// Cycles the emulator measured.
+    pub measured: u64,
+}
+
+impl StaticModelRun {
+    /// |predicted − measured| / measured, in percent; `None` when the
+    /// model refused.
+    pub fn error_pct(&self) -> Option<f64> {
+        self.predicted
+            .map(|p| 100.0 * (p as f64 - self.measured as f64).abs() / self.measured as f64)
+    }
+}
+
+/// Largest model-vs-measured cycle error tolerated, in percent.
+pub const STATIC_MODEL_ERROR_LIMIT: f64 = 5.0;
+
+/// Run the static cycle-cost model against the emulator over the
+/// compute-class validation corpus ([`corpus::STATIC_MODEL_CORPUS`]).
+/// Returns one row per program; `problems` gains a line for every
+/// refusal or error beyond [`STATIC_MODEL_ERROR_LIMIT`].
+pub fn static_model_runs(problems: &mut Vec<String>) -> Vec<StaticModelRun> {
+    let mut runs = Vec::new();
+    for item in corpus::STATIC_MODEL_CORPUS {
+        let program = occam::compile(item.source).expect("validation program compiles");
+        let mut cpu = Cpu::new(CpuConfig::t424());
+        program.load(&mut cpu).expect("validation program loads");
+        match cpu.run(500_000_000).expect("validation program runs") {
+            RunOutcome::Halted(HaltReason::Stopped) => {}
+            other => panic!("validation program did not halt cleanly: {other:?}"),
+        }
+        let measured = cpu.cycles();
+        let predicted = match transputer_analysis::cost::analyze_program(
+            &program,
+            transputer::WordLength::Bits32,
+        ) {
+            Ok(report) => Some(report.cycles),
+            Err(e) => {
+                problems.push(format!("static_model: {} refused: {e}", item.name));
+                None
+            }
+        };
+        let run = StaticModelRun {
+            name: item.name,
+            predicted,
+            measured,
+        };
+        if let Some(err) = run.error_pct() {
+            if err > STATIC_MODEL_ERROR_LIMIT {
+                problems.push(format!(
+                    "static_model: {} off by {err:.3}% (limit {STATIC_MODEL_ERROR_LIMIT}%)",
+                    item.name
+                ));
+            }
+        }
+        runs.push(run);
+    }
+    runs
+}
+
 /// Outcome checks over CPU-corpus runs: the cache-on and cache-off
 /// sweeps must fingerprint identically. Returns error lines, empty when
 /// healthy.
@@ -385,6 +451,7 @@ pub fn to_json(
     smoke: bool,
     experiments: &[(String, f64)],
     cpu_runs: &[CpuRun],
+    static_model: &[StaticModelRun],
     networks: &[NetRun],
     problems: &[String],
 ) -> String {
@@ -416,6 +483,20 @@ pub fn to_json(
             r.decode.2,
             r.decode.3,
             r.fingerprint,
+        ));
+    }
+    out.push_str("  ],\n  \"static_model\": [\n");
+    for (i, r) in static_model.iter().enumerate() {
+        let comma = if i + 1 < static_model.len() { "," } else { "" };
+        let predicted = r.predicted.map_or("null".to_string(), |p| p.to_string());
+        let error = r
+            .error_pct()
+            .map_or("null".to_string(), |e| format!("{e:.3}"));
+        out.push_str(&format!(
+            "    {{\"program\": \"{}\", \"predicted_cycles\": {predicted}, \
+             \"measured_cycles\": {}, \"error_pct\": {error}}}{comma}\n",
+            json_escape(r.name),
+            r.measured,
         ));
     }
     out.push_str("  ],\n  \"networks\": [\n");
@@ -494,7 +575,7 @@ mod tests {
             .collect();
         let problems = cross_check(&runs);
         assert!(problems.is_empty(), "{problems:?}");
-        let json = to_json(true, &[], &[], &runs, &problems);
+        let json = to_json(true, &[], &[], &[], &runs, &problems);
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"identical\": true"));
     }
@@ -509,9 +590,28 @@ mod tests {
         assert_eq!(on.instructions, off.instructions);
         assert!(on.decode.0 > 0, "cache-on run recorded no hits");
         assert_eq!(off.decode, (0, 0, 0, 0), "cache-off run touched the cache");
-        let json = to_json(true, &[], &[on.clone(), off], &[], &problems);
+        let json = to_json(true, &[], &[on.clone(), off], &[], &[], &problems);
         assert!(json.contains("\"decode_cache\": true"));
         let baseline = baseline_cpu_mips(&json).expect("cpu section parses back");
         assert!((baseline - (on.emulated_mips() * 100.0).round() / 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn static_model_is_exact_and_renders() {
+        let mut problems = Vec::new();
+        let runs = static_model_runs(&mut problems);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(runs.len(), corpus::STATIC_MODEL_CORPUS.len());
+        for r in &runs {
+            assert_eq!(
+                r.predicted,
+                Some(r.measured),
+                "static model drifted on `{}`",
+                r.name
+            );
+        }
+        let json = to_json(true, &[], &[], &runs, &[], &problems);
+        assert!(json.contains("\"static_model\""));
+        assert!(json.contains("\"error_pct\": 0.000"));
     }
 }

@@ -8,6 +8,7 @@
 use transputer::{Cpu, CpuConfig, StepEvent};
 
 pub mod corpus;
+pub mod expimages;
 pub mod hostperf;
 pub mod table;
 

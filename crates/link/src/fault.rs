@@ -64,7 +64,7 @@ fn splitmix64(x: u64) -> u64 {
 /// after) `from_ns` is lost, in both directions, forever.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DeadLink {
-    /// Wire index, in [`NetworkBuilder::connect`] call order (for the
+    /// Wire index, in `NetworkBuilder::connect` call order (for the
     /// topology helpers: row-major, east wire before south wire).
     pub wire: usize,
     /// When the wire dies. `0` = dead at boot; routing layers treat

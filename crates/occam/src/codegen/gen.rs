@@ -552,6 +552,12 @@ impl Cg {
         self.emit.insn(Direct::StoreLocal, ctrl + 1);
         let end = self.emit.new_label();
         let top = self.emit.new_label();
+        // A compile-time-constant count makes the loop statically
+        // boundable; record it for the cycle-cost model.
+        if let Some(n) = self.const_eval(&r.count) {
+            let count = u32::try_from(n.max(0)).unwrap_or(u32::MAX);
+            self.counted_loops.push((top, end, count));
+        }
         // A replication count of zero (or less) runs the body no times.
         self.emit.insn(Direct::LoadLocal, ctrl + 1);
         self.emit.insn(Direct::LoadConstant, 0);

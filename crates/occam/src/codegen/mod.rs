@@ -90,6 +90,24 @@ impl std::fmt::Display for Warning {
     }
 }
 
+/// Compiler-recorded shape of one counted loop: a replicated `SEQ`
+/// whose replication count is a compile-time constant. The static
+/// cycle-cost model (`transputer-analysis`) consumes these to bound
+/// block execution frequencies without running the dataflow through
+/// the `lend` back edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Byte offset of the first body instruction (the `lend` back-edge
+    /// target).
+    pub head: u32,
+    /// Byte offset just past the `lend` — where the zero-trip guard
+    /// jumps and where the final iteration falls out.
+    pub end: u32,
+    /// Compile-time replication count; the body runs exactly this many
+    /// times per entry (0 when the count is not positive).
+    pub count: u32,
+}
+
 /// A compiled program.
 #[derive(Debug, Clone)]
 pub struct Program {
@@ -105,6 +123,9 @@ pub struct Program {
     pub globals: HashMap<String, i32>,
     /// Non-fatal findings collected during compilation.
     pub warnings: Vec<Warning>,
+    /// Counted loops (replicated `SEQ`s with constant counts), sorted by
+    /// head offset, for the static cycle-cost model.
+    pub loops: Vec<LoopInfo>,
 }
 
 impl Program {
@@ -313,6 +334,8 @@ pub(crate) struct Cg {
     pub options: Options,
     pub globals: HashMap<String, i32>,
     pub warnings: Vec<Warning>,
+    /// Counted loops awaiting label resolution: (head, end, count).
+    pub counted_loops: Vec<(Label, Label, u32)>,
 }
 
 impl Cg {
@@ -324,6 +347,7 @@ impl Cg {
             options,
             globals: HashMap::new(),
             warnings: Vec::new(),
+            counted_loops: Vec::new(),
         }
     }
 
@@ -395,12 +419,23 @@ pub fn compile_process(program: &Process, options: Options) -> Result<Program, C
         cg.ctx_ref().high <= fm.vector_base() && cg.ctx_ref().vec_high <= fm.locals_total(),
         "codegen allocation exceeded measurement"
     );
-    let code = cg.emit.assemble();
+    let counted_loops = std::mem::take(&mut cg.counted_loops);
+    let (code, labels) = cg.emit.assemble_with_labels();
+    let mut loops: Vec<LoopInfo> = counted_loops
+        .into_iter()
+        .map(|(head, end, count)| LoopInfo {
+            head: labels[head.index()] as u32,
+            end: labels[end.index()] as u32,
+            count,
+        })
+        .collect();
+    loops.sort_by_key(|l| (l.head, l.end));
     Ok(Program {
         code,
         locals: fm.locals_total() as u32,
         depth: fm.down as u32,
         globals: cg.globals,
         warnings: cg.warnings,
+        loops,
     })
 }

@@ -18,6 +18,14 @@ use transputer::instr::{encode_into, Direct, Op};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(usize);
 
+impl Label {
+    /// Index into the label-address table returned by
+    /// [`Emitter::assemble_with_labels`].
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Symbolic operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Operand {
@@ -156,7 +164,15 @@ impl Emitter {
     ///
     /// Panics if a referenced label was never placed, or an anchor was
     /// never bound — compiler bugs, not user errors.
-    pub fn assemble(mut self) -> Vec<u8> {
+    pub fn assemble(self) -> Vec<u8> {
+        self.assemble_with_labels().0
+    }
+
+    /// Like [`Emitter::assemble`], but also returns the resolved byte
+    /// address of every label, indexed by creation order
+    /// (`Label::index`). Labels that were never placed resolve to
+    /// `usize::MAX`.
+    pub fn assemble_with_labels(mut self) -> (Vec<u8>, Vec<usize>) {
         // Patch anchors.
         for (ldc_item, anchor_item) in std::mem::take(&mut self.pending_anchor_patches) {
             if let Item::Insn {
@@ -273,7 +289,7 @@ impl Emitter {
                 "relaxation reserved a different size than the final encoding"
             );
         }
-        out
+        (out, labels)
     }
 }
 

@@ -49,7 +49,7 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 
-pub use codegen::{compile_process, Options, Program};
+pub use codegen::{compile_process, LoopInfo, Options, Program};
 pub use error::CompileError;
 pub use parser::parse;
 

@@ -666,11 +666,11 @@ impl Cpu {
                     let idx = self.mem.read_word(b)?;
                     self.mem.write_word(b, word.wrapping_add(idx, 1))?;
                     self.iptr = word.mask(self.iptr.wrapping_sub(a));
-                    self.advance_time(10);
+                    self.advance_time(timing::LOOP_END_TAKEN);
                     self.maybe_timeslice()?;
                     0
                 } else {
-                    5
+                    timing::LOOP_END_EXIT
                 }
             }
             Op::TimerInput => {

@@ -83,6 +83,13 @@ pub fn shift_cycles(places: u32) -> u32 {
     places.min(64) + 2
 }
 
+/// `loop end` when the decremented count is still positive: write back
+/// the control block, bump the index, and jump backwards.
+pub const LOOP_END_TAKEN: u32 = 10;
+
+/// `loop end` when the loop is exhausted and control falls through.
+pub const LOOP_END_EXIT: u32 = 5;
+
 /// Internal-channel communication, total across both participating
 /// processes including scheduling overhead (§3.2.10):
 /// `max(24, 21 + 8n / wordlength)` cycles for an `n`-byte message.
