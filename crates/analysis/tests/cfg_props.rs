@@ -1,10 +1,15 @@
 //! Property tests for CFG recovery: the block partition must cover
 //! every reachable code byte exactly once, and block successor edges
 //! must agree with the verifier's own jump-target computation.
+//!
+//! The same instruction generator also feeds the translation-tier
+//! differential battery: every generated program must behave
+//! bit-identically with the threaded-code tier on and off.
 
 use proptest::prelude::*;
 
 use transputer::instr::{encode_into, encode_op, Direct, Op};
+use transputer::{Cpu, CpuConfig};
 use transputer_analysis::cfg::{Cfg, EdgeKind};
 
 /// One generated instruction for a random-but-decodable image.
@@ -19,6 +24,11 @@ fn gen_insn() -> impl Strategy<Value = GenInsn> {
         3 => (0i64..16).prop_map(|n| GenInsn::Direct(Direct::LoadConstant, n)),
         2 => (0i64..4).prop_map(|n| GenInsn::Direct(Direct::LoadLocal, n)),
         2 => (0i64..4).prop_map(|n| GenInsn::Direct(Direct::StoreLocal, n)),
+        1 => (0i64..4).prop_map(|n| GenInsn::Direct(Direct::LoadLocalPointer, n)),
+        1 => (0i64..4).prop_map(|n| GenInsn::Direct(Direct::LoadNonLocal, n)),
+        1 => (0i64..4).prop_map(|n| GenInsn::Direct(Direct::StoreNonLocal, n)),
+        1 => (0i64..4).prop_map(|n| GenInsn::Direct(Direct::LoadNonLocalPointer, n)),
+        1 => (-2i64..4).prop_map(|n| GenInsn::Direct(Direct::AdjustWorkspace, n)),
         1 => (-300i64..300).prop_map(|n| GenInsn::Direct(Direct::AddConstant, n)),
         1 => (0i64..8).prop_map(|n| GenInsn::Direct(Direct::EqualsConstant, n)),
         // Jump displacements both in and out of range, forward and
@@ -127,5 +137,50 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The threaded-code translation tier is bit-invisible on random
+    /// programs: whatever a generated instruction stream does — halt,
+    /// fault on a wild address, spin until the budget expires — the
+    /// run outcome, cycle count, simulated statistics, and the entire
+    /// final memory image are identical with translation on
+    /// (threshold 1, so every block leader translates immediately)
+    /// and off.
+    #[test]
+    fn translation_is_bit_identical_on_random_programs(
+        insns in proptest::collection::vec(gen_insn(), 1..60)
+    ) {
+        let code = assemble(&insns);
+        let run = |translate: bool| {
+            let mut cpu = Cpu::new(
+                CpuConfig::t424()
+                    .with_translate(translate)
+                    .with_translate_threshold(1),
+            );
+            cpu.load_boot_program(&code).expect("program fits");
+            let outcome = format!("{:?}", cpu.run_batched(200_000));
+            (cpu, outcome)
+        };
+        let (on, out_on) = run(true);
+        let (off, out_off) = run(false);
+        prop_assert_eq!(out_on, out_off, "run outcomes diverged");
+        prop_assert_eq!(on.cycles(), off.cycles(), "cycle counts diverged");
+        prop_assert_eq!(
+            on.stats().simulated(),
+            off.stats().simulated(),
+            "simulated statistics diverged"
+        );
+        let base = on.memory().base();
+        let size = on.memory().size() as usize;
+        prop_assert_eq!(
+            on.memory().dump(base, size).unwrap(),
+            off.memory().dump(base, size).unwrap(),
+            "memory images diverged"
+        );
+        prop_assert_eq!(
+            off.stats().trans_enters + off.stats().trans_blocks,
+            0,
+            "disabled translation still ran"
+        );
     }
 }

@@ -71,14 +71,21 @@ fn main() {
     );
 
     // Host-side throughput: how fast this emulator executes the same
-    // corpus, with and without the predecoded instruction cache. The
-    // simulated numbers above are invariant; only wall clock moves.
+    // corpus under each execution tier — plain byte decode, the
+    // predecoded instruction cache, and the threaded-code translation
+    // tier on top of it. The simulated numbers above are invariant;
+    // only wall clock moves.
     println!();
-    let on = cpu_corpus_bench(true, 20);
-    let off = cpu_corpus_bench(false, 20);
+    let trans = cpu_corpus_bench(true, true, 20);
+    let on = cpu_corpus_bench(true, false, 20);
+    let off = cpu_corpus_bench(false, false, 20);
     assert_eq!(
         on.fingerprint, off.fingerprint,
         "decode cache changed a simulated outcome"
+    );
+    assert_eq!(
+        trans.fingerprint, off.fingerprint,
+        "translation tier changed a simulated outcome"
     );
     println!(
         "host throughput over the corpus: decode cache off {:.1} emulated MIPS, \
@@ -92,6 +99,16 @@ fn main() {
         on.decode.2,
         on.decode.3,
         on.hit_rate() * 100.0,
+    );
+    println!(
+        "translated tier: {:.1} emulated MIPS ({:.2}x over the decode cache); \
+         {} blocks / {} enters / {} deopts / {} invalidations",
+        trans.emulated_mips(),
+        trans.emulated_mips() / on.emulated_mips(),
+        trans.trans.0,
+        trans.trans.1,
+        trans.trans.2,
+        trans.trans.3,
     );
 
     table::verdict(

@@ -10,19 +10,20 @@
 //!
 //! Output path: `BENCH_host.json` in the current directory, or the path
 //! named by the `BENCH_HOST_OUT` environment variable. Every run also
-//! appends a one-line JSONL record of the CPU-corpus throughput to
-//! `BENCH_history.jsonl` (override with `BENCH_HISTORY_OUT`). A >20%
-//! emulated-MIPS regression against the committed baseline prints a
-//! WARN; with `PERF_GATE=hard` (set by CI) a collapse below 50% of the
+//! appends a one-line JSONL record of the CPU-corpus throughput
+//! (decode-cache and translated tiers) to `BENCH_history.jsonl`
+//! (override with `BENCH_HISTORY_OUT`). A >20% emulated-MIPS regression
+//! against the committed baseline — on either tier — prints a WARN;
+//! with `PERF_GATE=hard` (set by CI) a collapse below 50% of the
 //! baseline fails the run.
 
 use std::process::Command;
 use std::time::Instant;
 
 use transputer_bench::hostperf::{
-    baseline_cpu_mips, board128, cpu_corpus_bench, cpu_cross_check, cross_check, faulted, figure8,
-    figure8_smoke, run_network, static_model_runs, to_json, CpuRun, NetRun, EXPERIMENTS,
-    FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
+    baseline_cpu_mips, baseline_translated_mips, board128, cpu_corpus_bench, cpu_cross_check,
+    cross_check, faulted, figure8, figure8_smoke, run_network, static_model_runs, to_json, CpuRun,
+    NetRun, EXPERIMENTS, FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
 };
 use transputer_net::Engine;
 
@@ -80,9 +81,10 @@ fn print_net(r: &NetRun) {
 
 fn print_cpu(r: &CpuRun) {
     println!(
-        "  cpu_corpus decode_cache={:<5} {:>9.1} ms   {:>7.2} MIPS   \
-         dcache {}h/{}m/{}i/{}b (hit rate {:.1}%)",
+        "  cpu_corpus decode_cache={:<5} translate={:<5} {:>9.1} ms   {:>7.2} MIPS   \
+         dcache {}h/{}m/{}i/{}b (hit rate {:.1}%)   trans {}blk/{}ent/{}deopt/{}inv",
         r.decode_cache,
+        r.translate,
         r.wall_ms,
         r.emulated_mips(),
         r.decode.0,
@@ -90,6 +92,10 @@ fn print_cpu(r: &CpuRun) {
         r.decode.2,
         r.decode.3,
         r.hit_rate() * 100.0,
+        r.trans.0,
+        r.trans.1,
+        r.trans.2,
+        r.trans.3,
     );
 }
 
@@ -97,21 +103,32 @@ fn print_cpu(r: &CpuRun) {
 /// append-only history (`BENCH_history.jsonl`, or the path named by
 /// `BENCH_HISTORY_OUT`). The history makes a slow drift visible that
 /// any single committed-baseline comparison would miss.
-fn append_history(smoke: bool, current: &CpuRun, baseline: Option<f64>) {
+fn append_history(
+    smoke: bool,
+    current: &CpuRun,
+    translated: &CpuRun,
+    baseline: Option<f64>,
+    trans_baseline: Option<f64>,
+) {
     let path =
         std::env::var("BENCH_HISTORY_OUT").unwrap_or_else(|_| "BENCH_history.jsonl".to_string());
     let unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let now = current.emulated_mips();
-    let (baseline_s, ratio_s) = match baseline {
+    let ratio_pair = |now: f64, baseline: Option<f64>| match baseline {
         Some(b) if b > 0.0 => (format!("{b:.2}"), format!("{:.3}", now / b)),
         _ => ("null".to_string(), "null".to_string()),
     };
+    let now = current.emulated_mips();
+    let tnow = translated.emulated_mips();
+    let (baseline_s, ratio_s) = ratio_pair(now, baseline);
+    let (tbaseline_s, tratio_s) = ratio_pair(tnow, trans_baseline);
     let line = format!(
         "{{\"unix_s\": {unix_s}, \"smoke\": {smoke}, \"cpu_mips\": {now:.2}, \
-         \"baseline_mips\": {baseline_s}, \"ratio\": {ratio_s}}}\n",
+         \"baseline_mips\": {baseline_s}, \"ratio\": {ratio_s}, \
+         \"translated_mips\": {tnow:.2}, \"translated_baseline_mips\": {tbaseline_s}, \
+         \"translated_ratio\": {tratio_s}}}\n",
     );
     use std::io::Write;
     match std::fs::OpenOptions::new()
@@ -127,44 +144,66 @@ fn append_history(smoke: bool, current: &CpuRun, baseline: Option<f64>) {
     }
 }
 
-/// Perf check against the committed `BENCH_host.json`: every run is
-/// appended to the history, a >20% regression of the cache-on
-/// CPU-corpus emulated MIPS prints a WARN, and with `PERF_GATE=hard`
-/// (set by CI) a collapse below half the committed baseline becomes a
-/// hard failure. Wall-clock numbers vary between machines, so the
-/// hard gate only catches order-of-magnitude breakage.
-fn check_mips_regression(smoke: bool, current: &CpuRun, problems: &mut Vec<String>) {
-    let baseline = std::fs::read_to_string("BENCH_host.json")
-        .ok()
-        .and_then(|s| baseline_cpu_mips(&s))
-        .filter(|b| *b > 0.0);
-    append_history(smoke, current, baseline);
+/// Perf check for one throughput row: a >20% regression against the
+/// committed baseline prints a WARN, and with `PERF_GATE=hard` (set by
+/// CI) a collapse below half the committed baseline becomes a hard
+/// failure. Wall-clock numbers vary between machines, so the hard gate
+/// only catches order-of-magnitude breakage.
+fn check_mips_row(label: &str, now: f64, baseline: Option<f64>, problems: &mut Vec<String>) {
     let Some(baseline) = baseline else {
-        println!("  perf check: no committed cpu baseline here; skipping");
+        println!("  perf check: no committed {label} baseline here; skipping");
         return;
     };
-    let now = current.emulated_mips();
     let ratio = now / baseline;
     let hard = std::env::var("PERF_GATE").is_ok_and(|v| v == "hard");
     if hard && ratio < 0.5 {
         problems.push(format!(
-            "emulated MIPS collapse: cpu corpus {now:.2} MIPS vs committed {baseline:.2} MIPS \
+            "emulated MIPS collapse: {label} {now:.2} MIPS vs committed {baseline:.2} MIPS \
              ({:.0}% of baseline, PERF_GATE=hard)",
             ratio * 100.0
         ));
     } else if ratio < 0.8 {
         println!(
-            "WARN: emulated MIPS regression: cpu corpus {now:.2} MIPS vs committed \
+            "WARN: emulated MIPS regression: {label} {now:.2} MIPS vs committed \
              {baseline:.2} MIPS ({:.0}% of baseline)",
             ratio * 100.0
         );
     } else {
         println!(
-            "  perf check: cpu corpus {now:.2} MIPS vs committed {baseline:.2} MIPS \
+            "  perf check: {label} {now:.2} MIPS vs committed {baseline:.2} MIPS \
              ({:.0}% of baseline) — ok",
             ratio * 100.0
         );
     }
+}
+
+/// Perf check against the committed `BENCH_host.json`: every run is
+/// appended to the history, then both the decode-cache-only and the
+/// translated-tier CPU-corpus rows go through the soft regression gate
+/// ([`check_mips_row`]).
+fn check_mips_regression(
+    smoke: bool,
+    current: &CpuRun,
+    translated: &CpuRun,
+    problems: &mut Vec<String>,
+) {
+    let committed = std::fs::read_to_string("BENCH_host.json").ok();
+    let baseline = committed
+        .as_deref()
+        .and_then(baseline_cpu_mips)
+        .filter(|b| *b > 0.0);
+    let trans_baseline = committed
+        .as_deref()
+        .and_then(baseline_translated_mips)
+        .filter(|b| *b > 0.0);
+    append_history(smoke, current, translated, baseline, trans_baseline);
+    check_mips_row("cpu corpus", current.emulated_mips(), baseline, problems);
+    check_mips_row(
+        "translated tier",
+        translated.emulated_mips(),
+        trans_baseline,
+        problems,
+    );
 }
 
 fn main() {
@@ -176,13 +215,16 @@ fn main() {
 
     if smoke {
         println!("hostperf --smoke: outcome gate (wall times informational)");
-        println!("hostperf --smoke: cpu corpus (decode cache on/off must agree)");
-        let on = cpu_corpus_bench(true, 1);
-        let off = cpu_corpus_bench(false, 1);
+        println!("hostperf --smoke: cpu corpus (translated/decode-cache/plain must agree)");
+        let trans = cpu_corpus_bench(true, true, 1);
+        let on = cpu_corpus_bench(true, false, 1);
+        let off = cpu_corpus_bench(false, false, 1);
+        print_cpu(&trans);
         print_cpu(&on);
         print_cpu(&off);
-        problems.extend(cpu_cross_check(&[on.clone(), off.clone()]));
-        check_mips_regression(smoke, &on, &mut problems);
+        problems.extend(cpu_cross_check(&[trans.clone(), on.clone(), off.clone()]));
+        check_mips_regression(smoke, &on, &trans, &mut problems);
+        cpu_runs.push(trans);
         cpu_runs.push(on);
         cpu_runs.push(off);
         let runs: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
@@ -223,8 +265,10 @@ fn main() {
         problems.extend(probs);
 
         println!("hostperf: cpu corpus (pure-CPU emulation throughput)");
-        let on = cpu_corpus_bench(true, 20);
-        let off = cpu_corpus_bench(false, 20);
+        let trans = cpu_corpus_bench(true, true, 20);
+        let on = cpu_corpus_bench(true, false, 20);
+        let off = cpu_corpus_bench(false, false, 20);
+        print_cpu(&trans);
         print_cpu(&on);
         print_cpu(&off);
         println!(
@@ -233,8 +277,15 @@ fn main() {
             off.emulated_mips(),
             on.emulated_mips()
         );
-        problems.extend(cpu_cross_check(&[on.clone(), off.clone()]));
-        check_mips_regression(smoke, &on, &mut problems);
+        println!(
+            "  cpu corpus translated speedup: {:.2}x (decode {:.2} MIPS -> translated {:.2} MIPS)",
+            trans.emulated_mips() / on.emulated_mips(),
+            on.emulated_mips(),
+            trans.emulated_mips()
+        );
+        problems.extend(cpu_cross_check(&[trans.clone(), on.clone(), off.clone()]));
+        check_mips_regression(smoke, &on, &trans, &mut problems);
+        cpu_runs.push(trans);
         cpu_runs.push(on);
         cpu_runs.push(off);
 

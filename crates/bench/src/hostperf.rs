@@ -63,6 +63,10 @@ pub struct NetRun {
     /// `(hits, misses, invalidations, bypasses)`. Host-side only,
     /// excluded from the fingerprint.
     pub decode: (u64, u64, u64, u64),
+    /// Aggregate translation-tier counters over all nodes:
+    /// `(blocks, enters, deopts, invalidations)`. Host-side only,
+    /// excluded from the fingerprint.
+    pub trans: (u64, u64, u64, u64),
 }
 
 impl NetRun {
@@ -138,6 +142,7 @@ pub fn run_network(bench: &'static str, config: DbSearchConfig, engine: Engine) 
         answers_ok: report.all_correct(),
         fingerprint: hash,
         decode: net.decode_stats(),
+        trans: net.trans_stats(),
     }
 }
 
@@ -148,6 +153,8 @@ pub fn run_network(bench: &'static str, config: DbSearchConfig, engine: Engine) 
 pub struct CpuRun {
     /// Whether the predecoded instruction cache was enabled.
     pub decode_cache: bool,
+    /// Whether the threaded-code translation tier was enabled.
+    pub translate: bool,
     /// Host wall-clock time over all programs and repeats, milliseconds.
     pub wall_ms: f64,
     /// Simulated cycles summed over all runs.
@@ -157,8 +164,11 @@ pub struct CpuRun {
     /// Decode-cache counters summed over all runs:
     /// `(hits, misses, invalidations, bypasses)`.
     pub decode: (u64, u64, u64, u64),
+    /// Translation-tier counters summed over all runs:
+    /// `(blocks, enters, deopts, invalidations)`.
+    pub trans: (u64, u64, u64, u64),
     /// FNV-1a hash over each program's result word, halt cycle count and
-    /// instruction count. Cache-on and cache-off runs must produce equal
+    /// instruction count. Every tier combination must produce equal
     /// fingerprints.
     pub fingerprint: u64,
 }
@@ -189,7 +199,7 @@ impl CpuRun {
 /// Panics if a corpus program fails to compile, halt cleanly, or
 /// produce its expected answer — wrong results must never become a
 /// performance number.
-pub fn cpu_corpus_bench(decode_cache: bool, repeats: u32) -> CpuRun {
+pub fn cpu_corpus_bench(decode_cache: bool, translate: bool, repeats: u32) -> CpuRun {
     let programs: Vec<(&corpus::CorpusItem, occam::Program)> = corpus::CORPUS
         .iter()
         .map(|item| {
@@ -199,7 +209,9 @@ pub fn cpu_corpus_bench(decode_cache: bool, repeats: u32) -> CpuRun {
             )
         })
         .collect();
-    let config = CpuConfig::t424().with_decode_cache(decode_cache);
+    let config = CpuConfig::t424()
+        .with_decode_cache(decode_cache)
+        .with_translate(translate);
     // One untimed warm-up sweep: the first execution pays one-off host
     // costs (page faults, frequency ramp-up, cold caches) that are not
     // emulation throughput and would otherwise swamp short runs.
@@ -211,6 +223,7 @@ pub fn cpu_corpus_bench(decode_cache: bool, repeats: u32) -> CpuRun {
     let mut cycles = 0u64;
     let mut instructions = 0u64;
     let mut decode = (0u64, 0u64, 0u64, 0u64);
+    let mut trans = (0u64, 0u64, 0u64, 0u64);
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     // Only execution is timed: processor construction and program
     // loading are setup, not emulation throughput.
@@ -245,6 +258,10 @@ pub fn cpu_corpus_bench(decode_cache: bool, repeats: u32) -> CpuRun {
             decode.1 += s.decode_misses;
             decode.2 += s.decode_invalidations;
             decode.3 += s.decode_bypasses;
+            trans.0 += s.trans_blocks;
+            trans.1 += s.trans_enters;
+            trans.2 += s.trans_deopts;
+            trans.3 += s.trans_invalidations;
             if rep == 0 {
                 fnv1a(&mut hash, u64::from(value));
                 fnv1a(&mut hash, cpu.cycles());
@@ -254,10 +271,12 @@ pub fn cpu_corpus_bench(decode_cache: bool, repeats: u32) -> CpuRun {
     }
     CpuRun {
         decode_cache,
+        translate,
         wall_ms: wall.as_secs_f64() * 1e3,
         cycles,
         instructions,
         decode,
+        trans,
         fingerprint: hash,
     }
 }
@@ -411,18 +430,23 @@ pub fn static_model_runs(problems: &mut Vec<String>) -> Vec<StaticModelRun> {
     runs
 }
 
-/// Outcome checks over CPU-corpus runs: the cache-on and cache-off
-/// sweeps must fingerprint identically. Returns error lines, empty when
-/// healthy.
+/// Outcome checks over CPU-corpus runs: every tier combination
+/// (translated, decode-cache only, neither) must fingerprint
+/// identically. Returns error lines, empty when healthy.
 pub fn cpu_cross_check(runs: &[CpuRun]) -> Vec<String> {
     let mut problems = Vec::new();
     if let Some(first) = runs.first() {
         for r in &runs[1..] {
             if r.fingerprint != first.fingerprint {
                 problems.push(format!(
-                    "cpu_corpus: decode_cache={} fingerprint {:016x} != decode_cache={} \
-                     fingerprint {:016x}",
-                    r.decode_cache, r.fingerprint, first.decode_cache, first.fingerprint
+                    "cpu_corpus: decode_cache={}/translate={} fingerprint {:016x} != \
+                     decode_cache={}/translate={} fingerprint {:016x}",
+                    r.decode_cache,
+                    r.translate,
+                    r.fingerprint,
+                    first.decode_cache,
+                    first.translate,
+                    first.fingerprint
                 ));
             }
         }
@@ -430,15 +454,33 @@ pub fn cpu_cross_check(runs: &[CpuRun]) -> Vec<String> {
     problems
 }
 
-/// Pull the committed cache-on CPU-corpus emulated MIPS out of a
-/// `BENCH_host.json` rendered by [`to_json`] (hand-rolled companion to
-/// the hand-rolled renderer). `None` when the file predates the `cpu`
-/// section or the number fails to parse.
+/// Pull the committed cache-on, translation-off CPU-corpus emulated
+/// MIPS out of a `BENCH_host.json` rendered by [`to_json`] (hand-rolled
+/// companion to the hand-rolled renderer). Files from before the
+/// translation tier carry no `"translate"` key and read as
+/// translation-off. `None` when the file predates the `cpu` section or
+/// the number fails to parse.
 pub fn baseline_cpu_mips(json: &str) -> Option<f64> {
+    let entry = json.lines().find(|l| {
+        l.contains("\"decode_cache\": true")
+            && l.contains("\"emulated_mips\"")
+            && !l.contains("\"translate\": true")
+    })?;
+    parse_field(entry, "emulated_mips")
+}
+
+/// Pull the committed translated-tier emulated MIPS out of the
+/// `"translated"` section of a `BENCH_host.json`. `None` when the file
+/// predates the translation tier.
+pub fn baseline_translated_mips(json: &str) -> Option<f64> {
     let entry = json
         .lines()
-        .find(|l| l.contains("\"decode_cache\": true") && l.contains("\"emulated_mips\""))?;
-    let rest = entry.split("\"emulated_mips\": ").nth(1)?;
+        .find(|l| l.contains("\"translated\":") && l.contains("\"emulated_mips\""))?;
+    parse_field(entry, "emulated_mips")
+}
+
+fn parse_field(line: &str, field: &str) -> Option<f64> {
+    let rest = line.split(&format!("\"{field}\": ")).nth(1)?;
     let num: String = rest
         .chars()
         .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
@@ -469,11 +511,15 @@ pub fn to_json(
     for (i, r) in cpu_runs.iter().enumerate() {
         let comma = if i + 1 < cpu_runs.len() { "," } else { "" };
         out.push_str(&format!(
-            "    {{\"decode_cache\": {}, \"wall_ms\": {:.1}, \"cycles\": {}, \
+            "    {{\"decode_cache\": {}, \"translate\": {}, \"wall_ms\": {:.1}, \
+             \"cycles\": {}, \
              \"instructions\": {}, \"emulated_mips\": {:.2}, \"decode_hits\": {}, \
              \"decode_misses\": {}, \"decode_invalidations\": {}, \
-             \"decode_bypasses\": {}, \"fingerprint\": \"{:016x}\"}}{comma}\n",
+             \"decode_bypasses\": {}, \"trans_blocks\": {}, \"trans_enters\": {}, \
+             \"trans_deopts\": {}, \"trans_invalidations\": {}, \
+             \"fingerprint\": \"{:016x}\"}}{comma}\n",
             r.decode_cache,
+            r.translate,
             r.wall_ms,
             r.cycles,
             r.instructions,
@@ -482,10 +528,37 @@ pub fn to_json(
             r.decode.1,
             r.decode.2,
             r.decode.3,
+            r.trans.0,
+            r.trans.1,
+            r.trans.2,
+            r.trans.3,
             r.fingerprint,
         ));
     }
-    out.push_str("  ],\n  \"static_model\": [\n");
+    // Single-line summary of the translated tier against the
+    // decode-cache-only baseline from the same sweep, so line-scraping
+    // baseline parsers keep working. `null` when the sweep skipped the
+    // translated tier.
+    let translated = cpu_runs.iter().find(|r| r.translate);
+    let decode_only = cpu_runs.iter().find(|r| r.decode_cache && !r.translate);
+    match (translated, decode_only) {
+        (Some(t), Some(d)) => out.push_str(&format!(
+            "  ],\n  \"translated\": {{\"emulated_mips\": {:.2}, \
+             \"baseline_decode_mips\": {:.2}, \"speedup\": {:.2}, \
+             \"trans_blocks\": {}, \"trans_enters\": {}, \"trans_deopts\": {}, \
+             \"trans_invalidations\": {}, \"fingerprint\": \"{:016x}\"}},\n",
+            t.emulated_mips(),
+            d.emulated_mips(),
+            t.emulated_mips() / d.emulated_mips(),
+            t.trans.0,
+            t.trans.1,
+            t.trans.2,
+            t.trans.3,
+            t.fingerprint,
+        )),
+        _ => out.push_str("  ],\n  \"translated\": null,\n"),
+    }
+    out.push_str("  \"static_model\": [\n");
     for (i, r) in static_model.iter().enumerate() {
         let comma = if i + 1 < static_model.len() { "," } else { "" };
         let predicted = r.predicted.map_or("null".to_string(), |p| p.to_string());
@@ -507,7 +580,8 @@ pub fn to_json(
              \"sim_ns\": {}, \"cycles\": {}, \"instructions\": {}, \
              \"sim_cycles_per_sec\": {:.0}, \"emulated_mips\": {:.2}, \
              \"decode_hits\": {}, \"decode_misses\": {}, \"decode_invalidations\": {}, \
-             \"decode_bypasses\": {}, \
+             \"decode_bypasses\": {}, \"trans_blocks\": {}, \"trans_enters\": {}, \
+             \"trans_deopts\": {}, \"trans_invalidations\": {}, \
              \"answers_ok\": {}, \"fingerprint\": \"{:016x}\"}}{comma}\n",
             r.bench,
             r.engine,
@@ -521,6 +595,10 @@ pub fn to_json(
             r.decode.1,
             r.decode.2,
             r.decode.3,
+            r.trans.0,
+            r.trans.1,
+            r.trans.2,
+            r.trans.3,
             r.answers_ok,
             r.fingerprint,
         ));
@@ -582,18 +660,38 @@ mod tests {
 
     #[test]
     fn cpu_corpus_cache_is_transparent_and_effective() {
-        let on = cpu_corpus_bench(true, 1);
-        let off = cpu_corpus_bench(false, 1);
-        let problems = cpu_cross_check(&[on.clone(), off.clone()]);
+        let trans = cpu_corpus_bench(true, true, 1);
+        let on = cpu_corpus_bench(true, false, 1);
+        let off = cpu_corpus_bench(false, false, 1);
+        let problems = cpu_cross_check(&[trans.clone(), on.clone(), off.clone()]);
         assert!(problems.is_empty(), "{problems:?}");
         assert_eq!(on.cycles, off.cycles);
         assert_eq!(on.instructions, off.instructions);
+        assert_eq!(trans.cycles, off.cycles);
         assert!(on.decode.0 > 0, "cache-on run recorded no hits");
         assert_eq!(off.decode, (0, 0, 0, 0), "cache-off run touched the cache");
-        let json = to_json(true, &[], &[on.clone(), off], &[], &[], &problems);
+        assert!(trans.trans.1 > 0, "translated run never entered a block");
+        assert_eq!(on.trans, (0, 0, 0, 0), "translation-off run built blocks");
+        let json = to_json(
+            true,
+            &[],
+            &[trans.clone(), on.clone(), off],
+            &[],
+            &[],
+            &problems,
+        );
         assert!(json.contains("\"decode_cache\": true"));
         let baseline = baseline_cpu_mips(&json).expect("cpu section parses back");
         assert!((baseline - (on.emulated_mips() * 100.0).round() / 100.0).abs() < 0.01);
+        let tmips = baseline_translated_mips(&json).expect("translated section parses back");
+        assert!((tmips - (trans.emulated_mips() * 100.0).round() / 100.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn translated_section_is_null_without_a_translated_run() {
+        let json = to_json(true, &[], &[], &[], &[], &[]);
+        assert!(json.contains("\"translated\": null"));
+        assert!(baseline_translated_mips(&json).is_none());
     }
 
     #[test]

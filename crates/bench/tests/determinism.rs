@@ -137,6 +137,72 @@ fn corpus_is_identical_with_decode_cache_disabled() {
 }
 
 #[test]
+fn corpus_is_identical_with_translation_disabled() {
+    // The threaded-code translation tier is the second host-side
+    // instrument: force-disabled (the `TRANSLATE=off` CI leg does the
+    // same to the whole suite via the environment hook), every corpus
+    // program must land on identical answers, cycle counts, simulated
+    // statistics, and memory images. Threshold 1 on the enabled side
+    // so even briefly-hot leaders run translated.
+    for item in CORPUS {
+        let program = occam::compile(item.source).expect("corpus program compiles");
+        let run_one = |translate: bool| {
+            let mut cpu = Cpu::new(
+                CpuConfig::t424()
+                    .with_translate(translate)
+                    .with_translate_threshold(1),
+            );
+            let wptr = program.load(&mut cpu).expect("loads");
+            assert_eq!(
+                cpu.run_batched(500_000_000).expect("halts"),
+                RunOutcome::Halted(HaltReason::Stopped),
+                "corpus `{}`",
+                item.name
+            );
+            (cpu, wptr)
+        };
+        let (mut on, wo) = run_one(true);
+        let (mut off, wf) = run_one(false);
+        assert_eq!(wo, wf);
+        assert_eq!(on.cycles(), off.cycles(), "corpus `{}` cycles", item.name);
+        assert_eq!(
+            on.stats().simulated(),
+            off.stats().simulated(),
+            "corpus `{}` simulated statistics",
+            item.name
+        );
+        assert!(
+            on.stats().trans_enters > 0,
+            "corpus `{}` never entered a translated block",
+            item.name
+        );
+        assert_eq!(
+            off.stats().trans_enters + off.stats().trans_blocks,
+            0,
+            "corpus `{}` used disabled translation",
+            item.name
+        );
+        let got_on = program.read_global(&mut on, wo, item.check_global).unwrap();
+        let got_off = program
+            .read_global(&mut off, wf, item.check_global)
+            .unwrap();
+        assert_eq!(
+            on.word_length().to_signed(got_on),
+            item.expected,
+            "corpus `{}`",
+            item.name
+        );
+        assert_eq!(got_on, got_off, "corpus `{}`", item.name);
+        assert_eq!(
+            full_image(&on),
+            full_image(&off),
+            "corpus `{}` memory image",
+            item.name
+        );
+    }
+}
+
+#[test]
 fn e09_network_agrees_across_all_engines() {
     // The e09 figure-8 topology (4x4 grid plus sender and collector),
     // trimmed to a test-sized database so the per-instruction engine

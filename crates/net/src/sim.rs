@@ -454,6 +454,22 @@ impl Network {
         totals
     }
 
+    /// Aggregate translation-tier counters over all nodes:
+    /// `(blocks, enters, deopts, invalidations)`. Host-side only, like
+    /// [`Network::decode_stats`], and likewise excluded from outcome
+    /// fingerprints.
+    pub fn trans_stats(&self) -> (u64, u64, u64, u64) {
+        let mut totals = (0u64, 0u64, 0u64, 0u64);
+        for cpu in &self.nodes {
+            let s = cpu.stats();
+            totals.0 += s.trans_blocks;
+            totals.1 += s.trans_enters;
+            totals.2 += s.trans_deopts;
+            totals.3 += s.trans_invalidations;
+        }
+        totals
+    }
+
     /// Number of wires.
     pub fn wire_count(&self) -> usize {
         self.wires.len()

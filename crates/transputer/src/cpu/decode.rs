@@ -201,8 +201,10 @@ impl DecodeCache {
 }
 
 /// Decode one operation starting at `iptr` into a cache entry,
-/// replaying the `pfix`/`nfix` operand construction of §3.2.7.
-fn decode_entry(mem: &Memory, word: WordLength, iptr: u32) -> DecEntry {
+/// replaying the `pfix`/`nfix` operand construction of §3.2.7. Also
+/// used by the translation tier (`cpu/translate.rs`) to walk a basic
+/// block without touching this cache's storage.
+pub(super) fn decode_entry(mem: &Memory, word: WordLength, iptr: u32) -> DecEntry {
     let base = word.most_neg();
     let start = word.mask(iptr.wrapping_sub(base)) as usize;
     let mut oreg: u32 = 0;

@@ -54,7 +54,7 @@ impl Cpu {
     }
 
     #[inline]
-    fn set_error_if(&mut self, cond: bool) {
+    pub(super) fn set_error_if(&mut self, cond: bool) {
         if cond {
             self.set_error();
         }
@@ -101,7 +101,11 @@ impl Cpu {
     /// Execute a fully decoded direct function with its fused operand;
     /// returns cycles consumed. Shared by the byte-at-a-time path above
     /// and the predecoded-cache path, so both execute identical
-    /// semantics by construction.
+    /// semantics by construction. Force-inlined: the body minus
+    /// [`Cpu::exec_op`] (which stays out of line) is small, and both
+    /// the decoded loop and the translated tier (`cpu/translate.rs`)
+    /// need the dispatch and the operation bodies in their hot loops.
+    #[inline(always)]
     pub(crate) fn exec_direct(&mut self, fun: Direct, operand: u32) -> Result<u32, HaltReason> {
         let bpw = self.word.bytes_per_word();
 
@@ -221,13 +225,15 @@ impl Cpu {
 
     /// Replace the workspace pointer, preserving priority.
     #[inline]
-    fn set_wptr(&mut self, wptr: u32) {
+    pub(super) fn set_wptr(&mut self, wptr: u32) {
         let pri = self.priority();
         self.wdesc = ProcDesc::new(self.word.align_word(wptr), pri).raw();
     }
 
-    /// Execute an indirect function (§3.2.8).
-    fn exec_op(&mut self, op: Op) -> Result<u32, HaltReason> {
+    /// Execute an indirect function (§3.2.8). `pub(crate)` so the
+    /// translation tier can enter here directly with an `Op` it
+    /// resolved at block-build time.
+    pub(crate) fn exec_op(&mut self, op: Op) -> Result<u32, HaltReason> {
         let word = self.word;
         let bpw = word.bytes_per_word();
         if let Some(fixed) = timing::op_fixed_cycles(op) {

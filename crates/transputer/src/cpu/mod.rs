@@ -14,6 +14,7 @@ mod io;
 mod sched;
 #[cfg(test)]
 mod tests;
+mod translate;
 
 use crate::error::{CpuError, HaltReason};
 use crate::linkif::{LinkIn, LinkOut, LINK_COUNT};
@@ -43,6 +44,27 @@ pub struct CpuConfig {
     /// [`Stats`] differ). On by default; switchable off for differential
     /// testing.
     pub decode_cache: bool,
+    /// Translate hot basic blocks to threaded code (see
+    /// `cpu/translate.rs`). Also a pure host optimisation (only the
+    /// `trans_*` counters differ); requires the decode cache. On by
+    /// default; the `TRANSLATE=off` environment hook force-disables it
+    /// for differential CI legs.
+    pub translate: bool,
+    /// Leader arrivals before a basic block is translated.
+    pub translate_threshold: u32,
+}
+
+/// Process the `TRANSLATE` environment hook once: `off`, `0` or
+/// `false` force-disables the translation tier for every
+/// default-configured processor (the CI differential leg).
+fn translate_env_default() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| {
+        !matches!(
+            std::env::var("TRANSLATE").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
+    })
 }
 
 impl CpuConfig {
@@ -56,6 +78,8 @@ impl CpuConfig {
             cycle_ns: timing::CYCLE_NS,
             timeslice_cycles: 2 * timing::LO_TICK_CYCLES,
             decode_cache: true,
+            translate: translate_env_default(),
+            translate_threshold: 2,
         }
     }
 
@@ -82,6 +106,19 @@ impl CpuConfig {
     /// Enable or disable the predecoded instruction cache.
     pub fn with_decode_cache(mut self, on: bool) -> CpuConfig {
         self.decode_cache = on;
+        self
+    }
+
+    /// Enable or disable the threaded-code translation tier.
+    pub fn with_translate(mut self, on: bool) -> CpuConfig {
+        self.translate = on;
+        self
+    }
+
+    /// Leader arrivals before a block is translated (tests use `1` to
+    /// translate immediately).
+    pub fn with_translate_threshold(mut self, threshold: u32) -> CpuConfig {
+        self.translate_threshold = threshold;
         self
     }
 }
@@ -249,10 +286,17 @@ pub struct Cpu {
 
     /// The predecoded instruction cache (host-side; see `cpu/decode.rs`).
     pub(crate) dcache: decode::DecodeCache,
+    /// The threaded-code translation cache (see `cpu/translate.rs`).
+    pub(crate) tcache: translate::TransCache,
     /// Whether `run_slice` may enter the fused fast loop at all:
     /// the cache is enabled and reserved-word reads carry no penalty
     /// (so timer-queue head checks are timing-free).
     pub(crate) decode_fast_ok: bool,
+    /// Whether `run_slice` may enter the translated loop: translation
+    /// is enabled and the fused loop's own preconditions hold.
+    pub(crate) translate_ok: bool,
+    /// Leader arrivals before a block is translated.
+    pub(crate) translate_threshold: u32,
     /// Whether reserved-word reads are penalty-free (cached from the
     /// memory configuration for the tick fast path).
     pub(crate) reserved_free: bool,
@@ -285,6 +329,7 @@ impl Cpu {
         }
         let reserved_free = mem.reserved_reads_free();
         let decode_fast_ok = config.decode_cache && reserved_free;
+        let translate_ok = config.translate && decode_fast_ok;
         Cpu {
             word,
             magic,
@@ -321,7 +366,10 @@ impl Cpu {
             last_dispatch: 0,
             stats: Stats::default(),
             dcache: decode::DecodeCache::new(),
+            tcache: translate::TransCache::default(),
             decode_fast_ok,
+            translate_ok,
+            translate_threshold: config.translate_threshold.max(1),
             reserved_free,
             timer_head_empty: [false; 2],
             slice_exit: None,
@@ -669,11 +717,18 @@ impl Cpu {
                 return SliceOutcome::Preempted;
             }
             // Fast path: at an operation boundary, execute predecoded
-            // fused operations back to back (see `cpu/decode.rs`). Falls
-            // through to the byte-at-a-time micro-step whenever it cannot
-            // make progress, which guarantees the loop never spins.
+            // fused operations back to back (see `cpu/decode.rs`), or —
+            // when the translation tier is on and tracing is off — hot
+            // translated blocks (see `cpu/translate.rs`). Falls through
+            // to the byte-at-a-time micro-step whenever it cannot make
+            // progress, which guarantees the loop never spins.
             if self.decode_fast_ok && self.resume.is_none() && self.op_len == 0 {
-                match self.run_decoded(limit) {
+                let ran = if self.translate_ok && self.trace.is_none() {
+                    self.run_translated(limit)
+                } else {
+                    self.run_decoded(limit)
+                };
+                match ran {
                     (_, Some(outcome)) => return outcome,
                     (true, None) => continue,
                     (false, None) => {}

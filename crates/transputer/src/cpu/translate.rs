@@ -1,0 +1,1228 @@
+//! Threaded-code translation of hot I1 basic blocks.
+//!
+//! The decode cache (`cpu/decode.rs`) removed the per-byte fetch and
+//! prefix replay; what remains on its hot path is a cache lookup, a
+//! validity/generation test, and a 16-way dispatch *per operation*.
+//! This tier removes those too: once a straight-line run of operations
+//! has been entered often enough, it is compiled into a [`TransBlock`]
+//! — an array of pre-resolved handler pointers with fused operands —
+//! and thereafter executed back to back with no decode work at all.
+//! Each handler is a monomorphised wrapper over the shared
+//! [`Cpu::exec_direct`], so translated execution is the *same code*
+//! the interpreter runs, minus the work of deciding which code to run.
+//!
+//! Like the decode cache, the tier is an instrument of the host,
+//! invisible to the simulation; the differential test battery
+//! (`tests/translate.rs`, `tests/decode_cache.rs`, the proptest fuzzer
+//! in `crates/analysis/tests/cfg_props.rs`, and the corpus differential
+//! in `crates/bench/tests/determinism.rs`) proves cycles, statistics,
+//! memory images and network fingerprints bit-identical with the tier
+//! on or off.
+//!
+//! # Deoptimisation contract
+//!
+//! A translated block replays exactly the per-operation sequence of
+//! [`Cpu::run_decoded`]; at every point where that loop would hand
+//! control back, the block *deoptimises* — it stops executing
+//! translated operations and returns to the interpreter with the
+//! machine at an ordinary operation boundary. Deopt points are:
+//!
+//! * **Channel and scheduling interactions**: an operation raised a
+//!   slice exit (link I/O, acknowledge), descheduled the process, or
+//!   left a [`super::Resume`] continuation.
+//! * **Timer work**: a timer queue became non-empty (a `tin`/ALT
+//!   enqueued, or a store hit the reserved words), so clock ticks can
+//!   wake processes again and must be stepped exactly.
+//! * **Preemption**: a high-priority process became ready while a
+//!   low-priority block was running.
+//! * **Control transfer**: the executed operation moved `Iptr`
+//!   somewhere other than the next sequential operation (taken branch,
+//!   call, context switch). Blocks are keyed by code position, so
+//!   execution re-enters (or re-interprets) at the new position.
+//! * **Writes into translated code**: the memory side's global
+//!   [`code epoch`](crate::memory) moved, meaning a store landed in
+//!   *some* block of cached code. The block conservatively deopts; on
+//!   the next entry its per-cover generation snapshots decide whether
+//!   it was actually hit (invalidation + immediate retranslation).
+//! * **Budget**: the next operation would start at or past the slice
+//!   limit (the byte path owns partial-operation accounting).
+//!
+//! Because every handler is the shared executor and every deopt lands
+//! on an operation boundary with the same registers, clocks and queues
+//! the interpreter would have, resumption state is identical by
+//! construction — the tests assert it anyway.
+
+use super::decode::{decode_entry, DecEntry, F_BYPASS, F_VALID};
+use super::{Cpu, SliceOutcome};
+use crate::error::HaltReason;
+use crate::instr::{Direct, Op};
+use crate::memory::CODE_BLOCK_SHIFT;
+use crate::process::Priority;
+use crate::word::{MACHINE_FALSE, MACHINE_TRUE};
+
+/// Most operations a block may hold. Long enough for the unrolled
+/// arithmetic loops the corpus is made of; short enough that a deopt
+/// near the end wastes little translation.
+const MAX_BLOCK_OPS: usize = 32;
+/// Blocks shorter than this are recorded as "don't translate"
+/// sentinels: a one-operation block cannot beat the decode cache.
+const MIN_BLOCK_OPS: usize = 2;
+/// Upper bound on the 64-byte code blocks a translated block can
+/// cover: [`MAX_BLOCK_OPS`] operations of at most 9 encoded bytes
+/// each (eight prefixes fill a 32-bit operand), plus the partial
+/// blocks at either end. [`Cpu::build_block`] asserts it.
+const MAX_COVERS: usize = (MAX_BLOCK_OPS * 9).div_ceil(64) + 2;
+
+/// A translated operation: the decoded function nibble, its fused
+/// operand, the encoded length (for stats, cycle counting and `Iptr`
+/// advance), and the dispatch code `xfun` — equal to `fun` for a
+/// plain operation, or an `XF_*` superinstruction code when this
+/// operation and its successor were fused into one dispatch.
+#[derive(Clone, Copy)]
+struct TransOp {
+    operand: u32,
+    fun: u8,
+    len: u8,
+    xfun: u8,
+}
+
+/// First dispatch code above the sixteen plain function nibbles.
+/// Codes in `XF_BASE..XO_BASE` are fused *pairs* (they consume two
+/// operations per dispatch); codes from [`XO_BASE`] up are specialised
+/// single operations.
+const XF_BASE: u8 = 16;
+// The fused-pair superinstructions, chosen from the measured adjacent-
+// pair frequencies over the benchmark corpus (these twelve cover about
+// three quarters of all adjacent pairs). Fusion only elides the
+// dispatch between the two operations — each half keeps its own cycle
+// charge, statistics and checks, so it cannot change behaviour.
+const XF_LDLP_LDL: u8 = 16;
+const XF_LDL_OPR: u8 = 17;
+const XF_OPR_LDNL: u8 = 18;
+const XF_LDC_OPR: u8 = 19;
+const XF_LDL_ADC: u8 = 20;
+const XF_ADC_OPR: u8 = 21;
+const XF_OPR_CJ: u8 = 22;
+const XF_LDNL_LDLP: u8 = 23;
+const XF_LDLP_LDC: u8 = 24;
+const XF_OPR_STNL: u8 = 25;
+const XF_LDNL_OPR: u8 = 26;
+const XF_STL_LDLP: u8 = 27;
+// Second-generation pairs over *specialised* codes: once the hot ALU
+// `opr`s get their own dispatch codes (below), the array-access idioms
+// they sit in become fusable too — `ldl index; wsub`, `wsub; ldnl`
+// (array read), `wsub; stnl` (array write), `gt; cj` (compare and
+// branch).
+const XF_LDL_WSUB: u8 = 28;
+const XF_LDL_ADD: u8 = 29;
+const XF_LDL_GT: u8 = 30;
+const XF_WSUB_LDNL: u8 = 31;
+const XF_WSUB_STNL: u8 = 32;
+const XF_GT_CJ: u8 = 33;
+// Pure-ALU `opr` operations specialised by their build-time-resolved
+// operand. Measured over the corpus these six are two thirds of the
+// dynamic `opr` mix (`wsub` alone is 43%); each touches only the
+// operand stack, the cycle counter, and (for checked arithmetic) the
+// error flag, so its arm needs none of the general path's scheduler,
+// epoch or control-transfer checks.
+const XO_BASE: u8 = 34;
+const XO_ADD: u8 = 34;
+const XO_SUB: u8 = 35;
+const XO_DIFF: u8 = 36;
+const XO_GT: u8 = 37;
+const XO_WSUB: u8 = 38;
+const XO_REV: u8 = 39;
+
+/// The superinstruction code for an adjacent pair of dispatch codes
+/// (post-specialisation, so a plain `0xF` here is an `opr` that did
+/// *not* resolve to a specialised ALU operation), if the pair is one
+/// of the measured-hot combinations listed above.
+fn fuse_code(a: u8, b: u8) -> Option<u8> {
+    // Function nibbles: 0x1 ldlp, 0x3 ldnl, 0x4 ldc, 0x7 ldl,
+    // 0x8 adc, 0xA cj, 0xD stl, 0xE stnl, 0xF opr.
+    match (a, b) {
+        (0x1, 0x7) => Some(XF_LDLP_LDL),
+        (0x7, 0xF) => Some(XF_LDL_OPR),
+        (0xF, 0x3) => Some(XF_OPR_LDNL),
+        (0x4, 0xF) => Some(XF_LDC_OPR),
+        (0x7, 0x8) => Some(XF_LDL_ADC),
+        (0x8, 0xF) => Some(XF_ADC_OPR),
+        (0xF, 0xA) => Some(XF_OPR_CJ),
+        (0x3, 0x1) => Some(XF_LDNL_LDLP),
+        (0x1, 0x4) => Some(XF_LDLP_LDC),
+        (0xF, 0xE) => Some(XF_OPR_STNL),
+        (0x3, 0xF) => Some(XF_LDNL_OPR),
+        (0xD, 0x1) => Some(XF_STL_LDLP),
+        (0x7, XO_WSUB) => Some(XF_LDL_WSUB),
+        (0x7, XO_ADD) => Some(XF_LDL_ADD),
+        (0x7, XO_GT) => Some(XF_LDL_GT),
+        (XO_WSUB, 0x3) => Some(XF_WSUB_LDNL),
+        (XO_WSUB, 0xE) => Some(XF_WSUB_STNL),
+        (XO_GT, 0xA) => Some(XF_GT_CJ),
+        _ => None,
+    }
+}
+
+/// The dispatch code for an `opr` whose operand resolved at build
+/// time to one of the hot pure-ALU stack operations, if it did.
+fn specialize_op(operand: u32) -> Option<u8> {
+    match Op::from_code(operand) {
+        Some(Op::Add) => Some(XO_ADD),
+        Some(Op::Subtract) => Some(XO_SUB),
+        Some(Op::Difference) => Some(XO_DIFF),
+        Some(Op::GreaterThan) => Some(XO_GT),
+        Some(Op::WordSubscript) => Some(XO_WSUB),
+        Some(Op::Reverse) => Some(XO_REV),
+        _ => None,
+    }
+}
+
+/// Aggregated per-operation statistics for a run of translated
+/// operations. The per-op counters ([`crate::stats::Stats`]'s
+/// `operations`, `instructions`, the length histogram and the
+/// direct-function counts) feed reporting, never control flow, so a
+/// block applies them in one batch at exit instead of three scattered
+/// read-modify-writes per operation. Cycle and time accounting is NOT
+/// in here — it drives budgets and timers and stays exact per op.
+#[derive(Clone, Copy, Default)]
+struct BlockStats {
+    operations: u64,
+    instructions: u64,
+    hist: [u64; 9],
+    nib: [u64; 16],
+}
+
+impl BlockStats {
+    fn add(&mut self, op: &TransOp) {
+        self.operations += 1;
+        self.instructions += u64::from(op.len);
+        self.hist[usize::from(op.len).min(self.hist.len() - 1)] += 1;
+        self.nib[usize::from(op.fun)] += 1;
+    }
+
+    fn apply(&self, stats: &mut crate::stats::Stats) {
+        stats.operations += self.operations;
+        stats.instructions += self.instructions;
+        for (h, d) in stats.length_histogram.iter_mut().zip(self.hist) {
+            *h += d;
+        }
+        for (c, d) in stats.direct_counts.iter_mut().zip(self.nib) {
+            *c += d;
+        }
+    }
+
+    /// Compress to the sparse form stored in a block: a short block
+    /// touches a handful of histogram buckets, so applying only those
+    /// beats 25 dense read-modify-writes per block completion.
+    fn to_sparse(self) -> SparseStats {
+        let mut sparse = SparseStats {
+            operations: self.operations,
+            instructions: self.instructions,
+            ..SparseStats::default()
+        };
+        for (i, &v) in self.hist.iter().enumerate() {
+            if v != 0 {
+                sparse.hist[usize::from(sparse.nhist)] = (i as u8, v);
+                sparse.nhist += 1;
+            }
+        }
+        for (i, &v) in self.nib.iter().enumerate() {
+            if v != 0 {
+                sparse.nib[usize::from(sparse.nnib)] = (i as u8, v);
+                sparse.nnib += 1;
+            }
+        }
+        sparse
+    }
+}
+
+/// Sparse precomputed statistics for a whole block: only the histogram
+/// buckets and function counters the block actually touches, stored
+/// inline so applying them chases no pointers.
+#[derive(Clone, Copy, Default)]
+struct SparseStats {
+    operations: u64,
+    instructions: u64,
+    nhist: u8,
+    nnib: u8,
+    hist: [(u8, u64); 9],
+    nib: [(u8, u64); 16],
+}
+
+impl SparseStats {
+    fn apply(&self, stats: &mut crate::stats::Stats) {
+        stats.operations += self.operations;
+        stats.instructions += self.instructions;
+        for &(i, d) in &self.hist[..usize::from(self.nhist)] {
+            stats.length_histogram[usize::from(i)] += d;
+        }
+        for &(i, d) in &self.nib[..usize::from(self.nnib)] {
+            stats.direct_counts[usize::from(i)] += d;
+        }
+    }
+}
+
+/// A compiled basic block: operations plus the generation snapshots of
+/// every 64-byte code block its bytes touch, all stored inline so a
+/// block entry touches exactly one allocation. `nops == 0` is the
+/// "don't translate here" sentinel (the covers still gate it, so a
+/// rewrite retranslates the spot). Execution *moves* the box out of
+/// its cache slot and puts it back afterwards (see
+/// [`Cpu::run_translated`]), so handlers can borrow the whole `Cpu`
+/// while the block runs, with no per-entry reference counting.
+struct TransBlock {
+    ops: [TransOp; MAX_BLOCK_OPS],
+    nops: u8,
+    ncovers: u8,
+    covers: [(u32, u32); MAX_COVERS],
+    /// Statistics for the whole block, precomputed so the common case
+    /// — running every operation — applies them with no per-op walk.
+    totals: SparseStats,
+}
+
+impl TransBlock {
+    /// The live operations.
+    #[inline]
+    fn ops(&self) -> &[TransOp] {
+        &self.ops[..usize::from(self.nops)]
+    }
+
+    /// The cover snapshots.
+    #[inline]
+    fn covers(&self) -> &[(u32, u32)] {
+        &self.covers[..usize::from(self.ncovers)]
+    }
+}
+
+impl std::fmt::Debug for TransBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransBlock")
+            .field("ops", &self.nops)
+            .field("covers", &self.covers())
+            .finish()
+    }
+}
+
+/// Per-processor translation cache: a direct-mapped leader index (the
+/// code byte offset *is* the key), per-leader heat counters, and slot
+/// storage for the blocks. Grows geometrically with the highest code
+/// offset entered, like the decode cache.
+#[derive(Debug, Default)]
+pub(crate) struct TransCache {
+    /// `off -> slot + 1`; `0` means no block at this leader.
+    index: Vec<u32>,
+    /// Leader arrival counts; a leader is translated when its heat
+    /// reaches the configured threshold.
+    heat: Vec<u8>,
+    /// A slot is `None` only transiently, while its block executes.
+    slots: Vec<Option<Box<TransBlock>>>,
+    free: Vec<u32>,
+}
+
+// Cloning a Cpu (network node setup does this) starts the clone with
+// an empty translation cache; it re-warms on its own.
+impl Clone for TransCache {
+    fn clone(&self) -> TransCache {
+        TransCache::default()
+    }
+}
+
+impl TransCache {
+    #[cold]
+    fn grow(&mut self, off: usize) {
+        let target = (off + 1).next_power_of_two().max(self.index.len() * 2);
+        self.index.resize(target, 0);
+        self.heat.resize(target, 0);
+    }
+
+    /// Store a block at leader `off`; returns its slot index.
+    fn insert(&mut self, off: usize, block: Box<TransBlock>) -> u32 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(block);
+                s
+            }
+            None => {
+                self.slots.push(Some(block));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index[off] = slot + 1;
+        self.heat[off] = 0;
+        slot
+    }
+
+    fn remove(&mut self, off: usize) {
+        let slot = self.index[off];
+        if slot != 0 {
+            self.index[off] = 0;
+            self.slots[(slot - 1) as usize] = None;
+            self.free.push(slot - 1);
+        }
+    }
+}
+
+/// Why [`Cpu::exec_block`] stopped.
+enum BlockExit {
+    /// The slice is over; propagate the outcome.
+    Outcome(SliceOutcome),
+    /// The next operation abuts the budget; the byte path owns partial
+    /// operations. Carries whether any operation executed.
+    BudgetAbut(bool),
+    /// Back to the dispatch loop (deopt or natural completion).
+    /// Carries whether any operation executed.
+    Divert(bool),
+}
+
+impl Cpu {
+    /// The translated fast loop of [`Cpu::run_slice`]: like
+    /// [`Cpu::run_decoded`], but at block-leader positions (slice
+    /// entry and every control transfer) hot code executes from
+    /// [`TransBlock`]s instead of per-operation cache lookups. Same
+    /// contract and entry preconditions as `run_decoded`; never
+    /// entered while tracing (the decoded loop serves that, with
+    /// identical timing).
+    pub(crate) fn run_translated(&mut self, limit: u64) -> (bool, Option<SliceOutcome>) {
+        let mut progress = false;
+        self.refresh_timer_heads();
+        let base = self.mem.base();
+        let fast_limit = self.mem.fast_limit();
+        // The slice entry position is a leader: translated processes
+        // re-enter blocks straight away.
+        let mut leader = true;
+        loop {
+            // Identical gating to `run_decoded`: fused/translated
+            // execution requires empty timer queues and no pending
+            // high-priority wake.
+            if !(self.timer_head_empty[0] && self.timer_head_empty[1]) {
+                return (progress, None);
+            }
+            if self.priority() == Priority::Low && self.fptr[0] != self.magic.not_process {
+                return (progress, None);
+            }
+            debug_assert!(self.resume.is_none() && self.op_len == 0 && self.oreg == 0);
+            let off = self.word.mask(self.iptr.wrapping_sub(base)) as usize;
+            if off >= fast_limit {
+                self.stats.decode_bypasses += 1;
+                return (progress, None);
+            }
+
+            if leader {
+                // The block is *moved* out of its slot for the
+                // duration of the run (nothing below touches the
+                // cache) and put back afterwards: cheaper than
+                // reference counting on every entry.
+                if let Some((slot, block)) = self.lookup_block(off) {
+                    if block.nops == 0 {
+                        // Sentinel: interpret through this spot.
+                        self.tcache.slots[slot as usize] = Some(block);
+                    } else {
+                        self.stats.trans_enters += 1;
+                        let exit = self.exec_block(&block, limit);
+                        self.tcache.slots[slot as usize] = Some(block);
+                        match exit {
+                            BlockExit::Outcome(outcome) => return (true, Some(outcome)),
+                            BlockExit::BudgetAbut(ran) => return (progress || ran, None),
+                            BlockExit::Divert(ran) => {
+                                progress |= ran;
+                                if !self.has_current_process()
+                                    || self.resume.is_some()
+                                    || self.op_len != 0
+                                {
+                                    return (progress, None);
+                                }
+                                // Re-check the loop-top gates; execution
+                                // resumes at a fresh leader.
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Interpret one operation, exactly as `run_decoded` does.
+            let e = self
+                .dcache
+                .entry_at(&mut self.mem, &mut self.stats, self.word, self.iptr, off);
+            let len = u64::from(e.len);
+            if e.flags & F_BYPASS != 0 {
+                self.stats.decode_bypasses += 1;
+                return (progress, None);
+            }
+            if self.cycles + (len - 1) >= limit {
+                return (progress, None);
+            }
+            progress = true;
+            let fun = Direct::from_nibble(e.fun);
+            self.op_start = self.iptr;
+            let next = self.word.mask(self.iptr.wrapping_add(u32::from(e.len)));
+            self.iptr = next;
+            self.stats.instructions += len;
+            self.stats.record_operation(fun, e.len as usize);
+            self.cycles += len - 1;
+            self.slice_mark = self.cycles;
+            if self.trace.is_some() {
+                self.pending_trace = Some((fun, e.operand));
+            }
+            match self.exec_direct(fun, e.operand) {
+                Ok(c) => {
+                    let c = c + self.mem.take_penalty_cycles();
+                    self.advance_time(c);
+                }
+                Err(reason) => {
+                    self.halted = Some(reason);
+                    return (true, Some(SliceOutcome::Halted(reason)));
+                }
+            }
+            self.record_pending_trace();
+            if let Some(r) = self.halted {
+                return (true, Some(SliceOutcome::Halted(r)));
+            }
+            if let Some(exit) = self.slice_exit.take() {
+                return (true, Some(exit));
+            }
+            if self.cycles >= limit {
+                return (true, Some(SliceOutcome::BudgetExpired));
+            }
+            if !self.has_current_process() || self.resume.is_some() || self.op_len != 0 {
+                return (true, None);
+            }
+            // A control transfer lands on a leader; sequential flow
+            // continues inside whatever block the leader began.
+            leader = self.iptr != next;
+        }
+    }
+
+    /// Execute a translated block's operations back to back. Entered
+    /// with the covers validated; every operation replays the decoded
+    /// loop's sequence, and any reason to stop is a [`BlockExit`].
+    ///
+    /// One flat 16-way dispatch per operation — the same branch shape
+    /// as the interpreter, so the host branch predictor sees one
+    /// data-dependent jump per op, not a class check feeding a second
+    /// dispatch. The load/arithmetic/store arms inline specialised
+    /// bodies (copies of the matching [`Cpu::exec_direct`] arms — the
+    /// differential battery holds them identical) and skip the
+    /// bookkeeping those operations provably cannot need:
+    ///
+    /// * Loads, `adc`, `eqc` and `ajw` read registers, workspace and
+    ///   memory only. They may fault (the `Err` path), and `adc`
+    ///   overflow may raise the error flag (under halt-on-error that
+    ///   sets `halted`), but they cannot set `slice_exit`, cannot
+    ///   deschedule, cannot move `Iptr` off the sequential path, and
+    ///   cannot write memory — so neither the code epoch nor the timer
+    ///   heads nor a run-queue pointer can change, and with empty
+    ///   timer queues (a block entry invariant re-checked after every
+    ///   operation that can disturb them) adding cycles directly is
+    ///   exactly what `advance_time` would do. `op_start`/`slice_mark`
+    ///   stay unwritten: only tracing (never active here) and
+    ///   interaction exits (impossible here) read them, and the fault
+    ///   path restores both.
+    /// * `stl`/`stnl` additionally write memory, so they run the
+    ///   epoch check and — via `advance_time` — the reserved-word
+    ///   timer refresh, then re-check the scheduler gates.
+    /// * Control-transfer and `opr` arms call `exec_direct` with a
+    ///   *constant* function, so inlining reduces each to its own
+    ///   body, followed by the full post-operation battery.
+    ///
+    /// Per-op statistics are batched: every exit path flushes the
+    /// executed prefix through [`Cpu::flush_block_stats`] before
+    /// returning, so the [`crate::stats::Stats`] image is identical to
+    /// the interpreter's at every point the caller can observe it.
+    fn exec_block(&mut self, block: &TransBlock, limit: u64) -> BlockExit {
+        let epoch = self.mem.code_epoch();
+        let ops = block.ops();
+        let last = ops.len() - 1;
+        // The memory configuration cannot change mid-block; when no
+        // region carries an access penalty (every committed config),
+        // the pure-load arms skip draining the penalty accumulator.
+        let drain_penalty = !self.mem.timing_pure();
+        let mut i = 0usize;
+        loop {
+            let op = ops[i];
+            if self.cycles + (u64::from(op.len) - 1) >= limit {
+                self.flush_block_stats(block, i);
+                self.stats.trans_deopts += 1;
+                return BlockExit::BudgetAbut(i != 0);
+            }
+            // Shared exit/check fragments for the dispatch arms below,
+            // parameterised by `$n`, the count of operations that have
+            // fully executed when the fragment runs — `i + 1` for the
+            // current operation, `i + 2` for the second half of a
+            // fused pair. `flush_ret` ends the block; `budget_tail` is
+            // the post-operation budget check every arm needs;
+            // `deopt_ret` is a mid-block deoptimisation; `precheck` is
+            // the budget *pre*-check a fused pair's second operation
+            // needs (the loop top only checked the first).
+            macro_rules! flush_ret {
+                ($n:expr, $exit:expr) => {{
+                    self.flush_block_stats(block, $n);
+                    return $exit;
+                }};
+            }
+            macro_rules! deopt_ret {
+                ($n:expr) => {{
+                    self.stats.trans_deopts += 1;
+                    flush_ret!($n, BlockExit::Divert(true));
+                }};
+            }
+            macro_rules! budget_tail {
+                ($n:expr) => {
+                    if self.cycles >= limit {
+                        flush_ret!($n, BlockExit::Outcome(SliceOutcome::BudgetExpired));
+                    }
+                };
+            }
+            macro_rules! precheck {
+                ($op:expr, $n:expr) => {
+                    if self.cycles + (u64::from($op.len) - 1) >= limit {
+                        self.flush_block_stats(block, $n);
+                        self.stats.trans_deopts += 1;
+                        return BlockExit::BudgetAbut(true);
+                    }
+                };
+            }
+            // Advance `Iptr` over a sequential operation.
+            macro_rules! advance {
+                ($op:expr) => {{
+                    let prev = self.iptr;
+                    self.iptr = self.word.mask(prev.wrapping_add(u32::from($op.len)));
+                    prev
+                }};
+            }
+            // A store's epilogue: the write may have dirtied the
+            // reserved words (`advance_time` refreshes the timer heads
+            // exactly as the decoded loop would), hit cached code
+            // (epoch check), or flipped a scheduler gate.
+            macro_rules! store_tail {
+                ($c:expr, $n:expr) => {{
+                    let mut c: u32 = $c;
+                    if drain_penalty {
+                        c += self.mem.take_penalty_cycles();
+                    }
+                    self.advance_time(c);
+                    budget_tail!($n);
+                    if self.mem.code_epoch() != epoch {
+                        deopt_ret!($n);
+                    }
+                    if $n - 1 != last && self.gates_tripped() {
+                        deopt_ret!($n);
+                    }
+                }};
+            }
+            // ---- Specialised operation bodies (see the doc above):
+            // each is the matching `exec_direct` arm inlined, plus the
+            // exact cycle charge and the checks it can actually need.
+            macro_rules! ldlp_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    let p = self.word.index_word(self.wptr(), $op.operand);
+                    self.push(p);
+                    // len - 1 encoding cycles + 1 execute cycle.
+                    self.cycles += u64::from($op.len);
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! ldc_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.push($op.operand);
+                    self.cycles += u64::from($op.len);
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! ldnlp_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.areg = self.word.index_word(self.areg, $op.operand);
+                    self.cycles += u64::from($op.len);
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! ldnl_body {
+                ($op:expr, $n:expr) => {{
+                    let prev = advance!($op);
+                    let a = self.word.index_word(self.areg, $op.operand);
+                    match self.mem.read_word(a) {
+                        Ok(v) => {
+                            self.areg = v;
+                            self.cycles += u64::from($op.len) + 1;
+                            if drain_penalty {
+                                self.cycles += u64::from(self.mem.take_penalty_cycles());
+                            }
+                        }
+                        Err(r) => {
+                            self.cycles += u64::from($op.len) - 1;
+                            return self.block_fault(block, $n - 1, prev, r);
+                        }
+                    }
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! ldl_body {
+                ($op:expr, $n:expr) => {{
+                    let prev = advance!($op);
+                    let a = self.word.index_word(self.wptr(), $op.operand);
+                    match self.mem.read_word(a) {
+                        Ok(v) => {
+                            self.push(v);
+                            self.cycles += u64::from($op.len) + 1;
+                            if drain_penalty {
+                                self.cycles += u64::from(self.mem.take_penalty_cycles());
+                            }
+                        }
+                        Err(r) => {
+                            self.cycles += u64::from($op.len) - 1;
+                            return self.block_fault(block, $n - 1, prev, r);
+                        }
+                    }
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! adc_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    let (r, o) = self.word.checked_add(self.areg, $op.operand);
+                    self.areg = r;
+                    self.cycles += u64::from($op.len);
+                    if o {
+                        // Overflow raises the error flag; under
+                        // halt-on-error that halts the machine.
+                        self.set_error_if(o);
+                        if let Some(r) = self.halted {
+                            flush_ret!($n, BlockExit::Outcome(SliceOutcome::Halted(r)));
+                        }
+                    }
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! ajw_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    let w = self.word.index_word(self.wptr(), $op.operand);
+                    self.set_wptr(w);
+                    self.cycles += u64::from($op.len);
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! eqc_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.areg = if self.areg == self.word.mask($op.operand) {
+                        MACHINE_TRUE
+                    } else {
+                        MACHINE_FALSE
+                    };
+                    self.cycles += u64::from($op.len) + 1;
+                    budget_tail!($n);
+                }};
+            }
+            // ---- Build-time-specialised pure-ALU `opr` bodies:
+            // each mirrors its `exec_op` arm exactly — `Iptr` advance,
+            // the operation-count bookkeeping the `Operate` dispatch
+            // does, the stack semantics, and the fixed execute cost on
+            // top of the `len - 1` encoding cycles. No memory access,
+            // no control transfer, no scheduling effect — so like the
+            // load arms they need only the budget check (and, for
+            // checked arithmetic, the error-halt check).
+            macro_rules! add_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.stats.record_op(Op::Add);
+                    let (a, b) = self.pop2();
+                    let (r, o) = self.word.checked_add(b, a);
+                    self.push(r);
+                    self.cycles += u64::from($op.len);
+                    if o {
+                        self.set_error_if(o);
+                        if let Some(r) = self.halted {
+                            flush_ret!($n, BlockExit::Outcome(SliceOutcome::Halted(r)));
+                        }
+                    }
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! sub_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.stats.record_op(Op::Subtract);
+                    let (a, b) = self.pop2();
+                    let (r, o) = self.word.checked_sub(b, a);
+                    self.push(r);
+                    self.cycles += u64::from($op.len);
+                    if o {
+                        self.set_error_if(o);
+                        if let Some(r) = self.halted {
+                            flush_ret!($n, BlockExit::Outcome(SliceOutcome::Halted(r)));
+                        }
+                    }
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! diff_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.stats.record_op(Op::Difference);
+                    let (a, b) = self.pop2();
+                    self.push(self.word.wrapping_sub(b, a));
+                    self.cycles += u64::from($op.len);
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! gt_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.stats.record_op(Op::GreaterThan);
+                    let (a, b) = self.pop2();
+                    self.push(if self.word.gt(b, a) {
+                        MACHINE_TRUE
+                    } else {
+                        MACHINE_FALSE
+                    });
+                    self.cycles += u64::from($op.len) + 1;
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! wsub_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.stats.record_op(Op::WordSubscript);
+                    let (a, b) = self.pop2();
+                    self.push(self.word.index_word(b, a));
+                    self.cycles += u64::from($op.len) + 1;
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! rev_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    self.stats.record_op(Op::Reverse);
+                    std::mem::swap(&mut self.areg, &mut self.breg);
+                    self.cycles += u64::from($op.len);
+                    budget_tail!($n);
+                }};
+            }
+            macro_rules! stl_body {
+                ($op:expr, $n:expr) => {{
+                    let prev = advance!($op);
+                    self.cycles += u64::from($op.len) - 1;
+                    let a = self.word.index_word(self.wptr(), $op.operand);
+                    let v = self.pop();
+                    if let Err(r) = self.mem.write_word(a, v) {
+                        return self.block_fault(block, $n - 1, prev, r);
+                    }
+                    store_tail!(1, $n);
+                }};
+            }
+            macro_rules! stnl_body {
+                ($op:expr, $n:expr) => {{
+                    let prev = advance!($op);
+                    self.cycles += u64::from($op.len) - 1;
+                    let (addr, val) = self.pop2();
+                    let a = self.word.index_word(addr, $op.operand);
+                    if let Err(r) = self.mem.write_word(a, val) {
+                        return self.block_fault(block, $n - 1, prev, r);
+                    }
+                    store_tail!(2, $n);
+                }};
+            }
+            // A conditional jump: jumps when A is zero (no pop), pops
+            // and falls through otherwise. `ends_block` makes `cj`
+            // block-final, so the taken path is natural completion,
+            // never a mid-block deopt; the decoded loop's budget check
+            // precedes its control-transfer check, hence the order
+            // here. Writes nothing and schedules nothing, so the
+            // epoch and gate checks are vacuous.
+            macro_rules! cj_body {
+                ($op:expr, $n:expr) => {{
+                    advance!($op);
+                    if self.areg == 0 {
+                        self.iptr = self.word.mask(self.iptr.wrapping_add($op.operand));
+                        self.cycles += u64::from($op.len) - 1 + 4;
+                        budget_tail!($n);
+                        flush_ret!($n, BlockExit::Divert(true));
+                    } else {
+                        self.pop();
+                        self.cycles += u64::from($op.len) + 1;
+                        budget_tail!($n);
+                    }
+                }};
+            }
+            // An operation with the full interpreter semantics and the
+            // full post-operation battery, in the decoded loop's order
+            // so coincident conditions resolve to the same outcome.
+            // `$fun` is a constant, so the force-inlined `exec_direct`
+            // reduces to that arm's body.
+            macro_rules! general_body {
+                ($fun:expr, $op:expr, $n:expr) => {{
+                    self.op_start = self.iptr;
+                    let next = self.word.mask(self.iptr.wrapping_add(u32::from($op.len)));
+                    self.iptr = next;
+                    self.cycles += u64::from($op.len) - 1;
+                    self.slice_mark = self.cycles;
+                    match self.exec_direct($fun, $op.operand) {
+                        Ok(c) => {
+                            let c = c + self.mem.take_penalty_cycles();
+                            self.advance_time(c);
+                        }
+                        Err(reason) => {
+                            self.halted = Some(reason);
+                            flush_ret!($n, BlockExit::Outcome(SliceOutcome::Halted(reason)));
+                        }
+                    }
+                    if let Some(r) = self.halted {
+                        flush_ret!($n, BlockExit::Outcome(SliceOutcome::Halted(r)));
+                    }
+                    if let Some(exit) = self.slice_exit.take() {
+                        self.stats.trans_deopts += 1;
+                        flush_ret!($n, BlockExit::Outcome(exit));
+                    }
+                    budget_tail!($n);
+                    if !self.has_current_process() || self.resume.is_some() || self.op_len != 0 {
+                        deopt_ret!($n);
+                    }
+                    if self.iptr != next {
+                        // Control transferred. At the block's final
+                        // operation this is natural completion (blocks
+                        // end on branches); earlier it is a deopt.
+                        if $n - 1 != last {
+                            self.stats.trans_deopts += 1;
+                        }
+                        flush_ret!($n, BlockExit::Divert(true));
+                    }
+                    if self.mem.code_epoch() != epoch {
+                        deopt_ret!($n);
+                    }
+                    if $n - 1 != last && self.gates_tripped() {
+                        deopt_ret!($n);
+                    }
+                }};
+            }
+            // The second half of a fused pair: budget pre-check, then
+            // the named body with the executed count bumped to i + 2.
+            macro_rules! fused {
+                ($body:ident, $($fun:expr,)?) => {{
+                    let op2 = ops[i + 1];
+                    precheck!(op2, i + 1);
+                    $body!($($fun,)? op2, i + 2);
+                }};
+            }
+            // One flat dispatch per (possibly fused) operation: codes
+            // 0..=15 are the plain function nibbles, XF_* are the
+            // measured-hot fused pairs stamped by `fuse_ops`.
+            match op.xfun {
+                0x0 => general_body!(Direct::Jump, op, i + 1),
+                0x1 => ldlp_body!(op, i + 1),
+                0x2 | 0x6 => unreachable!("decode fuses prefixes into the operand"),
+                0x3 => ldnl_body!(op, i + 1),
+                0x4 => ldc_body!(op, i + 1),
+                0x5 => ldnlp_body!(op, i + 1),
+                0x7 => ldl_body!(op, i + 1),
+                0x8 => adc_body!(op, i + 1),
+                0x9 => general_body!(Direct::Call, op, i + 1),
+                0xA => cj_body!(op, i + 1),
+                0xB => ajw_body!(op, i + 1),
+                0xC => eqc_body!(op, i + 1),
+                0xD => stl_body!(op, i + 1),
+                0xE => stnl_body!(op, i + 1),
+                0xF => general_body!(Direct::Operate, op, i + 1),
+                XF_LDLP_LDL => {
+                    ldlp_body!(op, i + 1);
+                    fused!(ldl_body,);
+                }
+                XF_LDL_OPR => {
+                    ldl_body!(op, i + 1);
+                    fused!(general_body, Direct::Operate,);
+                }
+                XF_OPR_LDNL => {
+                    general_body!(Direct::Operate, op, i + 1);
+                    fused!(ldnl_body,);
+                }
+                XF_LDC_OPR => {
+                    ldc_body!(op, i + 1);
+                    fused!(general_body, Direct::Operate,);
+                }
+                XF_LDL_ADC => {
+                    ldl_body!(op, i + 1);
+                    fused!(adc_body,);
+                }
+                XF_ADC_OPR => {
+                    adc_body!(op, i + 1);
+                    fused!(general_body, Direct::Operate,);
+                }
+                XF_OPR_CJ => {
+                    general_body!(Direct::Operate, op, i + 1);
+                    fused!(cj_body,);
+                }
+                XF_LDNL_LDLP => {
+                    ldnl_body!(op, i + 1);
+                    fused!(ldlp_body,);
+                }
+                XF_LDLP_LDC => {
+                    ldlp_body!(op, i + 1);
+                    fused!(ldc_body,);
+                }
+                XF_OPR_STNL => {
+                    general_body!(Direct::Operate, op, i + 1);
+                    fused!(stnl_body,);
+                }
+                XF_LDNL_OPR => {
+                    ldnl_body!(op, i + 1);
+                    fused!(general_body, Direct::Operate,);
+                }
+                XF_STL_LDLP => {
+                    stl_body!(op, i + 1);
+                    fused!(ldlp_body,);
+                }
+                XF_LDL_WSUB => {
+                    ldl_body!(op, i + 1);
+                    fused!(wsub_body,);
+                }
+                XF_LDL_ADD => {
+                    ldl_body!(op, i + 1);
+                    fused!(add_body,);
+                }
+                XF_LDL_GT => {
+                    ldl_body!(op, i + 1);
+                    fused!(gt_body,);
+                }
+                XF_WSUB_LDNL => {
+                    wsub_body!(op, i + 1);
+                    fused!(ldnl_body,);
+                }
+                XF_WSUB_STNL => {
+                    wsub_body!(op, i + 1);
+                    fused!(stnl_body,);
+                }
+                XF_GT_CJ => {
+                    gt_body!(op, i + 1);
+                    fused!(cj_body,);
+                }
+                XO_ADD => add_body!(op, i + 1),
+                XO_SUB => sub_body!(op, i + 1),
+                XO_DIFF => diff_body!(op, i + 1),
+                XO_GT => gt_body!(op, i + 1),
+                XO_WSUB => wsub_body!(op, i + 1),
+                XO_REV => rev_body!(op, i + 1),
+                _ => unreachable!("unknown dispatch code"),
+            }
+            let n = i + 1 + usize::from((XF_BASE..XO_BASE).contains(&op.xfun));
+            if n > last {
+                // Fall-through completion (length-capped block or a
+                // conditional that stayed sequential).
+                self.flush_block_stats(block, n);
+                return BlockExit::Divert(true);
+            }
+            i = n;
+        }
+    }
+
+    /// Whether the scheduler gates would stop fused execution: a timer
+    /// queue became non-empty, or a high-priority process is waiting
+    /// while a low-priority block runs. Mirrors the loop-top checks of
+    /// [`Cpu::run_translated`].
+    #[inline]
+    fn gates_tripped(&self) -> bool {
+        !(self.timer_head_empty[0] && self.timer_head_empty[1])
+            || (self.priority() == Priority::Low && self.fptr[0] != self.magic.not_process)
+    }
+
+    /// Cold path for a memory fault raised by a specialised Pure/Store
+    /// arm of [`Cpu::exec_block`]: restore the bookkeeping the fast
+    /// path skipped (`op_start`, `slice_mark`) so the halted machine
+    /// state is field-for-field what the interpreter leaves behind.
+    #[cold]
+    fn block_fault(
+        &mut self,
+        block: &TransBlock,
+        idx: usize,
+        prev_iptr: u32,
+        reason: HaltReason,
+    ) -> BlockExit {
+        self.op_start = prev_iptr;
+        self.slice_mark = self.cycles;
+        self.flush_block_stats(block, idx + 1);
+        self.halted = Some(reason);
+        BlockExit::Outcome(SliceOutcome::Halted(reason))
+    }
+
+    /// Apply the statistics of the first `executed` operations of a
+    /// block in one batch. Full completion uses the precomputed block
+    /// totals; a deopt replays the executed prefix into locals first.
+    fn flush_block_stats(&mut self, block: &TransBlock, executed: usize) {
+        if executed == usize::from(block.nops) {
+            block.totals.apply(&mut self.stats);
+        } else {
+            let mut t = BlockStats::default();
+            for op in &block.ops[..executed] {
+                t.add(op);
+            }
+            t.apply(&mut self.stats);
+        }
+    }
+
+    /// The translated block for leader `off`, if one exists or the
+    /// leader just became hot enough to build one. Validates cover
+    /// generations, retranslating invalidated blocks immediately (a
+    /// leader that was hot stays hot). The returned block has been
+    /// *taken* out of the returned slot; the caller puts it back when
+    /// it is done executing.
+    fn lookup_block(&mut self, off: usize) -> Option<(u32, Box<TransBlock>)> {
+        if off >= self.tcache.index.len() {
+            self.tcache.grow(off);
+        }
+        let slot = self.tcache.index[off];
+        if slot != 0 {
+            let block = self.tcache.slots[(slot - 1) as usize]
+                .take()
+                .expect("indexed slot holds a block");
+            if block
+                .covers()
+                .iter()
+                .all(|&(b, gen)| self.mem.code_block_gen(b as usize) == gen)
+            {
+                return Some((slot - 1, block));
+            }
+            self.tcache.slots[(slot - 1) as usize] = Some(block);
+            self.stats.trans_invalidations += 1;
+            self.tcache.remove(off);
+            return Some(self.build_block(off));
+        }
+        let heat = &mut self.tcache.heat[off];
+        *heat = heat.saturating_add(1);
+        if u32::from(*heat) >= self.translate_threshold {
+            return Some(self.build_block(off));
+        }
+        None
+    }
+
+    /// Compile the basic block whose leader is at code offset `off`
+    /// (`== mask(iptr - base)`, inside the fast region), snapshot the
+    /// generations of every 64-byte block it covers, and store it.
+    /// Runs too short to be worth it are stored as sentinels. Returns
+    /// the stored block, taken out of its slot like
+    /// [`Cpu::lookup_block`] does.
+    #[cold]
+    fn build_block(&mut self, off: usize) -> (u32, Box<TransBlock>) {
+        let base = self.mem.base();
+        let mut iptr = self.word.mask(base.wrapping_add(off as u32));
+        let mut ops = [TransOp {
+            operand: 0,
+            fun: 0,
+            len: 0,
+            xfun: 0,
+        }; MAX_BLOCK_OPS];
+        let mut nops = 0usize;
+        // One past the last byte the block's operations occupy.
+        let mut end_off = off;
+        while nops < MAX_BLOCK_OPS {
+            let e: DecEntry = decode_entry(&self.mem, self.word, iptr);
+            if e.flags & F_VALID == 0 || e.flags & F_BYPASS != 0 {
+                break;
+            }
+            let fun = Direct::from_nibble(e.fun);
+            let xfun = if fun == Direct::Operate {
+                specialize_op(e.operand).unwrap_or(e.fun)
+            } else {
+                e.fun
+            };
+            ops[nops] = TransOp {
+                operand: e.operand,
+                fun: e.fun,
+                len: e.len,
+                xfun,
+            };
+            nops += 1;
+            end_off += usize::from(e.len);
+            iptr = self.word.mask(iptr.wrapping_add(u32::from(e.len)));
+            if ends_block(fun, e.operand) {
+                break;
+            }
+        }
+        // Greedy left-to-right pairing over the (possibly already
+        // ALU-specialised) dispatch codes: stamp the first operation
+        // of each hot adjacent pair with its superinstruction code.
+        // The second operation keeps its own code, which is what the
+        // partial-replay stats path and any restart after a mid-pair
+        // deopt rely on — a deopt always flushes the true count of
+        // executed operations, never "half a superinstruction".
+        let mut k = 0;
+        while k + 1 < nops {
+            match fuse_code(ops[k].xfun, ops[k + 1].xfun) {
+                Some(xf) => {
+                    ops[k].xfun = xf;
+                    k += 2;
+                }
+                None => k += 1,
+            }
+        }
+        let worth_it = nops >= MIN_BLOCK_OPS;
+        let mut covers = [(0u32, 0u32); MAX_COVERS];
+        let mut ncovers = 0usize;
+        let last_block = (end_off.max(off + 1) - 1) >> CODE_BLOCK_SHIFT;
+        for b in (off >> CODE_BLOCK_SHIFT)..=last_block {
+            if b >= self.mem.code_blocks() {
+                break;
+            }
+            assert!(ncovers < MAX_COVERS, "cover span exceeds MAX_COVERS");
+            self.mem.note_code_cached(b);
+            covers[ncovers] = (b as u32, self.mem.code_block_gen(b));
+            ncovers += 1;
+        }
+        let mut totals = BlockStats::default();
+        for op in &ops[..nops] {
+            totals.add(op);
+        }
+        let block = Box::new(TransBlock {
+            ops,
+            nops: if worth_it { nops as u8 } else { 0 },
+            ncovers: ncovers as u8,
+            covers,
+            totals: totals.to_sparse(),
+        });
+        if worth_it {
+            self.stats.trans_blocks += 1;
+        }
+        let slot = self.tcache.insert(off, block);
+        let block = self.tcache.slots[slot as usize]
+            .take()
+            .expect("freshly inserted block");
+        (slot, block)
+    }
+}
+
+/// Whether an operation terminates block construction. Purely a
+/// translation-quality heuristic — correctness never depends on it,
+/// because the per-operation post-checks in [`Cpu::exec_block`] catch
+/// every control transfer, deschedule and resumption — but operations
+/// that *always* divert (returns, loop ends, process ends) would make
+/// everything after them dead weight, so blocks end there. Branches
+/// and calls end blocks because their targets are new leaders; `cj`
+/// ends them too, because a loop's taken back-edge would otherwise
+/// deopt mid-block on every iteration (the fall-through case chains
+/// into the next block's leader at no cost). Communication operations
+/// do *not* end blocks: a `tin` whose time has passed or an `out`
+/// meeting a ready partner continues sequentially, and the mid-block
+/// deopt machinery handles the descheduling case — that is the
+/// machinery the deopt tests exercise.
+fn ends_block(fun: Direct, operand: u32) -> bool {
+    match fun {
+        Direct::Jump | Direct::Call | Direct::ConditionalJump => true,
+        Direct::Operate => match Op::from_code(operand) {
+            Some(op) => matches!(
+                op,
+                Op::Return
+                    | Op::LoopEnd
+                    | Op::EndProcess
+                    | Op::StopProcess
+                    | Op::GeneralCall
+                    | Op::AltEnd
+                    | Op::Move
+                    | Op::HaltSimulation
+            ),
+            // Unknown operations are bypass entries; unreachable here.
+            None => true,
+        },
+        _ => false,
+    }
+}

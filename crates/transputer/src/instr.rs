@@ -408,6 +408,7 @@ impl Op {
     ];
 
     /// Decode an operation code, if defined.
+    #[inline]
     pub fn from_code(code: u32) -> Option<Op> {
         let op = match code {
             0x00 => Op::Reverse,

@@ -97,6 +97,13 @@ pub struct Memory {
     /// Write gate: only blocks the decode cache actually holds pay the
     /// generation bump, so ordinary data writes stay one branch.
     code_cached: Vec<bool>,
+    /// Monotonic counter bumped alongside *every* `code_gen` bump, in
+    /// any block. A translated block snapshots it on entry; a mid-block
+    /// mismatch means some cached code somewhere was overwritten, so
+    /// the block deoptimises and re-validates its own covers. One u64
+    /// compare per operation instead of one gen compare per covered
+    /// block.
+    code_epoch: u64,
     /// A write landed in the reserved words (link channels, timer queue
     /// heads) since the flag was last taken. The CPU uses this to keep
     /// its cached timer-queue-empty knowledge honest.
@@ -123,6 +130,7 @@ impl Memory {
             },
             code_gen: vec![0; blocks],
             code_cached: vec![false; blocks],
+            code_epoch: 0,
             reserved_dirty: true,
             reserved_bytes: (RESERVED_WORDS * word.bytes_per_word()) as usize,
         }
@@ -216,6 +224,7 @@ impl Memory {
         if self.code_cached[b] {
             self.code_cached[b] = false;
             self.code_gen[b] = self.code_gen[b].wrapping_add(1);
+            self.code_epoch += 1;
         }
         if off < self.reserved_bytes {
             self.reserved_dirty = true;
@@ -233,6 +242,7 @@ impl Memory {
             if self.code_cached[b] {
                 self.code_cached[b] = false;
                 self.code_gen[b] = self.code_gen[b].wrapping_add(1);
+                self.code_epoch += 1;
             }
         }
         if off < self.reserved_bytes {
@@ -250,6 +260,18 @@ impl Memory {
     #[inline]
     pub(crate) fn note_code_cached(&mut self, block: usize) {
         self.code_cached[block] = true;
+    }
+
+    /// Global write-into-cached-code epoch (see the field's docs).
+    #[inline]
+    pub(crate) fn code_epoch(&self) -> u64 {
+        self.code_epoch
+    }
+
+    /// Number of 64-byte code blocks tracked by the write gate.
+    #[inline]
+    pub(crate) fn code_blocks(&self) -> usize {
+        self.code_gen.len()
     }
 
     /// Take the reserved-words-written flag.
@@ -292,11 +314,24 @@ impl Memory {
         let addr = self.word.align_word(addr);
         let off = self.offset(addr)?;
         self.note_access(off);
-        let mut v: u32 = 0;
-        for i in (0..self.word.bytes_per_word() as usize).rev() {
-            v = (v << 8) | u32::from(self.bytes[off + i]);
-        }
-        Ok(self.word.mask(v))
+        // Memory is sized in whole words, so an in-range aligned offset
+        // has the full word behind it; a single little-endian load
+        // replaces the byte loop (one bounds check instead of four).
+        let v = match self.word {
+            WordLength::Bits32 => {
+                let b: [u8; 4] = self.bytes[off..off + 4]
+                    .try_into()
+                    .expect("aligned word in range");
+                u32::from_le_bytes(b)
+            }
+            WordLength::Bits16 => {
+                let b: [u8; 2] = self.bytes[off..off + 2]
+                    .try_into()
+                    .expect("aligned word in range");
+                u32::from(u16::from_le_bytes(b))
+            }
+        };
+        Ok(v)
     }
 
     /// Write a machine word (address word-aligned first).
@@ -305,10 +340,14 @@ impl Memory {
         let off = self.offset(addr)?;
         self.note_access(off);
         self.note_write(off);
-        let mut v = self.word.mask(value);
-        for i in 0..self.word.bytes_per_word() as usize {
-            self.bytes[off + i] = (v & 0xFF) as u8;
-            v >>= 8;
+        let v = self.word.mask(value);
+        match self.word {
+            WordLength::Bits32 => {
+                self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            WordLength::Bits16 => {
+                self.bytes[off..off + 2].copy_from_slice(&(v as u16).to_le_bytes());
+            }
         }
         Ok(())
     }

@@ -68,6 +68,21 @@ pub struct Stats {
     /// `operate`), lies outside penalty-free memory, or abuts the slice
     /// budget.
     pub decode_bypasses: u64,
+    /// Hot basic blocks compiled into threaded-code form (see
+    /// `cpu/translate.rs`). Host-side instrumentation, like the
+    /// `decode_*` counters: excluded from fingerprints and
+    /// differential comparisons.
+    pub trans_blocks: u64,
+    /// Entries into a translated block.
+    pub trans_enters: u64,
+    /// Deoptimisations: a translated block handed control back to the
+    /// interpreter before running all its operations (interaction
+    /// point, control transfer, preemption, timer work, budget, or a
+    /// write into translated code).
+    pub trans_deopts: u64,
+    /// Translated blocks discarded because a covered code block's
+    /// generation moved (self-modifying code or reloading).
+    pub trans_invalidations: u64,
 }
 
 impl Default for Stats {
@@ -94,6 +109,10 @@ impl Default for Stats {
             decode_misses: 0,
             decode_invalidations: 0,
             decode_bypasses: 0,
+            trans_blocks: 0,
+            trans_enters: 0,
+            trans_deopts: 0,
+            trans_invalidations: 0,
         }
     }
 }
@@ -158,15 +177,20 @@ impl Stats {
         self.direct_counts[fun.nibble() as usize]
     }
 
-    /// These stats with the host-side decode-cache counters zeroed:
-    /// every *simulated* quantity, suitable for asserting that the
-    /// decode cache changes nothing the program can observe.
+    /// These stats with the host-side decode-cache and translation-tier
+    /// counters zeroed: every *simulated* quantity, suitable for
+    /// asserting that neither host optimisation changes anything the
+    /// program can observe.
     pub fn simulated(&self) -> Stats {
         Stats {
             decode_hits: 0,
             decode_misses: 0,
             decode_invalidations: 0,
             decode_bypasses: 0,
+            trans_blocks: 0,
+            trans_enters: 0,
+            trans_deopts: 0,
+            trans_invalidations: 0,
             ..self.clone()
         }
     }

@@ -161,7 +161,6 @@ fn spanning_chain_program() -> Vec<u8> {
     c.extend(encode(Direct::EqualsConstant, 0x10));
     // First pass: A == 1 (w1 == 0x10), falls through into the patch.
     // Second pass: A == 0, jumps over it to the halt.
-    let halt = encode_op(Op::HaltSimulation);
     let mut patch: Vec<u8> = Vec::new();
     patch.extend(encode(Direct::LoadConstant, 0x41));
     // The patch target is the terminal byte in block 1.
@@ -206,6 +205,141 @@ fn writing_into_the_next_cache_line_invalidates_spanning_entries() {
     assert!(
         on.stats().decode_invalidations > 0,
         "the next-block write must invalidate the spanning entry"
+    );
+}
+
+/// Like [`run_with`]/[`assert_transparent`], but toggling the
+/// *translation* tier (threshold 1: every leader translates on first
+/// arrival) with the decode cache on in both runs. Self-modifying
+/// programs must see identical results whether their hot blocks run
+/// threaded or through the per-operation cache.
+fn run_translated(code: &[u8], translate: bool) -> Cpu {
+    let mut cpu = Cpu::new(
+        CpuConfig::t424()
+            .with_translate(translate)
+            .with_translate_threshold(1),
+    );
+    cpu.load_boot_program(code).expect("program fits");
+    match cpu.run_batched(10_000_000).expect("no budget overrun") {
+        RunOutcome::Halted(HaltReason::Stopped) => {}
+        other => panic!("program did not halt cleanly: {other:?}"),
+    }
+    cpu
+}
+
+fn assert_translation_transparent(code: &[u8]) -> Cpu {
+    let on = run_translated(code, true);
+    let off = run_translated(code, false);
+    assert_eq!(on.cycles(), off.cycles(), "cycle counts diverged");
+    assert_eq!(
+        on.stats().simulated(),
+        off.stats().simulated(),
+        "simulated statistics diverged"
+    );
+    let base = on.memory().base();
+    let size = on.memory().size() as usize;
+    assert_eq!(
+        on.memory().dump(base, size).unwrap(),
+        off.memory().dump(base, size).unwrap(),
+        "memory images diverged"
+    );
+    assert!(on.stats().trans_enters > 0, "translation never engaged");
+    assert_eq!(
+        off.stats().trans_enters + off.stats().trans_blocks,
+        0,
+        "disabled translation still ran"
+    );
+    on
+}
+
+/// The store lands inside the 64-byte code block of the *currently
+/// executing* translated block (the patch code and its target share
+/// block 0): the code-epoch check must deoptimise the block mid-run,
+/// and the stale leader must be invalidated and retranslated on
+/// re-entry.
+#[test]
+fn storing_into_an_executing_translated_block_deopts_and_invalidates() {
+    let mut on = assert_translation_transparent(&self_modifying_program());
+    assert_eq!(local_word(&mut on, 1), 1, "second pass ran stale code");
+    assert!(
+        on.stats().trans_invalidations > 0,
+        "the rewrite must invalidate the translated leader"
+    );
+    assert!(
+        on.stats().trans_deopts > 0,
+        "the store inside the executing block must deoptimise it"
+    );
+}
+
+/// A translated block whose leader instruction spans the 64-byte
+/// boundary (first byte at offset 63, terminal at 64): a store into
+/// the *adjacent* block — not the leader's own — must still invalidate
+/// it via the cover snapshots. The loop rewrites the terminal byte on
+/// every iteration (same value, but a write is a write), so the block
+/// is invalidated and retranslated each time around.
+fn spanning_translated_program() -> Vec<u8> {
+    let mut c: Vec<u8> = Vec::new();
+    c.extend(encode(Direct::LoadConstant, 5)); // loop counter in w[2]
+    c.extend(encode(Direct::StoreLocal, 2));
+    // Padding so the two-byte `pfix 1; ldc 0` starts on the last byte
+    // of block 0.
+    while c.len() < 63 {
+        c.extend(encode(Direct::LoadConstant, 0));
+    }
+    let t = c.len();
+    c.extend(encode(Direct::LoadConstant, 0x10)); // patched to ldc 0x11
+    assert_eq!(c.len(), 65, "chain must straddle the block boundary");
+    c.extend(encode(Direct::StoreLocal, 1));
+    c.extend(encode(Direct::LoadLocal, 2));
+    c.extend(encode(Direct::AddConstant, -1));
+    c.extend(encode(Direct::StoreLocal, 2));
+    c.extend(encode(Direct::LoadLocal, 2));
+    // Counter exhausted: skip the patch-and-loop tail to the halt.
+    let mut patch: Vec<u8> = Vec::new();
+    patch.extend(encode(Direct::LoadConstant, 0x41));
+    let cj = encode(Direct::ConditionalJump, 0); // length probe only
+    let patch_base = c.len() + cj.len();
+    {
+        let ldpi = encode_op(Op::LoadPointerToInstruction);
+        let target = 64usize;
+        let mut found = false;
+        for len in 1..=4 {
+            let after = patch_base + patch.len() + len + ldpi.len();
+            let d = target as i64 - after as i64;
+            let e = encode(Direct::LoadConstant, d);
+            if e.len() == len {
+                patch.extend(e);
+                patch.extend(&ldpi);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no encoding fixpoint for patch address");
+    }
+    patch.extend(encode_op(Op::StoreByte));
+    let at = patch_base + patch.len();
+    patch.extend(jump_to(Direct::Jump, at, t));
+    let cj = encode(Direct::ConditionalJump, patch.len() as i64);
+    assert_eq!(cj.len(), 1, "cj displacement must stay single-byte");
+    c.extend(cj);
+    c.extend(patch);
+    c.extend(encode_op(Op::HaltSimulation));
+    c
+}
+
+#[test]
+fn storing_into_the_adjacent_code_block_invalidates_translated_spans() {
+    let mut on = assert_translation_transparent(&spanning_translated_program());
+    assert_eq!(
+        local_word(&mut on, 1),
+        0x11,
+        "later passes fused a stale spanning chain"
+    );
+    assert!(
+        on.stats().trans_invalidations >= 3,
+        "every loop iteration's rewrite must invalidate the spanning \
+         leader (got {})",
+        on.stats().trans_invalidations
     );
 }
 
