@@ -34,7 +34,9 @@ use std::collections::{HashSet, VecDeque};
 use crate::workload::{Workload, RECORD_WORDS};
 use occam::places;
 use transputer::WordLength;
-use transputer_net::topology::{grid_edge_wire, PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST};
+use transputer_net::topology::{
+    grid_edge_wire, hypercube_anchor, wire_hypercube, PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST,
+};
 use transputer_net::{Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
 
 /// Configuration of a database-search array.
@@ -94,6 +96,67 @@ impl DbSearchConfig {
     /// system".)
     pub fn longest_path_links(&self) -> usize {
         (self.width - 1) + (self.height - 1)
+    }
+}
+
+/// Configuration of a database-search machine shaped as a hypercube of
+/// grid clusters ([`transputer_net::topology::hypercube`]): `2^dim`
+/// `side` × `side` arrays joined by one wire per hypercube edge. The
+/// same per-node occam runs as on the flat grid — only the two spanning
+/// trees change shape — which is §2.1's point that system structure is a
+/// wiring choice, not a programming one.
+#[derive(Debug, Clone)]
+pub struct HypercubeConfig {
+    /// Hypercube dimension (`2^dim` clusters, ≤ 4 on a four-link part).
+    pub dim: usize,
+    /// Cluster side length (≥ 2).
+    pub side: usize,
+    /// Records held by each transputer.
+    pub records_per_node: usize,
+    /// Number of pipelined search requests to issue.
+    pub requests: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Key space size (controls expected match counts).
+    pub key_space: u32,
+    /// Network configuration.
+    pub net: NetworkConfig,
+}
+
+impl HypercubeConfig {
+    /// The RTNN-style 256-node machine: a dimension-4 hypercube of 4×4
+    /// clusters holding 51 200 records.
+    pub fn hypercube256() -> HypercubeConfig {
+        HypercubeConfig {
+            dim: 4,
+            side: 4,
+            records_per_node: 200,
+            requests: 4,
+            seed: 1985,
+            key_space: 4000,
+            net: NetworkConfig::default(),
+        }
+    }
+
+    /// Number of transputers in the machine.
+    pub fn node_count(&self) -> usize {
+        (1usize << self.dim) * self.side * self.side
+    }
+
+    /// Total records in the machine.
+    pub fn total_records(&self) -> usize {
+        self.node_count() * self.records_per_node
+    }
+
+    /// The longest request path in links: the BFS depth of the farthest
+    /// node from the request corner on the intact machine.
+    pub fn longest_path_links(&self) -> usize {
+        let adj = hypercube_adjacency(self.dim, self.side);
+        bfs_dist(&adj, 0, &HashSet::new())
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(0) as usize
     }
 }
 
@@ -161,34 +224,111 @@ fn opposite(port: usize) -> usize {
     }
 }
 
-/// Compute both spanning trees over the grid links that are alive at
-/// boot. Nodes outside the component containing both corners are marked
-/// excluded.
-fn plan_routes(w: usize, h: usize, dead: &HashSet<usize>) -> Vec<NodeRoutes> {
-    let n = w * h;
-    let idx = |x: usize, y: usize| y * w + x;
-    let alive = |x: usize, y: usize, port: usize| !dead.contains(&edge_wire(w, h, x, y, port));
-    let bfs = |root: (usize, usize)| -> Vec<Option<u32>> {
-        let mut dist = vec![None; n];
-        let mut queue = VecDeque::new();
-        dist[idx(root.0, root.1)] = Some(0u32);
-        queue.push_back(root);
-        while let Some((x, y)) = queue.pop_front() {
-            let d = dist[idx(x, y)].unwrap();
+/// Link map of an arbitrary four-port machine: per node, per port, the
+/// peer node, the port the peer sees the wire on, and the wire index
+/// (for checking against a fault plan's dead set).
+type Adjacency = Vec<[Option<(usize, usize, usize)>; 4]>;
+
+/// BFS link distances from `root` over the links alive at boot.
+fn bfs_dist(adj: &Adjacency, root: usize, dead: &HashSet<usize>) -> Vec<Option<u32>> {
+    let mut dist = vec![None; adj.len()];
+    let mut queue = VecDeque::new();
+    dist[root] = Some(0u32);
+    queue.push_back(root);
+    while let Some(i) = queue.pop_front() {
+        let d = dist[i].unwrap();
+        for link in adj[i].iter().flatten() {
+            let (peer, _, wire) = *link;
+            if !dead.contains(&wire) && dist[peer].is_none() {
+                dist[peer] = Some(d + 1);
+                queue.push_back(peer);
+            }
+        }
+    }
+    dist
+}
+
+/// The grid's link map under the row-major east-then-south wire sweep.
+fn grid_adjacency(w: usize, h: usize) -> Adjacency {
+    let mut adj: Adjacency = vec![[None; 4]; w * h];
+    for y in 0..h {
+        for x in 0..w {
             for port in [PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST] {
                 if let Some((nx, ny)) = neighbor(w, h, x, y, port) {
-                    if alive(x, y, port) && dist[idx(nx, ny)].is_none() {
-                        dist[idx(nx, ny)] = Some(d + 1);
-                        queue.push_back((nx, ny));
-                    }
+                    adj[y * w + x][port] =
+                        Some((ny * w + nx, opposite(port), edge_wire(w, h, x, y, port)));
                 }
             }
         }
-        dist
+    }
+    adj
+}
+
+/// The hypercube-of-clusters link map, mirroring [`wire_hypercube`]'s
+/// wire order (each cluster's grid wires in the row-major
+/// east-then-south sweep, then the dimension links by lower cluster
+/// then dimension).
+fn hypercube_adjacency(dim: usize, side: usize) -> Adjacency {
+    let clusters = 1usize << dim;
+    let mut adj: Adjacency = vec![[None; 4]; clusters * side * side];
+    let at = |c: usize, x: usize, y: usize| (c * side + y) * side + x;
+    let mut wire = 0usize;
+    let mut link = |adj: &mut Adjacency, a: (usize, usize), b: (usize, usize)| {
+        adj[a.0][a.1] = Some((b.0, b.1, wire));
+        adj[b.0][b.1] = Some((a.0, a.1, wire));
+        wire += 1;
     };
-    let from_origin = bfs((0, 0));
-    let from_exit = bfs((w - 1, h - 1));
-    // The alive-link graph is undirected, so when the two corners share
+    for c in 0..clusters {
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    link(
+                        &mut adj,
+                        (at(c, x, y), PORT_EAST),
+                        (at(c, x + 1, y), PORT_WEST),
+                    );
+                }
+                if y + 1 < side {
+                    link(
+                        &mut adj,
+                        (at(c, x, y), PORT_SOUTH),
+                        (at(c, x, y + 1), PORT_NORTH),
+                    );
+                }
+            }
+        }
+    }
+    for c in 0..clusters {
+        for d in 0..dim {
+            let peer = c ^ (1 << d);
+            if peer < c {
+                continue;
+            }
+            let (x, y, port) = hypercube_anchor(d, side);
+            link(&mut adj, (at(c, x, y), port), (at(peer, x, y), port));
+        }
+    }
+    adj
+}
+
+/// Compute both spanning trees over the links of an arbitrary machine
+/// that are alive at boot. Requests flood down a BFS tree rooted at
+/// `origin` (whose host attaches on `origin_host_port`), answers merge
+/// up a second BFS tree rooted at `exit` (host on `exit_host_port`);
+/// the preference arrays keep tie-breaks deterministic. Nodes outside
+/// the component containing both roots are marked excluded.
+fn plan_routes_over(
+    adj: &Adjacency,
+    origin: usize,
+    origin_host_port: usize,
+    exit: usize,
+    exit_host_port: usize,
+    dead: &HashSet<usize>,
+) -> Vec<NodeRoutes> {
+    let n = adj.len();
+    let from_origin = bfs_dist(adj, origin, dead);
+    let from_exit = bfs_dist(adj, exit, dead);
+    // The alive-link graph is undirected, so when the two roots share
     // a component the intersection below is exactly that component;
     // otherwise no node can both receive a request and deliver an
     // answer, and everything is excluded.
@@ -198,41 +338,35 @@ fn plan_routes(w: usize, h: usize, dead: &HashSet<usize>) -> Vec<NodeRoutes> {
             ..NodeRoutes::default()
         })
         .collect();
-    let mut pick_parents =
-        |dist: &[Option<u32>], pref: [usize; 4], root: (usize, usize), request: bool| {
-            for y in 0..h {
-                for x in 0..w {
-                    let i = idx(x, y);
-                    if !routes[i].included || (x, y) == root {
-                        continue;
-                    }
-                    let d = dist[i].unwrap();
-                    let parent = pref
-                        .into_iter()
-                        .find(|&port| {
-                            neighbor(w, h, x, y, port).is_some_and(|(nx, ny)| {
-                                alive(x, y, port)
-                                    && routes[idx(nx, ny)].included
-                                    && dist[idx(nx, ny)] == Some(d - 1)
-                            })
-                        })
-                        .expect("a BFS-reachable node has a parent one step closer");
-                    let (px, py) = neighbor(w, h, x, y, parent).unwrap();
-                    if request {
-                        routes[i].req_parent = parent;
-                        routes[idx(px, py)].req_children.push(opposite(parent));
-                    } else {
-                        routes[i].ans_parent = parent;
-                        routes[idx(px, py)].ans_children.push(opposite(parent));
-                    }
-                }
+    let mut pick_parents = |dist: &[Option<u32>], pref: [usize; 4], root: usize, request: bool| {
+        for i in 0..n {
+            if !routes[i].included || i == root {
+                continue;
             }
-        };
-    pick_parents(&from_origin, REQ_PARENT_PREF, (0, 0), true);
-    pick_parents(&from_exit, ANS_PARENT_PREF, (w - 1, h - 1), false);
-    // The corners talk to the hosts over their free edge ports.
-    routes[idx(0, 0)].req_parent = PORT_NORTH;
-    routes[idx(w - 1, h - 1)].ans_parent = PORT_SOUTH;
+            let d = dist[i].unwrap();
+            let parent = pref
+                .into_iter()
+                .find(|&port| {
+                    adj[i][port].is_some_and(|(peer, _, wire)| {
+                        !dead.contains(&wire) && routes[peer].included && dist[peer] == Some(d - 1)
+                    })
+                })
+                .expect("a BFS-reachable node has a parent one step closer");
+            let (peer, peer_port, _) = adj[i][parent].unwrap();
+            if request {
+                routes[i].req_parent = parent;
+                routes[peer].req_children.push(peer_port);
+            } else {
+                routes[i].ans_parent = parent;
+                routes[peer].ans_children.push(peer_port);
+            }
+        }
+    };
+    pick_parents(&from_origin, REQ_PARENT_PREF, origin, true);
+    pick_parents(&from_exit, ANS_PARENT_PREF, exit, false);
+    // The roots talk to the hosts over their free edge ports.
+    routes[origin].req_parent = origin_host_port;
+    routes[exit].ans_parent = exit_host_port;
     let order_of = |order: [usize; 4]| move |p: &usize| order.iter().position(|o| o == p);
     for r in &mut routes {
         r.req_children.sort_by_key(order_of(REQ_CHILD_ORDER));
@@ -241,17 +375,74 @@ fn plan_routes(w: usize, h: usize, dead: &HashSet<usize>) -> Vec<NodeRoutes> {
     routes
 }
 
-/// A built, loaded search array ready to run.
+/// Compute both spanning trees over the grid links that are alive at
+/// boot (the corners host the sender and collector, as in Figure 8).
+fn plan_routes(w: usize, h: usize, dead: &HashSet<usize>) -> Vec<NodeRoutes> {
+    plan_routes_over(
+        &grid_adjacency(w, h),
+        0,
+        PORT_NORTH,
+        w * h - 1,
+        PORT_SOUTH,
+        dead,
+    )
+}
+
+/// Wires declared dead from boot by the configured fault plan; wires
+/// that die later degrade the run instead of being routed around.
+fn boot_dead(net: &NetworkConfig) -> HashSet<usize> {
+    net.fault
+        .as_ref()
+        .map(|plan| {
+            plan.dead
+                .iter()
+                .filter(|d| d.from_ns == 0)
+                .map(|d| d.wire)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// A built, loaded search machine ready to run — a flat grid
+/// ([`DbSearch::build`]) or a hypercube of clusters
+/// ([`DbSearch::build_hypercube`]); the run loop is shape-blind.
 #[derive(Debug)]
 pub struct DbSearch {
-    config: DbSearchConfig,
     net: Network,
+    requests: usize,
+    faulted: bool,
+    longest_path_links: usize,
+    total_records: usize,
     collector: NodeId,
     collector_word: WordLength,
     answers_addr: u32,
     expected: Vec<u32>,
     node_ids: Vec<NodeId>,
     excluded: usize,
+}
+
+/// The shape-specific half of a build: a wired network whose last wire
+/// is the collector's, the array nodes in route order, the two hosts,
+/// and the planned spanning trees.
+struct ArrayBuild {
+    net: Network,
+    node_ids: Vec<NodeId>,
+    sender: NodeId,
+    collector: NodeId,
+    routes: Vec<NodeRoutes>,
+}
+
+/// The shape-independent build parameters, with the two derived facts
+/// (`longest_path_links`, `total_records`) each shape computes its own
+/// way.
+struct SearchParams {
+    records_per_node: usize,
+    requests: usize,
+    seed: u64,
+    key_space: u32,
+    faulted: bool,
+    longest_path_links: usize,
+    total_records: usize,
 }
 
 /// Results of a search run.
@@ -348,58 +539,131 @@ impl DbSearch {
         let collector = b.add_node();
         b.connect((sender, PORT_SOUTH), (at(0, 0), PORT_NORTH));
         b.connect((at(w - 1, h - 1), PORT_SOUTH), (collector, PORT_NORTH));
-        let mut net = b.build();
+        let net = b.build();
 
-        // Route around wires that are dead from boot; wires that die
-        // later degrade the run instead.
-        let boot_dead: HashSet<usize> = config
-            .net
-            .fault
-            .as_ref()
-            .map(|plan| {
-                plan.dead
-                    .iter()
-                    .filter(|d| d.from_ns == 0)
-                    .map(|d| d.wire)
-                    .collect()
-            })
-            .unwrap_or_default();
-        let routes = plan_routes(w, h, &boot_dead);
+        let routes = plan_routes(w, h, &boot_dead(&config.net));
+        Self::finish_build(
+            ArrayBuild {
+                net,
+                node_ids,
+                sender,
+                collector,
+                routes,
+            },
+            &SearchParams {
+                records_per_node: config.records_per_node,
+                requests: config.requests,
+                seed: config.seed,
+                key_space: config.key_space,
+                faulted: config.net.fault.is_some(),
+                longest_path_links: config.longest_path_links(),
+                total_records: config.total_records(),
+            },
+        )
+    }
+
+    /// Build a hypercube-of-clusters search machine: `2^dim` grid
+    /// clusters wired by [`wire_hypercube`], the request host on the
+    /// north port of cluster 0's `(0, 0)` and the answer host on the
+    /// south port of the last cluster's far corner (the two ports the
+    /// dimension anchors leave free in every cluster).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and load failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not in `1..=4` or `side < 2`.
+    pub fn build_hypercube(
+        config: HypercubeConfig,
+    ) -> Result<DbSearch, Box<dyn std::error::Error>> {
+        let (dim, side) = (config.dim, config.side);
+        let n = config.node_count();
+        let mut b = NetworkBuilder::new(config.net.clone());
+        let node_ids: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+        wire_hypercube(&mut b, &node_ids, dim, side);
+        let sender = b.add_node();
+        let collector = b.add_node();
+        let (origin, exit) = (0, n - 1);
+        b.connect((sender, PORT_SOUTH), (node_ids[origin], PORT_NORTH));
+        b.connect((node_ids[exit], PORT_SOUTH), (collector, PORT_NORTH));
+        let net = b.build();
+
+        let routes = plan_routes_over(
+            &hypercube_adjacency(dim, side),
+            origin,
+            PORT_NORTH,
+            exit,
+            PORT_SOUTH,
+            &boot_dead(&config.net),
+        );
+        Self::finish_build(
+            ArrayBuild {
+                net,
+                node_ids,
+                sender,
+                collector,
+                routes,
+            },
+            &SearchParams {
+                records_per_node: config.records_per_node,
+                requests: config.requests,
+                seed: config.seed,
+                key_space: config.key_space,
+                faulted: config.net.fault.is_some(),
+                longest_path_links: config.longest_path_links(),
+                total_records: config.total_records(),
+            },
+        )
+    }
+
+    /// The shape-independent half of a build: generate and load every
+    /// program, poke the databases and keys, and compute the reference
+    /// answers.
+    fn finish_build(
+        build: ArrayBuild,
+        p: &SearchParams,
+    ) -> Result<DbSearch, Box<dyn std::error::Error>> {
+        let ArrayBuild {
+            mut net,
+            node_ids,
+            sender,
+            collector,
+            routes,
+        } = build;
         let excluded = routes.iter().filter(|r| !r.included).count();
 
         // Per-node programs and databases. Excluded nodes still consume
         // their workload draw so the records of every other node match
-        // the intact-grid run record for record.
-        let mut workload = Workload::new(config.seed, config.key_space);
+        // the intact-machine run record for record.
+        let mut workload = Workload::new(p.seed, p.key_space);
         let mut live_records: Vec<Vec<u32>> = Vec::new();
-        for y in 0..h {
-            for x in 0..w {
-                let r = &routes[y * w + x];
-                let src = node_source(config.records_per_node, r);
-                let program = occam::compile(&src)
-                    .map_err(|e| format!("node ({x},{y}) source failed to compile: {e}\n{src}"))?;
-                let cpu = net.node_mut(at(x, y));
-                let word = cpu.word_length();
-                let wptr = program.load(cpu)?;
-                let records = workload.records(config.records_per_node);
-                if !r.included {
-                    continue;
-                }
-                let db_addr = program
-                    .global_addr(word, wptr, "db")
-                    .ok_or("node program lacks a db vector")?;
-                for (i, v) in records.iter().enumerate() {
-                    cpu.poke_word(word.index_word(db_addr, i as u32), *v)?;
-                }
-                // Reference counting respects the node's word width.
-                let records = records.iter().map(|v| word.mask(*v)).collect();
-                live_records.push(records);
+        for (i, r) in routes.iter().enumerate() {
+            let src = node_source(p.records_per_node, r);
+            let program = occam::compile(&src)
+                .map_err(|e| format!("node {i} source failed to compile: {e}\n{src}"))?;
+            let cpu = net.node_mut(node_ids[i]);
+            let word = cpu.word_length();
+            let wptr = program.load(cpu)?;
+            let records = workload.records(p.records_per_node);
+            if !r.included {
+                continue;
             }
+            let db_addr = program
+                .global_addr(word, wptr, "db")
+                .ok_or("node program lacks a db vector")?;
+            for (j, v) in records.iter().enumerate() {
+                cpu.poke_word(word.index_word(db_addr, j as u32), *v)?;
+            }
+            // Reference counting respects the node's word width.
+            let records = records.iter().map(|v| word.mask(*v)).collect();
+            live_records.push(records);
         }
 
         // Keys (plus the poison terminator) into the sender.
-        let keys = workload.keys(config.requests);
-        let sender_src = sender_source(config.requests);
+        let keys = workload.keys(p.requests);
+        let sender_src = sender_source(p.requests);
         let sender_prog = occam::compile(&sender_src)?;
         let cpu = net.node_mut(sender);
         let word = cpu.word_length();
@@ -411,12 +675,12 @@ impl DbSearch {
             cpu.poke_word(word.index_word(keys_addr, i as u32), *k)?;
         }
         cpu.poke_word(
-            word.index_word(keys_addr, config.requests as u32),
+            word.index_word(keys_addr, p.requests as u32),
             word.mask(u32::MAX), // poison = -1
         )?;
 
         // Collector.
-        let collector_src = collector_source(config.requests);
+        let collector_src = collector_source(p.requests);
         let collector_prog = occam::compile(&collector_src)?;
         let cpu = net.node_mut(collector);
         let collector_word = cpu.word_length();
@@ -438,8 +702,11 @@ impl DbSearch {
             .collect();
 
         Ok(DbSearch {
-            config,
             net,
+            requests: p.requests,
+            faulted: p.faulted,
+            longest_path_links: p.longest_path_links,
+            total_records: p.total_records,
             collector,
             collector_word,
             answers_addr,
@@ -477,7 +744,7 @@ impl DbSearch {
     /// Propagates simulation faults, and budget exhaustion when no
     /// fault plan is injected.
     pub fn run(&mut self, budget_ns: u64) -> Result<DbSearchReport, SimError> {
-        let n = self.config.requests;
+        let n = self.requests;
         let mut answer_times = vec![0u64; n];
         let mut seen = 0usize;
         // Answers are observed as delivered bytes on the collector's
@@ -505,9 +772,7 @@ impl DbSearch {
             Ok(out) => out,
             // Under injected faults, running out of budget is one more
             // way the array degrades, not a caller error.
-            Err(SimError::Budget { .. }) if self.config.net.fault.is_some() => {
-                SimOutcome::TimeLimit
-            }
+            Err(SimError::Budget { .. }) if self.faulted => SimOutcome::TimeLimit,
             Err(e) => return Err(e),
         };
 
@@ -544,8 +809,8 @@ impl DbSearch {
             first_answer_ns: first,
             pipeline_interval_ns: pipeline_interval,
             total_ns: self.net.time_ns(),
-            longest_path_links: self.config.longest_path_links(),
-            total_records: self.config.total_records(),
+            longest_path_links: self.longest_path_links,
+            total_records: self.total_records,
             total_instructions,
         })
     }
@@ -683,6 +948,46 @@ pub fn array_sources(config: &DbSearchConfig) -> Vec<(String, String)> {
     out.push(("dbsearch-sender".into(), sender_source(config.requests)));
     out.push((
         "dbsearch-collector".into(),
+        collector_source(config.requests),
+    ));
+    out
+}
+
+/// The occam program texts a hypercube search machine runs, deduplicated
+/// by text: nodes sharing a tree position shape (same parents and
+/// children) run byte-identical programs, so the lint gate checks each
+/// distinct program once instead of 256 times. Each text is named after
+/// the first `(cluster, x, y)` that runs it.
+pub fn hypercube_sources(config: &HypercubeConfig) -> Vec<(String, String)> {
+    let n = config.node_count();
+    let routes = plan_routes_over(
+        &hypercube_adjacency(config.dim, config.side),
+        0,
+        PORT_NORTH,
+        n - 1,
+        PORT_SOUTH,
+        &HashSet::new(),
+    );
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for (i, r) in routes.iter().enumerate() {
+        let src = node_source(config.records_per_node, r);
+        if !seen.insert(src.clone()) {
+            continue;
+        }
+        let (c, rem) = (
+            i / (config.side * config.side),
+            i % (config.side * config.side),
+        );
+        let (x, y) = (rem % config.side, rem / config.side);
+        out.push((format!("dbsearch-cube-node-{c}-{x}-{y}"), src));
+    }
+    out.push((
+        "dbsearch-cube-sender".into(),
+        sender_source(config.requests),
+    ));
+    out.push((
+        "dbsearch-cube-collector".into(),
         collector_source(config.requests),
     ));
     out
@@ -979,5 +1284,148 @@ mod tests {
         assert_eq!(DbSearchConfig::figure8().longest_path_links(), 6);
         assert_eq!(DbSearchConfig::board128().longest_path_links(), 22);
         assert_eq!(DbSearchConfig::board128().total_records(), 25_600);
+    }
+
+    #[test]
+    fn small_hypercube_answers_correctly() {
+        // Two 2x2 clusters joined by one dimension link: the smallest
+        // machine whose spanning trees cross a cluster boundary.
+        let config = HypercubeConfig {
+            dim: 1,
+            side: 2,
+            records_per_node: 10,
+            requests: 3,
+            seed: 29,
+            key_space: 24,
+            net: NetworkConfig::default(),
+        };
+        let mut sim = DbSearch::build_hypercube(config).expect("builds");
+        assert_eq!(sim.excluded_nodes(), 0);
+        let report = sim.run(5_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded);
+        assert_eq!(report.received, 3);
+        assert_eq!(report.total_records, 80);
+    }
+
+    #[test]
+    fn four_cluster_hypercube_pipeline() {
+        // Dimension 2: requests cross two kinds of dimension anchor.
+        let config = HypercubeConfig {
+            dim: 2,
+            side: 2,
+            records_per_node: 6,
+            requests: 4,
+            seed: 31,
+            key_space: 18,
+            net: NetworkConfig::default(),
+        };
+        let mut sim = DbSearch::build_hypercube(config).expect("builds");
+        let report = sim.run(10_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded);
+        assert!(report.pipeline_interval_ns < report.first_answer_ns);
+    }
+
+    #[test]
+    fn hypercube_survives_link_faults() {
+        let config = HypercubeConfig {
+            dim: 1,
+            side: 2,
+            records_per_node: 6,
+            requests: 2,
+            seed: 37,
+            key_space: 12,
+            net: NetworkConfig {
+                fault: Some(FaultPlan::uniform(9, 0.002)),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build_hypercube(config).expect("builds");
+        let report = sim.run(10_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn hypercube_dead_dimension_link_reroutes() {
+        // Kill the single dim-0 link of a dim-1 machine... that would
+        // split it. Use dim 2, where killing one dimension link leaves
+        // every cluster reachable the long way around.
+        let side = 2;
+        let grid_wires_per_cluster = 2 * side * (side - 1);
+        // Dimension links follow all four clusters' grid wires; the
+        // first is cluster 0 <-> cluster 1 (dim 0).
+        let first_dim_wire = 4 * grid_wires_per_cluster;
+        let config = HypercubeConfig {
+            dim: 2,
+            side,
+            records_per_node: 5,
+            requests: 2,
+            seed: 41,
+            key_space: 10,
+            net: NetworkConfig {
+                fault: Some(FaultPlan::uniform(5, 0.0).with_dead_link(first_dim_wire, 0)),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build_hypercube(config).expect("builds");
+        assert_eq!(sim.excluded_nodes(), 0);
+        let report = sim.run(10_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn hypercube256_config_shape() {
+        let c = HypercubeConfig::hypercube256();
+        assert_eq!(c.node_count(), 256);
+        assert_eq!(c.total_records(), 51_200);
+        // Longest request path: the BFS depth from cluster 0's (0,0)
+        // over 16 clusters of 4x4. A flat 16x16 board of the same 256
+        // nodes needs 30 links corner to corner; the hypercube needs 16.
+        assert_eq!(c.longest_path_links(), 16);
+    }
+
+    #[test]
+    fn hypercube_sources_dedupe_and_compile() {
+        let config = HypercubeConfig {
+            dim: 2,
+            side: 3,
+            records_per_node: 4,
+            requests: 2,
+            seed: 5,
+            key_space: 9,
+            net: NetworkConfig::default(),
+        };
+        let sources = hypercube_sources(&config);
+        // Deduplicated well below one-per-node, plus the two hosts.
+        assert!(sources.len() < 4 * 9);
+        assert!(sources.len() > 2);
+        let mut texts = HashSet::new();
+        for (name, src) in &sources {
+            assert!(texts.insert(src.clone()), "{name} duplicates another text");
+            occam::compile(src).unwrap_or_else(|e| panic!("{name}: {e}\n{src}"));
+        }
     }
 }

@@ -22,8 +22,9 @@ use std::time::Instant;
 
 use transputer_bench::hostperf::{
     baseline_cpu_mips, baseline_translated_mips, board128, cpu_corpus_bench, cpu_cross_check,
-    cross_check, faulted, figure8, figure8_smoke, run_network, static_model_runs, to_json, CpuRun,
-    NetRun, EXPERIMENTS, FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
+    cross_check, faulted, faulted_hypercube, figure8, figure8_smoke, history_last_field,
+    host_cores, hypercube256, parallel_speedup, run_hypercube, run_network, static_model_runs,
+    to_json, CpuRun, NetRun, EXPERIMENTS, FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
 };
 use transputer_net::Engine;
 
@@ -99,19 +100,29 @@ fn print_cpu(r: &CpuRun) {
     );
 }
 
-/// Append one JSONL record of this run's CPU-corpus throughput to the
-/// append-only history (`BENCH_history.jsonl`, or the path named by
+fn history_path() -> String {
+    std::env::var("BENCH_HISTORY_OUT").unwrap_or_else(|_| "BENCH_history.jsonl".to_string())
+}
+
+fn perf_gate_hard() -> bool {
+    std::env::var("PERF_GATE").is_ok_and(|v| v == "hard")
+}
+
+/// Append one JSONL record of this run's CPU-corpus throughput, worker
+/// configuration, and e10 Parallel-vs-Sliced speedup to the append-only
+/// history (`BENCH_history.jsonl`, or the path named by
 /// `BENCH_HISTORY_OUT`). The history makes a slow drift visible that
-/// any single committed-baseline comparison would miss.
+/// any single committed-baseline comparison would miss, and is what the
+/// smoke ratchet compares the next run against.
 fn append_history(
     smoke: bool,
     current: &CpuRun,
     translated: &CpuRun,
     baseline: Option<f64>,
     trans_baseline: Option<f64>,
+    networks: &[NetRun],
 ) {
-    let path =
-        std::env::var("BENCH_HISTORY_OUT").unwrap_or_else(|_| "BENCH_history.jsonl".to_string());
+    let path = history_path();
     let unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -124,11 +135,19 @@ fn append_history(
     let tnow = translated.emulated_mips();
     let (baseline_s, ratio_s) = ratio_pair(now, baseline);
     let (tbaseline_s, tratio_s) = ratio_pair(tnow, trans_baseline);
+    let par_workers = networks
+        .iter()
+        .find(|r| r.engine == Engine::Parallel)
+        .map_or("null".to_string(), |r| r.par_workers.to_string());
+    let e10_speedup = parallel_speedup(networks, "e10_board128")
+        .map_or("null".to_string(), |s| format!("{s:.3}"));
     let line = format!(
         "{{\"unix_s\": {unix_s}, \"smoke\": {smoke}, \"cpu_mips\": {now:.2}, \
          \"baseline_mips\": {baseline_s}, \"ratio\": {ratio_s}, \
          \"translated_mips\": {tnow:.2}, \"translated_baseline_mips\": {tbaseline_s}, \
-         \"translated_ratio\": {tratio_s}}}\n",
+         \"translated_ratio\": {tratio_s}, \"host_cores\": {}, \
+         \"par_workers\": {par_workers}, \"e10_parallel_speedup\": {e10_speedup}}}\n",
+        host_cores(),
     );
     use std::io::Write;
     match std::fs::OpenOptions::new()
@@ -144,19 +163,74 @@ fn append_history(
     }
 }
 
+/// Print the engine speedup table (one `SPEEDUP` line per benchmark —
+/// CI lifts these into the step summary) and apply the parallel-engine
+/// ratchet: on a host with ≥ 4 cores, an e10 Parallel-vs-Sliced speedup
+/// below 1.5x is a WARN, and a hard failure under `PERF_GATE=hard`.
+/// Hosts with fewer cores cannot demonstrate the speedup, so the gate
+/// reports and stands down.
+fn speedup_table_and_gate(networks: &[NetRun], problems: &mut Vec<String>) {
+    let mut benches: Vec<&str> = networks.iter().map(|r| r.bench).collect();
+    benches.dedup();
+    println!("hostperf: engine speedup table");
+    for bench in benches {
+        let sliced = networks
+            .iter()
+            .find(|r| r.bench == bench && r.engine == Engine::Sliced);
+        let parallel = networks
+            .iter()
+            .find(|r| r.bench == bench && r.engine == Engine::Parallel);
+        if let (Some(s), Some(p)) = (sliced, parallel) {
+            println!(
+                "SPEEDUP {bench}: sliced {:.1} ms / parallel {:.1} ms = {:.2}x \
+                 (workers {}, cores {}, identical {})",
+                s.wall_ms,
+                p.wall_ms,
+                s.wall_ms / p.wall_ms,
+                p.par_workers,
+                p.host_cores,
+                s.fingerprint == p.fingerprint,
+            );
+        }
+    }
+    let Some(speedup) = parallel_speedup(networks, "e10_board128") else {
+        return;
+    };
+    let cores = host_cores();
+    if cores < 4 {
+        println!(
+            "  parallel ratchet: host has {cores} core(s); speedup not demonstrable, gate stands down"
+        );
+        return;
+    }
+    if speedup < 1.5 {
+        let msg = format!(
+            "parallel engine regression: e10 Parallel-vs-Sliced speedup {speedup:.2}x \
+             below the 1.5x ratchet on a {cores}-core host"
+        );
+        if perf_gate_hard() {
+            problems.push(format!("{msg} (PERF_GATE=hard)"));
+        } else {
+            println!("WARN: {msg}");
+        }
+    } else {
+        println!("  parallel ratchet: e10 speedup {speedup:.2}x on {cores} cores — ok");
+    }
+}
+
 /// Perf check for one throughput row: a >20% regression against the
 /// committed baseline prints a WARN, and with `PERF_GATE=hard` (set by
 /// CI) a collapse below half the committed baseline becomes a hard
-/// failure. Wall-clock numbers vary between machines, so the hard gate
-/// only catches order-of-magnitude breakage.
+/// failure. Wall-clock numbers vary between machines, so the
+/// committed-baseline hard gate only catches order-of-magnitude
+/// breakage.
 fn check_mips_row(label: &str, now: f64, baseline: Option<f64>, problems: &mut Vec<String>) {
     let Some(baseline) = baseline else {
         println!("  perf check: no committed {label} baseline here; skipping");
         return;
     };
     let ratio = now / baseline;
-    let hard = std::env::var("PERF_GATE").is_ok_and(|v| v == "hard");
-    if hard && ratio < 0.5 {
+    if perf_gate_hard() && ratio < 0.5 {
         problems.push(format!(
             "emulated MIPS collapse: {label} {now:.2} MIPS vs committed {baseline:.2} MIPS \
              ({:.0}% of baseline, PERF_GATE=hard)",
@@ -177,14 +251,45 @@ fn check_mips_row(label: &str, now: f64, baseline: Option<f64>, problems: &mut V
     }
 }
 
-/// Perf check against the committed `BENCH_host.json`: every run is
-/// appended to the history, then both the decode-cache-only and the
-/// translated-tier CPU-corpus rows go through the soft regression gate
-/// ([`check_mips_row`]).
+/// The history ratchet: compare this run's CPU-corpus throughput to the
+/// *last* `BENCH_history.jsonl` entry — same machine, recent run, so a
+/// drop of more than 20% is a real regression, not machine variance.
+/// A WARN normally; a hard failure under `PERF_GATE=hard`.
+fn check_history_ratchet(now: f64, last: Option<f64>, problems: &mut Vec<String>) {
+    let Some(last) = last.filter(|l| *l > 0.0) else {
+        println!("  perf ratchet: no prior history entry; skipping");
+        return;
+    };
+    let ratio = now / last;
+    if ratio < 0.8 {
+        let msg = format!(
+            "cpu corpus throughput ratchet: {now:.2} MIPS vs last recorded {last:.2} MIPS \
+             ({:.0}% of previous run)",
+            ratio * 100.0
+        );
+        if perf_gate_hard() {
+            problems.push(format!("{msg} (PERF_GATE=hard)"));
+        } else {
+            println!("WARN: {msg}");
+        }
+    } else {
+        println!(
+            "  perf ratchet: {now:.2} MIPS vs last recorded {last:.2} MIPS \
+             ({:.0}% of previous run) — ok",
+            ratio * 100.0
+        );
+    }
+}
+
+/// Perf checks: read the committed `BENCH_host.json` baseline and the
+/// last history entry, append this run to the history, then gate — the
+/// soft committed-baseline check on both CPU-corpus tiers, plus the
+/// hard history ratchet.
 fn check_mips_regression(
     smoke: bool,
     current: &CpuRun,
     translated: &CpuRun,
+    networks: &[NetRun],
     problems: &mut Vec<String>,
 ) {
     let committed = std::fs::read_to_string("BENCH_host.json").ok();
@@ -196,7 +301,18 @@ fn check_mips_regression(
         .as_deref()
         .and_then(baseline_translated_mips)
         .filter(|b| *b > 0.0);
-    append_history(smoke, current, translated, baseline, trans_baseline);
+    // The last history line must be read before this run appends its own.
+    let last_mips = std::fs::read_to_string(history_path())
+        .ok()
+        .and_then(|h| history_last_field(&h, "cpu_mips"));
+    append_history(
+        smoke,
+        current,
+        translated,
+        baseline,
+        trans_baseline,
+        networks,
+    );
     check_mips_row("cpu corpus", current.emulated_mips(), baseline, problems);
     check_mips_row(
         "translated tier",
@@ -204,6 +320,7 @@ fn check_mips_regression(
         trans_baseline,
         problems,
     );
+    check_history_ratchet(current.emulated_mips(), last_mips, problems);
 }
 
 fn main() {
@@ -223,7 +340,6 @@ fn main() {
         print_cpu(&on);
         print_cpu(&off);
         problems.extend(cpu_cross_check(&[trans.clone(), on.clone(), off.clone()]));
-        check_mips_regression(smoke, &on, &trans, &mut problems);
         cpu_runs.push(trans);
         cpu_runs.push(on);
         cpu_runs.push(off);
@@ -258,6 +374,20 @@ fn main() {
         }
         problems.extend(cross_check(&faulted_runs));
         networks.extend(faulted_runs);
+
+        // The full e10 board under the two batched engines: the rows the
+        // parallel ratchet compares (the event engine would dominate the
+        // smoke's wall time without adding a ratchet signal).
+        println!("hostperf --smoke: e10 board (parallel ratchet rows)");
+        let e10: Vec<NetRun> = [Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_network("e10_board128", board128(), e))
+            .collect();
+        for r in &e10 {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e10));
+        networks.extend(e10);
     } else {
         println!("hostperf: timing experiment binaries");
         let (rows, probs) = time_experiments();
@@ -284,7 +414,6 @@ fn main() {
             trans.emulated_mips()
         );
         problems.extend(cpu_cross_check(&[trans.clone(), on.clone(), off.clone()]));
-        check_mips_regression(smoke, &on, &trans, &mut problems);
         cpu_runs.push(trans);
         cpu_runs.push(on);
         cpu_runs.push(off);
@@ -318,6 +447,17 @@ fn main() {
         );
         problems.extend(cross_check(&e10));
         networks.extend(e10);
+
+        println!("hostperf: e16 hypercube (256 transputers)");
+        let e16: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_hypercube("e16_hypercube256", hypercube256(), e))
+            .collect();
+        for r in &e16 {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e16));
+        networks.extend(e16);
 
         // Faulted variants: the acceptance bar for the fault layer is
         // that the search completes correct (possibly degraded-flagged)
@@ -357,6 +497,37 @@ fn main() {
         }
         problems.extend(cross_check(&e10f));
         networks.extend(e10f);
+
+        // The faulted hypercube runs under the two batched engines only:
+        // the new-engine-critical check is Sliced↔Parallel identity
+        // (Event↔Sliced equivalence under faults is pinned on e09/e10).
+        println!("hostperf: e16 hypercube under faults (rate {rate})");
+        let e16f: Vec<NetRun> = [Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| {
+                run_hypercube(
+                    "e16_faulted",
+                    faulted_hypercube(hypercube256(), FAULT_SEED_DEFAULT, rate),
+                    e,
+                )
+            })
+            .collect();
+        for r in &e16f {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e16f));
+        networks.extend(e16f);
+    }
+
+    // The speedup table, the parallel ratchet, and the throughput
+    // regression checks run over whichever rows the mode produced; the
+    // history line carries this run's e10 speedup for the next ratchet.
+    speedup_table_and_gate(&networks, &mut problems);
+    if let (Some(on), Some(trans)) = (
+        cpu_runs.iter().find(|r| r.decode_cache && !r.translate),
+        cpu_runs.iter().find(|r| r.translate),
+    ) {
+        check_mips_regression(smoke, on, trans, &networks, &mut problems);
     }
 
     println!("hostperf: static cost model vs emulator");

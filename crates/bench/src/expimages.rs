@@ -1,4 +1,4 @@
-//! Registry of everything the experiment binaries (e01–e15) execute,
+//! Registry of everything the experiment binaries (e01–e16) execute,
 //! reconstructed for static analysis: the hand-assembled I1 images and
 //! the generated occam sources. `lint_corpus` runs the CFG-based
 //! bytecode verifier over every image and the full lint stack over
@@ -11,11 +11,11 @@
 //! captured from the binaries, so they stay in lock-step with the
 //! experiment sources by construction. Experiments that only exercise
 //! the link layer (e07) or run corpus/occam programs covered elsewhere
-//! (e09–e12, e15) contribute no raw image.
+//! (e09–e12, e15, e16) contribute no raw image.
 
 use transputer::instr::{encode, encode_op, Direct, Op};
 use transputer::memory::{LINK_IN_BASE, LINK_OUT_BASE};
-use transputer_apps::dbsearch::{self, DbSearchConfig};
+use transputer_apps::dbsearch::{self, DbSearchConfig, HypercubeConfig};
 use transputer_apps::workstation::{self, Placement, WorkstationConfig};
 
 /// A raw I1 image as an experiment executes it.
@@ -230,6 +230,9 @@ pub fn experiment_sources() -> Vec<(String, String)> {
     for (name, source) in dbsearch::array_sources(&DbSearchConfig::figure8()) {
         sources.push((format!("e09-{name}"), source));
     }
+    for (name, source) in dbsearch::hypercube_sources(&HypercubeConfig::hypercube256()) {
+        sources.push((format!("e16-{name}"), source));
+    }
     let wcfg = WorkstationConfig::default();
     for placement in Placement::ALL {
         for (i, source) in workstation::placement_sources(placement, &wcfg)
@@ -258,6 +261,13 @@ mod tests {
         }
         let sources = experiment_sources();
         assert!(sources.len() >= 3 + 18 + 6, "{} sources", sources.len());
+        // The e16 hypercube contributes its deduplicated node programs
+        // plus the two hosts.
+        let e16 = sources
+            .iter()
+            .filter(|(n, _)| n.starts_with("e16-"))
+            .count();
+        assert!(e16 >= 3, "{e16} e16 sources");
     }
 
     #[test]

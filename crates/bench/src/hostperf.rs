@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome};
-use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
+use transputer_apps::dbsearch::{DbSearch, DbSearchConfig, HypercubeConfig};
 use transputer_link::FaultPlan;
 use transputer_net::Engine;
 
@@ -36,6 +36,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "e13_mips",
     "e14_context_switch",
     "e15_wordlength",
+    "e16_hypercube256",
 ];
 
 /// One timed network simulation.
@@ -67,6 +68,13 @@ pub struct NetRun {
     /// `(blocks, enters, deopts, invalidations)`. Host-side only,
     /// excluded from the fingerprint.
     pub trans: (u64, u64, u64, u64),
+    /// Worker count the parallel engine would use on this network
+    /// (recorded for every engine so Parallel rows are interpretable
+    /// across machines). Host-side only, excluded from the fingerprint.
+    pub par_workers: usize,
+    /// Logical cores of the host that produced this row. Host-side
+    /// only, excluded from the fingerprint.
+    pub host_cores: usize,
 }
 
 impl NetRun {
@@ -88,8 +96,13 @@ fn fnv1a(hash: &mut u64, value: u64) {
     }
 }
 
-/// Build and run one search network, timing the run and fingerprinting
-/// every engine-visible outcome.
+/// Logical cores of this host (1 when the count is unavailable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Build and run one grid search network, timing the run and
+/// fingerprinting every engine-visible outcome.
 ///
 /// # Panics
 ///
@@ -103,7 +116,34 @@ pub fn run_network(bench: &'static str, config: DbSearchConfig, engine: Engine) 
         },
         ..config
     };
-    let mut sim = DbSearch::build(config).expect("benchmark network builds");
+    measure(
+        bench,
+        engine,
+        DbSearch::build(config).expect("benchmark network builds"),
+    )
+}
+
+/// [`run_network`] for a hypercube-of-clusters machine (e16).
+///
+/// # Panics
+///
+/// Panics if the network fails to build or faults while running.
+pub fn run_hypercube(bench: &'static str, config: HypercubeConfig, engine: Engine) -> NetRun {
+    let config = HypercubeConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..config.net.clone()
+        },
+        ..config
+    };
+    measure(
+        bench,
+        engine,
+        DbSearch::build_hypercube(config).expect("benchmark network builds"),
+    )
+}
+
+fn measure(bench: &'static str, engine: Engine, mut sim: DbSearch) -> NetRun {
     let start = Instant::now();
     let report = sim
         .run(100_000_000_000_000)
@@ -143,6 +183,8 @@ pub fn run_network(bench: &'static str, config: DbSearchConfig, engine: Engine) 
         fingerprint: hash,
         decode: net.decode_stats(),
         trans: net.trans_stats(),
+        par_workers: net.par_workers(),
+        host_cores: host_cores(),
     }
 }
 
@@ -299,6 +341,57 @@ pub fn figure8_smoke() -> DbSearchConfig {
 /// The e10 128-transputer board.
 pub fn board128() -> DbSearchConfig {
     DbSearchConfig::board128()
+}
+
+/// The e10 topology with a trimmed database, for debug-mode
+/// determinism sweeps over many worker counts.
+pub fn board128_smoke() -> DbSearchConfig {
+    DbSearchConfig {
+        records_per_node: 12,
+        requests: 3,
+        ..DbSearchConfig::board128()
+    }
+}
+
+/// The e16 256-node hypercube machine.
+pub fn hypercube256() -> HypercubeConfig {
+    HypercubeConfig::hypercube256()
+}
+
+/// An e16-shaped machine trimmed for debug-mode determinism sweeps:
+/// the full dimension count (all four anchor kinds exercised) over the
+/// smallest clusters.
+pub fn hypercube_smoke() -> HypercubeConfig {
+    HypercubeConfig {
+        side: 2,
+        records_per_node: 12,
+        requests: 3,
+        ..HypercubeConfig::hypercube256()
+    }
+}
+
+/// `config` with a uniform deterministic fault plan injected (hypercube
+/// variant of [`faulted`]).
+pub fn faulted_hypercube(config: HypercubeConfig, seed: u64, rate: f64) -> HypercubeConfig {
+    HypercubeConfig {
+        net: transputer_net::NetworkConfig {
+            fault: Some(FaultPlan::uniform(seed, rate)),
+            ..config.net.clone()
+        },
+        ..config
+    }
+}
+
+/// Parallel-engine speedup over the sliced engine for `bench`, when the
+/// run set holds both rows: `sliced_wall / parallel_wall`.
+pub fn parallel_speedup(networks: &[NetRun], bench: &str) -> Option<f64> {
+    let sliced = networks
+        .iter()
+        .find(|r| r.bench == bench && r.engine == Engine::Sliced)?;
+    let parallel = networks
+        .iter()
+        .find(|r| r.bench == bench && r.engine == Engine::Parallel)?;
+    Some(sliced.wall_ms / parallel.wall_ms)
 }
 
 /// Default per-packet fault rate for the faulted benchmark variants:
@@ -479,6 +572,16 @@ pub fn baseline_translated_mips(json: &str) -> Option<f64> {
     parse_field(entry, "emulated_mips")
 }
 
+/// Pull a numeric field out of the last non-empty line of a
+/// `BENCH_history.jsonl` body — the ratchet compares each smoke run
+/// against the previous recorded run, not just the committed baseline.
+/// `None` when the history is empty or the field is absent (older
+/// history lines predate some fields).
+pub fn history_last_field(jsonl: &str, field: &str) -> Option<f64> {
+    let line = jsonl.lines().rev().find(|l| !l.trim().is_empty())?;
+    parse_field(line, field)
+}
+
 fn parse_field(line: &str, field: &str) -> Option<f64> {
     let rest = line.split(&format!("\"{field}\": ")).nth(1)?;
     let num: String = rest
@@ -582,6 +685,7 @@ pub fn to_json(
              \"decode_hits\": {}, \"decode_misses\": {}, \"decode_invalidations\": {}, \
              \"decode_bypasses\": {}, \"trans_blocks\": {}, \"trans_enters\": {}, \
              \"trans_deopts\": {}, \"trans_invalidations\": {}, \
+             \"par_workers\": {}, \"host_cores\": {}, \
              \"answers_ok\": {}, \"fingerprint\": \"{:016x}\"}}{comma}\n",
             r.bench,
             r.engine,
@@ -599,6 +703,8 @@ pub fn to_json(
             r.trans.1,
             r.trans.2,
             r.trans.3,
+            r.par_workers,
+            r.host_cores,
             r.answers_ok,
             r.fingerprint,
         ));
@@ -617,16 +723,35 @@ pub fn to_json(
         let sliced = networks
             .iter()
             .find(|r| r.bench == bench && r.engine == Engine::Sliced);
-        if let (Some(e), Some(s)) = (event, sliced) {
-            lines.push(format!(
-                "    {{\"bench\": \"{bench}\", \"event_wall_ms\": {:.1}, \
-                 \"sliced_wall_ms\": {:.1}, \"speedup\": {:.2}, \"identical\": {}}}",
+        let parallel = networks
+            .iter()
+            .find(|r| r.bench == bench && r.engine == Engine::Parallel);
+        let Some(s) = sliced else { continue };
+        let mut entry = format!(
+            "    {{\"bench\": \"{bench}\", \"sliced_wall_ms\": {:.1}",
+            s.wall_ms
+        );
+        if let Some(e) = event {
+            entry.push_str(&format!(
+                ", \"event_wall_ms\": {:.1}, \"speedup\": {:.2}, \"identical\": {}",
                 e.wall_ms,
-                s.wall_ms,
                 e.wall_ms / s.wall_ms,
                 e.fingerprint == s.fingerprint,
             ));
         }
+        if let Some(p) = parallel {
+            entry.push_str(&format!(
+                ", \"parallel_wall_ms\": {:.1}, \"parallel_speedup\": {:.2}, \
+                 \"parallel_identical\": {}, \"par_workers\": {}, \"host_cores\": {}",
+                p.wall_ms,
+                s.wall_ms / p.wall_ms,
+                p.fingerprint == s.fingerprint,
+                p.par_workers,
+                p.host_cores,
+            ));
+        }
+        entry.push('}');
+        lines.push(entry);
     }
     out.push_str(&lines.join(",\n"));
     if !lines.is_empty() {
@@ -656,6 +781,24 @@ mod tests {
         let json = to_json(true, &[], &[], &[], &runs, &problems);
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"parallel_speedup\""));
+        assert!(json.contains("\"parallel_identical\": true"));
+        assert!(json.contains("\"par_workers\""));
+        assert!(json.contains("\"host_cores\""));
+        assert!(parallel_speedup(&runs, "e09_figure8_smoke").is_some());
+    }
+
+    #[test]
+    fn history_last_field_reads_the_last_line() {
+        let jsonl = "{\"cpu_mips\": 1.00, \"e10_parallel_speedup\": 0.90}\n\
+                     {\"cpu_mips\": 2.50, \"e10_parallel_speedup\": 1.75}\n";
+        assert_eq!(history_last_field(jsonl, "cpu_mips"), Some(2.5));
+        assert_eq!(
+            history_last_field(jsonl, "e10_parallel_speedup"),
+            Some(1.75)
+        );
+        assert_eq!(history_last_field(jsonl, "absent"), None);
+        assert_eq!(history_last_field("", "cpu_mips"), None);
     }
 
     #[test]

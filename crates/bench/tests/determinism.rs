@@ -7,15 +7,21 @@
 //!   [`Cpu::run_batched`] agree on halt cycle, instruction counters,
 //!   the checked global, and the complete final memory image;
 //! * the e09 16-node database-search network under all three
-//!   [`Engine`]s (plus the parallel engine with a forced worker count,
-//!   so its window-batching path runs even on single-core hosts):
+//!   [`Engine`]s (plus the parallel engine at forced worker counts
+//!   1, 2, 3 and 7, so its window-batching path runs even on
+//!   single-core hosts and at counts misaligned with the node count):
 //!   identical answers and answer times, per-node halt
 //!   cycle counts, per-wire delivered-byte counters, per-node
-//!   instruction counters (the stats audit), and final memory images.
+//!   instruction counters (the stats audit), and final memory images;
+//! * the same worker-count sweep on e10-shaped (128-node board) and
+//!   e16-shaped (64-node hypercube) machines with trimmed databases,
+//!   against a sliced-engine reference.
 
 use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome};
 use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
+use transputer_apps::DbSearchReport;
 use transputer_bench::corpus::CORPUS;
+use transputer_bench::hostperf::{board128_smoke, hypercube_smoke};
 use transputer_link::FaultPlan;
 use transputer_net::Engine;
 
@@ -23,6 +29,56 @@ fn full_image(cpu: &Cpu) -> Vec<u8> {
     let base = cpu.memory().base();
     let len = cpu.memory().size() as usize;
     cpu.memory().dump(base, len).expect("whole memory dumps")
+}
+
+/// One engine/worker-count variant must match the reference run on
+/// every observable: answers, arrival times, the stats audit, per-node
+/// halt cycles, instruction counters, memory images, and per-wire
+/// delivered-byte counters.
+fn assert_run_matches(
+    label: &str,
+    sim: &DbSearch,
+    report: &DbSearchReport,
+    base_sim: &DbSearch,
+    base_report: &DbSearchReport,
+) {
+    let net = sim.network();
+    let base_net = base_sim.network();
+    assert_eq!(report.answers, base_report.answers, "{label}: answers");
+    assert_eq!(
+        report.answer_times_ns, base_report.answer_times_ns,
+        "{label}: answer arrival times"
+    );
+    assert_eq!(
+        report.total_instructions, base_report.total_instructions,
+        "{label}: stats audit (instruction totals)"
+    );
+    assert_eq!(net.len(), base_net.len());
+    for id in 0..net.len() {
+        assert_eq!(
+            net.node(id).cycles(),
+            base_net.node(id).cycles(),
+            "{label}: node {id} halt cycle count"
+        );
+        assert_eq!(
+            net.node(id).stats().instructions,
+            base_net.node(id).stats().instructions,
+            "{label}: node {id} instruction counter"
+        );
+        assert_eq!(
+            full_image(net.node(id)),
+            full_image(base_net.node(id)),
+            "{label}: node {id} memory image"
+        );
+    }
+    assert_eq!(net.wire_count(), base_net.wire_count());
+    for w in 0..net.wire_count() {
+        assert_eq!(
+            net.wire_delivered(w),
+            base_net.wire_delivered(w),
+            "{label}: wire {w} delivered-byte counters"
+        );
+    }
 }
 
 #[test]
@@ -217,14 +273,19 @@ fn e09_network_agrees_across_all_engines() {
         ..DbSearchConfig::figure8()
     };
 
-    // (engine, forced worker count). The last entry forces the
+    // (engine, forced worker count). The forced counts exercise the
     // parallel engine's window-batching path even on single-core CI
-    // hosts, where it would otherwise fall back to the sliced loop.
+    // hosts (where it would otherwise fall back to the sliced loop),
+    // at counts deliberately misaligned with the 18-node machine so
+    // chunk boundaries land everywhere.
     let variants = [
         (Engine::Event, None),
         (Engine::Sliced, None),
         (Engine::Parallel, None),
+        (Engine::Parallel, Some(1)),
         (Engine::Parallel, Some(2)),
+        (Engine::Parallel, Some(3)),
+        (Engine::Parallel, Some(7)),
     ];
     let mut runs = Vec::new();
     for (engine, workers) in variants {
@@ -235,52 +296,82 @@ fn e09_network_agrees_across_all_engines() {
         let report = sim.run(1_000_000_000_000).expect("runs");
         assert!(
             report.all_correct(),
-            "{engine:?}: answers {:?} != expected {:?}",
+            "{engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
             report.answers,
             report.expected
         );
-        runs.push((engine, sim, report));
+        runs.push((engine, workers, sim, report));
     }
 
-    let (_, ref base_sim, ref base_report) = runs[0];
-    let base_net = base_sim.network();
-    for (engine, sim, report) in &runs[1..] {
-        let net = sim.network();
-        assert_eq!(report.answers, base_report.answers, "{engine:?}");
-        assert_eq!(
-            report.answer_times_ns, base_report.answer_times_ns,
-            "{engine:?}: answer arrival times"
+    let (_, _, ref base_sim, ref base_report) = runs[0];
+    for (engine, workers, sim, report) in &runs[1..] {
+        let label = format!("{engine:?} ({workers:?} workers)");
+        assert_run_matches(&label, sim, report, base_sim, base_report);
+    }
+}
+
+#[test]
+fn e10_board_is_worker_count_invariant() {
+    // The e10 16×8 board with a trimmed database: sliced engine as
+    // reference, then the parallel engine at worker counts 1, 2, 3
+    // and 7 — odd counts misaligned with the 130-node machine so the
+    // work-stealing chunk boundaries land at different nodes in every
+    // window.
+    let config = |engine| DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..board128_smoke()
+    };
+    let mut base = DbSearch::build(config(Engine::Sliced)).expect("builds");
+    let base_report = base.run(1_000_000_000_000).expect("runs");
+    assert!(base_report.all_correct(), "sliced reference");
+    for workers in [1usize, 2, 3, 7] {
+        let mut sim = DbSearch::build(config(Engine::Parallel)).expect("builds");
+        sim.network_mut().set_par_workers(workers);
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(report.all_correct(), "parallel, {workers} workers");
+        assert_run_matches(
+            &format!("parallel, {workers} workers"),
+            &sim,
+            &report,
+            &base,
+            &base_report,
         );
-        assert_eq!(
-            report.total_instructions, base_report.total_instructions,
-            "{engine:?}: stats audit (instruction totals)"
+    }
+}
+
+#[test]
+fn e16_hypercube_is_worker_count_invariant() {
+    // The e16-shaped machine (full dimension count over the smallest
+    // clusters: 64 nodes) with a trimmed database, swept over the same
+    // worker counts against the sliced reference. This pins the
+    // parallel engine's merge-order determinism on the hypercube
+    // wiring, where dimension links give nodes four active neighbours
+    // in distant index ranges.
+    let config = |engine| transputer_apps::dbsearch::HypercubeConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..hypercube_smoke()
+    };
+    let mut base = DbSearch::build_hypercube(config(Engine::Sliced)).expect("builds");
+    let base_report = base.run(1_000_000_000_000).expect("runs");
+    assert!(base_report.all_correct(), "sliced reference");
+    for workers in [1usize, 2, 3, 7] {
+        let mut sim = DbSearch::build_hypercube(config(Engine::Parallel)).expect("builds");
+        sim.network_mut().set_par_workers(workers);
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(report.all_correct(), "parallel, {workers} workers");
+        assert_run_matches(
+            &format!("parallel, {workers} workers"),
+            &sim,
+            &report,
+            &base,
+            &base_report,
         );
-        assert_eq!(net.len(), base_net.len());
-        for id in 0..net.len() {
-            assert_eq!(
-                net.node(id).cycles(),
-                base_net.node(id).cycles(),
-                "{engine:?}: node {id} halt cycle count"
-            );
-            assert_eq!(
-                net.node(id).stats().instructions,
-                base_net.node(id).stats().instructions,
-                "{engine:?}: node {id} instruction counter"
-            );
-            assert_eq!(
-                full_image(net.node(id)),
-                full_image(base_net.node(id)),
-                "{engine:?}: node {id} memory image"
-            );
-        }
-        assert_eq!(net.wire_count(), base_net.wire_count());
-        for w in 0..net.wire_count() {
-            assert_eq!(
-                net.wire_delivered(w),
-                base_net.wire_delivered(w),
-                "{engine:?}: wire {w} delivered-byte counters"
-            );
-        }
     }
 }
 
@@ -308,7 +399,10 @@ fn e09_network_agrees_across_engines_under_faults() {
         (Engine::Event, None),
         (Engine::Sliced, None),
         (Engine::Parallel, None),
+        (Engine::Parallel, Some(1)),
         (Engine::Parallel, Some(2)),
+        (Engine::Parallel, Some(3)),
+        (Engine::Parallel, Some(7)),
     ];
     let mut runs = Vec::new();
     for (engine, workers) in variants {
@@ -319,15 +413,15 @@ fn e09_network_agrees_across_engines_under_faults() {
         let report = sim.run(1_000_000_000_000).expect("runs");
         assert!(
             report.all_correct(),
-            "{engine:?}: answers {:?} != expected {:?}",
+            "{engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
             report.answers,
             report.expected
         );
         assert!(!report.degraded, "{engine:?}: retries must hide the faults");
-        runs.push((engine, sim, report));
+        runs.push((engine, workers, sim, report));
     }
 
-    let (_, ref base_sim, ref base_report) = runs[0];
+    let (_, _, ref base_sim, ref base_report) = runs[0];
     let base_net = base_sim.network();
     let base_retries: u64 = (0..base_net.len())
         .map(|id| base_net.node(id).stats().link_retries)
@@ -339,44 +433,17 @@ fn e09_network_agrees_across_engines_under_faults() {
         base_retries > 0,
         "the fault rate must be high enough to force retransmissions"
     );
-    for (engine, sim, report) in &runs[1..] {
+    for (engine, workers, sim, report) in &runs[1..] {
+        let label = format!("{engine:?} ({workers:?} workers)");
+        assert_run_matches(&label, sim, report, base_sim, base_report);
         let net = sim.network();
-        assert_eq!(report.answers, base_report.answers, "{engine:?}");
-        assert_eq!(
-            report.answer_times_ns, base_report.answer_times_ns,
-            "{engine:?}: answer arrival times under faults"
-        );
-        for id in 0..net.len() {
-            assert_eq!(
-                net.node(id).cycles(),
-                base_net.node(id).cycles(),
-                "{engine:?}: node {id} halt cycle count"
-            );
-            assert_eq!(
-                net.node(id).stats().instructions,
-                base_net.node(id).stats().instructions,
-                "{engine:?}: node {id} instruction counter"
-            );
-            assert_eq!(
-                full_image(net.node(id)),
-                full_image(base_net.node(id)),
-                "{engine:?}: node {id} memory image"
-            );
-        }
-        for w in 0..net.wire_count() {
-            assert_eq!(
-                net.wire_delivered(w),
-                base_net.wire_delivered(w),
-                "{engine:?}: wire {w} delivered-byte counters"
-            );
-        }
         let retries: u64 = (0..net.len())
             .map(|id| net.node(id).stats().link_retries)
             .sum();
         let rx_errors: u64 = (0..net.len())
             .map(|id| net.node(id).stats().link_rx_errors)
             .sum();
-        assert_eq!(retries, base_retries, "{engine:?}: retry counters");
-        assert_eq!(rx_errors, base_rx_errors, "{engine:?}: rx-error counters");
+        assert_eq!(retries, base_retries, "{label}: retry counters");
+        assert_eq!(rx_errors, base_rx_errors, "{label}: rx-error counters");
     }
 }

@@ -35,8 +35,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod par;
 pub mod sim;
 pub mod topology;
 
 pub use sim::{Engine, Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
-pub use topology::{grid, pipeline, ring, GridNet};
+pub use topology::{grid, hypercube, pipeline, ring, GridNet, HypercubeNet};

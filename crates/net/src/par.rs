@@ -1,0 +1,348 @@
+//! The parallel engine's persistent worker pool.
+//!
+//! The parallel engine runs each lookahead window's node slices
+//! concurrently. Spawning scoped threads per window makes the spawn/join
+//! cost part of every window — measurably the whole speedup on boards of
+//! a hundred-plus nodes — so the pool here is created **once per run**
+//! and reused: workers park on a condition variable between windows
+//! (a generation barrier), and each dispatched window is claimed in
+//! chunks off a shared atomic cursor, which gives work stealing without
+//! per-worker deques or third-party crates. A worker that finishes its
+//! chunk while another is stuck in a long slice simply claims the next
+//! chunk; granularity is a few chunks per claimer so the tail of a
+//! window balances.
+//!
+//! Results are written into pre-indexed [`Slot`]s, one per popped node in
+//! pop order, so the caller's merge loop never depends on claim order —
+//! that is what keeps the parallel engine byte-for-byte identical to the
+//! sliced engine at any worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use transputer::{Cpu, SliceOutcome};
+
+use crate::sim::MAX_SLICE_CYCLES;
+
+// The pool hands `&mut Cpu` access to worker threads; this compiles only
+// while `Cpu` stays plain owned data with no shared interior.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Cpu>();
+};
+
+/// Run one node slice: advance an idle node's clock to the pop time `t`,
+/// record the cycle count at entry, and run until `bound`. This is the
+/// single slice-execution path — the sequential engines, the pool's
+/// inline fallback, and the pool workers all run node slices through it.
+pub(crate) fn run_slice_kernel(cpu: &mut Cpu, t: u64, bound: u64) -> (u64, SliceOutcome) {
+    let cyc = cpu.cycle_time_ns();
+    if cpu.is_idle() {
+        cpu.advance_idle_to(t / cyc);
+    }
+    let pop_cycles = cpu.cycles();
+    // An instruction runs iff it *starts* before the bound; zero budget
+    // still runs one micro-step, matching the event engine at ties.
+    let budget = if bound > t {
+        (bound - t).div_ceil(cyc).min(MAX_SLICE_CYCLES)
+    } else {
+        0
+    };
+    (pop_cycles, cpu.run_slice(budget))
+}
+
+/// One node slice of a window: which node, its pop time and bound, and
+/// the result slot the merge reads. Slots are plain data (the node is an
+/// index, not a pointer), so holding them between windows is harmless.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Slot {
+    pub node: usize,
+    pub t: u64,
+    pub bound: u64,
+    pub pop_cycles: u64,
+    pub outcome: SliceOutcome,
+}
+
+fn run_slot(nodes: *mut Cpu, slot: &mut Slot) {
+    // SAFETY: the caller of `run_window` guarantees `nodes` is valid for
+    // every `slot.node` and that slot nodes are pairwise distinct, and
+    // the cursor hands out each slot exactly once per window — so this
+    // is the only live reference to this CPU.
+    let cpu = unsafe { &mut *nodes.add(slot.node) };
+    let (pop_cycles, outcome) = run_slice_kernel(cpu, slot.t, slot.bound);
+    slot.pop_cycles = pop_cycles;
+    slot.outcome = outcome;
+}
+
+/// A dispatched window, shared with the workers by value. The raw
+/// pointers stay valid for the whole claim phase because `run_window`
+/// blocks until every claimer has checked out.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    nodes: *mut Cpu,
+    slots: *mut Slot,
+    len: usize,
+    /// Claim granularity: slots per `fetch_add` on the cursor.
+    chunk: usize,
+}
+
+// SAFETY: `Window` is only ever read between a dispatch and the matching
+// drain barrier; the slice behind `slots` is exclusively partitioned by
+// the atomic cursor, and each slot's node is touched by one claimer.
+unsafe impl Send for Window {}
+
+/// Barrier state, guarded by one mutex.
+#[derive(Debug, Default)]
+struct Ctrl {
+    /// Bumped once per dispatched window; a worker runs each generation
+    /// at most once.
+    generation: u64,
+    /// The open window, if any.
+    window: Option<Window>,
+    /// Slots of the open window not yet completed.
+    remaining: usize,
+    /// Workers currently claiming from the open window.
+    claiming: usize,
+    /// A worker panicked inside a slice; the scheduler re-panics.
+    panicked: bool,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    /// Workers park here between windows.
+    dispatch: Condvar,
+    /// The scheduler parks here until the open window drains.
+    drained: Condvar,
+    /// Next unclaimed slot index of the open window.
+    cursor: AtomicUsize,
+}
+
+/// Claim chunks off the cursor until the window is exhausted; returns
+/// how many slots this claimer completed.
+fn claim_and_run(cursor: &AtomicUsize, win: Window) -> usize {
+    let mut done = 0;
+    loop {
+        let start = cursor.fetch_add(win.chunk, Ordering::Relaxed);
+        if start >= win.len {
+            return done;
+        }
+        let end = win.len.min(start + win.chunk);
+        for i in start..end {
+            // SAFETY: `start..end` indices come out of the cursor exactly
+            // once per window; see `Window`.
+            run_slot(win.nodes, unsafe { &mut *win.slots.add(i) });
+        }
+        done += end - start;
+    }
+}
+
+fn worker(shared: Arc<Shared>) {
+    let mut seen = 0u64;
+    loop {
+        let win = {
+            let mut g = shared.ctrl.lock().unwrap();
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.generation != seen {
+                    seen = g.generation;
+                    if let Some(win) = g.window {
+                        g.claiming += 1;
+                        break win;
+                    }
+                    // Generation already drained before we woke; skip it.
+                }
+                g = shared.dispatch.wait(g).unwrap();
+            }
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            claim_and_run(&shared.cursor, win)
+        }));
+        let mut g = shared.ctrl.lock().unwrap();
+        g.claiming -= 1;
+        match result {
+            Ok(done) => g.remaining -= done,
+            Err(_) => g.panicked = true,
+        }
+        if g.panicked || (g.remaining == 0 && g.claiming == 0) {
+            shared.drained.notify_one();
+        }
+        if g.panicked {
+            return;
+        }
+    }
+}
+
+/// Smallest window worth dispatching to the workers; below this the
+/// scheduler runs the slots inline (bit-identically — every slice runs
+/// against pre-window state either way, through the same kernel).
+const MIN_POOL_WINDOW: usize = 4;
+
+/// The persistent pool: `workers − 1` parked threads (the scheduling
+/// thread claims alongside them, so `workers` claimers run a window).
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize) -> WorkerPool {
+        let shared = Arc::new(Shared::default());
+        let threads = (1..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("net-par-{i}"))
+                    .spawn(move || worker(shared))
+                    .expect("spawn parallel-engine worker")
+            })
+            .collect();
+        WorkerPool { shared, threads }
+    }
+
+    /// Threads spawned over the pool's lifetime — fixed at construction
+    /// and reused for every window, which is the no-per-window-spawn
+    /// guarantee the pool-reuse tests pin.
+    pub(crate) fn spawned_threads(&self) -> u64 {
+        self.threads.len() as u64
+    }
+
+    /// Run a window: execute every slot, in any claim order, publishing
+    /// results in place. Returns with all slots complete and no worker
+    /// still touching them.
+    ///
+    /// # Safety contract (checked by the caller)
+    ///
+    /// `nodes` must be valid for indexing by every `slot.node`, and the
+    /// slots' nodes must be pairwise distinct.
+    pub(crate) fn run_window(&self, nodes: *mut Cpu, slots: &mut [Slot]) {
+        if self.threads.is_empty() || slots.len() < MIN_POOL_WINDOW {
+            for slot in slots.iter_mut() {
+                run_slot(nodes, slot);
+            }
+            return;
+        }
+        let claimers = self.threads.len() + 1;
+        let win = Window {
+            nodes,
+            slots: slots.as_mut_ptr(),
+            len: slots.len(),
+            chunk: (slots.len() / (claimers * 4)).max(1),
+        };
+        {
+            let mut g = self.shared.ctrl.lock().unwrap();
+            self.shared.cursor.store(0, Ordering::Relaxed);
+            g.generation += 1;
+            g.window = Some(win);
+            g.remaining = slots.len();
+            self.shared.dispatch.notify_all();
+        }
+        let done = claim_and_run(&self.shared.cursor, win);
+        let mut g = self.shared.ctrl.lock().unwrap();
+        g.remaining -= done;
+        while !g.panicked && (g.remaining > 0 || g.claiming > 0) {
+            g = self.shared.drained.wait(g).unwrap();
+        }
+        let panicked = g.panicked;
+        g.window = None;
+        drop(g);
+        assert!(!panicked, "a pool worker panicked while running a slice");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.ctrl.lock().unwrap();
+            g.shutdown = true;
+        }
+        self.shared.dispatch.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transputer::instr::{encode, encode_op, Direct, Op};
+    use transputer::CpuConfig;
+
+    /// A straight run of instructions ending in a halt, so `run_slice`
+    /// has real work per slot.
+    fn spin_program(iters: usize) -> Vec<u8> {
+        let mut code = Vec::new();
+        for i in 0..iters {
+            code.extend(encode(Direct::LoadConstant, i as i64));
+            code.extend(encode(Direct::StoreLocal, 1));
+        }
+        code.extend(encode_op(Op::HaltSimulation));
+        code
+    }
+
+    fn fresh_cpus(n: usize, iters: usize) -> Vec<Cpu> {
+        (0..n)
+            .map(|_| {
+                let mut cpu = Cpu::new(CpuConfig::t424());
+                cpu.load_boot_program(&spin_program(iters)).unwrap();
+                cpu
+            })
+            .collect()
+    }
+
+    fn slots_for(cpus: &[Cpu]) -> Vec<Slot> {
+        (0..cpus.len())
+            .map(|node| Slot {
+                node,
+                t: 0,
+                bound: u64::MAX,
+                pop_cycles: 0,
+                outcome: SliceOutcome::BudgetExpired,
+            })
+            .collect()
+    }
+
+    /// The pool runs every slot and matches a serial execution exactly,
+    /// over many windows, without spawning any further threads.
+    #[test]
+    fn pool_matches_serial_and_reuses_threads() {
+        let mut serial = fresh_cpus(16, 500);
+        for slot in slots_for(&serial).iter_mut() {
+            run_slot(serial.as_mut_ptr(), slot);
+        }
+
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.spawned_threads(), 3);
+        let mut pooled = fresh_cpus(16, 500);
+        let mut slots = slots_for(&pooled);
+        // Several windows over the same nodes: the first runs the spin
+        // loops to the halt, the rest are cheap re-runs of halted CPUs.
+        for _ in 0..50 {
+            pool.run_window(pooled.as_mut_ptr(), &mut slots);
+        }
+        assert_eq!(pool.spawned_threads(), 3, "windows must reuse workers");
+        for (s, p) in serial.iter().zip(&pooled) {
+            assert_eq!(s.cycles(), p.cycles());
+            assert_eq!(s.halt_reason(), p.halt_reason());
+        }
+    }
+
+    /// A single-worker pool has no threads and runs windows inline.
+    #[test]
+    fn single_worker_pool_spawns_nothing() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.spawned_threads(), 0);
+        let mut cpus = fresh_cpus(8, 100);
+        let mut slots = slots_for(&cpus);
+        pool.run_window(cpus.as_mut_ptr(), &mut slots);
+        for cpu in &cpus {
+            assert!(cpu.halt_reason().is_some());
+        }
+    }
+}

@@ -35,13 +35,15 @@ use transputer_link::{
     AckPolicy, DuplexLink, End, FaultPlan, LinkEvent, LinkProtocol, LinkSpeed, PacketKind,
 };
 
+use crate::par::{self, Slot, WorkerPool};
+
 /// Index of a node in a [`Network`].
 pub type NodeId = usize;
 
 /// Cap on a single slice, so an instruction-loop without interaction
 /// points still yields to the heap (and to `run_until` predicates /
 /// budget checks) every so often.
-const MAX_SLICE_CYCLES: u64 = 1 << 22;
+pub(crate) const MAX_SLICE_CYCLES: u64 = 1 << 22;
 
 /// Which execution engine a [`Network`] uses to advance time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,8 +53,9 @@ pub enum Engine {
     /// Conservative lookahead windows: one heap entry per node-slice.
     #[default]
     Sliced,
-    /// The sliced engine, with the node slices of each window run on
-    /// scoped threads. Bit-identical to `Sliced` (and so to `Event`).
+    /// The sliced engine, with the node slices of each window run on a
+    /// persistent worker pool ([`crate::par`]). Bit-identical to
+    /// `Sliced` (and so to `Event`) at any worker count.
     Parallel,
 }
 
@@ -253,7 +256,9 @@ impl NetworkBuilder {
 
     /// Finish: produce the network.
     pub fn build(self) -> Network {
-        let mut port_to_wire = vec![[usize::MAX; 4]; self.nodes.len()];
+        let n = self.nodes.len();
+        let mut port_to_wire = vec![[usize::MAX; 4]; n];
+        let mut peers = vec![[usize::MAX; 4]; n];
         let speed = self.config.link_speed;
         let fault = self.config.fault.clone();
         let wires: Vec<Wire> = self
@@ -271,6 +276,8 @@ impl NetworkBuilder {
                 };
                 port_to_wire[a.0][a.1] = i;
                 port_to_wire[b.0][b.1] = i;
+                peers[a.0][a.1] = b.0;
+                peers[b.0][b.1] = a.0;
                 Wire {
                     link,
                     ends: [a, b],
@@ -282,7 +289,6 @@ impl NetworkBuilder {
                 }
             })
             .collect();
-        let n = self.nodes.len();
         let w = wires.len();
         let protocol = if fault.is_some() {
             LinkProtocol::Robust
@@ -300,17 +306,23 @@ impl NetworkBuilder {
             None => (0, 0),
         };
         let robust = fault.is_some();
+        let hot = NodeHot {
+            scheduled: vec![false; n],
+            next_ns: vec![0; n],
+            ports: port_to_wire,
+            peers,
+            cycle_ns: self.nodes.iter().map(|c| c.cycle_time_ns()).collect(),
+            tx_flight: vec![0; n],
+            ea: vec![[EaState::default(); 4]; n],
+        };
         let mut net = Network {
             config: self.config,
             nodes: self.nodes,
             wires,
-            port_to_wire,
+            hot,
             queue: BinaryHeap::new(),
             seq: 0,
             now_ns: 0,
-            node_scheduled: vec![false; n],
-            node_next_ns: vec![0; n],
-            ea: vec![[EaState::default(); 4]; n],
             ea_primed: false,
             horizon_ns: None,
             data_ns,
@@ -320,6 +332,8 @@ impl NetworkBuilder {
             max_retries,
             wire_next: vec![u64::MAX; w],
             par_workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            pool: None,
+            scratch: WindowScratch::default(),
         };
         for i in 0..n {
             net.schedule_node(i, 0);
@@ -334,24 +348,61 @@ enum Actor {
     Wire(usize),
 }
 
+/// The hot side of the per-node state split: everything the sliced
+/// engines' sweep reads per node while planning windows and slice
+/// bounds, kept as dense arrays. Computing one node's bound touches
+/// this state for the node *and each of its peers*; keeping those few
+/// words contiguous instead of striding through the multi-kilobyte
+/// [`Cpu`] structs (the cold side: memory images, register state, link
+/// engines, stats, caches) keeps the sweep inside a handful of cache
+/// lines per node.
+#[derive(Debug, Default)]
+struct NodeHot {
+    /// Guards against flooding the queue with duplicate node events.
+    scheduled: Vec<bool>,
+    /// The heap time of each scheduled node (valid while `scheduled`);
+    /// feeds the peer-activity bound.
+    next_ns: Vec<u64>,
+    /// Wire index per port (`usize::MAX` = unwired).
+    ports: Vec<[usize; 4]>,
+    /// Peer node per port (`usize::MAX` = unwired).
+    peers: Vec<[usize; 4]>,
+    /// Each node's cycle time in ns (fixed at construction), hoisted
+    /// out of `Cpu` for the bound arithmetic.
+    cycle_ns: Vec<u64>,
+    /// Bitmask of ports with a transmit byte in flight, mirrored from
+    /// link state by [`Network::refresh_tx_flight`]. The mirror must be
+    /// exact where bounds are computed: a spurious set bit would only
+    /// shorten a bound (safe), but a missing one would lengthen it past
+    /// an acknowledge arrival (unsafe) — hence the eager refresh at
+    /// every point link-transmit state can change.
+    tx_flight: Vec<u8>,
+    /// Early-acknowledge history per port (sliced engines).
+    ea: Vec<[EaState; 4]>,
+}
+
+/// Reusable parallel-window buffers: cleared and refilled each window,
+/// so steady-state windows allocate nothing.
+#[derive(Debug, Default)]
+struct WindowScratch {
+    /// Popped `(time, node)` pairs of the open window.
+    batch: Vec<(u64, usize)>,
+    /// Planned slices with their bounds and result slots, in pop order.
+    slots: Vec<Slot>,
+}
+
 /// A running network of transputers.
 #[derive(Debug)]
 pub struct Network {
     config: NetworkConfig,
     nodes: Vec<Cpu>,
     wires: Vec<Wire>,
-    port_to_wire: Vec<[usize; 4]>,
+    /// Dense per-node scheduling state (the hot side of the node split).
+    hot: NodeHot,
     queue: BinaryHeap<Reverse<(u64, u64, Actor)>>,
     seq: u64,
     now_ns: u64,
-    /// Guards against flooding the queue with duplicate node events.
-    node_scheduled: Vec<bool>,
-    /// The heap time of each scheduled node (valid while
-    /// `node_scheduled`); feeds the peer-activity bound.
-    node_next_ns: Vec<u64>,
-    /// Early-acknowledge history per node per port (sliced engines).
-    ea: Vec<[EaState; 4]>,
-    /// Whether `ea` has been initialised from live link state.
+    /// Whether `hot.ea` has been initialised from live link state.
     ea_primed: bool,
     /// Hard upper bound on slice extents during `run_for`/`run_until`.
     horizon_ns: Option<u64>,
@@ -371,6 +422,11 @@ pub struct Network {
     wire_next: Vec<u64>,
     /// Host threads available to the parallel engine (cached once).
     par_workers: usize,
+    /// The parallel engine's persistent worker pool: created at the
+    /// first dispatched window, then reused for every later window.
+    pool: Option<WorkerPool>,
+    /// Reusable window-construction buffers (parallel engine).
+    scratch: WindowScratch,
 }
 
 impl Network {
@@ -401,13 +457,30 @@ impl Network {
         self.ea_primed = false;
     }
 
-    /// Override the parallel engine's cached host-thread count. Intended
-    /// for tests that must exercise the window-batching path on hosts
-    /// without real parallelism; the engines are bit-identical either
-    /// way.
+    /// Override the parallel engine's cached host-thread count (clamped
+    /// to at least one). Intended for tests that must exercise the
+    /// window-batching path at a specific width; the engines are
+    /// bit-identical at every worker count. Drops any existing pool so
+    /// the next window recreates it at the new width.
     #[doc(hidden)]
     pub fn set_par_workers(&mut self, workers: usize) {
         self.par_workers = workers.max(1);
+        self.pool = None;
+    }
+
+    /// The parallel engine's worker count (host threads per window,
+    /// including the scheduling thread).
+    pub fn par_workers(&self) -> usize {
+        self.par_workers
+    }
+
+    /// Threads the parallel engine's persistent pool has spawned: zero
+    /// before the first dispatched window, then exactly
+    /// `par_workers − 1` for the rest of the run — windows park and
+    /// reuse the workers rather than respawning them, which the
+    /// pool-reuse tests pin.
+    pub fn pool_spawned_threads(&self) -> u64 {
+        self.pool.as_ref().map_or(0, WorkerPool::spawned_threads)
     }
 
     /// Immutable access to a node.
@@ -493,9 +566,9 @@ impl Network {
     }
 
     fn schedule_node(&mut self, node: usize, at: u64) {
-        if !self.node_scheduled[node] {
-            self.node_scheduled[node] = true;
-            self.node_next_ns[node] = at;
+        if !self.hot.scheduled[node] {
+            self.hot.scheduled[node] = true;
+            self.hot.next_ns[node] = at;
             self.seq += 1;
             self.queue.push(Reverse((at, self.seq, Actor::Node(node))));
         }
@@ -536,7 +609,7 @@ impl Network {
             return;
         }
         for port in 0..4 {
-            let w = self.port_to_wire[node][port];
+            let w = self.hot.ports[node][port];
             if w == usize::MAX {
                 continue;
             }
@@ -558,6 +631,7 @@ impl Network {
                 self.process_wire(w);
             }
         }
+        self.refresh_tx_flight(node);
     }
 
     /// Drain a wire's due events and route them to the endpoint CPUs.
@@ -624,7 +698,22 @@ impl Network {
     }
 
     fn node_cycle_ns(&self, node: usize) -> u64 {
-        self.nodes[node].cycle_time_ns()
+        self.hot.cycle_ns[node]
+    }
+
+    /// Mirror a node's transmit-in-flight link state into the hot
+    /// array. Called wherever that state can change — the link service
+    /// paths, which every acknowledge delivery funnels through — so the
+    /// bound computations never read stale bits (see [`NodeHot`]).
+    fn refresh_tx_flight(&mut self, node: usize) {
+        let mut mask = 0u8;
+        for port in 0..4 {
+            if self.hot.ports[node][port] != usize::MAX && self.nodes[node].link_tx_in_flight(port)
+            {
+                mask |= 1 << port;
+            }
+        }
+        self.hot.tx_flight[node] = mask;
     }
 
     /// Advance the simulation by exactly one event. Returns false when
@@ -643,7 +732,7 @@ impl Network {
                 }
             }
             Actor::Node(n) => {
-                self.node_scheduled[n] = false;
+                self.hot.scheduled[n] = false;
                 if self.nodes[n].is_idle() {
                     // Bring the idle node's local clock up to global time
                     // (this may wake timer waits that are now due).
@@ -690,16 +779,17 @@ impl Network {
         self.ea_primed = true;
         for node in 0..self.nodes.len() {
             for port in 0..4 {
-                if self.port_to_wire[node][port] == usize::MAX {
+                if self.hot.ports[node][port] == usize::MAX {
                     continue;
                 }
                 let live = self.nodes[node].link_rx_early_ack(port);
-                self.ea[node][port] = EaState {
+                self.hot.ea[node][port] = EaState {
                     last: live,
                     stamp: self.now_ns,
                     prev: live,
                 };
             }
+            self.refresh_tx_flight(node);
         }
     }
 
@@ -707,11 +797,11 @@ impl Network {
     /// with the instruction (or wire event) that caused it.
     fn refresh_ea(&mut self, node: usize, stamp: u64) {
         for port in 0..4 {
-            if self.port_to_wire[node][port] == usize::MAX {
+            if self.hot.ports[node][port] == usize::MAX {
                 continue;
             }
             let live = self.nodes[node].link_rx_early_ack(port);
-            let e = &mut self.ea[node][port];
+            let e = &mut self.hot.ea[node][port];
             if live != e.last {
                 e.prev = e.last;
                 e.stamp = stamp;
@@ -724,7 +814,7 @@ impl Network {
     /// `stamp`? Current state answers for stamps at or after the latest
     /// recorded change; the one-deep history answers for older probes.
     fn ea_at(&self, node: usize, port: usize, stamp: u64) -> bool {
-        let e = &self.ea[node][port];
+        let e = &self.hot.ea[node][port];
         if stamp >= e.stamp {
             self.nodes[node].link_rx_early_ack(port)
         } else {
@@ -737,8 +827,8 @@ impl Network {
     /// faster than the heap frontier plus one acknowledge flight).
     fn peer_activity_ns(&self, m: usize, t_peek: Option<u64>, batch: &[(u64, usize)]) -> u64 {
         let mut act = u64::MAX;
-        if self.node_scheduled[m] {
-            act = self.node_next_ns[m];
+        if self.hot.scheduled[m] {
+            act = self.hot.next_ns[m];
         }
         for &(tb, nb) in batch {
             if nb == m {
@@ -746,7 +836,7 @@ impl Network {
             }
         }
         for port in 0..4 {
-            let w = self.port_to_wire[m][port];
+            let w = self.hot.ports[m][port];
             if w != usize::MAX {
                 act = act.min(self.wire_next[w]);
             }
@@ -757,15 +847,11 @@ impl Network {
             if tp.saturating_add(self.ack_ns.min(self.data_ns)) < act {
                 // An acknowledge can only land on a port whose transmit
                 // is in flight; any other first arrival is a data packet.
-                let mut hop_in = self.data_ns;
-                for port in 0..4 {
-                    if self.port_to_wire[m][port] != usize::MAX
-                        && self.nodes[m].link_tx_in_flight(port)
-                    {
-                        hop_in = hop_in.min(self.ack_ns);
-                        break;
-                    }
-                }
+                let hop_in = if self.hot.tx_flight[m] != 0 {
+                    self.ack_ns
+                } else {
+                    self.data_ns
+                };
                 act = act.min(tp.saturating_add(hop_in));
             }
         }
@@ -779,16 +865,15 @@ impl Network {
     fn slice_bound_ns(&self, node: usize, t_peek: Option<u64>, batch: &[(u64, usize)]) -> u64 {
         let mut direct = u64::MAX;
         for port in 0..4 {
-            let w = self.port_to_wire[node][port];
+            let w = self.hot.ports[node][port];
             if w == usize::MAX {
                 continue;
             }
             direct = direct.min(self.wire_next[w]);
-            let (a, b) = (self.wires[w].ends[0], self.wires[w].ends[1]);
-            let peer = if a == (node, port) { b.0 } else { a.0 };
+            let peer = self.hot.peers[node][port];
             // The first packet the peer could land on this node: an
             // acknowledge if our byte is on the wire, else a data byte.
-            let hop = if self.nodes[node].link_tx_in_flight(port) {
+            let hop = if self.hot.tx_flight[node] & (1 << port) != 0 {
                 self.ack_ns
             } else {
                 self.data_ns
@@ -799,25 +884,12 @@ impl Network {
         self.horizon_ns.unwrap_or(u64::MAX).min(direct)
     }
 
-    /// Run one slice of `node`, popped at heap time `t`. Advances an idle
+    /// Run one slice of `node`, popped at heap time `t`, through the
+    /// engine-shared kernel ([`par::run_slice_kernel`]): advance an idle
     /// node's clock first, exactly as the event engine does at a pop.
     /// Returns what the slice did plus the node's cycle count at entry.
     fn run_node_slice(&mut self, node: usize, t: u64, bound: u64) -> (u64, SliceOutcome) {
-        let cyc = self.node_cycle_ns(node);
-        if self.nodes[node].is_idle() {
-            self.nodes[node].advance_idle_to(t / cyc);
-        }
-        let pop_cycles = self.nodes[node].cycles();
-        // An instruction runs iff it *starts* before the bound; zero
-        // budget still runs one micro-step, matching the event engine's
-        // behaviour at ties.
-        let budget = if bound > t {
-            (bound - t).div_ceil(cyc).min(MAX_SLICE_CYCLES)
-        } else {
-            0
-        };
-        let outcome = self.nodes[node].run_slice(budget);
-        (pop_cycles, outcome)
+        par::run_slice_kernel(&mut self.nodes[node], t, bound)
     }
 
     /// Apply a finished slice: stamp and service link activity, record
@@ -879,7 +951,7 @@ impl Network {
     /// events at their stamps instead of resolved inline.
     fn service_node_links_at(&mut self, node: usize, stamp: u64) {
         for port in 0..4 {
-            let w = self.port_to_wire[node][port];
+            let w = self.hot.ports[node][port];
             if w == usize::MAX {
                 continue;
             }
@@ -923,6 +995,7 @@ impl Network {
                 self.schedule_wire(w);
             }
         }
+        self.refresh_tx_flight(node);
     }
 
     /// Fire any due retransmissions on a wire (robust protocol). Called
@@ -1063,7 +1136,7 @@ impl Network {
             return false;
         }
         let node_pending =
-            (0..self.nodes.len()).any(|n| self.node_scheduled[n] && self.node_next_ns[n] == t);
+            (0..self.nodes.len()).any(|n| self.hot.scheduled[n] && self.hot.next_ns[n] == t);
         if node_pending {
             self.seq += 1;
             self.queue.push(Reverse((t, self.seq, Actor::Wire(w))));
@@ -1153,7 +1226,7 @@ impl Network {
                 }
             }
             Actor::Node(n) => {
-                self.node_scheduled[n] = false;
+                self.hot.scheduled[n] = false;
                 let t_peek = self.queue.peek().map(|Reverse((pt, _, _))| *pt);
                 let bound = self.slice_bound_ns(n, t_peek, &[]);
                 let (pop_cycles, outcome) = self.run_node_slice(n, t, bound);
@@ -1165,8 +1238,10 @@ impl Network {
 
     /// Advance by one heap event under the parallel engine. Consecutive
     /// node entries at the heap top form a window whose slices run on
-    /// scoped threads; their results are merged in pop order, so the
-    /// result is bit-identical to [`Engine::Sliced`].
+    /// the persistent worker pool; results land in pre-indexed slots
+    /// and are merged in pop order, so the result is bit-identical to
+    /// [`Engine::Sliced`]. With one worker (no host parallelism) the
+    /// pool runs the same slots inline — one shared path either way.
     fn step_parallel(&mut self) -> Result<bool, SimError> {
         self.prime_ea();
         let Reverse((t0, _, actor)) = match self.queue.pop() {
@@ -1184,18 +1259,21 @@ impl Network {
             }
             Actor::Node(n) => n,
         };
-        self.node_scheduled[n0] = false;
+        self.hot.scheduled[n0] = false;
         let window_end = t0.saturating_add(self.ack_ns.min(self.data_ns));
-        let mut batch: Vec<(u64, usize)> = vec![(t0, n0)];
+        let mut batch = std::mem::take(&mut self.scratch.batch);
+        batch.clear();
+        batch.push((t0, n0));
         while let Some(&Reverse((t, _, Actor::Node(n)))) = self.queue.peek() {
             if t > window_end {
                 break;
             }
             self.queue.pop();
-            self.node_scheduled[n] = false;
+            self.hot.scheduled[n] = false;
             batch.push((t, n));
         }
         if batch.len() == 1 {
+            self.scratch.batch = batch;
             let t_peek = self.queue.peek().map(|Reverse((pt, _, _))| *pt);
             let bound = self.slice_bound_ns(n0, t_peek, &[]);
             let (pop_cycles, outcome) = self.run_node_slice(n0, t0, bound);
@@ -1207,12 +1285,8 @@ impl Network {
         // Bounds are computed against pre-window state; a batch member's
         // own influence on its neighbours is covered by its pop time
         // appearing in `batch` (its sends are stamped no earlier).
-        struct Plan {
-            node: usize,
-            t: u64,
-            bound: u64,
-        }
-        let mut plans: Vec<Plan> = Vec::with_capacity(batch.len());
+        let mut slots = std::mem::take(&mut self.scratch.slots);
+        slots.clear();
         for (i, &(t, n)) in batch.iter().enumerate() {
             let other_min = batch
                 .iter()
@@ -1225,77 +1299,30 @@ impl Network {
                 (a, b) => a.or(b),
             };
             let bound = self.slice_bound_ns(n, t_peek, &batch);
-            plans.push(Plan { node: n, t, bound });
-        }
-        let workers = self.par_workers.min(plans.len()).max(1);
-        let mut results: Vec<(u64, SliceOutcome)> = Vec::with_capacity(plans.len());
-        // Thread spawns only pay off with real parallelism and enough
-        // work per window; small windows run inline, bit-identically:
-        // every slice runs against pre-window state either way, and
-        // results merge in pop order below.
-        if workers == 1 || plans.len() < 4 {
-            for plan in &plans {
-                results.push(self.run_node_slice(plan.node, plan.t, plan.bound));
-            }
-        } else {
-            let mut plan_of_node = vec![usize::MAX; self.nodes.len()];
-            for (pi, plan) in plans.iter().enumerate() {
-                plan_of_node[plan.node] = pi;
-            }
-            struct Job<'a> {
-                plan: usize,
-                cpu: &'a mut Cpu,
-                t: u64,
-                bound: u64,
-                pop_cycles: u64,
-                outcome: SliceOutcome,
-            }
-            let mut jobs: Vec<Job> = self
-                .nodes
-                .iter_mut()
-                .enumerate()
-                .filter_map(|(n, cpu)| {
-                    let pi = plan_of_node[n];
-                    (pi != usize::MAX).then(|| Job {
-                        plan: pi,
-                        cpu,
-                        t: plans[pi].t,
-                        bound: plans[pi].bound,
-                        pop_cycles: 0,
-                        outcome: SliceOutcome::BudgetExpired,
-                    })
-                })
-                .collect();
-            let chunk = jobs.len().div_ceil(workers);
-            std::thread::scope(|s| {
-                for ch in jobs.chunks_mut(chunk) {
-                    s.spawn(move || {
-                        for j in ch.iter_mut() {
-                            let cyc = j.cpu.cycle_time_ns();
-                            if j.cpu.is_idle() {
-                                j.cpu.advance_idle_to(j.t / cyc);
-                            }
-                            j.pop_cycles = j.cpu.cycles();
-                            let budget = if j.bound > j.t {
-                                (j.bound - j.t).div_ceil(cyc).min(MAX_SLICE_CYCLES)
-                            } else {
-                                0
-                            };
-                            j.outcome = j.cpu.run_slice(budget);
-                        }
-                    });
-                }
+            slots.push(Slot {
+                node: n,
+                t,
+                bound,
+                pop_cycles: 0,
+                outcome: SliceOutcome::BudgetExpired,
             });
-            results.resize(plans.len(), (0, SliceOutcome::BudgetExpired));
-            for j in &jobs {
-                results[j.plan] = (j.pop_cycles, j.outcome);
+        }
+        let workers = self.par_workers;
+        let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+        // Slot nodes are pairwise distinct: `schedule_node` admits one
+        // heap entry per node and the batching loop clears `scheduled`
+        // as it pops, satisfying `run_window`'s safety contract.
+        pool.run_window(self.nodes.as_mut_ptr(), &mut slots);
+        let mut result = Ok(true);
+        for slot in &slots {
+            if let Err(e) = self.finish_slice(slot.node, slot.t, slot.pop_cycles, slot.outcome) {
+                result = Err(e);
+                break;
             }
         }
-        for (pi, plan) in plans.iter().enumerate() {
-            let (pop_cycles, outcome) = results[pi];
-            self.finish_slice(plan.node, plan.t, pop_cycles, outcome)?;
-        }
-        Ok(true)
+        self.scratch.batch = batch;
+        self.scratch.slots = slots;
+        result
     }
 
     /// Advance by one event under the configured engine.
@@ -1303,16 +1330,7 @@ impl Network {
         match self.config.engine {
             Engine::Event => self.step_event(),
             Engine::Sliced => self.step_sliced(),
-            Engine::Parallel => {
-                if self.par_workers > 1 {
-                    self.step_parallel()
-                } else {
-                    // No host parallelism: window batching only shortens
-                    // slices. The sequential sliced step is the same
-                    // algorithm with a window of one.
-                    self.step_sliced()
-                }
-            }
+            Engine::Parallel => self.step_parallel(),
         }
     }
 
@@ -1591,5 +1609,57 @@ mod tests {
         );
         let w = net.node(rx).default_boot_workspace() + 4;
         assert_eq!(net.node_mut(rx).peek_word(w).unwrap(), 0x0403_0201);
+    }
+
+    /// `set_par_workers` clamps to at least one worker.
+    #[test]
+    fn par_workers_clamps_to_one() {
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        b.add_node();
+        let mut net = b.build();
+        net.set_par_workers(0);
+        assert_eq!(net.par_workers(), 1);
+        net.set_par_workers(7);
+        assert_eq!(net.par_workers(), 7);
+    }
+
+    /// The parallel engine creates its worker pool once and reuses it:
+    /// after a run full of multi-node windows, exactly `workers - 1`
+    /// threads have ever been spawned.
+    #[test]
+    fn parallel_windows_reuse_one_pool() {
+        let mut b = NetworkBuilder::new(NetworkConfig {
+            engine: Engine::Parallel,
+            ..NetworkConfig::default()
+        });
+        // Four sender/receiver pairs: windows hold many concurrently
+        // scheduled nodes, so the pool is exercised repeatedly.
+        let pairs: Vec<(NodeId, NodeId)> = (0..4)
+            .map(|_| {
+                let tx = b.add_node();
+                let rx = b.add_node();
+                b.connect((tx, 0), (rx, 0));
+                (tx, rx)
+            })
+            .collect();
+        let mut net = b.build();
+        for &(tx, rx) in &pairs {
+            net.node_mut(tx)
+                .load_boot_program(&one_word_sender())
+                .unwrap();
+            net.node_mut(rx)
+                .load_boot_program(&one_word_receiver())
+                .unwrap();
+        }
+        net.set_par_workers(3);
+        net.run_until_all_halted(10_000_000).unwrap();
+        assert_eq!(
+            net.pool_spawned_threads(),
+            2,
+            "one pool, created once, never respawned per window"
+        );
+        for &(_, rx) in &pairs {
+            assert_eq!(net.node(rx).areg(), 0xBEEF);
+        }
     }
 }

@@ -146,6 +146,121 @@ pub fn grid(width: usize, height: usize, config: NetworkConfig) -> GridNet {
     }
 }
 
+/// A dimension-`dim` binary hypercube of `side` × `side` grid clusters
+/// with its node-id map: `2^dim` clusters, each a square array, joined
+/// by one wire per hypercube edge. This is how a four-link part scales
+/// past the 4-neighbour mesh — the RTNN-style 256-node machine is
+/// `hypercube(4, 4)` — while every node still uses at most four ports:
+/// the dimension links ride on the otherwise-free corner ports.
+#[derive(Debug)]
+pub struct HypercubeNet {
+    /// The network.
+    pub net: Network,
+    /// Hypercube dimension (`2^dim` clusters).
+    pub dim: usize,
+    /// Cluster side length.
+    pub side: usize,
+    /// Node ids: cluster-major, then row-major within the cluster.
+    pub ids: Vec<NodeId>,
+}
+
+impl HypercubeNet {
+    /// Node id at `(x, y)` of cluster `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the machine.
+    pub fn at(&self, c: usize, x: usize, y: usize) -> NodeId {
+        assert!(
+            c < (1 << self.dim) && x < self.side && y < self.side,
+            "({c},{x},{y}) outside hypercube"
+        );
+        self.ids[(c * self.side + y) * self.side + x]
+    }
+}
+
+/// Which cluster node anchors dimension `d`, and on which port:
+/// `(x, y, port)`. Each dimension rides a distinct corner's spare port
+/// (grid corners use only two of their four links), leaving the north
+/// port of `(0, 0)` and the south port of `(side-1, side-1)` free in
+/// *every* cluster for host attachments.
+///
+/// # Panics
+///
+/// Panics if `d > 3` — a four-link node has four spare corner ports.
+pub fn hypercube_anchor(d: usize, side: usize) -> (usize, usize, usize) {
+    match d {
+        0 => (0, 0, PORT_WEST),
+        1 => (side - 1, 0, PORT_EAST),
+        2 => (0, side - 1, PORT_WEST),
+        3 => (side - 1, side - 1, PORT_EAST),
+        _ => panic!("hypercube dimension {d} exceeds the four corner anchors"),
+    }
+}
+
+/// Wire `2^dim` pre-added `side` × `side` clusters (node ids in
+/// `nodes`, cluster-major then row-major, as a [`hypercube`] lays them
+/// out) into a hypercube. Wire order is part of the contract — each
+/// cluster's grid wires in the row-major east-then-south sweep of
+/// [`grid`], cluster by cluster, then the dimension links ordered by
+/// lower cluster then dimension — so callers appending host wires
+/// afterwards get stable indices.
+///
+/// # Panics
+///
+/// Panics if `dim` is not in `1..=4`, `side < 2`, or `nodes` has the
+/// wrong length.
+pub fn wire_hypercube(b: &mut NetworkBuilder, nodes: &[NodeId], dim: usize, side: usize) {
+    assert!((1..=4).contains(&dim), "hypercube dimension must be 1..=4");
+    assert!(side >= 2, "clusters need distinct corners (side >= 2)");
+    let clusters = 1usize << dim;
+    assert_eq!(nodes.len(), clusters * side * side, "node map size");
+    let at = |c: usize, x: usize, y: usize| nodes[(c * side + y) * side + x];
+    for c in 0..clusters {
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    b.connect((at(c, x, y), PORT_EAST), (at(c, x + 1, y), PORT_WEST));
+                }
+                if y + 1 < side {
+                    b.connect((at(c, x, y), PORT_SOUTH), (at(c, x, y + 1), PORT_NORTH));
+                }
+            }
+        }
+    }
+    for c in 0..clusters {
+        for d in 0..dim {
+            let peer = c ^ (1 << d);
+            if peer < c {
+                continue;
+            }
+            let (x, y, port) = hypercube_anchor(d, side);
+            b.connect((at(c, x, y), port), (at(peer, x, y), port));
+        }
+    }
+}
+
+/// Build a [`HypercubeNet`]: `2^dim` clusters of `side` × `side` nodes,
+/// wired by [`wire_hypercube`].
+///
+/// # Panics
+///
+/// Panics if `dim` is not in `1..=4` or `side < 2`.
+pub fn hypercube(dim: usize, side: usize, config: NetworkConfig) -> HypercubeNet {
+    assert!((1..=4).contains(&dim), "hypercube dimension must be 1..=4");
+    assert!(side >= 2, "clusters need distinct corners (side >= 2)");
+    let clusters = 1usize << dim;
+    let mut b = NetworkBuilder::new(config);
+    let ids: Vec<NodeId> = (0..clusters * side * side).map(|_| b.add_node()).collect();
+    wire_hypercube(&mut b, &ids, dim, side);
+    HypercubeNet {
+        net: b.build(),
+        dim,
+        side,
+        ids,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +317,43 @@ mod tests {
     fn grid_bounds_checked() {
         let g = grid(2, 2, NetworkConfig::default());
         let _ = g.at(2, 0);
+    }
+
+    #[test]
+    fn hypercube_4_4_is_the_256_node_machine() {
+        let h = hypercube(4, 4, NetworkConfig::default());
+        assert_eq!(h.net.len(), 256);
+        // 16 clusters x 24 internal wires, plus one wire per hypercube
+        // edge: 4 * 2^4 / 2 = 32.
+        assert_eq!(h.net.wire_count(), 16 * 24 + 32);
+        assert_eq!(h.at(0, 0, 0), h.ids[0]);
+        assert_eq!(h.at(15, 3, 3), h.ids[255]);
+    }
+
+    #[test]
+    fn hypercube_anchors_leave_host_ports_free() {
+        // Every cluster keeps (0,0) north and (side-1,side-1) south
+        // unwired: a builder can still attach hosts there.
+        let side = 4;
+        let mut b = NetworkBuilder::new(NetworkConfig::default());
+        let ids: Vec<NodeId> = (0..16 * side * side).map(|_| b.add_node()).collect();
+        wire_hypercube(&mut b, &ids, 4, side);
+        for c in 0..16 {
+            let host = b.add_node();
+            b.connect((ids[c * side * side], PORT_NORTH), (host, PORT_SOUTH));
+            let exit = b.add_node();
+            b.connect(
+                (ids[(c * side + (side - 1)) * side + (side - 1)], PORT_SOUTH),
+                (exit, PORT_NORTH),
+            );
+        }
+        let net = b.build();
+        assert_eq!(net.len(), 256 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be 1..=4")]
+    fn hypercube_dimension_capped_by_link_count() {
+        let _ = hypercube(5, 4, NetworkConfig::default());
     }
 }

@@ -144,6 +144,92 @@ fn dead_wire_is_declared_failed() {
     }
 }
 
+/// The worker count is not an observable: a faulted relay chain under
+/// the parallel engine at 1, 2, 3 and 7 workers lands bit-identically
+/// on the sliced reference — per-node cycle counts, per-wire
+/// delivered-byte counters, the relayed word, and the fault counters
+/// themselves. The chain keeps several links retrying in different
+/// windows at once, so worker claims genuinely interleave.
+#[test]
+fn parallel_worker_count_invariant_under_faults() {
+    // Receive a word on port 0, relay it out port 1, halt with it in
+    // the A register.
+    fn forwarder() -> Vec<u8> {
+        let mut c = Vec::new();
+        c.extend(encode(Direct::LoadLocalPointer, 1));
+        c.extend(encode_op(Op::MinimumInteger));
+        c.extend(encode(Direct::LoadNonLocalPointer, LINK_IN_BASE as i64));
+        c.extend(encode(Direct::LoadConstant, 4));
+        c.extend(encode_op(Op::InputMessage));
+        c.extend(encode(Direct::LoadLocalPointer, 1));
+        c.extend(encode_op(Op::MinimumInteger));
+        c.extend(encode(
+            Direct::LoadNonLocalPointer,
+            LINK_OUT_BASE as i64 + 1,
+        ));
+        c.extend(encode(Direct::LoadConstant, 4));
+        c.extend(encode_op(Op::OutputMessage));
+        c.extend(encode(Direct::LoadLocal, 1));
+        c.extend(encode_op(Op::HaltSimulation));
+        c
+    }
+
+    const HOPS: usize = 6;
+    let run = |engine: Engine, workers: Option<usize>| {
+        let mut b = NetworkBuilder::new(NetworkConfig {
+            engine,
+            fault: Some(FaultPlan::uniform(1985, 0.04)),
+            ..NetworkConfig::default()
+        });
+        let nodes: Vec<_> = (0..HOPS + 2).map(|_| b.add_node()).collect();
+        b.connect((nodes[0], 0), (nodes[1], 0));
+        for i in 1..=HOPS {
+            b.connect((nodes[i], 1), (nodes[i + 1], 0));
+        }
+        let mut net = b.build();
+        net.node_mut(nodes[0])
+            .load_boot_program(&sender(0x0BAD_CAFE))
+            .unwrap();
+        for i in 1..=HOPS {
+            net.node_mut(nodes[i])
+                .load_boot_program(&forwarder())
+                .unwrap();
+        }
+        net.node_mut(nodes[HOPS + 1])
+            .load_boot_program(&receiver())
+            .unwrap();
+        if let Some(w) = workers {
+            net.set_par_workers(w);
+        }
+        let out = net.run_until_all_halted(1_000_000_000).unwrap();
+        assert_eq!(
+            out,
+            SimOutcome::AllHalted,
+            "{engine:?} ({workers:?} workers)"
+        );
+        let cycles: Vec<u64> = (0..net.len()).map(|id| net.node(id).cycles()).collect();
+        let delivered: Vec<(u64, u64)> = (0..net.wire_count())
+            .map(|w| net.wire_delivered(w))
+            .collect();
+        let retries: u64 = (0..net.len())
+            .map(|id| net.node(id).stats().link_retries)
+            .sum();
+        let rx_errors: u64 = (0..net.len())
+            .map(|id| net.node(id).stats().link_rx_errors)
+            .sum();
+        let word = net.node(nodes[HOPS + 1]).areg() as i64;
+        (cycles, delivered, retries, rx_errors, word)
+    };
+
+    let reference = run(Engine::Sliced, None);
+    assert_eq!(reference.4, 0x0BAD_CAFE, "the word must survive the relay");
+    assert!(reference.2 > 0, "the fault rate must force retransmissions");
+    for workers in [1usize, 2, 3, 7] {
+        let got = run(Engine::Parallel, Some(workers));
+        assert_eq!(got, reference, "parallel at {workers} workers diverged");
+    }
+}
+
 /// Error counters surface through `Stats`: a corrupting wire leaves
 /// discarded-frame counts at the receivers and retries at the sender.
 #[test]
