@@ -29,13 +29,14 @@
 //! position in the two trees), compiled by the `occam` crate and executed
 //! on emulated transputers wired with bit-level links.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
 use crate::workload::{Workload, RECORD_WORDS};
 use occam::places;
 use transputer::WordLength;
 use transputer_net::topology::{
-    grid_edge_wire, hypercube_anchor, wire_hypercube, PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST,
+    adjacency_add_wire, bfs_dist, grid_adjacency, hypercube_adjacency, wire_hypercube, Adjacency,
+    PORT_EAST, PORT_NORTH, PORT_SOUTH, PORT_WEST,
 };
 use transputer_net::{Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
 
@@ -191,126 +192,6 @@ struct NodeRoutes {
     ans_parent: usize,
 }
 
-/// Grid neighbour of `(x, y)` through `port`, if it exists.
-fn neighbor(w: usize, h: usize, x: usize, y: usize, port: usize) -> Option<(usize, usize)> {
-    match port {
-        PORT_NORTH if y > 0 => Some((x, y - 1)),
-        PORT_EAST if x + 1 < w => Some((x + 1, y)),
-        PORT_SOUTH if y + 1 < h => Some((x, y + 1)),
-        PORT_WEST if x > 0 => Some((x - 1, y)),
-        _ => None,
-    }
-}
-
-/// Wire index of the grid edge leaving `(x, y)` through `port`.
-fn edge_wire(w: usize, h: usize, x: usize, y: usize, port: usize) -> usize {
-    match port {
-        PORT_EAST => grid_edge_wire(w, h, x, y, true),
-        PORT_WEST => grid_edge_wire(w, h, x - 1, y, true),
-        PORT_SOUTH => grid_edge_wire(w, h, x, y, false),
-        PORT_NORTH => grid_edge_wire(w, h, x, y - 1, false),
-        _ => unreachable!("not a grid port: {port}"),
-    }
-}
-
-/// The opposite grid port (the port the neighbour sees the edge on).
-fn opposite(port: usize) -> usize {
-    match port {
-        PORT_NORTH => PORT_SOUTH,
-        PORT_SOUTH => PORT_NORTH,
-        PORT_EAST => PORT_WEST,
-        PORT_WEST => PORT_EAST,
-        _ => unreachable!("not a grid port: {port}"),
-    }
-}
-
-/// Link map of an arbitrary four-port machine: per node, per port, the
-/// peer node, the port the peer sees the wire on, and the wire index
-/// (for checking against a fault plan's dead set).
-type Adjacency = Vec<[Option<(usize, usize, usize)>; 4]>;
-
-/// BFS link distances from `root` over the links alive at boot.
-fn bfs_dist(adj: &Adjacency, root: usize, dead: &HashSet<usize>) -> Vec<Option<u32>> {
-    let mut dist = vec![None; adj.len()];
-    let mut queue = VecDeque::new();
-    dist[root] = Some(0u32);
-    queue.push_back(root);
-    while let Some(i) = queue.pop_front() {
-        let d = dist[i].unwrap();
-        for link in adj[i].iter().flatten() {
-            let (peer, _, wire) = *link;
-            if !dead.contains(&wire) && dist[peer].is_none() {
-                dist[peer] = Some(d + 1);
-                queue.push_back(peer);
-            }
-        }
-    }
-    dist
-}
-
-/// The grid's link map under the row-major east-then-south wire sweep.
-fn grid_adjacency(w: usize, h: usize) -> Adjacency {
-    let mut adj: Adjacency = vec![[None; 4]; w * h];
-    for y in 0..h {
-        for x in 0..w {
-            for port in [PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST] {
-                if let Some((nx, ny)) = neighbor(w, h, x, y, port) {
-                    adj[y * w + x][port] =
-                        Some((ny * w + nx, opposite(port), edge_wire(w, h, x, y, port)));
-                }
-            }
-        }
-    }
-    adj
-}
-
-/// The hypercube-of-clusters link map, mirroring [`wire_hypercube`]'s
-/// wire order (each cluster's grid wires in the row-major
-/// east-then-south sweep, then the dimension links by lower cluster
-/// then dimension).
-fn hypercube_adjacency(dim: usize, side: usize) -> Adjacency {
-    let clusters = 1usize << dim;
-    let mut adj: Adjacency = vec![[None; 4]; clusters * side * side];
-    let at = |c: usize, x: usize, y: usize| (c * side + y) * side + x;
-    let mut wire = 0usize;
-    let mut link = |adj: &mut Adjacency, a: (usize, usize), b: (usize, usize)| {
-        adj[a.0][a.1] = Some((b.0, b.1, wire));
-        adj[b.0][b.1] = Some((a.0, a.1, wire));
-        wire += 1;
-    };
-    for c in 0..clusters {
-        for y in 0..side {
-            for x in 0..side {
-                if x + 1 < side {
-                    link(
-                        &mut adj,
-                        (at(c, x, y), PORT_EAST),
-                        (at(c, x + 1, y), PORT_WEST),
-                    );
-                }
-                if y + 1 < side {
-                    link(
-                        &mut adj,
-                        (at(c, x, y), PORT_SOUTH),
-                        (at(c, x, y + 1), PORT_NORTH),
-                    );
-                }
-            }
-        }
-    }
-    for c in 0..clusters {
-        for d in 0..dim {
-            let peer = c ^ (1 << d);
-            if peer < c {
-                continue;
-            }
-            let (x, y, port) = hypercube_anchor(d, side);
-            link(&mut adj, (at(c, x, y), port), (at(peer, x, y), port));
-        }
-    }
-    adj
-}
-
 /// Compute both spanning trees over the links of an arbitrary machine
 /// that are alive at boot. Requests flood down a BFS tree rooted at
 /// `origin` (whose host attaches on `origin_host_port`), answers merge
@@ -419,17 +300,32 @@ pub struct DbSearch {
     expected: Vec<u32>,
     node_ids: Vec<NodeId>,
     excluded: usize,
+    /// Wire bytes one answer message occupies on the collector's wire
+    /// (a bare word on a planned machine, a framed packet on a routed
+    /// one).
+    bytes_per_answer: u64,
+    /// Messages that make up one complete answer (one merged count on a
+    /// planned machine; one per participating node on a routed one,
+    /// where the collector does the merging).
+    msgs_per_answer: u64,
 }
 
 /// The shape-specific half of a build: a wired network whose last wire
 /// is the collector's, the array nodes in route order, the two hosts,
-/// and the planned spanning trees.
+/// and the per-node occam already specialised for the routing scheme
+/// (spanning trees on a planned machine, a uniform program on a routed
+/// one).
 struct ArrayBuild {
     net: Network,
     node_ids: Vec<NodeId>,
     sender: NodeId,
     collector: NodeId,
-    routes: Vec<NodeRoutes>,
+    node_srcs: Vec<String>,
+    included: Vec<bool>,
+    sender_src: String,
+    collector_src: String,
+    msgs_per_answer: u64,
+    routed: bool,
 }
 
 /// The shape-independent build parameters, with the two derived facts
@@ -548,7 +444,15 @@ impl DbSearch {
                 node_ids,
                 sender,
                 collector,
-                routes,
+                node_srcs: routes
+                    .iter()
+                    .map(|r| node_source(config.records_per_node, r))
+                    .collect(),
+                included: routes.iter().map(|r| r.included).collect(),
+                sender_src: sender_source(config.requests),
+                collector_src: collector_source(config.requests),
+                msgs_per_answer: 1,
+                routed: false,
             },
             &SearchParams {
                 records_per_node: config.records_per_node,
@@ -560,6 +464,51 @@ impl DbSearch {
                 total_records: config.total_records(),
             },
         )
+    }
+
+    /// Build the routed array: the same grid, hosts and workload as
+    /// [`DbSearch::build`], but no spanning trees — every request and
+    /// every answer travels a virtual channel through the packet
+    /// router, so all array nodes run one uniform occam program and the
+    /// wiring needs no per-topology planning. The sender round-robins
+    /// each key across one request channel per participating node; each
+    /// node answers the collector directly with its request index and
+    /// local count packed into one word; the collector merges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and load failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is smaller than 2×2.
+    pub fn build_routed(config: DbSearchConfig) -> Result<DbSearch, Box<dyn std::error::Error>> {
+        assert!(
+            config.width >= 2 && config.height >= 2,
+            "grid must be at least 2x2"
+        );
+        let (w, h) = (config.width, config.height);
+        let n = w * h;
+        let mut adj = grid_adjacency(w, h);
+        let host_wire = (w - 1) * h + w * (h - 1);
+        adjacency_add_wire(&mut adj, (n, PORT_SOUTH), (0, PORT_NORTH), host_wire);
+        adjacency_add_wire(
+            &mut adj,
+            (n - 1, PORT_SOUTH),
+            (n + 1, PORT_NORTH),
+            host_wire + 1,
+        );
+        Self::routed_build(adj, None, config.net.clone(), n, &{
+            SearchParams {
+                records_per_node: config.records_per_node,
+                requests: config.requests,
+                seed: config.seed,
+                key_space: config.key_space,
+                faulted: config.net.fault.is_some(),
+                longest_path_links: config.longest_path_links(),
+                total_records: config.total_records(),
+            }
+        })
     }
 
     /// Build a hypercube-of-clusters search machine: `2^dim` grid
@@ -604,7 +553,15 @@ impl DbSearch {
                 node_ids,
                 sender,
                 collector,
-                routes,
+                node_srcs: routes
+                    .iter()
+                    .map(|r| node_source(config.records_per_node, r))
+                    .collect(),
+                included: routes.iter().map(|r| r.included).collect(),
+                sender_src: sender_source(config.requests),
+                collector_src: collector_source(config.requests),
+                msgs_per_answer: 1,
+                routed: false,
             },
             &SearchParams {
                 records_per_node: config.records_per_node,
@@ -615,6 +572,112 @@ impl DbSearch {
                 longest_path_links: config.longest_path_links(),
                 total_records: config.total_records(),
             },
+        )
+    }
+
+    /// Build the routed hypercube machine: the clusters of
+    /// [`DbSearch::build_hypercube`] under the closed-form e-cube
+    /// tables, with every node running the same uniform routed program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile and load failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not in `1..=4` or `side < 2`.
+    pub fn build_routed_hypercube(
+        config: HypercubeConfig,
+    ) -> Result<DbSearch, Box<dyn std::error::Error>> {
+        let (dim, side) = (config.dim, config.side);
+        let n = config.node_count();
+        let mut adj = hypercube_adjacency(dim, side);
+        let host_wire = adj
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|link| link.2)
+            .max()
+            .expect("a hypercube has wires")
+            + 1;
+        adjacency_add_wire(&mut adj, (n, PORT_SOUTH), (0, PORT_NORTH), host_wire);
+        adjacency_add_wire(
+            &mut adj,
+            (n - 1, PORT_SOUTH),
+            (n + 1, PORT_NORTH),
+            host_wire + 1,
+        );
+        Self::routed_build(adj, Some((dim, side)), config.net.clone(), n, &{
+            SearchParams {
+                records_per_node: config.records_per_node,
+                requests: config.requests,
+                seed: config.seed,
+                key_space: config.key_space,
+                faulted: config.net.fault.is_some(),
+                longest_path_links: config.longest_path_links(),
+                total_records: config.total_records(),
+            }
+        })
+    }
+
+    /// The routed variant's shape-independent build: the adjacency
+    /// already includes the two host wires (sender then collector, in
+    /// that order, so the collector's wire is the machine's last);
+    /// `cube` selects the e-cube tables. Nodes the router cannot join
+    /// to both hosts over the boot-alive wires are excluded exactly as
+    /// the planned variant excludes nodes cut from a corner.
+    fn routed_build(
+        adj: Adjacency,
+        cube: Option<(usize, usize)>,
+        net_config: NetworkConfig,
+        n: usize,
+        p: &SearchParams,
+    ) -> Result<DbSearch, Box<dyn std::error::Error>> {
+        let dead = boot_dead(&net_config);
+        let from_sender = bfs_dist(&adj, n, &dead);
+        let from_collector = bfs_dist(&adj, n + 1, &dead);
+        let included: Vec<bool> = (0..n)
+            .map(|i| from_sender[i].is_some() && from_collector[i].is_some())
+            .collect();
+        let nlive = included.iter().filter(|&&inc| inc).count();
+
+        let mut b = NetworkBuilder::new(net_config);
+        let node_ids: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+        let sender = b.add_node();
+        let collector = b.add_node();
+        match cube {
+            Some((dim, side)) => b.enable_router_hypercube(adj, dim, side),
+            None => b.enable_router(adj),
+        };
+        // Request channels in node order — the sender's round-robin
+        // then deals key `k` of round `r` to participant `k mod nlive`.
+        // Each participant also gets its own answer channel into the
+        // collector.
+        for (i, &inc) in included.iter().enumerate() {
+            if inc {
+                b.add_vc((sender, 0), (node_ids[i], 0));
+                b.add_vc((node_ids[i], 1), (collector, 0));
+            }
+        }
+        let net = b.build();
+
+        Self::finish_build(
+            ArrayBuild {
+                net,
+                node_ids,
+                sender,
+                collector,
+                node_srcs: included
+                    .iter()
+                    .map(|&inc| routed_node_source(p.records_per_node, inc))
+                    .collect(),
+                included,
+                sender_src: routed_sender_source(p.requests, nlive),
+                collector_src: routed_collector_source(p.requests, nlive),
+                msgs_per_answer: nlive.max(1) as u64,
+                routed: true,
+            },
+            p,
         )
     }
 
@@ -630,24 +693,28 @@ impl DbSearch {
             node_ids,
             sender,
             collector,
-            routes,
+            node_srcs,
+            included,
+            sender_src,
+            collector_src,
+            msgs_per_answer,
+            routed,
         } = build;
-        let excluded = routes.iter().filter(|r| !r.included).count();
+        let excluded = included.iter().filter(|&&inc| !inc).count();
 
         // Per-node programs and databases. Excluded nodes still consume
         // their workload draw so the records of every other node match
         // the intact-machine run record for record.
         let mut workload = Workload::new(p.seed, p.key_space);
         let mut live_records: Vec<Vec<u32>> = Vec::new();
-        for (i, r) in routes.iter().enumerate() {
-            let src = node_source(p.records_per_node, r);
-            let program = occam::compile(&src)
+        for (i, src) in node_srcs.iter().enumerate() {
+            let program = occam::compile(src)
                 .map_err(|e| format!("node {i} source failed to compile: {e}\n{src}"))?;
             let cpu = net.node_mut(node_ids[i]);
             let word = cpu.word_length();
             let wptr = program.load(cpu)?;
             let records = workload.records(p.records_per_node);
-            if !r.included {
+            if !included[i] {
                 continue;
             }
             let db_addr = program
@@ -663,7 +730,6 @@ impl DbSearch {
 
         // Keys (plus the poison terminator) into the sender.
         let keys = workload.keys(p.requests);
-        let sender_src = sender_source(p.requests);
         let sender_prog = occam::compile(&sender_src)?;
         let cpu = net.node_mut(sender);
         let word = cpu.word_length();
@@ -680,7 +746,6 @@ impl DbSearch {
         )?;
 
         // Collector.
-        let collector_src = collector_source(p.requests);
         let collector_prog = occam::compile(&collector_src)?;
         let cpu = net.node_mut(collector);
         let collector_word = cpu.word_length();
@@ -701,6 +766,14 @@ impl DbSearch {
             })
             .collect();
 
+        // A routed answer crosses the collector's wire as one framed
+        // packet; a planned answer as one bare word.
+        let bytes_per_answer = if routed {
+            (transputer_link::vc::HEADER_BYTES + 4) as u64
+        } else {
+            u64::from(collector_word.bytes_per_word())
+        };
+
         Ok(DbSearch {
             net,
             requests: p.requests,
@@ -713,6 +786,8 @@ impl DbSearch {
             expected,
             node_ids,
             excluded,
+            bytes_per_answer,
+            msgs_per_answer,
         })
     }
 
@@ -754,7 +829,10 @@ impl DbSearch {
         // polling collector memory, which the sliced engines only expose
         // at slice boundaries.
         let answer_wire = self.net.wire_count() - 1;
-        let bytes_per_answer = u64::from(self.collector_word.bytes_per_word());
+        // One complete answer: `msgs_per_answer` messages of
+        // `bytes_per_answer` wire bytes each (a routed machine's answer
+        // is a whole wave of per-node packets, merged by the collector).
+        let bytes_per_answer = self.bytes_per_answer * self.msgs_per_answer;
         let result = self.net.run_until(budget_ns, |net| {
             let (_, to_collector) = net.wire_delivered(answer_wire);
             let got = (to_collector / bytes_per_answer) as usize;
@@ -1024,10 +1102,121 @@ fn collector_source(nreq: usize) -> String {
     )
 }
 
+/// Occam source for a routed array node. Every participating node runs
+/// this same program regardless of its position — the router, not the
+/// program, knows the topology. Requests arrive in order on the node's
+/// request channel (virtual channels deliver in order), so the node
+/// counts them locally and answers the collector with the request index
+/// and its match count packed into one word.
+fn routed_node_source(nrec: usize, included: bool) -> String {
+    if !included {
+        return "SEQ\n  SKIP\n".to_string();
+    }
+    let words = nrec * RECORD_WORDS;
+    format!(
+        "DEF nrec = {nrec}:\n\
+         VAR db[{words}]:\n\
+         VAR going, key, count, k:\n\
+         CHAN reqin:\n\
+         PLACE reqin AT {req}:\n\
+         CHAN ansout:\n\
+         PLACE ansout AT {ans}:\n\
+         SEQ\n\
+         \x20 k := 0\n\
+         \x20 going := TRUE\n\
+         \x20 WHILE going\n\
+         \x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20 reqin ? key\n\
+         \x20\x20\x20\x20\x20 IF\n\
+         \x20\x20\x20\x20\x20\x20\x20 key = -1\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20 going := FALSE\n\
+         \x20\x20\x20\x20\x20\x20\x20 TRUE\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 count := 0\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SEQ i = [0 FOR nrec]\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 IF\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 db[i * 4] = key\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 count := count + 1\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 TRUE\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 SKIP\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 ansout ! ((k * 65536) + count)\n\
+         \x20\x20\x20\x20\x20\x20\x20\x20\x20\x20\x20 k := k + 1\n",
+        req = places::link_in(0),
+        ans = places::link_out(1),
+    )
+}
+
+/// Occam source for the routed request host: each key (and the poison
+/// round) is sent once per participating node; consecutive sends on the
+/// one placed channel round-robin across the node-ordered request
+/// channels, so participant `i` sees every key exactly once, in order.
+fn routed_sender_source(nreq: usize, nlive: usize) -> String {
+    format!(
+        "VAR keys[{size}]:\n\
+         CHAN out:\n\
+         PLACE out AT {place}:\n\
+         SEQ k = [0 FOR {rounds}]\n\
+         \x20 SEQ i = [0 FOR {nlive}]\n\
+         \x20\x20\x20 out ! keys[k]\n",
+        size = nreq + 1,
+        place = places::link_out(0),
+        rounds = nreq + 1,
+    )
+}
+
+/// Occam source for the routed answer collector: every participant's
+/// per-request answers arrive interleaved on one channel, each packed
+/// as `(request * 65536) + count`; unpacking makes the merge
+/// order-independent, so the final counts equal the planned variant's.
+fn routed_collector_source(nreq: usize, nlive: usize) -> String {
+    format!(
+        "VAR answers[{size}]:\n\
+         VAR got, w, idx:\n\
+         CHAN in:\n\
+         PLACE in AT {place}:\n\
+         SEQ\n\
+         \x20 SEQ k = [0 FOR {size}]\n\
+         \x20\x20\x20 answers[k] := 0\n\
+         \x20 got := 0\n\
+         \x20 SEQ j = [0 FOR {total}]\n\
+         \x20\x20\x20 SEQ\n\
+         \x20\x20\x20\x20\x20 in ? w\n\
+         \x20\x20\x20\x20\x20 idx := w / 65536\n\
+         \x20\x20\x20\x20\x20 answers[idx] := answers[idx] + (w \\ 65536)\n\
+         \x20\x20\x20\x20\x20 got := got + 1\n",
+        size = nreq.max(1),
+        place = places::link_in(0),
+        total = nreq * nlive,
+    )
+}
+
+/// The occam program texts a routed search machine runs — one uniform
+/// node program, the round-robin sender and the merging collector — for
+/// the corpus lint gate. The routed machine's whole point is that this
+/// list does not grow with the topology.
+pub fn routed_sources(config: &DbSearchConfig) -> Vec<(String, String)> {
+    let nlive = config.width * config.height;
+    vec![
+        (
+            "dbsearch-routed-node".into(),
+            routed_node_source(config.records_per_node, true),
+        ),
+        (
+            "dbsearch-routed-sender".into(),
+            routed_sender_source(config.requests, nlive),
+        ),
+        (
+            "dbsearch-routed-collector".into(),
+            routed_collector_source(config.requests, nlive),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use transputer_link::FaultPlan;
+    use transputer_net::topology::grid_edge_wire;
 
     #[test]
     fn small_array_answers_correctly() {
@@ -1405,6 +1594,181 @@ mod tests {
         // over 16 clusters of 4x4. A flat 16x16 board of the same 256
         // nodes needs 30 links corner to corner; the hypercube needs 16.
         assert_eq!(c.longest_path_links(), 16);
+    }
+
+    #[test]
+    fn routed_array_matches_planned_answers() {
+        // The tentpole cross-check: the routed machine — no spanning
+        // trees, uniform node program, packets hopping the router —
+        // must compute exactly the answers of the planned machine over
+        // the same workload.
+        let config = DbSearchConfig {
+            width: 3,
+            height: 3,
+            records_per_node: 8,
+            requests: 3,
+            seed: 7,
+            key_space: 16,
+            net: NetworkConfig::default(),
+        };
+        let planned = DbSearch::build(config.clone())
+            .expect("builds")
+            .run(5_000_000_000)
+            .expect("runs");
+        let mut sim = DbSearch::build_routed(config).expect("builds routed");
+        let routed = sim.run(5_000_000_000).expect("runs routed");
+        assert!(!routed.degraded);
+        assert_eq!(routed.received, 3);
+        assert_eq!(routed.answers, planned.answers);
+        assert_eq!(routed.expected, planned.expected);
+        assert!(routed.all_correct());
+        let stats = sim.network().router_stats().expect("routed");
+        assert_eq!(stats.packets_dropped, 0);
+        assert!(stats.packets_delivered > 0);
+    }
+
+    #[test]
+    fn routed_hypercube_matches_planned_answers() {
+        let config = HypercubeConfig {
+            dim: 2,
+            side: 2,
+            records_per_node: 6,
+            requests: 3,
+            seed: 31,
+            key_space: 18,
+            net: NetworkConfig::default(),
+        };
+        let planned = DbSearch::build_hypercube(config.clone())
+            .expect("builds")
+            .run(10_000_000_000)
+            .expect("runs");
+        let routed = DbSearch::build_routed_hypercube(config)
+            .expect("builds routed")
+            .run(10_000_000_000)
+            .expect("runs routed");
+        assert!(!routed.degraded);
+        assert_eq!(routed.answers, planned.answers);
+        assert!(routed.all_correct());
+    }
+
+    #[test]
+    fn routed_boot_dead_wire_reroutes_without_degrading() {
+        // The wire from (0,0) to (1,0) is dead at boot: the router's
+        // tables route around it, nothing is excluded, every answer
+        // arrives and the dead wire carries no traffic.
+        let dead_wire = grid_edge_wire(3, 3, 0, 0, true);
+        let config = DbSearchConfig {
+            width: 3,
+            height: 3,
+            records_per_node: 6,
+            requests: 2,
+            seed: 13,
+            key_space: 12,
+            net: NetworkConfig {
+                fault: Some(FaultPlan::uniform(5, 0.0).with_dead_link(dead_wire, 0)),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build_routed(config).expect("builds");
+        assert_eq!(sim.excluded_nodes(), 0);
+        let report = sim.run(20_000_000_000).expect("runs");
+        assert!(!report.degraded, "rerouting must not degrade the search");
+        assert!(report.all_correct());
+        let (a, b) = sim.network().wire_delivered(dead_wire);
+        assert_eq!((a, b), (0, 0), "the dead wire must carry nothing");
+    }
+
+    #[test]
+    fn routed_severed_corner_is_excluded_and_flagged() {
+        // Both wires of the north-east corner dead at boot: the routed
+        // machine excludes the unreachable node exactly as the planned
+        // one does, and the rest still answers correctly.
+        let cut_w = grid_edge_wire(3, 3, 1, 0, true);
+        let cut_s = grid_edge_wire(3, 3, 2, 0, false);
+        let plan = FaultPlan::uniform(5, 0.0)
+            .with_dead_link(cut_w, 0)
+            .with_dead_link(cut_s, 0);
+        let config = DbSearchConfig {
+            width: 3,
+            height: 3,
+            records_per_node: 6,
+            requests: 2,
+            seed: 17,
+            key_space: 12,
+            net: NetworkConfig {
+                fault: Some(plan),
+                ..NetworkConfig::default()
+            },
+        };
+        let mut sim = DbSearch::build_routed(config).expect("builds");
+        assert_eq!(sim.excluded_nodes(), 1);
+        let report = sim.run(20_000_000_000).expect("runs");
+        assert!(report.degraded);
+        assert_eq!(report.excluded_nodes, 1);
+        assert!(
+            report.all_correct(),
+            "answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+    }
+
+    #[test]
+    fn routed_midrun_interior_death_is_engine_invariant() {
+        // An interior hop dies mid-run. The router rebuilds its tables
+        // from the surviving adjacency and the search still completes —
+        // and the whole outcome (answers, arrival times, every wire's
+        // byte counters) is bit-identical on all three engines.
+        let dead_wire = grid_edge_wire(3, 3, 0, 0, true);
+        let mut reference: Option<(DbSearchReport, Vec<(u64, u64)>)> = None;
+        for engine in [
+            transputer_net::Engine::Event,
+            transputer_net::Engine::Sliced,
+            transputer_net::Engine::Parallel,
+        ] {
+            let config = DbSearchConfig {
+                width: 3,
+                height: 3,
+                records_per_node: 6,
+                requests: 2,
+                seed: 13,
+                key_space: 12,
+                net: NetworkConfig {
+                    engine,
+                    fault: Some(FaultPlan::uniform(5, 0.0).with_dead_link(dead_wire, 40_000)),
+                    ..NetworkConfig::default()
+                },
+            };
+            let mut sim = DbSearch::build_routed(config).expect("builds");
+            let report = sim.run(60_000_000_000).expect("runs");
+            assert!(
+                sim.network().any_link_failed(),
+                "{engine:?}: the wire must die while traffic is flowing"
+            );
+            assert!(!report.degraded, "{engine:?}: reroute, not degrade");
+            assert!(report.all_correct(), "{engine:?}");
+            let wires: Vec<(u64, u64)> = (0..sim.network().wire_count())
+                .map(|w| sim.network().wire_delivered(w))
+                .collect();
+            match &reference {
+                None => reference = Some((report, wires)),
+                Some((want, want_wires)) => {
+                    assert_eq!(report.answers, want.answers, "{engine:?}");
+                    assert_eq!(
+                        report.answer_times_ns, want.answer_times_ns,
+                        "{engine:?} arrival times diverged"
+                    );
+                    assert_eq!(&wires, want_wires, "{engine:?} wire counters diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routed_sources_compile() {
+        for (name, src) in routed_sources(&DbSearchConfig::figure8()) {
+            occam::compile(&src).unwrap_or_else(|e| panic!("{name}: {e}\n{src}"));
+        }
     }
 
     #[test]

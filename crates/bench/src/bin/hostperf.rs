@@ -22,8 +22,9 @@ use std::time::Instant;
 
 use transputer_bench::hostperf::{
     baseline_cpu_mips, baseline_translated_mips, board128, cpu_corpus_bench, cpu_cross_check,
-    cross_check, faulted, faulted_hypercube, figure8, figure8_smoke, history_last_field,
-    host_cores, hypercube256, parallel_speedup, run_hypercube, run_network, static_model_runs,
+    cross_check, faulted, faulted_hypercube, figure8, figure8_smoke, grid32x32_stress,
+    history_ratchet_mips, host_cores, hypercube256, parallel_speedup, routed_hypercube256,
+    routed_smoke, run_hypercube, run_network, run_routed, run_routed_hypercube, static_model_runs,
     to_json, CpuRun, NetRun, EXPERIMENTS, FAULT_RATE_DEFAULT, FAULT_SEED_DEFAULT,
 };
 use transputer_net::Engine;
@@ -218,6 +219,45 @@ fn speedup_table_and_gate(networks: &[NetRun], problems: &mut Vec<String>) {
     }
 }
 
+/// Print the router hop-latency table: one `ROUTER` line per routed
+/// benchmark (CI lifts these into the step summary alongside the
+/// `SPEEDUP` lines). Stats come from the Sliced row when present —
+/// hop counters may trail by a packet between engines because closing
+/// acks race the all-halted detection, so one engine's row is quoted
+/// rather than a cross-engine mix.
+fn router_table(networks: &[NetRun]) {
+    let mut benches: Vec<&str> = networks
+        .iter()
+        .filter(|r| r.router.is_some())
+        .map(|r| r.bench)
+        .collect();
+    benches.dedup();
+    if benches.is_empty() {
+        return;
+    }
+    println!("hostperf: router hop-latency table");
+    for bench in benches {
+        let row = networks
+            .iter()
+            .filter(|r| r.bench == bench)
+            .find(|r| r.engine == Engine::Sliced)
+            .or_else(|| networks.iter().find(|r| r.bench == bench));
+        let Some(r) = row else { continue };
+        let Some(s) = r.router else { continue };
+        println!(
+            "ROUTER {bench}: {} sent / {} forwarded / {} delivered / {} dropped, \
+             {} hops, mean hop {} ns, max hop {} ns",
+            s.packets_sent,
+            s.packets_forwarded,
+            s.packets_delivered,
+            s.packets_dropped,
+            s.hops,
+            s.mean_hop_ns(),
+            s.max_hop_ns,
+        );
+    }
+}
+
 /// Perf check for one throughput row: a >20% regression against the
 /// committed baseline prints a WARN, and with `PERF_GATE=hard` (set by
 /// CI) a collapse below half the committed baseline becomes a hard
@@ -254,10 +294,13 @@ fn check_mips_row(label: &str, now: f64, baseline: Option<f64>, problems: &mut V
 /// The history ratchet: compare this run's CPU-corpus throughput to the
 /// *last* `BENCH_history.jsonl` entry — same machine, recent run, so a
 /// drop of more than 20% is a real regression, not machine variance.
-/// A WARN normally; a hard failure under `PERF_GATE=hard`.
+/// The comparison is skipped when the last entry came from a host with
+/// a different logical core count (CI mixes runner sizes; MIPS across
+/// them is not a regression signal). A WARN normally; a hard failure
+/// under `PERF_GATE=hard`.
 fn check_history_ratchet(now: f64, last: Option<f64>, problems: &mut Vec<String>) {
     let Some(last) = last.filter(|l| *l > 0.0) else {
-        println!("  perf ratchet: no prior history entry; skipping");
+        println!("  perf ratchet: no comparable prior history entry (missing, or a host with a different core count); skipping");
         return;
     };
     let ratio = now / last;
@@ -301,10 +344,12 @@ fn check_mips_regression(
         .as_deref()
         .and_then(baseline_translated_mips)
         .filter(|b| *b > 0.0);
-    // The last history line must be read before this run appends its own.
+    // The last history line must be read before this run appends its
+    // own, and only counts when it was produced on a host with the same
+    // core count as this one.
     let last_mips = std::fs::read_to_string(history_path())
         .ok()
-        .and_then(|h| history_last_field(&h, "cpu_mips"));
+        .and_then(|h| history_ratchet_mips(&h, host_cores()));
     append_history(
         smoke,
         current,
@@ -374,6 +419,37 @@ fn main() {
         }
         problems.extend(cross_check(&faulted_runs));
         networks.extend(faulted_runs);
+
+        // The routed variant of the trimmed grid: every engine must
+        // packetize, forward, and deliver bit-identically, clean and
+        // under injected faults.
+        println!("hostperf --smoke: routed grid (virtual-channel router)");
+        let routed: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_routed("e17_routed_smoke", routed_smoke(), e))
+            .collect();
+        for r in &routed {
+            print_net(r);
+        }
+        problems.extend(cross_check(&routed));
+        networks.extend(routed);
+
+        println!("hostperf --smoke: routed grid under faults (rate {smoke_rate})");
+        let routed_faulted: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| {
+                run_routed(
+                    "e17_routed_smoke_faulted",
+                    faulted(routed_smoke(), FAULT_SEED_DEFAULT, smoke_rate),
+                    e,
+                )
+            })
+            .collect();
+        for r in &routed_faulted {
+            print_net(r);
+        }
+        problems.extend(cross_check(&routed_faulted));
+        networks.extend(routed_faulted);
 
         // The full e10 board under the two batched engines: the rows the
         // parallel ratchet compares (the event engine would dominate the
@@ -517,12 +593,41 @@ fn main() {
         }
         problems.extend(cross_check(&e16f));
         networks.extend(e16f);
+
+        // The routed hypercube: the e17 acceptance shape — the same
+        // 256-node machine as e16 searched over virtual channels, no
+        // per-topology tree planning.
+        println!("hostperf: e17 routed hypercube (256 transputers)");
+        let e17: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_routed_hypercube("e17_routed256", routed_hypercube256(), e))
+            .collect();
+        for r in &e17 {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e17));
+        networks.extend(e17);
+
+        // The 1024-node routed stress grid under the batched engines:
+        // proves the router completes at 4x the acceptance node count
+        // (the per-instruction engine adds wall time, not signal).
+        println!("hostperf: e17 routed stress grid (1024 transputers)");
+        let e17s: Vec<NetRun> = [Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_routed("e17_grid1024", grid32x32_stress(), e))
+            .collect();
+        for r in &e17s {
+            print_net(r);
+        }
+        problems.extend(cross_check(&e17s));
+        networks.extend(e17s);
     }
 
     // The speedup table, the parallel ratchet, and the throughput
     // regression checks run over whichever rows the mode produced; the
     // history line carries this run's e10 speedup for the next ratchet.
     speedup_table_and_gate(&networks, &mut problems);
+    router_table(&networks);
     if let (Some(on), Some(trans)) = (
         cpu_runs.iter().find(|r| r.decode_cache && !r.translate),
         cpu_runs.iter().find(|r| r.translate),

@@ -203,8 +203,9 @@ pub fn experiment_images() -> Vec<ExpImage> {
 }
 
 /// Every generated occam source an experiment compiles (beyond the
-/// shared corpus): the compiler-shape checks from e01/e02/e04 and the
-/// per-node application sources from e09–e11.
+/// shared corpus): the compiler-shape checks from e01/e02/e04, the
+/// per-node application sources from e09–e11 and e16, and the uniform
+/// routed programs from e17.
 pub fn experiment_sources() -> Vec<(String, String)> {
     let mut sources: Vec<(String, String)> = vec![
         (
@@ -232,6 +233,9 @@ pub fn experiment_sources() -> Vec<(String, String)> {
     }
     for (name, source) in dbsearch::hypercube_sources(&HypercubeConfig::hypercube256()) {
         sources.push((format!("e16-{name}"), source));
+    }
+    for (name, source) in dbsearch::routed_sources(&DbSearchConfig::figure8()) {
+        sources.push((format!("e17-{name}"), source));
     }
     let wcfg = WorkstationConfig::default();
     for placement in Placement::ALL {
@@ -268,6 +272,13 @@ mod tests {
             .filter(|(n, _)| n.starts_with("e16-"))
             .count();
         assert!(e16 >= 3, "{e16} e16 sources");
+        // The e17 routed search contributes its uniform node program
+        // plus the two hosts.
+        let e17 = sources
+            .iter()
+            .filter(|(n, _)| n.starts_with("e17-"))
+            .count();
+        assert!(e17 >= 3, "{e17} e17 sources");
     }
 
     #[test]

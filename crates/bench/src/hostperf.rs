@@ -37,6 +37,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "e14_context_switch",
     "e15_wordlength",
     "e16_hypercube256",
+    "e17_routed",
 ];
 
 /// One timed network simulation.
@@ -75,6 +76,13 @@ pub struct NetRun {
     /// Logical cores of the host that produced this row. Host-side
     /// only, excluded from the fingerprint.
     pub host_cores: usize,
+    /// Aggregate virtual-channel router counters, `None` on unrouted
+    /// networks. Excluded from the fingerprint: trailing queue-pop acks
+    /// race the all-halted detection, whose time is engine-dependent,
+    /// so the hop counters may legitimately differ by a packet between
+    /// engines (the wire delivered-byte counters, which *are*
+    /// fingerprinted, do not).
+    pub router: Option<transputer_net::RouterStats>,
 }
 
 impl NetRun {
@@ -143,6 +151,52 @@ pub fn run_hypercube(bench: &'static str, config: HypercubeConfig, engine: Engin
     )
 }
 
+/// [`run_network`] over the virtual-channel router instead of the
+/// planned spanning tree: same grid, same workload, but every message
+/// is packetized and hops through per-node routing tables.
+///
+/// # Panics
+///
+/// Panics if the network fails to build or faults while running.
+pub fn run_routed(bench: &'static str, config: DbSearchConfig, engine: Engine) -> NetRun {
+    let config = DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..config.net.clone()
+        },
+        ..config
+    };
+    measure(
+        bench,
+        engine,
+        DbSearch::build_routed(config).expect("benchmark network builds"),
+    )
+}
+
+/// [`run_hypercube`] over the virtual-channel router.
+///
+/// # Panics
+///
+/// Panics if the network fails to build or faults while running.
+pub fn run_routed_hypercube(
+    bench: &'static str,
+    config: HypercubeConfig,
+    engine: Engine,
+) -> NetRun {
+    let config = HypercubeConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..config.net.clone()
+        },
+        ..config
+    };
+    measure(
+        bench,
+        engine,
+        DbSearch::build_routed_hypercube(config).expect("benchmark network builds"),
+    )
+}
+
 fn measure(bench: &'static str, engine: Engine, mut sim: DbSearch) -> NetRun {
     let start = Instant::now();
     let report = sim
@@ -185,6 +239,7 @@ fn measure(bench: &'static str, engine: Engine, mut sim: DbSearch) -> NetRun {
         trans: net.trans_stats(),
         par_workers: net.par_workers(),
         host_cores: host_cores(),
+        router: net.router_stats(),
     }
 }
 
@@ -367,6 +422,49 @@ pub fn hypercube_smoke() -> HypercubeConfig {
         records_per_node: 12,
         requests: 3,
         ..HypercubeConfig::hypercube256()
+    }
+}
+
+/// A routed grid trimmed for smoke runs and determinism sweeps: large
+/// enough that packets genuinely queue behind each other on interior
+/// wires, small enough for debug builds.
+pub fn routed_smoke() -> DbSearchConfig {
+    DbSearchConfig {
+        width: 3,
+        height: 3,
+        records_per_node: 12,
+        requests: 3,
+        ..DbSearchConfig::figure8()
+    }
+}
+
+/// The e17 acceptance shape: the full 256-node hypercube-of-clusters
+/// machine searched over virtual channels instead of the planned
+/// spanning tree.
+pub fn routed_hypercube256() -> HypercubeConfig {
+    HypercubeConfig::hypercube256()
+}
+
+/// A routed hypercube trimmed for debug-mode determinism sweeps.
+pub fn routed_hypercube_smoke() -> HypercubeConfig {
+    HypercubeConfig {
+        side: 2,
+        records_per_node: 12,
+        requests: 3,
+        ..HypercubeConfig::hypercube256()
+    }
+}
+
+/// The ≥512-node routed stress shape: a 32×32 grid (1024 transputers
+/// plus host nodes) with a thin database, so the run is dominated by
+/// router forwarding rather than record scanning.
+pub fn grid32x32_stress() -> DbSearchConfig {
+    DbSearchConfig {
+        width: 32,
+        height: 32,
+        records_per_node: 20,
+        requests: 2,
+        ..DbSearchConfig::figure8()
     }
 }
 
@@ -582,6 +680,25 @@ pub fn history_last_field(jsonl: &str, field: &str) -> Option<f64> {
     parse_field(line, field)
 }
 
+/// The CPU-corpus MIPS baseline the history ratchet may compare this
+/// run against: the last history entry's `cpu_mips`, but only when that
+/// entry was produced on a host with the same logical core count.
+/// Emulated MIPS is a property of the machine as much as of the code,
+/// so comparing across runners with different core counts (CI regularly
+/// mixes them) manufactures phantom regressions. Entries that predate
+/// the `host_cores` field are compared as before — they cannot be told
+/// apart, and silently skipping them would disable the ratchet on old
+/// histories.
+pub fn history_ratchet_mips(jsonl: &str, current_cores: usize) -> Option<f64> {
+    let line = jsonl.lines().rev().find(|l| !l.trim().is_empty())?;
+    if let Some(last_cores) = parse_field(line, "host_cores") {
+        if last_cores as usize != current_cores {
+            return None;
+        }
+    }
+    parse_field(line, "cpu_mips")
+}
+
 fn parse_field(line: &str, field: &str) -> Option<f64> {
     let rest = line.split(&format!("\"{field}\": ")).nth(1)?;
     let num: String = rest
@@ -678,6 +795,20 @@ pub fn to_json(
     out.push_str("  ],\n  \"networks\": [\n");
     for (i, r) in networks.iter().enumerate() {
         let comma = if i + 1 < networks.len() { "," } else { "" };
+        let router = r.router.map_or("null".to_string(), |s| {
+            format!(
+                "{{\"packets_sent\": {}, \"packets_forwarded\": {}, \
+                 \"packets_delivered\": {}, \"packets_dropped\": {}, \
+                 \"hops\": {}, \"mean_hop_ns\": {}, \"max_hop_ns\": {}}}",
+                s.packets_sent,
+                s.packets_forwarded,
+                s.packets_delivered,
+                s.packets_dropped,
+                s.hops,
+                s.mean_hop_ns(),
+                s.max_hop_ns,
+            )
+        });
         out.push_str(&format!(
             "    {{\"bench\": \"{}\", \"engine\": \"{:?}\", \"wall_ms\": {:.1}, \
              \"sim_ns\": {}, \"cycles\": {}, \"instructions\": {}, \
@@ -685,7 +816,7 @@ pub fn to_json(
              \"decode_hits\": {}, \"decode_misses\": {}, \"decode_invalidations\": {}, \
              \"decode_bypasses\": {}, \"trans_blocks\": {}, \"trans_enters\": {}, \
              \"trans_deopts\": {}, \"trans_invalidations\": {}, \
-             \"par_workers\": {}, \"host_cores\": {}, \
+             \"par_workers\": {}, \"host_cores\": {}, \"router\": {router}, \
              \"answers_ok\": {}, \"fingerprint\": \"{:016x}\"}}{comma}\n",
             r.bench,
             r.engine,
@@ -786,6 +917,48 @@ mod tests {
         assert!(json.contains("\"par_workers\""));
         assert!(json.contains("\"host_cores\""));
         assert!(parallel_speedup(&runs, "e09_figure8_smoke").is_some());
+    }
+
+    #[test]
+    fn routed_smoke_engines_agree_and_json_carries_router_stats() {
+        let runs: Vec<NetRun> = [Engine::Event, Engine::Sliced, Engine::Parallel]
+            .into_iter()
+            .map(|e| run_routed("e17_routed_smoke", routed_smoke(), e))
+            .collect();
+        let problems = cross_check(&runs);
+        assert!(problems.is_empty(), "{problems:?}");
+        for r in &runs {
+            let stats = r.router.expect("routed run must carry router stats");
+            assert!(stats.packets_delivered > 0, "{:?}", r.engine);
+            assert_eq!(stats.packets_dropped, 0, "{:?}", r.engine);
+        }
+        let json = to_json(true, &[], &[], &[], &runs, &problems);
+        assert!(json.contains("\"router\": {\"packets_sent\""));
+        assert!(json.contains("\"mean_hop_ns\""));
+    }
+
+    #[test]
+    fn unrouted_rows_render_null_router() {
+        let run = run_network("e09_figure8_smoke", figure8_smoke(), Engine::Sliced);
+        assert!(run.router.is_none());
+        let json = to_json(true, &[], &[], &[], &[run], &[]);
+        assert!(json.contains("\"router\": null"));
+    }
+
+    #[test]
+    fn history_ratchet_skips_mismatched_host_cores() {
+        let same = "{\"cpu_mips\": 4.00, \"host_cores\": 8}\n";
+        assert_eq!(history_ratchet_mips(same, 8), Some(4.0));
+        let different = "{\"cpu_mips\": 4.00, \"host_cores\": 2}\n";
+        assert_eq!(history_ratchet_mips(different, 8), None);
+        // Pre-host_cores history lines keep ratcheting as before.
+        let legacy = "{\"cpu_mips\": 4.00}\n";
+        assert_eq!(history_ratchet_mips(legacy, 8), Some(4.0));
+        // Only the *last* line counts — older mismatches are irrelevant.
+        let mixed = "{\"cpu_mips\": 9.00, \"host_cores\": 2}\n\
+                     {\"cpu_mips\": 4.00, \"host_cores\": 8}\n";
+        assert_eq!(history_ratchet_mips(mixed, 8), Some(4.0));
+        assert_eq!(history_ratchet_mips("", 8), None);
     }
 
     #[test]

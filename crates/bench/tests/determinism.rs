@@ -21,7 +21,9 @@ use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome};
 use transputer_apps::dbsearch::{DbSearch, DbSearchConfig};
 use transputer_apps::DbSearchReport;
 use transputer_bench::corpus::CORPUS;
-use transputer_bench::hostperf::{board128_smoke, hypercube_smoke};
+use transputer_bench::hostperf::{
+    board128_smoke, hypercube_smoke, routed_hypercube_smoke, routed_smoke,
+};
 use transputer_link::FaultPlan;
 use transputer_net::Engine;
 
@@ -367,6 +369,133 @@ fn e16_hypercube_is_worker_count_invariant() {
         assert!(report.all_correct(), "parallel, {workers} workers");
         assert_run_matches(
             &format!("parallel, {workers} workers"),
+            &sim,
+            &report,
+            &base,
+            &base_report,
+        );
+    }
+}
+
+#[test]
+fn routed_grid_agrees_across_all_engines() {
+    // The virtual-channel router replaces the planned spanning trees:
+    // every message is packetized, multiplexed, and forwarded hop by
+    // hop through bounded store-and-forward queues. All of that state
+    // machinery advances only at wire events and stamped CPU service
+    // points, so the engine and worker count must remain unobservable —
+    // the same sweep as e09, over the routed build.
+    let config = |engine| DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..routed_smoke()
+    };
+
+    let variants = [
+        (Engine::Event, None),
+        (Engine::Sliced, None),
+        (Engine::Parallel, None),
+        (Engine::Parallel, Some(1)),
+        (Engine::Parallel, Some(2)),
+        (Engine::Parallel, Some(3)),
+        (Engine::Parallel, Some(7)),
+    ];
+    let mut runs = Vec::new();
+    for (engine, workers) in variants {
+        let mut sim = DbSearch::build_routed(config(engine)).expect("builds");
+        if let Some(w) = workers {
+            sim.network_mut().set_par_workers(w);
+        }
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "{engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        runs.push((engine, workers, sim, report));
+    }
+
+    let (_, _, ref base_sim, ref base_report) = runs[0];
+    for (engine, workers, sim, report) in &runs[1..] {
+        let label = format!("routed {engine:?} ({workers:?} workers)");
+        assert_run_matches(&label, sim, report, base_sim, base_report);
+    }
+}
+
+#[test]
+fn routed_grid_agrees_across_engines_under_faults() {
+    // The routed sweep under a seeded fault plan: the robust link
+    // protocol retries the router's framed packets exactly as it
+    // retries planned-tree traffic, and the outcome must stay
+    // bit-identical across engines and worker counts.
+    let config = |engine| DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            fault: Some(FaultPlan::uniform(1985, 2e-3)),
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..routed_smoke()
+    };
+
+    let variants = [
+        (Engine::Event, None),
+        (Engine::Sliced, None),
+        (Engine::Parallel, None),
+        (Engine::Parallel, Some(1)),
+        (Engine::Parallel, Some(2)),
+        (Engine::Parallel, Some(3)),
+        (Engine::Parallel, Some(7)),
+    ];
+    let mut runs = Vec::new();
+    for (engine, workers) in variants {
+        let mut sim = DbSearch::build_routed(config(engine)).expect("builds");
+        if let Some(w) = workers {
+            sim.network_mut().set_par_workers(w);
+        }
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(
+            report.all_correct(),
+            "{engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
+            report.answers,
+            report.expected
+        );
+        assert!(!report.degraded, "{engine:?}: retries must hide the faults");
+        runs.push((engine, workers, sim, report));
+    }
+
+    let (_, _, ref base_sim, ref base_report) = runs[0];
+    for (engine, workers, sim, report) in &runs[1..] {
+        let label = format!("routed faulted {engine:?} ({workers:?} workers)");
+        assert_run_matches(&label, sim, report, base_sim, base_report);
+    }
+}
+
+#[test]
+fn routed_hypercube_is_worker_count_invariant() {
+    // The routed hypercube: requests and answers cross dimension links
+    // through several routers at once, so transit queues at distinct
+    // nodes are live simultaneously — the strongest worker-interleaving
+    // pressure the router sees in the debug-mode suite.
+    let config = |engine| transputer_apps::dbsearch::HypercubeConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..routed_hypercube_smoke()
+    };
+    let mut base = DbSearch::build_routed_hypercube(config(Engine::Sliced)).expect("builds");
+    let base_report = base.run(1_000_000_000_000).expect("runs");
+    assert!(base_report.all_correct(), "sliced reference");
+    for workers in [1usize, 2, 3, 7] {
+        let mut sim = DbSearch::build_routed_hypercube(config(Engine::Parallel)).expect("builds");
+        sim.network_mut().set_par_workers(workers);
+        let report = sim.run(1_000_000_000_000).expect("runs");
+        assert!(report.all_correct(), "routed parallel, {workers} workers");
+        assert_run_matches(
+            &format!("routed parallel, {workers} workers"),
             &sim,
             &report,
             &base,

@@ -23,12 +23,14 @@
 
 pub mod fault;
 pub mod packet;
+pub mod vc;
 pub mod wire;
 
 pub use fault::{DeadLink, Fate, FaultPlan, LineFaultCounts, LineFaults, Xorshift64};
 pub use packet::{
     LinkProtocol, PacketKind, ACK_PACKET_BITS, DATA_PACKET_BITS, ROBUST_CTRL_BITS, ROBUST_DATA_BITS,
 };
+pub use vc::VcHeader;
 pub use wire::{AckPolicy, DuplexLink, End, LinkEvent, LinkSpeed};
 
 #[cfg(test)]

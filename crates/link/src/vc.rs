@@ -1,0 +1,145 @@
+//! Virtual-channel packet framing (T9000 VCP-style).
+//!
+//! The first transputers bound each occam channel to one physical link,
+//! so only neighbours could talk. Their successor's Virtual Channel
+//! Processor multiplexed many logical channels over one wire by breaking
+//! messages into small framed packets; this module defines that framing
+//! for the router layer in `transputer-net`.
+//!
+//! A packet is a fixed four-byte header followed by up to
+//! [`MAX_PAYLOAD`] payload bytes, each byte carried as an ordinary link
+//! frame of whichever [`crate::LinkProtocol`] the wire speaks (so the
+//! robust protocol's parity/sequence/retry machinery protects routed
+//! packets exactly as it protects neighbour traffic):
+//!
+//! ```text
+//! byte 0   virtual-channel id, low byte
+//! byte 1   virtual-channel id, high byte
+//! byte 2   payload length (1 ..= MAX_PAYLOAD)
+//! byte 3   flags (bit 0: end of message)
+//! ```
+//!
+//! Messages longer than [`MAX_PAYLOAD`] are split into consecutive
+//! packets on the same virtual channel; the final packet carries the
+//! end-of-message flag. Packets of one virtual channel are delivered in
+//! order (each hop is a FIFO), so reassembly needs no sequence numbers.
+
+/// Bytes in a packet header.
+pub const HEADER_BYTES: usize = 4;
+
+/// Maximum payload bytes per packet. Small packets keep per-wire
+/// multiplexing fair and the store-and-forward buffers shallow; 16 bytes
+/// carries a whole one-word occam message (the common case) in a single
+/// packet while bounding a blocked wire's head-of-line delay.
+pub const MAX_PAYLOAD: usize = 16;
+
+/// Header flag bit: this packet ends its message.
+pub const FLAG_EOM: u8 = 0x01;
+
+/// A decoded packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcHeader {
+    /// Virtual-channel id (network-wide).
+    pub vc: u16,
+    /// Payload bytes following the header (1 ..= [`MAX_PAYLOAD`]).
+    pub len: u8,
+    /// Whether this packet ends its message.
+    pub eom: bool,
+}
+
+impl VcHeader {
+    /// Encode into the four wire bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or exceeds [`MAX_PAYLOAD`] — a router
+    /// logic error, not a wire condition.
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        assert!(
+            self.len >= 1 && usize::from(self.len) <= MAX_PAYLOAD,
+            "packet payload length {} out of range",
+            self.len
+        );
+        [
+            (self.vc & 0xff) as u8,
+            (self.vc >> 8) as u8,
+            self.len,
+            if self.eom { FLAG_EOM } else { 0 },
+        ]
+    }
+
+    /// Decode four received header bytes. Returns `None` for lengths or
+    /// flags no conforming router emits. The link protocols deliver
+    /// bytes intact (the robust variant by parity-plus-retry), so a
+    /// `None` here indicates a router implementation error, not noise.
+    pub fn decode(bytes: [u8; HEADER_BYTES]) -> Option<VcHeader> {
+        let len = bytes[2];
+        if len == 0 || usize::from(len) > MAX_PAYLOAD {
+            return None;
+        }
+        if bytes[3] & !FLAG_EOM != 0 {
+            return None;
+        }
+        Some(VcHeader {
+            vc: u16::from(bytes[0]) | (u16::from(bytes[1]) << 8),
+            len,
+            eom: bytes[3] & FLAG_EOM != 0,
+        })
+    }
+
+    /// Total bytes this packet occupies on a wire.
+    pub fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + usize::from(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips() {
+        for vc in [0u16, 1, 255, 256, 0xbeef, u16::MAX] {
+            for len in [1u8, 2, MAX_PAYLOAD as u8] {
+                for eom in [false, true] {
+                    let h = VcHeader { vc, len, eom };
+                    let bytes = h.encode();
+                    assert_eq!(VcHeader::decode(bytes), Some(h));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_layout_is_little_endian_vc_then_len_then_flags() {
+        let h = VcHeader {
+            vc: 0x0102,
+            len: 4,
+            eom: true,
+        };
+        assert_eq!(h.encode(), [0x02, 0x01, 4, FLAG_EOM]);
+        assert_eq!(h.wire_bytes(), HEADER_BYTES + 4);
+    }
+
+    #[test]
+    fn decode_rejects_bad_lengths_and_flags() {
+        assert_eq!(VcHeader::decode([0, 0, 0, 0]), None, "zero length");
+        assert_eq!(
+            VcHeader::decode([0, 0, MAX_PAYLOAD as u8 + 1, 0]),
+            None,
+            "over-long payload"
+        );
+        assert_eq!(VcHeader::decode([0, 0, 1, 0x02]), None, "unknown flag");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_rejects_zero_length() {
+        let _ = VcHeader {
+            vc: 0,
+            len: 0,
+            eom: false,
+        }
+        .encode();
+    }
+}

@@ -36,8 +36,13 @@
 //! ```
 
 mod par;
+pub mod router;
 pub mod sim;
 pub mod topology;
 
+pub use router::RouterStats;
 pub use sim::{Engine, Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
-pub use topology::{grid, hypercube, pipeline, ring, GridNet, HypercubeNet};
+pub use topology::{
+    adjacency_add_wire, grid, grid_adjacency, hypercube, hypercube_adjacency, pipeline, ring,
+    Adjacency, GridNet, HypercubeNet, NO_ROUTE,
+};

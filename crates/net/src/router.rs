@@ -1,0 +1,704 @@
+//! The virtual-channel packet router (T9000 VCP-style).
+//!
+//! The paper's machines connect occam channels only between physical
+//! neighbours. This module adds the successor architecture's router
+//! layer: each node owns a `NodeRouter` that packetizes the messages its
+//! CPU emits into [`transputer_link::vc`] frames, multiplexes many
+//! virtual channels over each physical wire, and store-and-forwards
+//! transit packets hop by hop under per-node routing tables derived from
+//! the topology's [`Adjacency`]. The CPU's four link ports become local
+//! virtual-channel endpoints, decoupled from the physical ports the
+//! wires attach to — a grid-interior node can source and sink virtual
+//! channels on all four CPU ports while its router uses all four
+//! physical ports for the mesh.
+//!
+//! **Determinism.** The router has no clock of its own: every state
+//! change happens either at a wire event (delivered data byte,
+//! acknowledge) — which all three engines process at identical times —
+//! or at a CPU link-service point, which the sliced engines stamp with
+//! the exact interaction-instruction time the event engine would have
+//! used. Per-wire forwarding queues are bounded
+//! (`FORWARD_CAPACITY`); a full queue withholds the acknowledge of
+//! the packet's final byte, so backpressure propagates through the
+//! ordinary link flow control (and, under the robust protocol, through
+//! its busy/retry machinery) without any side channel.
+//!
+//! The router returns its effects as `Act`s rather than touching
+//! wires directly; the simulator applies them, which keeps all wire
+//! bookkeeping (resend registration, scheduling) in one place.
+
+use std::collections::{HashSet, VecDeque};
+
+use transputer::Cpu;
+use transputer_link::vc::{VcHeader, HEADER_BYTES, MAX_PAYLOAD};
+
+use crate::topology::{route_tables, Adjacency, NO_ROUTE};
+
+/// A virtual channel's endpoints: `(source, destination)`, each a
+/// `(node, cpu_port)` pair.
+pub(crate) type VcSpec = ((usize, usize), (usize, usize));
+
+/// Transit packets a physical out-port queues before exerting
+/// backpressure. Two full-size packets per queue slot would be 40 bytes;
+/// eight slots keep several virtual channels moving across a shared
+/// wire while bounding the store-and-forward memory per node.
+pub(crate) const FORWARD_CAPACITY: usize = 8;
+
+/// Router activity counters, aggregated network-wide. Host-visible
+/// observability only — never part of outcome fingerprints (the
+/// per-wire delivered-byte counters are what the fingerprints pin).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RouterStats {
+    /// Packets injected by source CPUs.
+    pub packets_sent: u64,
+    /// Transit packets enqueued at intermediate hops.
+    pub packets_forwarded: u64,
+    /// Packets delivered to destination CPUs.
+    pub packets_delivered: u64,
+    /// Packets dropped for lack of a route (after mid-run wire death).
+    pub packets_dropped: u64,
+    /// Duplicate data bytes absorbed by the robust sequence check.
+    pub dup_data: u64,
+    /// Routing-table rebuilds forced by mid-run wire failures.
+    pub table_rebuilds: u64,
+    /// Completed store-and-forward hops (one packet leaving one queue).
+    pub hops: u64,
+    /// Total queue-to-wire latency over all completed hops, in ns.
+    pub hop_ns_total: u64,
+    /// Worst single hop latency, in ns.
+    pub max_hop_ns: u64,
+}
+
+impl RouterStats {
+    /// Mean store-and-forward hop latency in nanoseconds.
+    pub fn mean_hop_ns(&self) -> u64 {
+        self.hop_ns_total.checked_div(self.hops).unwrap_or(0)
+    }
+}
+
+/// One framed packet, reassembled or awaiting (re)transmission.
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    vc: u16,
+    eom: bool,
+    len: u8,
+    data: [u8; MAX_PAYLOAD],
+    /// When the packet entered its current forwarding queue.
+    enq_ns: u64,
+}
+
+impl Packet {
+    fn wire_len(&self) -> usize {
+        HEADER_BYTES + usize::from(self.len)
+    }
+
+    /// Byte `pos` of the packet's wire image (header, then payload).
+    fn byte(&self, pos: usize) -> u8 {
+        if pos < HEADER_BYTES {
+            VcHeader {
+                vc: self.vc,
+                len: self.len,
+                eom: self.eom,
+            }
+            .encode()[pos]
+        } else {
+            self.data[pos - HEADER_BYTES]
+        }
+    }
+}
+
+/// Per-physical-in-port reassembly buffer.
+#[derive(Debug, Default, Clone, Copy)]
+struct Reasm {
+    buf: [u8; HEADER_BYTES + MAX_PAYLOAD],
+    have: usize,
+}
+
+impl Reasm {
+    /// Absorb one wire byte; return the packet it completes, if any.
+    fn push(&mut self, byte: u8, now_ns: u64) -> Option<Packet> {
+        self.buf[self.have] = byte;
+        self.have += 1;
+        if self.have < HEADER_BYTES {
+            return None;
+        }
+        let hdr = [self.buf[0], self.buf[1], self.buf[2], self.buf[3]];
+        let h = VcHeader::decode(hdr).expect("router peer sent a malformed packet header");
+        if self.have < h.wire_bytes() {
+            return None;
+        }
+        let mut data = [0u8; MAX_PAYLOAD];
+        data[..usize::from(h.len)].copy_from_slice(&self.buf[HEADER_BYTES..self.have]);
+        self.have = 0;
+        Some(Packet {
+            vc: h.vc,
+            eom: h.eom,
+            len: h.len,
+            data,
+            enq_ns: now_ns,
+        })
+    }
+}
+
+/// A packet in construction from a CPU source port's byte stream.
+#[derive(Debug, Clone, Copy)]
+struct Build {
+    vc: u16,
+    /// Physical out port reserved for the packet (`usize::MAX` when the
+    /// destination is unreachable — the packet will be dropped when it
+    /// closes).
+    out_port: usize,
+    len: u8,
+    data: [u8; MAX_PAYLOAD],
+}
+
+/// A packet being handed byte-by-byte to the destination CPU's link
+/// receiver.
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    pkt: Packet,
+    /// Bytes already handed to the CPU link engine.
+    pos: u8,
+    /// The last handed byte sits in the CPU's one-byte link buffer; the
+    /// next byte may only follow once the CPU raises its deferred
+    /// acknowledge (a process consumed the byte).
+    waiting: bool,
+}
+
+/// One node's router state. Indices 0..4 are CPU-local virtual-channel
+/// ports on the local side and physical wire ports on the wire side —
+/// the two sides are independent.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct NodeRouter {
+    /// Virtual channels sourced from each CPU out port, in registration
+    /// order; consecutive messages round-robin across them.
+    out_vcs: [Vec<u16>; 4],
+    out_cursor: [usize; 4],
+    /// In-construction packet per CPU source port.
+    build: [Option<Build>; 4],
+    /// In-progress delivery per CPU destination port.
+    delivery: [Option<Delivery>; 4],
+    /// Message atomicity per CPU destination port: once a multi-packet
+    /// message starts delivering, other virtual channels park until its
+    /// end-of-message packet completes.
+    open_vc: [Option<u16>; 4],
+    /// Bounded forwarding queue per physical out port.
+    outq: [VecDeque<Packet>; 4],
+    /// Queue slots reserved by in-construction local packets.
+    reserved: [u8; 4],
+    /// Transmit progress on the front packet of each out queue
+    /// (`None` = wire idle).
+    tx_pos: [Option<usize>; 4],
+    /// Robust-protocol transmit sequence bit per physical port.
+    tx_seq: [bool; 4],
+    /// Robust-protocol expected receive sequence bit per physical port.
+    rx_seq: [bool; 4],
+    /// Reassembly per physical in port.
+    rx: [Reasm; 4],
+    /// A completed packet the node could not yet accept, parked with
+    /// its final-byte acknowledge withheld (this is the backpressure).
+    parked: [Option<Packet>; 4],
+    /// Whether an acknowledge is being withheld on each physical port.
+    withheld: [bool; 4],
+}
+
+/// A wire- or scheduler-visible effect the router asks the simulator to
+/// apply, attributed to one node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Act {
+    /// Put a data byte on the wire at this node's physical `port`.
+    Data { port: usize, byte: u8, seq: bool },
+    /// Acknowledge on the wire at `port` (echoing `seq` when robust).
+    Ack { port: usize, seq: bool },
+    /// Robust busy notice on `port` (a withheld acknowledge exists).
+    Busy { port: usize, seq: bool },
+    /// The node's CPU went from idle to runnable; schedule it.
+    Wake,
+}
+
+/// The network-wide router: routing tables, virtual-channel map, and
+/// per-node state.
+#[derive(Debug)]
+pub(crate) struct RouterNet {
+    /// `tables[node][dest]` = physical out port, [`NO_ROUTE`] for self
+    /// or unreachable.
+    tables: Vec<Vec<u8>>,
+    /// Destination `(node, cpu_port)` per virtual-channel id.
+    vc_dst: Vec<(usize, usize)>,
+    adj: Adjacency,
+    dead: HashSet<usize>,
+    nodes: Vec<NodeRouter>,
+    pub(crate) stats: RouterStats,
+}
+
+impl RouterNet {
+    pub(crate) fn new(
+        adj: Adjacency,
+        tables: Vec<Vec<u8>>,
+        dead: HashSet<usize>,
+        vcs: &[VcSpec],
+    ) -> RouterNet {
+        let n = adj.len();
+        let mut nodes = vec![NodeRouter::default(); n];
+        let mut vc_dst = Vec::with_capacity(vcs.len());
+        for (vc, &((sn, sp), (dn, dp))) in vcs.iter().enumerate() {
+            assert!(sn != dn, "virtual channel {vc} loops node {sn} to itself");
+            assert!(sp < 4 && dp < 4, "virtual-channel CPU ports are 0..4");
+            nodes[sn].out_vcs[sp].push(vc as u16);
+            vc_dst.push((dn, dp));
+        }
+        RouterNet {
+            tables,
+            vc_dst,
+            adj,
+            dead,
+            nodes,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Service a node's CPU-facing side at `now_ns`: resume deliveries
+    /// whose deferred acknowledge the CPU has raised, then drain any
+    /// output the CPU has ready. Idempotent — the event engine calls
+    /// this after every instruction, the sliced engines only at
+    /// interaction points, and the extra calls are no-ops.
+    pub(crate) fn service_node(
+        &mut self,
+        cpus: &mut [Cpu],
+        node: usize,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        let was_idle = cpus[node].is_idle();
+        for port in 0..4 {
+            let waiting = matches!(self.nodes[node].delivery[port], Some(d) if d.waiting);
+            if waiting && cpus[node].link_take_deferred_ack(port) {
+                if let Some(d) = &mut self.nodes[node].delivery[port] {
+                    d.waiting = false;
+                }
+                self.continue_delivery(cpus, node, port, now_ns, acts);
+            }
+        }
+        self.drain_injection(cpus, node, now_ns, acts);
+        if was_idle && !cpus[node].is_idle() {
+            acts.push((node, Act::Wake));
+        }
+    }
+
+    /// Hand delivery bytes to the CPU until the packet completes or a
+    /// byte lodges in the CPU's one-byte link buffer.
+    fn continue_delivery(
+        &mut self,
+        cpus: &mut [Cpu],
+        node: usize,
+        port: usize,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        loop {
+            let Some(mut d) = self.nodes[node].delivery[port] else {
+                return;
+            };
+            if d.waiting {
+                return;
+            }
+            if usize::from(d.pos) == usize::from(d.pkt.len) {
+                // Final byte confirmed: the slot frees, the message
+                // either continues (more packets of this vc) or closes.
+                self.nodes[node].delivery[port] = None;
+                self.nodes[node].open_vc[port] = if d.pkt.eom { None } else { Some(d.pkt.vc) };
+                self.stats.packets_delivered += 1;
+                self.unpark(cpus, node, now_ns, acts);
+                return;
+            }
+            let byte = d.pkt.data[usize::from(d.pos)];
+            let consumed = cpus[node].link_rx_deliver(port, byte);
+            d.pos += 1;
+            d.waiting = !consumed;
+            self.nodes[node].delivery[port] = Some(d);
+        }
+    }
+
+    /// Try to accept a packet addressed to this node's CPU.
+    fn accept_local(
+        &mut self,
+        cpus: &mut [Cpu],
+        node: usize,
+        pkt: Packet,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) -> bool {
+        let (_, port) = self.vc_dst[usize::from(pkt.vc)];
+        let r = &mut self.nodes[node];
+        if r.delivery[port].is_some() || r.open_vc[port].is_some_and(|v| v != pkt.vc) {
+            return false;
+        }
+        r.open_vc[port] = Some(pkt.vc);
+        r.delivery[port] = Some(Delivery {
+            pkt,
+            pos: 0,
+            waiting: false,
+        });
+        self.continue_delivery(cpus, node, port, now_ns, acts);
+        true
+    }
+
+    /// Route a completed packet at `node`: deliver locally, enqueue for
+    /// the next hop, or drop it if no route remains. Returns whether
+    /// the packet was consumed (false = caller must park it).
+    fn route_packet(
+        &mut self,
+        cpus: &mut [Cpu],
+        node: usize,
+        pkt: Packet,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) -> bool {
+        let (dn, _) = self.vc_dst[usize::from(pkt.vc)];
+        if dn == node {
+            return self.accept_local(cpus, node, pkt, now_ns, acts);
+        }
+        let port = self.tables[node][dn];
+        if port == NO_ROUTE {
+            self.stats.packets_dropped += 1;
+            return true;
+        }
+        let port = usize::from(port);
+        let r = &self.nodes[node];
+        if r.outq[port].len() + usize::from(r.reserved[port]) >= FORWARD_CAPACITY {
+            return false;
+        }
+        self.stats.packets_forwarded += 1;
+        self.enqueue(node, port, pkt, now_ns, acts);
+        true
+    }
+
+    /// Append a packet to a physical out port's queue, starting the
+    /// transmitter if the wire is idle.
+    fn enqueue(
+        &mut self,
+        node: usize,
+        port: usize,
+        mut pkt: Packet,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        pkt.enq_ns = now_ns;
+        self.nodes[node].outq[port].push_back(pkt);
+        if self.nodes[node].tx_pos[port].is_none() {
+            self.start_tx(node, port, acts);
+        }
+    }
+
+    fn start_tx(&mut self, node: usize, port: usize, acts: &mut Vec<(usize, Act)>) {
+        let r = &mut self.nodes[node];
+        let Some(pkt) = r.outq[port].front() else {
+            return;
+        };
+        let byte = pkt.byte(0);
+        r.tx_pos[port] = Some(0);
+        acts.push((
+            node,
+            Act::Data {
+                port,
+                byte,
+                seq: r.tx_seq[port],
+            },
+        ));
+    }
+
+    /// An acknowledge arrived on `node`'s physical `port`. Returns true
+    /// when it was fresh (the simulator then clears the wire's resend
+    /// state).
+    #[allow(clippy::too_many_arguments)] // one wire event, fully unpacked
+    pub(crate) fn phys_ack(
+        &mut self,
+        cpus: &mut [Cpu],
+        node: usize,
+        port: usize,
+        seq: bool,
+        robust: bool,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) -> bool {
+        if robust && seq != self.nodes[node].tx_seq[port] {
+            return false;
+        }
+        let Some(pos) = self.nodes[node].tx_pos[port] else {
+            return false;
+        };
+        let was_idle = cpus[node].is_idle();
+        self.nodes[node].tx_seq[port] = !self.nodes[node].tx_seq[port];
+        let front = *self.nodes[node].outq[port]
+            .front()
+            .expect("tx has a packet");
+        if pos + 1 < front.wire_len() {
+            let r = &mut self.nodes[node];
+            r.tx_pos[port] = Some(pos + 1);
+            acts.push((
+                node,
+                Act::Data {
+                    port,
+                    byte: front.byte(pos + 1),
+                    seq: r.tx_seq[port],
+                },
+            ));
+        } else {
+            let r = &mut self.nodes[node];
+            r.outq[port].pop_front();
+            r.tx_pos[port] = None;
+            let hop_ns = now_ns.saturating_sub(front.enq_ns);
+            self.stats.hops += 1;
+            self.stats.hop_ns_total += hop_ns;
+            self.stats.max_hop_ns = self.stats.max_hop_ns.max(hop_ns);
+            self.start_tx(node, port, acts);
+            // A queue slot freed: parked packets and stalled local
+            // injection may proceed now, at this wire event's time, in
+            // every engine alike.
+            self.unpark(cpus, node, now_ns, acts);
+            self.drain_injection(cpus, node, now_ns, acts);
+        }
+        if was_idle && !cpus[node].is_idle() {
+            acts.push((node, Act::Wake));
+        }
+        true
+    }
+
+    /// A data byte arrived on `node`'s physical `port`. Returns true
+    /// when the byte was accepted (the simulator then counts it as
+    /// delivered on the wire).
+    #[allow(clippy::too_many_arguments)] // one wire event, fully unpacked
+    pub(crate) fn phys_data(
+        &mut self,
+        cpus: &mut [Cpu],
+        node: usize,
+        port: usize,
+        byte: u8,
+        seq: bool,
+        robust: bool,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) -> bool {
+        if robust && seq != self.nodes[node].rx_seq[port] {
+            // Duplicate of an already-accepted byte: repeat the
+            // acknowledge, or signal busy while one is withheld.
+            self.stats.dup_data += 1;
+            let last = !self.nodes[node].rx_seq[port];
+            let act = if self.nodes[node].withheld[port] {
+                Act::Busy { port, seq: last }
+            } else {
+                Act::Ack { port, seq: last }
+            };
+            acts.push((node, act));
+            return false;
+        }
+        self.nodes[node].rx_seq[port] = !self.nodes[node].rx_seq[port];
+        let was_idle = cpus[node].is_idle();
+        let completed = self.nodes[node].rx[port].push(byte, now_ns);
+        match completed {
+            Some(pkt) => {
+                if self.route_packet(cpus, node, pkt, now_ns, acts) {
+                    acts.push((node, Act::Ack { port, seq }));
+                } else {
+                    // No room: park the packet and withhold the final
+                    // byte's acknowledge — the upstream transmitter
+                    // stalls, which is the backpressure.
+                    self.nodes[node].parked[port] = Some(pkt);
+                    self.nodes[node].withheld[port] = true;
+                }
+            }
+            None => acts.push((node, Act::Ack { port, seq })),
+        }
+        if was_idle && !cpus[node].is_idle() {
+            acts.push((node, Act::Wake));
+        }
+        true
+    }
+
+    /// Retry parked packets (in physical-port order) after capacity or
+    /// a delivery slot freed; releasing one also releases its withheld
+    /// acknowledge.
+    fn unpark(&mut self, cpus: &mut [Cpu], node: usize, now_ns: u64, acts: &mut Vec<(usize, Act)>) {
+        for port in 0..4 {
+            let Some(pkt) = self.nodes[node].parked[port] else {
+                continue;
+            };
+            if self.route_packet(cpus, node, pkt, now_ns, acts) {
+                let r = &mut self.nodes[node];
+                r.parked[port] = None;
+                r.withheld[port] = false;
+                let seq = !r.rx_seq[port];
+                acts.push((node, Act::Ack { port, seq }));
+            }
+        }
+    }
+
+    /// Pull output bytes from the CPU's link transmitters into packets.
+    /// Stalls only at packet boundaries, and only while the target out
+    /// queue is full.
+    fn drain_injection(
+        &mut self,
+        cpus: &mut [Cpu],
+        node: usize,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        for port in 0..4 {
+            if self.nodes[node].out_vcs[port].is_empty() {
+                continue;
+            }
+            loop {
+                if self.nodes[node].build[port].is_none() {
+                    if !cpus[node].link_output_busy(port) {
+                        break; // nothing to send on this port
+                    }
+                    let n_vcs = self.nodes[node].out_vcs[port].len();
+                    let vc =
+                        self.nodes[node].out_vcs[port][self.nodes[node].out_cursor[port] % n_vcs];
+                    let (dn, _) = self.vc_dst[usize::from(vc)];
+                    let out_port = match self.tables[node][dn] {
+                        NO_ROUTE => usize::MAX,
+                        p => usize::from(p),
+                    };
+                    if out_port != usize::MAX {
+                        let r = &self.nodes[node];
+                        if r.outq[out_port].len() + usize::from(r.reserved[out_port])
+                            >= FORWARD_CAPACITY
+                        {
+                            break; // backpressure: stall at the packet boundary
+                        }
+                        self.nodes[node].reserved[out_port] += 1;
+                    }
+                    self.nodes[node].build[port] = Some(Build {
+                        vc,
+                        out_port,
+                        len: 0,
+                        data: [0; MAX_PAYLOAD],
+                    });
+                }
+                let Some(byte) = cpus[node].link_tx_poll(port) else {
+                    break;
+                };
+                let mut b = self.nodes[node].build[port].expect("build slot just ensured");
+                b.data[usize::from(b.len)] = byte;
+                b.len += 1;
+                // The CPU-router interface is on-chip: acknowledge
+                // immediately, whatever protocol the wires speak.
+                cpus[node].link_tx_ack(port);
+                let eom = !cpus[node].link_output_busy(port);
+                if eom || usize::from(b.len) == MAX_PAYLOAD {
+                    self.nodes[node].build[port] = None;
+                    if b.out_port != usize::MAX {
+                        self.nodes[node].reserved[b.out_port] -= 1;
+                    }
+                    let pkt = Packet {
+                        vc: b.vc,
+                        eom,
+                        len: b.len,
+                        data: b.data,
+                        enq_ns: now_ns,
+                    };
+                    self.stats.packets_sent += 1;
+                    if b.out_port == usize::MAX {
+                        self.stats.packets_dropped += 1;
+                    } else {
+                        self.enqueue(node, b.out_port, pkt, now_ns, acts);
+                    }
+                    if eom {
+                        let r = &mut self.nodes[node];
+                        let n_vcs = r.out_vcs[port].len();
+                        r.out_cursor[port] = (r.out_cursor[port] + 1) % n_vcs;
+                    }
+                } else {
+                    self.nodes[node].build[port] = Some(b);
+                }
+            }
+        }
+    }
+
+    /// A wire direction exhausted its retries: declare the whole wire
+    /// dead, rebuild the tables over the surviving links, reroute the
+    /// two end nodes' stranded traffic, and kick both ends. Packets
+    /// whose destination became unreachable are dropped. Runs at the
+    /// wire's resend-deadline pop, so every engine sees it at the same
+    /// instant.
+    pub(crate) fn wire_failed(
+        &mut self,
+        cpus: &mut [Cpu],
+        wire: usize,
+        ends: [(usize, usize); 2],
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        if !self.dead.insert(wire) {
+            return; // the other direction already failed
+        }
+        self.stats.table_rebuilds += 1;
+        self.tables = route_tables(&self.adj, &self.dead);
+        for &(node, port) in &ends {
+            let r = &mut self.nodes[node];
+            // Abandon the half-sent front packet and the dead port's
+            // queue; partial reassembly on the dead wire is discarded.
+            r.tx_pos[port] = None;
+            r.rx[port] = Reasm::default();
+            let stranded: Vec<Packet> = r.outq[port].drain(..).collect();
+            for pkt in stranded {
+                let (dn, _) = self.vc_dst[usize::from(pkt.vc)];
+                let next = if dn == node {
+                    usize::MAX // shouldn't have been queued, but route home
+                } else {
+                    match self.tables[node][dn] {
+                        NO_ROUTE => usize::MAX,
+                        p => usize::from(p),
+                    }
+                };
+                if next == usize::MAX {
+                    if dn == node {
+                        if !self.accept_local(cpus, node, pkt, now_ns, acts) {
+                            self.stats.packets_dropped += 1;
+                        }
+                    } else {
+                        self.stats.packets_dropped += 1;
+                    }
+                } else {
+                    // Requeue past the capacity bound: the bound gates
+                    // new admissions, not rescue traffic.
+                    self.enqueue(node, next, pkt, now_ns, acts);
+                }
+            }
+            // Retarget any packet under construction toward the dead
+            // port.
+            for cpu_port in 0..4 {
+                let Some(mut b) = self.nodes[node].build[cpu_port] else {
+                    continue;
+                };
+                if b.out_port != port {
+                    continue;
+                }
+                self.nodes[node].reserved[port] = self.nodes[node].reserved[port].saturating_sub(1);
+                let (dn, _) = self.vc_dst[usize::from(b.vc)];
+                b.out_port = match self.tables[node][dn] {
+                    NO_ROUTE => usize::MAX,
+                    p => usize::from(p),
+                };
+                if b.out_port != usize::MAX {
+                    self.nodes[node].reserved[b.out_port] += 1;
+                }
+                self.nodes[node].build[cpu_port] = Some(b);
+            }
+            self.unpark(cpus, node, now_ns, acts);
+            self.drain_injection(cpus, node, now_ns, acts);
+        }
+    }
+
+    /// Nodes a virtual channel can no longer link to its destination —
+    /// used by applications to exclude unreachable participants.
+    pub(crate) fn reachable(&self, from: usize, to: usize) -> bool {
+        from == to || self.tables[from][to] != NO_ROUTE
+    }
+
+    /// Network-wide router counters.
+    pub(crate) fn stats(&self) -> RouterStats {
+        self.stats
+    }
+}

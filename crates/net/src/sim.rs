@@ -26,7 +26,7 @@
 //! are bit-identical in cycle counts, delivered bytes, and memory images.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 use transputer::linkif::SeqCheck;
@@ -36,6 +36,8 @@ use transputer_link::{
 };
 
 use crate::par::{self, Slot, WorkerPool};
+use crate::router::{Act, RouterNet, RouterStats};
+use crate::topology::{hypercube_tables, route_tables, Adjacency};
 
 /// Index of a node in a [`Network`].
 pub type NodeId = usize;
@@ -54,7 +56,7 @@ pub enum Engine {
     #[default]
     Sliced,
     /// The sliced engine, with the node slices of each window run on a
-    /// persistent worker pool ([`crate::par`]). Bit-identical to
+    /// persistent worker pool (`crate::par`). Bit-identical to
     /// `Sliced` (and so to `Event`) at any worker count.
     Parallel,
 }
@@ -194,6 +196,26 @@ struct EaState {
     prev: bool,
 }
 
+/// How a routed network derives its tables from the adjacency.
+#[derive(Debug, Clone, Copy)]
+enum RouteShape {
+    /// BFS shortest paths with a fixed port preference — deterministic
+    /// on any connected graph (and exactly XY dimension order on grids).
+    General,
+    /// Closed-form e-cube order on a clustered hypercube; falls back to
+    /// BFS whenever wires are dead at boot.
+    Hypercube { dim: usize, side: usize },
+}
+
+/// Router configuration accumulated by the builder.
+#[derive(Debug)]
+struct RouterBuild {
+    adj: Adjacency,
+    shape: RouteShape,
+    /// Virtual channels in registration order: `(src, dst)` CPU ports.
+    vcs: Vec<(Port, Port)>,
+}
+
 /// Incremental builder for a [`Network`].
 #[derive(Debug)]
 pub struct NetworkBuilder {
@@ -201,6 +223,7 @@ pub struct NetworkBuilder {
     nodes: Vec<Cpu>,
     wires: Vec<(Port, Port)>,
     used: Vec<[bool; 4]>,
+    router: Option<RouterBuild>,
 }
 
 impl NetworkBuilder {
@@ -211,6 +234,7 @@ impl NetworkBuilder {
             nodes: Vec::new(),
             wires: Vec::new(),
             used: Vec::new(),
+            router: None,
         }
     }
 
@@ -252,6 +276,100 @@ impl NetworkBuilder {
     /// Number of nodes added so far.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Turn the network into a routed (virtual-channel) network: every
+    /// wire of `adj` is connected automatically, every wire endpoint
+    /// becomes router-owned, and the four CPU link ports of each node
+    /// become local virtual-channel endpoints (see [`crate::router`]).
+    /// Routing tables are built by deterministic BFS shortest paths
+    /// ([`route_tables`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router is already enabled, wires were connected by
+    /// hand first, the adjacency covers a different node count than has
+    /// been added, or the adjacency's wire ids are not dense/mirrored.
+    pub fn enable_router(&mut self, adj: Adjacency) -> &mut NetworkBuilder {
+        self.enable_router_with(adj, RouteShape::General)
+    }
+
+    /// Like [`NetworkBuilder::enable_router`], but with closed-form
+    /// e-cube tables for a clustered hypercube built by
+    /// [`crate::topology::wire_hypercube`] (host leaves attached via
+    /// [`crate::topology::adjacency_add_wire`] are routed through their
+    /// cluster anchors). Falls back to BFS when wires are dead at boot.
+    pub fn enable_router_hypercube(
+        &mut self,
+        adj: Adjacency,
+        dim: usize,
+        side: usize,
+    ) -> &mut NetworkBuilder {
+        self.enable_router_with(adj, RouteShape::Hypercube { dim, side })
+    }
+
+    fn enable_router_with(&mut self, adj: Adjacency, shape: RouteShape) -> &mut NetworkBuilder {
+        assert!(self.router.is_none(), "router already enabled");
+        assert!(
+            self.wires.is_empty(),
+            "enable the router before connecting wires: it wires the adjacency itself"
+        );
+        assert_eq!(
+            adj.len(),
+            self.nodes.len(),
+            "adjacency must cover exactly the nodes added"
+        );
+        let mut ends: Vec<Option<(Port, Port)>> = Vec::new();
+        for (node, links) in adj.iter().enumerate() {
+            for (port, link) in links.iter().enumerate() {
+                let Some((peer, pport, wire)) = *link else {
+                    continue;
+                };
+                if ends.len() <= wire {
+                    ends.resize(wire + 1, None);
+                }
+                match ends[wire] {
+                    None => ends[wire] = Some(((node, port), (peer, pport))),
+                    Some((a, b)) => assert!(
+                        a == (peer, pport) && b == (node, port),
+                        "wire {wire} is not mirrored in the adjacency"
+                    ),
+                }
+            }
+        }
+        for (wire, e) in ends.into_iter().enumerate() {
+            let (a, b) = e.unwrap_or_else(|| panic!("adjacency wire ids are not dense at {wire}"));
+            self.connect(a, b);
+        }
+        self.router = Some(RouterBuild {
+            adj,
+            shape,
+            vcs: Vec::new(),
+        });
+        self
+    }
+
+    /// Register a virtual channel from CPU port `src` to CPU port `dst`
+    /// and return its network-wide id. Consecutive messages written to
+    /// one CPU out port round-robin across the channels registered on
+    /// it, in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics without [`NetworkBuilder::enable_router`], on out-of-range
+    /// ports, or if the channel would loop a node to itself.
+    pub fn add_vc(&mut self, src: Port, dst: Port) -> u16 {
+        let n = self.nodes.len();
+        let rb = self.router.as_mut().expect("enable_router before add_vc");
+        assert!(src.0 < n && dst.0 < n, "no such node");
+        assert!(src.1 < 4 && dst.1 < 4, "link ports are 0..4");
+        assert!(
+            src.0 != dst.0,
+            "virtual channel would loop node {} to itself",
+            src.0
+        );
+        rb.vcs.push((src, dst));
+        u16::try_from(rb.vcs.len() - 1).expect("too many virtual channels")
     }
 
     /// Finish: produce the network.
@@ -306,6 +424,24 @@ impl NetworkBuilder {
             None => (0, 0),
         };
         let robust = fault.is_some();
+        let router = self.router.map(|rb| {
+            // Wires dead from the very start never carry a byte; exclude
+            // them from the initial tables rather than waiting for the
+            // retry budget to discover them.
+            let mut dead: HashSet<usize> = HashSet::new();
+            if let Some(plan) = &fault {
+                for wire in 0..w {
+                    if plan.dead_from(wire) == Some(0) {
+                        dead.insert(wire);
+                    }
+                }
+            }
+            let tables = match rb.shape {
+                RouteShape::General => route_tables(&rb.adj, &dead),
+                RouteShape::Hypercube { dim, side } => hypercube_tables(&rb.adj, dim, side, &dead),
+            };
+            RouterNet::new(rb.adj, tables, dead, &rb.vcs)
+        });
         let hot = NodeHot {
             scheduled: vec![false; n],
             next_ns: vec![0; n],
@@ -331,9 +467,10 @@ impl NetworkBuilder {
             timeout_ns,
             max_retries,
             wire_next: vec![u64::MAX; w],
-            par_workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            par_workers: par_workers_default(),
             pool: None,
             scratch: WindowScratch::default(),
+            router,
         };
         for i in 0..n {
             net.schedule_node(i, 0);
@@ -416,9 +553,12 @@ pub struct Network {
     timeout_ns: u64,
     /// Retry budget per data byte under the robust protocol.
     max_retries: u32,
-    /// Cached [`Self::wire_next_event_ns`] per wire (`u64::MAX` = none),
-    /// maintained by [`Self::schedule_wire`]; feeds the slice bounds
-    /// without rescanning link state.
+    /// Pop time of each wire's single live heap entry (`u64::MAX` =
+    /// none), maintained by [`Self::schedule_wire`]. Doubles as the
+    /// dedup guard — a popped entry whose time no longer matches is
+    /// stale and skipped — and feeds the slice bounds without
+    /// rescanning link state (never later than the wire's true next
+    /// event, so the bounds stay conservative).
     wire_next: Vec<u64>,
     /// Host threads available to the parallel engine (cached once).
     par_workers: usize,
@@ -427,6 +567,23 @@ pub struct Network {
     pool: Option<WorkerPool>,
     /// Reusable window-construction buffers (parallel engine).
     scratch: WindowScratch,
+    /// The virtual-channel router, when enabled: it owns every wire
+    /// endpoint, and the CPUs' link ports become virtual-channel
+    /// endpoints (see [`crate::router`]). Taken out of the network for
+    /// the duration of each router call so the router can borrow the
+    /// CPUs.
+    router: Option<RouterNet>,
+}
+
+/// The parallel engine's default worker count: the `PAR_WORKERS`
+/// environment variable when set (the CI determinism matrix pins it),
+/// else the host's available parallelism.
+fn par_workers_default() -> usize {
+    std::env::var("PAR_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|v| v.max(1))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
 impl Network {
@@ -511,6 +668,25 @@ impl Network {
         self.wires.iter().any(|w| w.failed[0] || w.failed[1])
     }
 
+    /// Whether this network routes messages through the virtual-channel
+    /// router (see [`NetworkBuilder::enable_router`]).
+    pub fn routed(&self) -> bool {
+        self.router.is_some()
+    }
+
+    /// Network-wide router activity counters, `None` unless routed.
+    /// Host-side observability only — never part of fingerprints.
+    pub fn router_stats(&self) -> Option<RouterStats> {
+        self.router.as_ref().map(RouterNet::stats)
+    }
+
+    /// Whether the router's *current* tables connect `from` to `to`
+    /// (they shrink as wires die). Always true on non-routed networks,
+    /// where reachability is the application's planning problem.
+    pub fn route_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.router.as_ref().is_none_or(|r| r.reachable(from, to))
+    }
+
     /// Aggregate predecoded-instruction-cache counters over all nodes:
     /// `(hits, misses, invalidations, bypasses)`. Host-side only — the
     /// cache never affects simulated outcomes — but reported by
@@ -589,6 +765,15 @@ impl Network {
     fn schedule_wire(&mut self, wire: usize) {
         match self.wire_next_event_ns(wire) {
             Some(t) => {
+                // At most one live heap entry per wire (`wire_next`
+                // holds its time; `u64::MAX` = none). An entry firing
+                // no later than `t` recomputes the schedule when it
+                // pops, so pushing a duplicate here would only breed
+                // no-op pops — each one rescheduling in turn, O(n^2)
+                // heap churn on a busy routed wire.
+                if self.wire_next[wire] <= t {
+                    return;
+                }
                 self.wire_next[wire] = t;
                 self.seq += 1;
                 self.queue.push(Reverse((t, self.seq, Actor::Wire(wire))));
@@ -600,6 +785,10 @@ impl Network {
     /// Process a node's link-facing state after it ran or was poked:
     /// offer transmit bytes and deferred acknowledges to its wires.
     fn service_node_links(&mut self, node: usize) {
+        if self.router.is_some() {
+            self.router_service(node, self.now_ns);
+            return;
+        }
         if self.robust {
             // The robust protocol has no reception-start decisions, so
             // the stamped path (which defers all wire work to heap
@@ -636,6 +825,10 @@ impl Network {
 
     /// Drain a wire's due events and route them to the endpoint CPUs.
     fn process_wire(&mut self, w: usize) {
+        if self.router.is_some() {
+            self.process_wire_routed(w);
+            return;
+        }
         let events = self.wires[w].link.advance(self.now_ns);
         for ev in events {
             if self.robust {
@@ -726,7 +919,9 @@ impl Network {
         self.now_ns = self.now_ns.max(t);
         match actor {
             Actor::Wire(w) => {
-                if !self.wire_pop_deferred(w, t) {
+                if self.wire_next[w] == t && !self.wire_pop_deferred(w, t) {
+                    // Consume the live entry; processing re-schedules.
+                    self.wire_next[w] = u64::MAX;
                     self.process_wire(w);
                     self.fire_due_resends(w);
                 }
@@ -847,7 +1042,12 @@ impl Network {
             if tp.saturating_add(self.ack_ns.min(self.data_ns)) < act {
                 // An acknowledge can only land on a port whose transmit
                 // is in flight; any other first arrival is a data packet.
-                let hop_in = if self.hot.tx_flight[m] != 0 {
+                // In routed mode the CPUs' transmit state says nothing
+                // about the wires (the routers own them), so assume the
+                // faster packet.
+                let hop_in = if self.router.is_some() {
+                    self.ack_ns.min(self.data_ns)
+                } else if self.hot.tx_flight[m] != 0 {
                     self.ack_ns
                 } else {
                     self.data_ns
@@ -873,7 +1073,11 @@ impl Network {
             let peer = self.hot.peers[node][port];
             // The first packet the peer could land on this node: an
             // acknowledge if our byte is on the wire, else a data byte.
-            let hop = if self.hot.tx_flight[node] & (1 << port) != 0 {
+            // Routed wires belong to the routers, whose transmit state
+            // the CPU mirror does not track: assume the faster packet.
+            let hop = if self.router.is_some() {
+                self.ack_ns.min(self.data_ns)
+            } else if self.hot.tx_flight[node] & (1 << port) != 0 {
                 self.ack_ns
             } else {
                 self.data_ns
@@ -950,6 +1154,10 @@ impl Network {
     /// global frontier) and early-acknowledge probes deferred to heap
     /// events at their stamps instead of resolved inline.
     fn service_node_links_at(&mut self, node: usize, stamp: u64) {
+        if self.router.is_some() {
+            self.router_service(node, stamp);
+            return;
+        }
         for port in 0..4 {
             let w = self.hot.ports[node][port];
             if w == usize::MAX {
@@ -1019,6 +1227,11 @@ impl Network {
                 self.wires[w].resend[ei] = None;
                 self.wires[w].failed[ei] = true;
                 self.nodes[node].note_link_failure();
+                if self.router.is_some() {
+                    // Routed networks respond to a dead hop by
+                    // rebuilding their tables and rerouting.
+                    self.router_wire_failed(w);
+                }
                 fired = true;
                 continue;
             }
@@ -1102,6 +1315,159 @@ impl Network {
         }
     }
 
+    // ------------------------------------------------------------------
+    // The virtual-channel router (routed mode). All three engines call
+    // the same three entry points at the same times — CPU link service
+    // at interaction stamps, wire events at the frontier, failure at
+    // resend-deadline pops — so routed runs stay bit-identical.
+    // ------------------------------------------------------------------
+
+    /// Routed replacement for the link-service paths: let the node's
+    /// router absorb CPU output and resume deliveries, then apply the
+    /// wire effects it requested, stamped at `stamp`.
+    fn router_service(&mut self, node: usize, stamp: u64) {
+        let mut router = self.router.take().expect("routed mode");
+        let mut acts = Vec::new();
+        router.service_node(&mut self.nodes, node, stamp, &mut acts);
+        self.router = Some(router);
+        self.apply_router_acts(stamp, &acts);
+    }
+
+    /// Routed replacement for wire processing, shared by every engine:
+    /// drain due completions and hand them to the endpoint routers.
+    fn process_wire_routed(&mut self, w: usize) {
+        let now = self.now_ns;
+        let events = self.wires[w].link.advance(now);
+        let mut router = self.router.take().expect("routed mode");
+        let mut acts = Vec::new();
+        for ev in events {
+            match ev {
+                // Routers never early-acknowledge: the forwarding
+                // decision needs the whole byte (and often the whole
+                // packet), so reception starts carry no information.
+                LinkEvent::DataStarted { .. } => {}
+                LinkEvent::DataDelivered { to, byte, seq } => {
+                    let (node, port) = self.wire_end(w, to);
+                    let accepted = router.phys_data(
+                        &mut self.nodes,
+                        node,
+                        port,
+                        byte,
+                        seq,
+                        self.robust,
+                        now,
+                        &mut acts,
+                    );
+                    if accepted {
+                        self.wires[w].delivered[end_index(to)] += 1;
+                    }
+                }
+                LinkEvent::AckDelivered { to, seq } => {
+                    let (node, port) = self.wire_end(w, to);
+                    let fresh = router.phys_ack(
+                        &mut self.nodes,
+                        node,
+                        port,
+                        seq,
+                        self.robust,
+                        now,
+                        &mut acts,
+                    );
+                    if fresh {
+                        self.wires[w].resend[end_index(to)] = None;
+                    }
+                }
+                LinkEvent::BusyDelivered { to, seq } => {
+                    // Same backoff as the CPU robust path: the peer
+                    // router holds our byte with its acknowledge
+                    // withheld (backpressure), so poll, don't flood.
+                    if let Some(r) = &mut self.wires[w].resend[end_index(to)] {
+                        if r.seq == seq {
+                            r.attempts = 0;
+                            r.interval_ns =
+                                r.interval_ns.saturating_mul(2).min(self.timeout_ns * 16);
+                            r.deadline = now + r.interval_ns;
+                        }
+                    }
+                }
+                LinkEvent::Garbled { to } => {
+                    let (node, _) = self.wire_end(w, to);
+                    self.nodes[node].note_link_rx_error();
+                }
+            }
+        }
+        self.router = Some(router);
+        self.apply_router_acts(now, &acts);
+        self.schedule_wire(w);
+    }
+
+    /// A wire direction exhausted its retry budget under a routed
+    /// network: rebuild tables and reroute (see [`RouterNet`]).
+    fn router_wire_failed(&mut self, w: usize) {
+        let now = self.now_ns;
+        let ends = self.wires[w].ends;
+        let mut router = self.router.take().expect("routed mode");
+        let mut acts = Vec::new();
+        router.wire_failed(&mut self.nodes, w, ends, now, &mut acts);
+        self.router = Some(router);
+        self.apply_router_acts(now, &acts);
+    }
+
+    /// Apply the wire- and scheduler-visible effects a router call
+    /// requested. Router logic never re-enters here: acts are
+    /// self-contained, so wire bookkeeping (resend registration,
+    /// scheduling) stays in this one place.
+    fn apply_router_acts(&mut self, stamp: u64, acts: &[(usize, Act)]) {
+        for &(node, act) in acts {
+            if let Act::Wake = act {
+                self.schedule_node(node, stamp);
+                continue;
+            }
+            let port = match act {
+                Act::Data { port, .. } | Act::Ack { port, .. } | Act::Busy { port, .. } => port,
+                Act::Wake => unreachable!("handled above"),
+            };
+            let w = self.hot.ports[node][port];
+            debug_assert!(w != usize::MAX, "router act on an unwired port");
+            let end = if self.wires[w].ends[0] == (node, port) {
+                End::A
+            } else {
+                End::B
+            };
+            match act {
+                Act::Data { byte, seq, .. } => {
+                    if self.robust {
+                        self.wires[w].link.send_data_seq(end, byte, seq, stamp);
+                        self.wires[w].resend[end_index(end)] = Some(Resend {
+                            byte,
+                            seq,
+                            deadline: stamp + self.timeout_ns,
+                            attempts: 0,
+                            interval_ns: self.timeout_ns,
+                        });
+                    } else {
+                        self.wires[w].link.send_data(end, byte, stamp);
+                    }
+                }
+                Act::Ack { seq, .. } => {
+                    if self.robust {
+                        self.wires[w].link.send_ack_seq(end, seq, stamp);
+                    } else {
+                        self.wires[w].link.send_ack(end, stamp);
+                    }
+                }
+                Act::Busy { seq, .. } => {
+                    self.wires[w].link.send_busy(end, seq, stamp);
+                }
+                Act::Wake => unreachable!("handled above"),
+            }
+            // Routers never early-acknowledge, so data-start probes are
+            // meaningless in routed mode: discard them.
+            self.wires[w].link.take_pending_events();
+            self.schedule_wire(w);
+        }
+    }
+
     /// The early-acknowledge decision for a data packet that started
     /// arriving at `to` at time `stamp`.
     fn resolve_probe(&mut self, w: usize, to: End, stamp: u64) {
@@ -1148,6 +1514,10 @@ impl Network {
     /// Sliced-engine wire processing: resolve due probes at their own
     /// stamps, then drain completions at the frontier.
     fn process_wire_sliced(&mut self, w: usize) {
+        if self.router.is_some() {
+            self.process_wire_routed(w);
+            return;
+        }
         let now = self.now_ns;
         if !self.wires[w].probes.is_empty() {
             let mut due: Vec<(u64, End)> = Vec::new();
@@ -1220,7 +1590,9 @@ impl Network {
         self.now_ns = self.now_ns.max(t);
         match actor {
             Actor::Wire(w) => {
-                if !self.wire_pop_deferred(w, t) {
+                if self.wire_next[w] == t && !self.wire_pop_deferred(w, t) {
+                    // Consume the live entry; processing re-schedules.
+                    self.wire_next[w] = u64::MAX;
                     self.process_wire_sliced(w);
                     self.fire_due_resends(w);
                 }
@@ -1251,7 +1623,9 @@ impl Network {
         self.now_ns = self.now_ns.max(t0);
         let n0 = match actor {
             Actor::Wire(w) => {
-                if !self.wire_pop_deferred(w, t0) {
+                if self.wire_next[w] == t0 && !self.wire_pop_deferred(w, t0) {
+                    // Consume the live entry; processing re-schedules.
+                    self.wire_next[w] = u64::MAX;
                     self.process_wire_sliced(w);
                     self.fire_due_resends(w);
                 }

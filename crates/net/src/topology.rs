@@ -6,6 +6,8 @@
 //! square array with requests entering at one corner (Figure 8); both are
 //! provided here, plus a ring for tests.
 
+use std::collections::{HashSet, VecDeque};
+
 use crate::sim::{Network, NetworkBuilder, NetworkConfig, NodeId};
 
 /// Link-port conventions for [`pipeline`] and [`ring`]: data flows in on
@@ -261,6 +263,283 @@ pub fn hypercube(dim: usize, side: usize, config: NetworkConfig) -> HypercubeNet
     }
 }
 
+// ---------------------------------------------------------------------
+// Link maps and routing tables (the virtual-channel router layer).
+// ---------------------------------------------------------------------
+
+/// Link map of an arbitrary four-port machine: per node, per port, the
+/// peer node, the port the peer sees the wire on, and the wire index
+/// (for checking against a fault plan's dead set). This is the single
+/// structure routing tables are derived from.
+pub type Adjacency = Vec<[Option<(usize, usize, usize)>; 4]>;
+
+/// Routing-table entry for "no route": the destination is this node
+/// itself, or unreachable over the alive links.
+pub const NO_ROUTE: u8 = u8::MAX;
+
+/// Grid neighbour of `(x, y)` through `port`, if it exists.
+fn grid_neighbor(w: usize, h: usize, x: usize, y: usize, port: usize) -> Option<(usize, usize)> {
+    match port {
+        PORT_NORTH if y > 0 => Some((x, y - 1)),
+        PORT_EAST if x + 1 < w => Some((x + 1, y)),
+        PORT_SOUTH if y + 1 < h => Some((x, y + 1)),
+        PORT_WEST if x > 0 => Some((x - 1, y)),
+        _ => None,
+    }
+}
+
+/// Wire index of the grid edge leaving `(x, y)` through `port`.
+fn grid_port_wire(w: usize, h: usize, x: usize, y: usize, port: usize) -> usize {
+    match port {
+        PORT_EAST => grid_edge_wire(w, h, x, y, true),
+        PORT_WEST => grid_edge_wire(w, h, x - 1, y, true),
+        PORT_SOUTH => grid_edge_wire(w, h, x, y, false),
+        PORT_NORTH => grid_edge_wire(w, h, x, y - 1, false),
+        _ => unreachable!("not a grid port: {port}"),
+    }
+}
+
+/// The opposite grid port (the port the neighbour sees the edge on).
+fn opposite(port: usize) -> usize {
+    match port {
+        PORT_NORTH => PORT_SOUTH,
+        PORT_SOUTH => PORT_NORTH,
+        PORT_EAST => PORT_WEST,
+        PORT_WEST => PORT_EAST,
+        _ => unreachable!("not a grid port: {port}"),
+    }
+}
+
+/// The grid's link map under the row-major east-then-south wire sweep
+/// of [`grid`].
+pub fn grid_adjacency(w: usize, h: usize) -> Adjacency {
+    let mut adj: Adjacency = vec![[None; 4]; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            for port in [PORT_NORTH, PORT_EAST, PORT_SOUTH, PORT_WEST] {
+                if let Some((nx, ny)) = grid_neighbor(w, h, x, y, port) {
+                    adj[y * w + x][port] = Some((
+                        ny * w + nx,
+                        opposite(port),
+                        grid_port_wire(w, h, x, y, port),
+                    ));
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// The hypercube-of-clusters link map, mirroring [`wire_hypercube`]'s
+/// wire order (each cluster's grid wires in the row-major
+/// east-then-south sweep, then the dimension links by lower cluster
+/// then dimension).
+pub fn hypercube_adjacency(dim: usize, side: usize) -> Adjacency {
+    let clusters = 1usize << dim;
+    let mut adj: Adjacency = vec![[None; 4]; clusters * side * side];
+    let at = |c: usize, x: usize, y: usize| (c * side + y) * side + x;
+    let mut wire = 0usize;
+    let mut link = |adj: &mut Adjacency, a: (usize, usize), b: (usize, usize)| {
+        adj[a.0][a.1] = Some((b.0, b.1, wire));
+        adj[b.0][b.1] = Some((a.0, a.1, wire));
+        wire += 1;
+    };
+    for c in 0..clusters {
+        for y in 0..side {
+            for x in 0..side {
+                if x + 1 < side {
+                    link(
+                        &mut adj,
+                        (at(c, x, y), PORT_EAST),
+                        (at(c, x + 1, y), PORT_WEST),
+                    );
+                }
+                if y + 1 < side {
+                    link(
+                        &mut adj,
+                        (at(c, x, y), PORT_SOUTH),
+                        (at(c, x, y + 1), PORT_NORTH),
+                    );
+                }
+            }
+        }
+    }
+    for c in 0..clusters {
+        for d in 0..dim {
+            let peer = c ^ (1 << d);
+            if peer < c {
+                continue;
+            }
+            let (x, y, port) = hypercube_anchor(d, side);
+            link(&mut adj, (at(c, x, y), port), (at(peer, x, y), port));
+        }
+    }
+    adj
+}
+
+/// Append a wire to a link map — how builders extend a pure shape's
+/// adjacency with host attachments, keeping wire indices consistent
+/// with the builder's own wire order.
+pub fn adjacency_add_wire(adj: &mut Adjacency, a: (usize, usize), b: (usize, usize), wire: usize) {
+    while adj.len() <= a.0.max(b.0) {
+        adj.push([None; 4]);
+    }
+    assert!(adj[a.0][a.1].is_none(), "port {a:?} already mapped");
+    assert!(adj[b.0][b.1].is_none(), "port {b:?} already mapped");
+    adj[a.0][a.1] = Some((b.0, b.1, wire));
+    adj[b.0][b.1] = Some((a.0, a.1, wire));
+}
+
+/// BFS link distances from `root` over the links not in `dead`.
+pub fn bfs_dist(adj: &Adjacency, root: usize, dead: &HashSet<usize>) -> Vec<Option<u32>> {
+    let mut dist = vec![None; adj.len()];
+    let mut queue = VecDeque::new();
+    dist[root] = Some(0u32);
+    queue.push_back(root);
+    while let Some(i) = queue.pop_front() {
+        let d = dist[i].unwrap();
+        for link in adj[i].iter().flatten() {
+            let (peer, _, wire) = *link;
+            if !dead.contains(&wire) && dist[peer].is_none() {
+                dist[peer] = Some(d + 1);
+                queue.push_back(peer);
+            }
+        }
+    }
+    dist
+}
+
+/// Port preference for shortest-path tie-breaks: X-direction moves
+/// before Y-direction moves. On a rectangular mesh this reduces BFS
+/// routing to exact XY dimension order (route east/west until the
+/// column matches, then north/south), which is the classic
+/// deadlock-free e-cube discipline; on arbitrary graphs it is simply a
+/// fixed deterministic tie-break.
+const ROUTE_PREF: [usize; 4] = [PORT_EAST, PORT_WEST, PORT_NORTH, PORT_SOUTH];
+
+/// Shortest-path routing tables over the links not in `dead`:
+/// `tables[node][dest]` is the port on which `node` forwards a packet
+/// for `dest` ([`NO_ROUTE`] when `dest` is `node` itself or
+/// unreachable). One BFS per destination; ties broken by
+/// `ROUTE_PREF`, so the tables are a pure function of the adjacency
+/// and the dead set.
+pub fn route_tables(adj: &Adjacency, dead: &HashSet<usize>) -> Vec<Vec<u8>> {
+    let n = adj.len();
+    let mut tables = vec![vec![NO_ROUTE; n]; n];
+    for dest in 0..n {
+        let dist = bfs_dist(adj, dest, dead);
+        for (node, row) in tables.iter_mut().enumerate() {
+            if node == dest {
+                continue;
+            }
+            let Some(d) = dist[node] else { continue };
+            let port = ROUTE_PREF.into_iter().find(|&p| {
+                adj[node][p].is_some_and(|(peer, _, wire)| {
+                    !dead.contains(&wire) && dist[peer] == Some(d - 1)
+                })
+            });
+            row[dest] = port.expect("a reachable node has a next hop") as u8;
+        }
+    }
+    tables
+}
+
+/// Dimension-order (e-cube) routing tables for a hypercube of grid
+/// clusters whose first `2^dim * side * side` adjacency entries follow
+/// [`hypercube_adjacency`]; later entries must be single-wire leaves
+/// (host attachments). A packet first resolves cluster-address bits in
+/// increasing dimension order — travelling XY inside the current
+/// cluster to the dimension's anchor corner, then crossing — and then
+/// routes XY to its target square. With any dead wires this falls back
+/// to [`route_tables`] (dimension order cannot route around damage).
+///
+/// # Panics
+///
+/// Panics if a node past the core is not a single-wire leaf.
+pub fn hypercube_tables(
+    adj: &Adjacency,
+    dim: usize,
+    side: usize,
+    dead: &HashSet<usize>,
+) -> Vec<Vec<u8>> {
+    if !dead.is_empty() {
+        return route_tables(adj, dead);
+    }
+    let core = (1usize << dim) * side * side;
+    let n = adj.len();
+    // Each leaf's single attachment: (anchor core node, anchor port).
+    let leaf_anchor: Vec<Option<(usize, usize)>> = (0..n)
+        .map(|i| {
+            if i < core {
+                return None;
+            }
+            let mut ports = adj[i].iter().flatten();
+            let &(peer, peer_port, _) = ports.next().expect("a leaf has one wire");
+            assert!(
+                ports.next().is_none(),
+                "host node {i} must be a single-wire leaf"
+            );
+            assert!(peer < core, "host node {i} must attach to a core node");
+            Some((peer, peer_port))
+        })
+        .collect();
+    // XY step from cluster square (x, y) toward (tx, ty).
+    let xy_step = |x: usize, y: usize, tx: usize, ty: usize| -> usize {
+        if x < tx {
+            PORT_EAST
+        } else if x > tx {
+            PORT_WEST
+        } else if y < ty {
+            PORT_SOUTH
+        } else {
+            PORT_NORTH
+        }
+    };
+    // Next port from core node `node` toward core node `dest`.
+    let core_step = |node: usize, dest: usize| -> usize {
+        let (c, rem) = (node / (side * side), node % (side * side));
+        let (x, y) = (rem % side, rem / side);
+        let cd = dest / (side * side);
+        let diff = c ^ cd;
+        if diff != 0 {
+            let d = diff.trailing_zeros() as usize;
+            let (ax, ay, aport) = hypercube_anchor(d, side);
+            if (x, y) == (ax, ay) {
+                return aport;
+            }
+            return xy_step(x, y, ax, ay);
+        }
+        let rd = dest % (side * side);
+        xy_step(x, y, rd % side, rd / side)
+    };
+    let mut tables = vec![vec![NO_ROUTE; n]; n];
+    for node in 0..n {
+        for dest in 0..n {
+            if node == dest {
+                continue;
+            }
+            tables[node][dest] = match (leaf_anchor[node], leaf_anchor[dest]) {
+                // A leaf sends everything out its only port.
+                (Some(_), _) => adj[node]
+                    .iter()
+                    .position(|l| l.is_some())
+                    .expect("leaf wire") as u8,
+                // Core toward a leaf: route to its anchor, then out the
+                // anchor's leaf port.
+                (None, Some((anchor, aport))) => {
+                    if node == anchor {
+                        aport as u8
+                    } else {
+                        core_step(node, anchor) as u8
+                    }
+                }
+                (None, None) => core_step(node, dest) as u8,
+            };
+        }
+    }
+    tables
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +634,138 @@ mod tests {
     #[should_panic(expected = "dimension must be 1..=4")]
     fn hypercube_dimension_capped_by_link_count() {
         let _ = hypercube(5, 4, NetworkConfig::default());
+    }
+
+    /// Follow a routing table from `from` to `to`, returning the hop
+    /// count (panics on a loop or a missing route).
+    fn walk(adj: &Adjacency, tables: &[Vec<u8>], from: usize, to: usize) -> usize {
+        let mut at = from;
+        let mut hops = 0;
+        while at != to {
+            let port = tables[at][to];
+            assert_ne!(port, NO_ROUTE, "no route {from}->{to} at {at}");
+            let (peer, _, _) = adj[at][port as usize].expect("table names a wired port");
+            at = peer;
+            hops += 1;
+            assert!(hops <= adj.len(), "routing loop {from}->{to}");
+        }
+        hops
+    }
+
+    #[test]
+    fn grid_route_tables_are_xy_dimension_order() {
+        // The BFS tie-break must reduce to exact XY routing on a mesh:
+        // move east/west until the column matches, then north/south.
+        let (w, h) = (5, 4);
+        let adj = grid_adjacency(w, h);
+        let tables = route_tables(&adj, &HashSet::new());
+        for y in 0..h {
+            for x in 0..w {
+                for ty in 0..h {
+                    for tx in 0..w {
+                        let (n, d) = (y * w + x, ty * w + tx);
+                        let want = if (x, y) == (tx, ty) {
+                            NO_ROUTE
+                        } else if x < tx {
+                            PORT_EAST as u8
+                        } else if x > tx {
+                            PORT_WEST as u8
+                        } else if y < ty {
+                            PORT_SOUTH as u8
+                        } else {
+                            PORT_NORTH as u8
+                        };
+                        assert_eq!(tables[n][d], want, "({x},{y}) -> ({tx},{ty})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_tables_route_around_dead_wires() {
+        // Kill (0,0)-(1,0): routes from (0,0) eastward must detour via
+        // row 1 and every pair stays connected at BFS distance.
+        let (w, h) = (4, 3);
+        let adj = grid_adjacency(w, h);
+        let dead: HashSet<usize> = [grid_edge_wire(w, h, 0, 0, true)].into();
+        let tables = route_tables(&adj, &dead);
+        assert_eq!(tables[0][1], PORT_SOUTH as u8, "detour starts south");
+        for from in 0..w * h {
+            let dist = bfs_dist(&adj, from, &dead);
+            for (to, d) in dist.iter().enumerate() {
+                if from == to {
+                    continue;
+                }
+                let hops = walk(&adj, &tables, from, to);
+                assert_eq!(hops as u32, d.unwrap(), "{from}->{to}");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_tables_are_deterministic_and_complete() {
+        let (dim, side) = (2, 3);
+        let adj = hypercube_adjacency(dim, side);
+        let tables = hypercube_tables(&adj, dim, side, &HashSet::new());
+        let n = adj.len();
+        for from in 0..n {
+            for to in 0..n {
+                if from == to {
+                    assert_eq!(tables[from][to], NO_ROUTE);
+                    continue;
+                }
+                // Every pair routes to its destination without loops;
+                // dimension order may detour via anchors, so only bound
+                // the hop count rather than demanding BFS-minimality.
+                let hops = walk(&adj, &tables, from, to);
+                assert!(
+                    hops <= 4 * (side - 1) * (dim + 1) + dim,
+                    "{from}->{to}: {hops}"
+                );
+            }
+        }
+        // Same-cluster routing is plain XY: cluster 0 (0,0) -> (2,1)
+        // goes east first.
+        assert_eq!(tables[0][side + 2], PORT_EAST as u8);
+    }
+
+    #[test]
+    fn hypercube_tables_handle_host_leaves() {
+        let (dim, side) = (1, 2);
+        let core = 2 * side * side;
+        let mut adj = hypercube_adjacency(dim, side);
+        // Sender leaf on node 0's north port, collector leaf on the last
+        // core node's south port (the free host ports).
+        let wire0 = adj.iter().flatten().flatten().map(|l| l.2).max().unwrap() + 1;
+        adjacency_add_wire(&mut adj, (core, PORT_SOUTH), (0, PORT_NORTH), wire0);
+        adjacency_add_wire(
+            &mut adj,
+            (core - 1, PORT_SOUTH),
+            (core + 1, PORT_NORTH),
+            wire0 + 1,
+        );
+        let tables = hypercube_tables(&adj, dim, side, &HashSet::new());
+        // The sender leaf reaches every node out its single port.
+        for (dest, &port) in tables[core].iter().enumerate() {
+            if dest == core {
+                continue;
+            }
+            assert_eq!(port, PORT_SOUTH as u8, "leaf -> {dest}");
+        }
+        // Core nodes route to the collector leaf via its anchor.
+        assert_eq!(tables[core - 1][core + 1], PORT_SOUTH as u8);
+        let hops_to_collector = walk(&adj, &tables, core, core + 1);
+        assert!(hops_to_collector >= 2);
+        // The BFS fallback handles the same leaves when wires die.
+        let dead: HashSet<usize> = [0usize].into();
+        let bfs = hypercube_tables(&adj, dim, side, &dead);
+        for from in 0..core + 2 {
+            for to in 0..core + 2 {
+                if from != to {
+                    walk(&adj, &bfs, from, to);
+                }
+            }
+        }
     }
 }

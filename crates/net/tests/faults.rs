@@ -190,10 +190,8 @@ fn parallel_worker_count_invariant_under_faults() {
         net.node_mut(nodes[0])
             .load_boot_program(&sender(0x0BAD_CAFE))
             .unwrap();
-        for i in 1..=HOPS {
-            net.node_mut(nodes[i])
-                .load_boot_program(&forwarder())
-                .unwrap();
+        for &node in &nodes[1..=HOPS] {
+            net.node_mut(node).load_boot_program(&forwarder()).unwrap();
         }
         net.node_mut(nodes[HOPS + 1])
             .load_boot_program(&receiver())
