@@ -15,7 +15,7 @@ use std::time::Instant;
 use transputer::{Cpu, CpuConfig, HaltReason, RunOutcome};
 use transputer_apps::dbsearch::{DbSearch, DbSearchConfig, HypercubeConfig};
 use transputer_link::FaultPlan;
-use transputer_net::Engine;
+use transputer_net::{Engine, RouterConfig, Switching};
 
 use crate::corpus;
 
@@ -83,6 +83,13 @@ pub struct NetRun {
     /// engines (the wire delivered-byte counters, which *are*
     /// fingerprinted, do not).
     pub router: Option<transputer_net::RouterStats>,
+    /// Whether wormhole cut-through was active when the run ended,
+    /// `None` on unrouted networks. `Some(false)` on a run configured
+    /// for wormhole means the router proved the topology's
+    /// channel-dependency graph cyclic and degraded to
+    /// store-and-forward (the cluster hypercube's e-cube tables do
+    /// this). Host-side only, excluded from the fingerprint.
+    pub cut_through: Option<bool>,
 }
 
 impl NetRun {
@@ -240,6 +247,7 @@ fn measure(bench: &'static str, engine: Engine, mut sim: DbSearch) -> NetRun {
         par_workers: net.par_workers(),
         host_cores: host_cores(),
         router: net.router_stats(),
+        cut_through: net.router_cut_through(),
     }
 }
 
@@ -466,6 +474,190 @@ pub fn grid32x32_stress() -> DbSearchConfig {
         requests: 2,
         ..DbSearchConfig::figure8()
     }
+}
+
+/// `config` switched to wormhole (cut-through) forwarding: transit
+/// nodes start retransmitting a packet at header decode instead of
+/// after full reassembly, streaming the payload hop by hop under
+/// flit-level withheld-ack credits.
+pub fn wormhole(config: DbSearchConfig) -> DbSearchConfig {
+    DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            router: RouterConfig {
+                switching: Switching::Wormhole,
+                ..config.net.router
+            },
+            ..config.net.clone()
+        },
+        ..config
+    }
+}
+
+/// [`wormhole`] for a hypercube-of-clusters machine. The cluster
+/// hypercube's e-cube tables carry a cyclic channel-dependency graph,
+/// so the router degrades this request to store-and-forward at build
+/// time — the run must be byte-identical to the plain configuration,
+/// which is exactly what benchmarking it demonstrates.
+pub fn wormhole_hypercube(config: HypercubeConfig) -> HypercubeConfig {
+    HypercubeConfig {
+        net: transputer_net::NetworkConfig {
+            router: RouterConfig {
+                switching: Switching::Wormhole,
+                ..config.net.router
+            },
+            ..config.net.clone()
+        },
+        ..config
+    }
+}
+
+/// One-packet corner-to-corner probe over the e17 stress grid's
+/// wiring: a single word crosses the 62-hop diagonal of an otherwise
+/// idle 32×32 routed grid (1024 transputers), so every recorded hop is
+/// a pure, uncontended header-forwarding latency on the machine's
+/// longest path. The congested `e17_grid1024` rows measure queueing —
+/// wormhole cannot remove a wait behind another packet — while this
+/// row isolates what switching itself buys: store-and-forward pays a
+/// full packet reassembly per hop, cut-through pays a few byte times.
+///
+/// # Panics
+///
+/// Panics if the probe network fails to build, run, or deliver its
+/// word — the smoke gate exists to catch exactly that.
+pub fn run_long_path(bench: &'static str, switching: Switching, engine: Engine) -> NetRun {
+    use transputer::instr::{encode, encode_op, Direct, Op};
+    use transputer::memory::{LINK_IN_BASE, LINK_OUT_BASE};
+    const SIDE: usize = 32;
+    let n = SIDE * SIDE;
+    let word: i64 = 0x0BEE_F123;
+    let mut b = transputer_net::NetworkBuilder::new(transputer_net::NetworkConfig {
+        engine,
+        router: RouterConfig {
+            switching,
+            ..RouterConfig::default()
+        },
+        ..transputer_net::NetworkConfig::default()
+    });
+    for _ in 0..n {
+        b.add_node();
+    }
+    b.enable_router(transputer_net::grid_adjacency(SIDE, SIDE));
+    // Corner CPUs talk over their unwired ports: north of (0,0),
+    // south of (31,31) — the receiver reads the channel word of link
+    // port 2 to match.
+    b.add_vc((0, 0), (n - 1, 2));
+    let mut net = b.build();
+
+    let mut sender = Vec::new();
+    sender.extend(encode(Direct::LoadConstant, word));
+    sender.extend(encode(Direct::StoreLocal, 1));
+    sender.extend(encode(Direct::LoadLocalPointer, 1));
+    sender.extend(encode_op(Op::MinimumInteger));
+    sender.extend(encode(Direct::LoadNonLocalPointer, LINK_OUT_BASE as i64));
+    sender.extend(encode(Direct::LoadConstant, 4));
+    sender.extend(encode_op(Op::OutputMessage));
+    sender.extend(encode(Direct::LoadConstant, 1));
+    sender.extend(encode_op(Op::HaltSimulation));
+    let mut receiver = Vec::new();
+    receiver.extend(encode(Direct::LoadLocalPointer, 1));
+    receiver.extend(encode_op(Op::MinimumInteger));
+    receiver.extend(encode(
+        Direct::LoadNonLocalPointer,
+        i64::from(LINK_IN_BASE) + 2,
+    ));
+    receiver.extend(encode(Direct::LoadConstant, 4));
+    receiver.extend(encode_op(Op::InputMessage));
+    receiver.extend(encode(Direct::LoadConstant, 1));
+    receiver.extend(encode_op(Op::HaltSimulation));
+    let mut halting = Vec::new();
+    halting.extend(encode(Direct::LoadConstant, 1));
+    halting.extend(encode_op(Op::HaltSimulation));
+
+    net.node_mut(0)
+        .load_boot_program(&sender)
+        .expect("probe sender loads");
+    for id in 1..n - 1 {
+        net.node_mut(id)
+            .load_boot_program(&halting)
+            .expect("probe transit node loads");
+    }
+    net.node_mut(n - 1)
+        .load_boot_program(&receiver)
+        .expect("probe receiver loads");
+
+    let start = Instant::now();
+    let out = net
+        .run_until_all_halted(1_000_000_000_000)
+        .expect("probe runs");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(out, transputer_net::SimOutcome::AllHalted, "probe halts");
+    let addr = net.node(n - 1).default_boot_workspace() + 4;
+    let got = net
+        .node_mut(n - 1)
+        .peek_word(addr)
+        .expect("probe word peeks");
+
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    for id in 0..net.len() {
+        let node = net.node(id);
+        cycles += node.cycles();
+        instructions += node.stats().instructions;
+        fnv1a(&mut hash, node.cycles());
+        fnv1a(&mut hash, node.stats().instructions);
+    }
+    for w in 0..net.wire_count() {
+        let (a, b) = net.wire_delivered(w);
+        fnv1a(&mut hash, a);
+        fnv1a(&mut hash, b);
+    }
+    NetRun {
+        bench,
+        engine,
+        wall_ms,
+        sim_ns: net.time_ns(),
+        cycles,
+        instructions,
+        answers_ok: i64::from(got) == word,
+        fingerprint: hash,
+        decode: net.decode_stats(),
+        trans: net.trans_stats(),
+        par_workers: net.par_workers(),
+        host_cores: host_cores(),
+        router: net.router_stats(),
+        cut_through: net.router_cut_through(),
+    }
+}
+
+/// The switching-ablation pairs in a run set: rows named `<base>_worm`
+/// matched with their `<base>` store-and-forward counterparts (the
+/// Sliced row of each is quoted, falling back to whichever engine ran).
+/// Returns `(base, store_and_forward_row, wormhole_row)` triples.
+pub fn switching_pairs(networks: &[NetRun]) -> Vec<(&str, &NetRun, &NetRun)> {
+    let quoted = |bench: &str| {
+        networks
+            .iter()
+            .filter(|r| r.bench == bench && r.router.is_some())
+            .find(|r| r.engine == Engine::Sliced)
+            .or_else(|| {
+                networks
+                    .iter()
+                    .find(|r| r.bench == bench && r.router.is_some())
+            })
+    };
+    let mut benches: Vec<&str> = networks.iter().map(|r| r.bench).collect();
+    benches.dedup();
+    let mut pairs = Vec::new();
+    for bench in benches {
+        let Some(base) = bench.strip_suffix("_worm") else {
+            continue;
+        };
+        if let (Some(sf), Some(worm)) = (quoted(base), quoted(bench)) {
+            pairs.push((base, sf, worm));
+        }
+    }
+    pairs
 }
 
 /// `config` with a uniform deterministic fault plan injected (hypercube
@@ -795,17 +987,22 @@ pub fn to_json(
     out.push_str("  ],\n  \"networks\": [\n");
     for (i, r) in networks.iter().enumerate() {
         let comma = if i + 1 < networks.len() { "," } else { "" };
+        let cut_through = r.cut_through.map_or("null".to_string(), |c| c.to_string());
         let router = r.router.map_or("null".to_string(), |s| {
             format!(
                 "{{\"packets_sent\": {}, \"packets_forwarded\": {}, \
                  \"packets_delivered\": {}, \"packets_dropped\": {}, \
-                 \"hops\": {}, \"mean_hop_ns\": {}, \"max_hop_ns\": {}}}",
+                 \"hops\": {}, \"mean_hop_ns\": {}, \"p50_hop_ns\": {}, \
+                 \"p99_hop_ns\": {}, \"max_hop_ns\": {}, \
+                 \"cut_through\": {cut_through}}}",
                 s.packets_sent,
                 s.packets_forwarded,
                 s.packets_delivered,
                 s.packets_dropped,
                 s.hops,
                 s.mean_hop_ns(),
+                s.p50_hop_ns(),
+                s.p99_hop_ns(),
                 s.max_hop_ns,
             )
         });
@@ -888,6 +1085,42 @@ pub fn to_json(
     if !lines.is_empty() {
         out.push('\n');
     }
+    out.push_str("  ],\n  \"switching\": [\n");
+    let mut lines = Vec::new();
+    for (base, sf, worm) in switching_pairs(networks) {
+        let (s, w) = (sf.router.unwrap(), worm.router.unwrap());
+        let ratio = |a: u64, b: u64| {
+            if b == 0 {
+                "null".to_string()
+            } else {
+                format!("{:.2}", a as f64 / b as f64)
+            }
+        };
+        lines.push(format!(
+            "    {{\"bench\": \"{base}\", \"sf_mean_hop_ns\": {}, \
+             \"sf_p50_hop_ns\": {}, \"sf_p99_hop_ns\": {}, \"sf_max_hop_ns\": {}, \
+             \"worm_mean_hop_ns\": {}, \"worm_p50_hop_ns\": {}, \
+             \"worm_p99_hop_ns\": {}, \"worm_max_hop_ns\": {}, \
+             \"mean_reduction\": {}, \"p99_reduction\": {}, \
+             \"worm_cut_through\": {}}}",
+            s.mean_hop_ns(),
+            s.p50_hop_ns(),
+            s.p99_hop_ns(),
+            s.max_hop_ns,
+            w.mean_hop_ns(),
+            w.p50_hop_ns(),
+            w.p99_hop_ns(),
+            w.max_hop_ns,
+            ratio(s.mean_hop_ns(), w.mean_hop_ns()),
+            ratio(s.p99_hop_ns(), w.p99_hop_ns()),
+            worm.cut_through
+                .map_or("null".to_string(), |c| c.to_string()),
+        ));
+    }
+    out.push_str(&lines.join(",\n"));
+    if !lines.is_empty() {
+        out.push('\n');
+    }
     out.push_str("  ],\n  \"problems\": [\n");
     for (i, p) in problems.iter().enumerate() {
         let comma = if i + 1 < problems.len() { "," } else { "" };
@@ -935,6 +1168,38 @@ mod tests {
         let json = to_json(true, &[], &[], &[], &runs, &problems);
         assert!(json.contains("\"router\": {\"packets_sent\""));
         assert!(json.contains("\"mean_hop_ns\""));
+    }
+
+    #[test]
+    fn long_path_probe_shows_the_cut_through_win() {
+        // The tentpole pair: on the idle 62-hop diagonal, wormhole must
+        // at least halve the mean header-forwarding hop latency, and
+        // the pair must surface in the switching section of the JSON.
+        let sf = run_long_path(
+            "e17_longpath1024",
+            Switching::StoreAndForward,
+            Engine::Sliced,
+        );
+        let worm = run_long_path("e17_longpath1024_worm", Switching::Wormhole, Engine::Sliced);
+        assert!(sf.answers_ok && worm.answers_ok, "probe word must arrive");
+        assert_eq!(worm.cut_through, Some(true), "grid CDG must prove acyclic");
+        let (s, w) = (sf.router.unwrap(), worm.router.unwrap());
+        assert_eq!(s.packets_delivered, 1);
+        assert_eq!(w.packets_delivered, 1);
+        assert!(
+            s.mean_hop_ns() >= 2 * w.mean_hop_ns(),
+            "long-path hop latency must at least halve: sf {} vs wormhole {}",
+            s.mean_hop_ns(),
+            w.mean_hop_ns()
+        );
+        let runs = vec![sf, worm];
+        let pairs = switching_pairs(&runs);
+        assert_eq!(pairs.len(), 1, "probe rows must pair for the SWITCH table");
+        assert_eq!(pairs[0].0, "e17_longpath1024");
+        let json = to_json(true, &[], &[], &[], &runs, &[]);
+        assert!(json.contains("\"switching\""));
+        assert!(json.contains("\"p99_hop_ns\""));
+        assert!(json.contains("\"cut_through\": true"));
     }
 
     #[test]

@@ -25,7 +25,8 @@ use transputer_bench::hostperf::{
     board128_smoke, hypercube_smoke, routed_hypercube_smoke, routed_smoke,
 };
 use transputer_link::FaultPlan;
-use transputer_net::Engine;
+use transputer_net::topology::grid_edge_wire;
+use transputer_net::{Engine, RouterConfig, Switching};
 
 fn full_image(cpu: &Cpu) -> Vec<u8> {
     let base = cpu.memory().base();
@@ -384,10 +385,17 @@ fn routed_grid_agrees_across_all_engines() {
     // hop through bounded store-and-forward queues. All of that state
     // machinery advances only at wire events and stamped CPU service
     // points, so the engine and worker count must remain unobservable —
-    // the same sweep as e09, over the routed build.
-    let config = |engine| DbSearchConfig {
+    // the same sweep as e09, over the routed build, in both switching
+    // modes (wormhole forwards at header decode, so its wire schedule
+    // differs from store-and-forward — each mode gets its own
+    // reference run).
+    let config = |engine, switching| DbSearchConfig {
         net: transputer_net::NetworkConfig {
             engine,
+            router: RouterConfig {
+                switching,
+                ..RouterConfig::default()
+            },
             ..transputer_net::NetworkConfig::default()
         },
         ..routed_smoke()
@@ -402,26 +410,28 @@ fn routed_grid_agrees_across_all_engines() {
         (Engine::Parallel, Some(3)),
         (Engine::Parallel, Some(7)),
     ];
-    let mut runs = Vec::new();
-    for (engine, workers) in variants {
-        let mut sim = DbSearch::build_routed(config(engine)).expect("builds");
-        if let Some(w) = workers {
-            sim.network_mut().set_par_workers(w);
+    for switching in [Switching::StoreAndForward, Switching::Wormhole] {
+        let mut runs = Vec::new();
+        for (engine, workers) in variants {
+            let mut sim = DbSearch::build_routed(config(engine, switching)).expect("builds");
+            if let Some(w) = workers {
+                sim.network_mut().set_par_workers(w);
+            }
+            let report = sim.run(1_000_000_000_000).expect("runs");
+            assert!(
+                report.all_correct(),
+                "{switching:?} {engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
+                report.answers,
+                report.expected
+            );
+            runs.push((engine, workers, sim, report));
         }
-        let report = sim.run(1_000_000_000_000).expect("runs");
-        assert!(
-            report.all_correct(),
-            "{engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
-            report.answers,
-            report.expected
-        );
-        runs.push((engine, workers, sim, report));
-    }
 
-    let (_, _, ref base_sim, ref base_report) = runs[0];
-    for (engine, workers, sim, report) in &runs[1..] {
-        let label = format!("routed {engine:?} ({workers:?} workers)");
-        assert_run_matches(&label, sim, report, base_sim, base_report);
+        let (_, _, ref base_sim, ref base_report) = runs[0];
+        for (engine, workers, sim, report) in &runs[1..] {
+            let label = format!("routed {switching:?} {engine:?} ({workers:?} workers)");
+            assert_run_matches(&label, sim, report, base_sim, base_report);
+        }
     }
 }
 
@@ -430,11 +440,18 @@ fn routed_grid_agrees_across_engines_under_faults() {
     // The routed sweep under a seeded fault plan: the robust link
     // protocol retries the router's framed packets exactly as it
     // retries planned-tree traffic, and the outcome must stay
-    // bit-identical across engines and worker counts.
-    let config = |engine| DbSearchConfig {
+    // bit-identical across engines and worker counts — in both
+    // switching modes, since wormhole streams ride the same robust
+    // per-byte retry machinery (the withheld credit ack is just a
+    // delayed ack to the protocol).
+    let config = |engine, switching| DbSearchConfig {
         net: transputer_net::NetworkConfig {
             engine,
             fault: Some(FaultPlan::uniform(1985, 2e-3)),
+            router: RouterConfig {
+                switching,
+                ..RouterConfig::default()
+            },
             ..transputer_net::NetworkConfig::default()
         },
         ..routed_smoke()
@@ -449,27 +466,32 @@ fn routed_grid_agrees_across_engines_under_faults() {
         (Engine::Parallel, Some(3)),
         (Engine::Parallel, Some(7)),
     ];
-    let mut runs = Vec::new();
-    for (engine, workers) in variants {
-        let mut sim = DbSearch::build_routed(config(engine)).expect("builds");
-        if let Some(w) = workers {
-            sim.network_mut().set_par_workers(w);
+    for switching in [Switching::StoreAndForward, Switching::Wormhole] {
+        let mut runs = Vec::new();
+        for (engine, workers) in variants {
+            let mut sim = DbSearch::build_routed(config(engine, switching)).expect("builds");
+            if let Some(w) = workers {
+                sim.network_mut().set_par_workers(w);
+            }
+            let report = sim.run(1_000_000_000_000).expect("runs");
+            assert!(
+                report.all_correct(),
+                "{switching:?} {engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
+                report.answers,
+                report.expected
+            );
+            assert!(
+                !report.degraded,
+                "{switching:?} {engine:?}: retries must hide the faults"
+            );
+            runs.push((engine, workers, sim, report));
         }
-        let report = sim.run(1_000_000_000_000).expect("runs");
-        assert!(
-            report.all_correct(),
-            "{engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
-            report.answers,
-            report.expected
-        );
-        assert!(!report.degraded, "{engine:?}: retries must hide the faults");
-        runs.push((engine, workers, sim, report));
-    }
 
-    let (_, _, ref base_sim, ref base_report) = runs[0];
-    for (engine, workers, sim, report) in &runs[1..] {
-        let label = format!("routed faulted {engine:?} ({workers:?} workers)");
-        assert_run_matches(&label, sim, report, base_sim, base_report);
+        let (_, _, ref base_sim, ref base_report) = runs[0];
+        for (engine, workers, sim, report) in &runs[1..] {
+            let label = format!("routed faulted {switching:?} {engine:?} ({workers:?} workers)");
+            assert_run_matches(&label, sim, report, base_sim, base_report);
+        }
     }
 }
 
@@ -478,30 +500,53 @@ fn routed_hypercube_is_worker_count_invariant() {
     // The routed hypercube: requests and answers cross dimension links
     // through several routers at once, so transit queues at distinct
     // nodes are live simultaneously — the strongest worker-interleaving
-    // pressure the router sees in the debug-mode suite.
-    let config = |engine| transputer_apps::dbsearch::HypercubeConfig {
+    // pressure the router sees in the debug-mode suite. Swept in both
+    // switching modes; on the cluster hypercube the e-cube tables have
+    // a cyclic channel-dependency graph, so `Wormhole` provably
+    // degrades to store-and-forward at build time (the runs must still
+    // be deterministic — and byte-identical to the store-and-forward
+    // mode's).
+    let config = |engine, switching| transputer_apps::dbsearch::HypercubeConfig {
         net: transputer_net::NetworkConfig {
             engine,
+            router: RouterConfig {
+                switching,
+                ..RouterConfig::default()
+            },
             ..transputer_net::NetworkConfig::default()
         },
         ..routed_hypercube_smoke()
     };
-    let mut base = DbSearch::build_routed_hypercube(config(Engine::Sliced)).expect("builds");
-    let base_report = base.run(1_000_000_000_000).expect("runs");
-    assert!(base_report.all_correct(), "sliced reference");
-    for workers in [1usize, 2, 3, 7] {
-        let mut sim = DbSearch::build_routed_hypercube(config(Engine::Parallel)).expect("builds");
-        sim.network_mut().set_par_workers(workers);
-        let report = sim.run(1_000_000_000_000).expect("runs");
-        assert!(report.all_correct(), "routed parallel, {workers} workers");
-        assert_run_matches(
-            &format!("routed parallel, {workers} workers"),
-            &sim,
-            &report,
-            &base,
-            &base_report,
-        );
+    let mut modes = Vec::new();
+    for switching in [Switching::StoreAndForward, Switching::Wormhole] {
+        let mut base =
+            DbSearch::build_routed_hypercube(config(Engine::Sliced, switching)).expect("builds");
+        let base_report = base.run(1_000_000_000_000).expect("runs");
+        assert!(base_report.all_correct(), "{switching:?} sliced reference");
+        for workers in [1usize, 2, 3, 7] {
+            let mut sim = DbSearch::build_routed_hypercube(config(Engine::Parallel, switching))
+                .expect("builds");
+            sim.network_mut().set_par_workers(workers);
+            let report = sim.run(1_000_000_000_000).expect("runs");
+            assert!(
+                report.all_correct(),
+                "routed {switching:?} parallel, {workers} workers"
+            );
+            assert_run_matches(
+                &format!("routed {switching:?} parallel, {workers} workers"),
+                &sim,
+                &report,
+                &base,
+                &base_report,
+            );
+        }
+        modes.push((base, base_report));
     }
+    // The degrade is total: wormhole on a cyclic-CDG topology is not
+    // merely deterministic but the same simulation as store-and-forward.
+    let (ref sf, ref sf_report) = modes[0];
+    let (ref worm, ref worm_report) = modes[1];
+    assert_run_matches("hypercube wormhole==sf", worm, worm_report, sf, sf_report);
 }
 
 #[test]
@@ -574,5 +619,87 @@ fn e09_network_agrees_across_engines_under_faults() {
             .sum();
         assert_eq!(retries, base_retries, "{label}: retry counters");
         assert_eq!(rx_errors, base_rx_errors, "{label}: rx-error counters");
+    }
+}
+
+/// A wire on the answer path dies mid-run, in both switching modes.
+/// The router rebuilds its tables and re-sends whatever the break cut
+/// off (a parked packet, a queued packet, or a wormhole stream folded
+/// back at the break), so delivery on the rerouted path is
+/// at-least-once — DESIGN.md §11's documented duplicate-delivery
+/// window. The collector's merge folds answer words in arrival order
+/// with an order-independent sum, so what this test pins is that every
+/// engine and worker count lands on the identical merged state,
+/// duplicates included: same answers, same memory images, same
+/// per-wire byte counters.
+#[test]
+fn routed_wire_death_merges_identically_across_engines() {
+    // routed_smoke is the 3x3 grid with the collector on node 8's
+    // south port; the east edge (1,2)-(2,2) carries answer traffic
+    // into the exit corner, and killing it forces the reroute through
+    // node 5 while answers are in flight.
+    let dying = grid_edge_wire(3, 3, 1, 2, true);
+    // 180 us lands inside the answer burst: the store-and-forward run
+    // discovers the death mid-packet (retry exhaustion, partial bytes
+    // already across), and the wormhole run has a live multi-node
+    // stream cut at the break (asserted below via the drop counter).
+    let kill_ns = 180_000;
+    let config = |engine, switching| DbSearchConfig {
+        net: transputer_net::NetworkConfig {
+            engine,
+            fault: Some(FaultPlan::uniform(77, 0.0).with_dead_link(dying, kill_ns)),
+            router: RouterConfig {
+                switching,
+                ..RouterConfig::default()
+            },
+            ..transputer_net::NetworkConfig::default()
+        },
+        ..routed_smoke()
+    };
+
+    let variants = [
+        (Engine::Event, None),
+        (Engine::Sliced, None),
+        (Engine::Parallel, None),
+        (Engine::Parallel, Some(1)),
+        (Engine::Parallel, Some(2)),
+        (Engine::Parallel, Some(3)),
+        (Engine::Parallel, Some(7)),
+    ];
+    for switching in [Switching::StoreAndForward, Switching::Wormhole] {
+        let mut runs = Vec::new();
+        for (engine, workers) in variants {
+            let mut sim = DbSearch::build_routed(config(engine, switching)).expect("builds");
+            if let Some(w) = workers {
+                sim.network_mut().set_par_workers(w);
+            }
+            let report = sim.run(1_000_000_000_000).expect("runs");
+            assert!(
+                sim.network().any_link_failed(),
+                "{switching:?} {engine:?}: the wire must actually die"
+            );
+            if switching == Switching::Wormhole {
+                let stats = sim.network().router_stats().expect("routed build");
+                assert!(
+                    stats.packets_dropped > 0,
+                    "{engine:?}: the break must cut a live wormhole stream"
+                );
+            }
+            // The re-sent copies land in the collector's additive
+            // order-independent merge; the answers still come out
+            // right, and identically so under every engine below.
+            assert!(
+                report.all_correct(),
+                "{switching:?} {engine:?} ({workers:?} workers): answers {:?} != expected {:?}",
+                report.answers,
+                report.expected
+            );
+            runs.push((engine, workers, sim, report));
+        }
+        let (_, _, ref base_sim, ref base_report) = runs[0];
+        for (engine, workers, sim, report) in &runs[1..] {
+            let label = format!("wire-death {switching:?} {engine:?} ({workers:?} workers)");
+            assert_run_matches(&label, sim, report, base_sim, base_report);
+        }
     }
 }

@@ -23,6 +23,13 @@
 //! packets on the same virtual channel; the final packet carries the
 //! end-of-message flag. Packets of one virtual channel are delivered in
 //! order (each hop is a FIFO), so reassembly needs no sequence numbers.
+//!
+//! The per-byte link acknowledge doubles as the router's flow control:
+//! a store-and-forward node withholds the final ack of a packet it
+//! cannot buffer, and a wormhole (cut-through) node withholds the ack
+//! as a flit-level *credit* when a stream outruns its relay window —
+//! both on Classic and Robust wires, with no extra frame types. See
+//! `transputer-net`'s router module for the credit protocol.
 
 /// Bytes in a packet header.
 pub const HEADER_BYTES: usize = 4;

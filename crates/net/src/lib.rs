@@ -40,7 +40,7 @@ pub mod router;
 pub mod sim;
 pub mod topology;
 
-pub use router::RouterStats;
+pub use router::{RouterConfig, RouterStats, Switching};
 pub use sim::{Engine, Network, NetworkBuilder, NetworkConfig, NodeId, SimError, SimOutcome};
 pub use topology::{
     adjacency_add_wire, grid, grid_adjacency, hypercube, hypercube_adjacency, pipeline, ring,

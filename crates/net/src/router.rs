@@ -18,10 +18,26 @@
 //! or at a CPU link-service point, which the sliced engines stamp with
 //! the exact interaction-instruction time the event engine would have
 //! used. Per-wire forwarding queues are bounded
-//! (`FORWARD_CAPACITY`); a full queue withholds the acknowledge of
-//! the packet's final byte, so backpressure propagates through the
-//! ordinary link flow control (and, under the robust protocol, through
-//! its busy/retry machinery) without any side channel.
+//! ([`RouterConfig::forward_capacity`]); a full queue withholds the
+//! acknowledge of the packet's final byte, so backpressure propagates
+//! through the ordinary link flow control (and, under the robust
+//! protocol, through its busy/retry machinery) without any side
+//! channel.
+//!
+//! **Switching.** Transit packets cross a node under one of two
+//! disciplines ([`Switching`]): store-and-forward fully reassembles
+//! each packet before retransmitting it, so end-to-end latency grows
+//! as `hops × packet_time`; wormhole (cut-through) starts
+//! retransmitting the header the moment it decodes — provided the
+//! routed out port is idle — and streams the payload through byte by
+//! byte, shrinking the latency toward `hops + packet_time`. A stream
+//! that outruns its downstream credit (`STREAM_CREDITS`) withholds
+//! the upstream acknowledge, so the *stream* stalls mid-packet through
+//! the same link flow control, without parking the whole port.
+//! Injection and local delivery stay packet-atomic in both modes, and
+//! a busy out port falls back to store-and-forward per packet, so
+//! wormhole is purely a latency optimisation layered on the same
+//! deterministic event structure.
 //!
 //! The router returns its effects as `Act`s rather than touching
 //! wires directly; the simulator applies them, which keeps all wire
@@ -38,41 +54,167 @@ use crate::topology::{route_tables, Adjacency, NO_ROUTE};
 /// `(node, cpu_port)` pair.
 pub(crate) type VcSpec = ((usize, usize), (usize, usize));
 
-/// Transit packets a physical out-port queues before exerting
-/// backpressure. Two full-size packets per queue slot would be 40 bytes;
-/// eight slots keep several virtual channels moving across a shared
-/// wire while bounding the store-and-forward memory per node.
-pub(crate) const FORWARD_CAPACITY: usize = 8;
+/// How transit packets cross a node (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Switching {
+    /// Fully reassemble every transit packet before retransmitting it.
+    #[default]
+    StoreAndForward,
+    /// Cut-through: retransmit the header as soon as it decodes and the
+    /// routed out port is idle, streaming the payload hop by hop under
+    /// flit-level credits. Requires an acyclic channel-dependency graph
+    /// (dimension-order routing; see [`crate::topology::cdg_acyclic`]).
+    Wormhole,
+}
+
+/// Per-network router tuning, carried on the router and defaulted to
+/// the values every committed fingerprint was produced with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Transit packets a physical out-port queues before exerting
+    /// backpressure. Two full-size packets per queue slot would be 40
+    /// bytes; the default of eight slots keeps several virtual channels
+    /// moving across a shared wire while bounding the store-and-forward
+    /// memory per node.
+    pub forward_capacity: usize,
+    /// Switching discipline for transit packets.
+    pub switching: Switching,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            forward_capacity: 8,
+            switching: Switching::StoreAndForward,
+        }
+    }
+}
+
+/// Wormhole flit credit window: bytes a cut-through stream may hold
+/// buffered but not yet relayed before it withholds the upstream
+/// acknowledge (stalling the stream, not the port). At least
+/// `HEADER_BYTES` so starting a stream never withholds the header
+/// byte's own acknowledge.
+const STREAM_CREDITS: usize = 4;
+
+/// Fixed hop-latency histogram size: values below 8 ns map to
+/// themselves, larger values to four sub-buckets per power of two
+/// (relative resolution ≤ 25%), all in integer nanoseconds — no floats
+/// anywhere near fingerprint-adjacent state.
+const HOP_BUCKETS: usize = 256;
+
+/// Histogram bucket for a hop latency of `ns`.
+fn hop_bucket(ns: u64) -> usize {
+    if ns < 8 {
+        return ns as usize;
+    }
+    let e = 63 - ns.leading_zeros() as usize;
+    let sub = ((ns >> (e - 2)) & 3) as usize;
+    (8 + (e - 3) * 4 + sub).min(HOP_BUCKETS - 1)
+}
+
+/// Inclusive upper bound, in ns, of histogram bucket `bucket`.
+fn hop_bucket_ceil_ns(bucket: usize) -> u64 {
+    if bucket < 8 {
+        return bucket as u64;
+    }
+    let e = (bucket - 8) / 4 + 3;
+    let sub = ((bucket - 8) % 4) as u64;
+    (1u64 << e) + (sub + 1) * (1u64 << (e - 2)) - 1
+}
 
 /// Router activity counters, aggregated network-wide. Host-visible
 /// observability only — never part of outcome fingerprints (the
 /// per-wire delivered-byte counters are what the fingerprints pin).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct RouterStats {
     /// Packets injected by source CPUs.
     pub packets_sent: u64,
-    /// Transit packets enqueued at intermediate hops.
+    /// Transit packets enqueued (or cut through) at intermediate hops.
     pub packets_forwarded: u64,
     /// Packets delivered to destination CPUs.
     pub packets_delivered: u64,
-    /// Packets dropped for lack of a route (after mid-run wire death).
+    /// Packets dropped for lack of a route (after mid-run wire death)
+    /// or cut by a dying wire mid-stream.
     pub packets_dropped: u64,
     /// Duplicate data bytes absorbed by the robust sequence check.
     pub dup_data: u64,
     /// Routing-table rebuilds forced by mid-run wire failures.
     pub table_rebuilds: u64,
-    /// Completed store-and-forward hops (one packet leaving one queue).
+    /// Forwarding hops that began retransmission (one packet starting
+    /// across one wire, from a queue or a cut-through stream).
     pub hops: u64,
-    /// Total queue-to-wire latency over all completed hops, in ns.
+    /// Total header-forwarding latency over all hops, in ns: from the
+    /// packet's first byte arriving at the node (transit) or entering
+    /// its forwarding queue (injection) to its first byte leaving on
+    /// the out wire. This is the per-hop delay a packet's *head*
+    /// accrues — the quantity wormhole cut-through shrinks from a full
+    /// store-and-forward reassembly to a header decode.
     pub hop_ns_total: u64,
     /// Worst single hop latency, in ns.
     pub max_hop_ns: u64,
+    /// Fixed-bucket hop-latency histogram (see `hop_bucket`), the
+    /// integer basis for [`RouterStats::hop_percentile_ns`].
+    pub hop_hist: [u64; HOP_BUCKETS],
+}
+
+impl Default for RouterStats {
+    fn default() -> Self {
+        RouterStats {
+            packets_sent: 0,
+            packets_forwarded: 0,
+            packets_delivered: 0,
+            packets_dropped: 0,
+            dup_data: 0,
+            table_rebuilds: 0,
+            hops: 0,
+            hop_ns_total: 0,
+            max_hop_ns: 0,
+            hop_hist: [0; HOP_BUCKETS],
+        }
+    }
 }
 
 impl RouterStats {
-    /// Mean store-and-forward hop latency in nanoseconds.
+    /// Mean hop latency in nanoseconds.
     pub fn mean_hop_ns(&self) -> u64 {
         self.hop_ns_total.checked_div(self.hops).unwrap_or(0)
+    }
+
+    /// Hop latency at or below which `pct` percent of hops completed,
+    /// reported as the histogram bucket's upper bound (≤ 25% over the
+    /// true value; capped at the exact maximum).
+    pub fn hop_percentile_ns(&self, pct: u64) -> u64 {
+        if self.hops == 0 {
+            return 0;
+        }
+        let target = (self.hops * pct).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (b, &count) in self.hop_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return hop_bucket_ceil_ns(b).min(self.max_hop_ns);
+            }
+        }
+        self.max_hop_ns
+    }
+
+    /// Median hop latency in nanoseconds (histogram bucket bound).
+    pub fn p50_hop_ns(&self) -> u64 {
+        self.hop_percentile_ns(50)
+    }
+
+    /// 99th-percentile hop latency in nanoseconds (histogram bucket
+    /// bound).
+    pub fn p99_hop_ns(&self) -> u64 {
+        self.hop_percentile_ns(99)
+    }
+
+    fn record_hop(&mut self, hop_ns: u64) {
+        self.hops += 1;
+        self.hop_ns_total += hop_ns;
+        self.max_hop_ns = self.max_hop_ns.max(hop_ns);
+        self.hop_hist[hop_bucket(hop_ns)] += 1;
     }
 }
 
@@ -83,7 +225,10 @@ struct Packet {
     eom: bool,
     len: u8,
     data: [u8; MAX_PAYLOAD],
-    /// When the packet entered its current forwarding queue.
+    /// Hop-latency stamp: when the packet's first wire byte arrived at
+    /// this node (transit), or when it entered its forwarding queue
+    /// (injection). Not reset on park/rescue requeues, so the recorded
+    /// hop includes genuine queueing and rerouting delay.
     enq_ns: u64,
 }
 
@@ -112,11 +257,17 @@ impl Packet {
 struct Reasm {
     buf: [u8; HEADER_BYTES + MAX_PAYLOAD],
     have: usize,
+    /// Arrival time of the in-progress packet's first byte (the hop
+    /// stamp its [`Packet`] inherits).
+    start_ns: u64,
 }
 
 impl Reasm {
     /// Absorb one wire byte; return the packet it completes, if any.
     fn push(&mut self, byte: u8, now_ns: u64) -> Option<Packet> {
+        if self.have == 0 {
+            self.start_ns = now_ns;
+        }
         self.buf[self.have] = byte;
         self.have += 1;
         if self.have < HEADER_BYTES {
@@ -135,7 +286,7 @@ impl Reasm {
             eom: h.eom,
             len: h.len,
             data,
-            enq_ns: now_ns,
+            enq_ns: self.start_ns,
         })
     }
 }
@@ -150,6 +301,26 @@ struct Build {
     out_port: usize,
     len: u8,
     data: [u8; MAX_PAYLOAD],
+}
+
+/// A cut-through stream in progress on a physical in-port (wormhole
+/// mode): the packet image fills in as bytes arrive while the chosen
+/// out port retransmits them.
+#[derive(Debug, Clone, Copy)]
+struct StreamIn {
+    /// The packet, filled in as its bytes arrive (the header fields are
+    /// known from the decode that started the stream).
+    pkt: Packet,
+    /// Wire bytes received so far (header included).
+    got: usize,
+    /// The out port retransmitting this stream.
+    out_port: usize,
+    /// Next wire byte index to retransmit.
+    next: usize,
+    /// Whether byte `next - 1` is on the wire awaiting its acknowledge
+    /// (false = the relay is starved: every sent byte is acknowledged
+    /// and byte `next` has not arrived yet, so `next == got`).
+    inflight: bool,
 }
 
 /// A packet being handed byte-by-byte to the destination CPU's link
@@ -200,6 +371,18 @@ pub(crate) struct NodeRouter {
     parked: [Option<Packet>; 4],
     /// Whether an acknowledge is being withheld on each physical port.
     withheld: [bool; 4],
+    /// Cut-through stream arriving per physical in port (wormhole).
+    stream_in: [Option<StreamIn>; 4],
+    /// Which in-port feeds each out port's active cut-through stream.
+    stream_out: [Option<usize>; 4],
+    /// Data bytes to swallow (accept, acknowledge, discard) on each in
+    /// port — the byte that was in flight when a relay chain upstream
+    /// of it was torn down by wire death (see `kill_stream_chain`).
+    skip: [u8; 4],
+    /// Out ports whose stream transmitter was killed with a byte still
+    /// awaiting its acknowledge: the late acknowledge is consumed to
+    /// realign the sequence bit, and no new transmit starts before it.
+    tx_abort: [bool; 4],
 }
 
 /// A wire- or scheduler-visible effect the router asks the simulator to
@@ -228,6 +411,14 @@ pub(crate) struct RouterNet {
     adj: Adjacency,
     dead: HashSet<usize>,
     nodes: Vec<NodeRouter>,
+    config: RouterConfig,
+    /// Whether cut-through streaming is currently allowed: wormhole
+    /// mode *and* the active tables' channel-dependency graph is proven
+    /// acyclic. Recomputed whenever a wire death rebuilds the tables;
+    /// when the proof fails the router degrades to store-and-forward
+    /// forwarding (identically in every engine — the rebuild is a pure
+    /// function of the dead set).
+    cut_through: bool,
     pub(crate) stats: RouterStats,
 }
 
@@ -237,6 +428,7 @@ impl RouterNet {
         tables: Vec<Vec<u8>>,
         dead: HashSet<usize>,
         vcs: &[VcSpec],
+        config: RouterConfig,
     ) -> RouterNet {
         let n = adj.len();
         let mut nodes = vec![NodeRouter::default(); n];
@@ -247,14 +439,24 @@ impl RouterNet {
             nodes[sn].out_vcs[sp].push(vc as u16);
             vc_dst.push((dn, dp));
         }
+        let cut_through =
+            config.switching == Switching::Wormhole && crate::topology::cdg_acyclic(&adj, &tables);
         RouterNet {
             tables,
             vc_dst,
             adj,
             dead,
             nodes,
+            config,
+            cut_through,
             stats: RouterStats::default(),
         }
+    }
+
+    /// Whether cut-through streaming is active (wormhole mode with a
+    /// proven acyclic channel-dependency graph; see [`Switching`]).
+    pub(crate) fn cut_through(&self) -> bool {
+        self.cut_through
     }
 
     /// Service a node's CPU-facing side at `now_ns`: resume deliveries
@@ -365,7 +567,7 @@ impl RouterNet {
         }
         let port = usize::from(port);
         let r = &self.nodes[node];
-        if r.outq[port].len() + usize::from(r.reserved[port]) >= FORWARD_CAPACITY {
+        if r.outq[port].len() + usize::from(r.reserved[port]) >= self.config.forward_capacity {
             return false;
         }
         self.stats.packets_forwarded += 1;
@@ -379,32 +581,32 @@ impl RouterNet {
         &mut self,
         node: usize,
         port: usize,
-        mut pkt: Packet,
+        pkt: Packet,
         now_ns: u64,
         acts: &mut Vec<(usize, Act)>,
     ) {
-        pkt.enq_ns = now_ns;
         self.nodes[node].outq[port].push_back(pkt);
         if self.nodes[node].tx_pos[port].is_none() {
-            self.start_tx(node, port, acts);
+            self.start_tx(node, port, now_ns, acts);
         }
     }
 
-    fn start_tx(&mut self, node: usize, port: usize, acts: &mut Vec<(usize, Act)>) {
+    fn start_tx(&mut self, node: usize, port: usize, now_ns: u64, acts: &mut Vec<(usize, Act)>) {
         let r = &mut self.nodes[node];
+        if r.stream_out[port].is_some() || r.tx_abort[port] {
+            return; // the wire is owned by a stream (or its late ack)
+        }
         let Some(pkt) = r.outq[port].front() else {
             return;
         };
         let byte = pkt.byte(0);
+        let enq_ns = pkt.enq_ns;
         r.tx_pos[port] = Some(0);
-        acts.push((
-            node,
-            Act::Data {
-                port,
-                byte,
-                seq: r.tx_seq[port],
-            },
-        ));
+        let seq = r.tx_seq[port];
+        // The packet's head leaves the node: one hop's worth of
+        // header-forwarding latency is decided here.
+        self.stats.record_hop(now_ns.saturating_sub(enq_ns));
+        acts.push((node, Act::Data { port, byte, seq }));
     }
 
     /// An acknowledge arrived on `node`'s physical `port`. Returns true
@@ -423,6 +625,45 @@ impl RouterNet {
     ) -> bool {
         if robust && seq != self.nodes[node].tx_seq[port] {
             return false;
+        }
+        if self.nodes[node].tx_abort[port] {
+            // The late acknowledge of a torn-down relay's last byte:
+            // consume it, realign the sequence bit, and free the port.
+            self.nodes[node].tx_abort[port] = false;
+            self.nodes[node].tx_seq[port] = !self.nodes[node].tx_seq[port];
+            self.start_tx(node, port, now_ns, acts);
+            return true;
+        }
+        if let Some(q) = self.nodes[node].stream_out[port] {
+            // A cut-through stream's byte crossed the wire: relay the
+            // next one if it has arrived, else starve until it does.
+            self.nodes[node].tx_seq[port] = !self.nodes[node].tx_seq[port];
+            let mut st = self.nodes[node].stream_in[q].expect("stream_out points at a live stream");
+            debug_assert!(st.inflight, "a stream acknowledge implies a byte in flight");
+            if st.next < st.got {
+                let byte = st.pkt.byte(st.next);
+                st.next += 1;
+                let sq = self.nodes[node].tx_seq[port];
+                acts.push((
+                    node,
+                    Act::Data {
+                        port,
+                        byte,
+                        seq: sq,
+                    },
+                ));
+                // Relaying returned a flit credit: release a withheld
+                // upstream acknowledge.
+                if self.nodes[node].withheld[q] && st.got - st.next < STREAM_CREDITS {
+                    self.nodes[node].withheld[q] = false;
+                    let aseq = !self.nodes[node].rx_seq[q];
+                    acts.push((node, Act::Ack { port: q, seq: aseq }));
+                }
+            } else {
+                st.inflight = false;
+            }
+            self.nodes[node].stream_in[q] = Some(st);
+            return true;
         }
         let Some(pos) = self.nodes[node].tx_pos[port] else {
             return false;
@@ -447,11 +688,7 @@ impl RouterNet {
             let r = &mut self.nodes[node];
             r.outq[port].pop_front();
             r.tx_pos[port] = None;
-            let hop_ns = now_ns.saturating_sub(front.enq_ns);
-            self.stats.hops += 1;
-            self.stats.hop_ns_total += hop_ns;
-            self.stats.max_hop_ns = self.stats.max_hop_ns.max(hop_ns);
-            self.start_tx(node, port, acts);
+            self.start_tx(node, port, now_ns, acts);
             // A queue slot freed: parked packets and stalled local
             // injection may proceed now, at this wire event's time, in
             // every engine alike.
@@ -493,6 +730,18 @@ impl RouterNet {
             return false;
         }
         self.nodes[node].rx_seq[port] = !self.nodes[node].rx_seq[port];
+        if self.nodes[node].skip[port] > 0 {
+            // Wire-death reconciliation: the byte belongs to a relay
+            // chain torn down while it was in flight — swallow it (see
+            // `kill_stream_chain`).
+            self.nodes[node].skip[port] -= 1;
+            acts.push((node, Act::Ack { port, seq }));
+            return true;
+        }
+        if self.nodes[node].stream_in[port].is_some() {
+            self.stream_data(node, port, byte, seq, acts);
+            return true;
+        }
         let was_idle = cpus[node].is_idle();
         let completed = self.nodes[node].rx[port].push(byte, now_ns);
         match completed {
@@ -507,12 +756,141 @@ impl RouterNet {
                     self.nodes[node].withheld[port] = true;
                 }
             }
-            None => acts.push((node, Act::Ack { port, seq })),
+            None => {
+                self.try_cut_through(node, port, now_ns, acts);
+                acts.push((node, Act::Ack { port, seq }));
+            }
         }
         if was_idle && !cpus[node].is_idle() {
             acts.push((node, Act::Wake));
         }
         true
+    }
+
+    /// Wormhole mode: a transit packet's header just finished
+    /// reassembling on `port` with payload still to come. If the routed
+    /// out port is fully idle, start cut-through: retransmit the header
+    /// now and stream the payload through as it arrives. Any busy out
+    /// port falls back to store-and-forward for this packet.
+    fn try_cut_through(
+        &mut self,
+        node: usize,
+        port: usize,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        if !self.cut_through {
+            return;
+        }
+        let r = &self.nodes[node];
+        if r.rx[port].have != HEADER_BYTES {
+            return;
+        }
+        let hdr = [
+            r.rx[port].buf[0],
+            r.rx[port].buf[1],
+            r.rx[port].buf[2],
+            r.rx[port].buf[3],
+        ];
+        let h = VcHeader::decode(hdr).expect("router peer sent a malformed packet header");
+        let (dn, _) = self.vc_dst[usize::from(h.vc)];
+        if dn == node {
+            return; // local delivery stays packet-atomic
+        }
+        let out = self.tables[node][dn];
+        if out == NO_ROUTE {
+            return; // no route: reassemble, then drop the whole packet
+        }
+        let op = usize::from(out);
+        if r.tx_pos[op].is_some()
+            || r.stream_out[op].is_some()
+            || r.tx_abort[op]
+            || !r.outq[op].is_empty()
+        {
+            return;
+        }
+        let pkt = Packet {
+            vc: h.vc,
+            eom: h.eom,
+            len: h.len,
+            data: [0; MAX_PAYLOAD],
+            enq_ns: now_ns,
+        };
+        let r = &mut self.nodes[node];
+        let start_ns = r.rx[port].start_ns;
+        r.rx[port] = Reasm::default();
+        r.stream_in[port] = Some(StreamIn {
+            pkt,
+            got: HEADER_BYTES,
+            out_port: op,
+            next: 1,
+            inflight: true,
+        });
+        r.stream_out[op] = Some(port);
+        let sq = r.tx_seq[op];
+        self.stats.packets_forwarded += 1;
+        // The stream's hop: first header byte arriving to the header
+        // starting back out — the cut-through latency itself.
+        self.stats.record_hop(now_ns.saturating_sub(start_ns));
+        acts.push((
+            node,
+            Act::Data {
+                port: op,
+                byte: pkt.byte(0),
+                seq: sq,
+            },
+        ));
+    }
+
+    /// A wire byte arrived for an active cut-through stream: absorb it,
+    /// kick a starved relay, and either complete the stream (the packet
+    /// is fully buffered now, so it becomes an ordinary mid-transmission
+    /// queue-front packet) or acknowledge it under the credit bound.
+    fn stream_data(
+        &mut self,
+        node: usize,
+        port: usize,
+        byte: u8,
+        seq: bool,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        let mut st = self.nodes[node].stream_in[port].expect("caller checked");
+        st.pkt.data[st.got - HEADER_BYTES] = byte;
+        st.got += 1;
+        if !st.inflight && st.next < st.got {
+            let op = st.out_port;
+            let b = st.pkt.byte(st.next);
+            st.next += 1;
+            st.inflight = true;
+            let sq = self.nodes[node].tx_seq[op];
+            acts.push((
+                node,
+                Act::Data {
+                    port: op,
+                    byte: b,
+                    seq: sq,
+                },
+            ));
+        }
+        if st.got == st.pkt.wire_len() {
+            // Tail: hand the remaining transmission to the queue path
+            // (the hop completes, with stats, when the last byte acks).
+            let op = st.out_port;
+            self.nodes[node].stream_in[port] = None;
+            self.nodes[node].stream_out[op] = None;
+            self.nodes[node].outq[op].push_front(st.pkt);
+            self.nodes[node].tx_pos[op] = Some(st.next - 1);
+            acts.push((node, Act::Ack { port, seq }));
+        } else if st.got - st.next >= STREAM_CREDITS {
+            // Out of flit credit: withhold the acknowledge so the
+            // upstream transmitter stalls mid-packet — the stream
+            // stalls, the port does not.
+            self.nodes[node].withheld[port] = true;
+            self.nodes[node].stream_in[port] = Some(st);
+        } else {
+            self.nodes[node].stream_in[port] = Some(st);
+            acts.push((node, Act::Ack { port, seq }));
+        }
     }
 
     /// Retry parked packets (in physical-port order) after capacity or
@@ -563,7 +941,7 @@ impl RouterNet {
                     if out_port != usize::MAX {
                         let r = &self.nodes[node];
                         if r.outq[out_port].len() + usize::from(r.reserved[out_port])
-                            >= FORWARD_CAPACITY
+                            >= self.config.forward_capacity
                         {
                             break; // backpressure: stall at the packet boundary
                         }
@@ -635,11 +1013,66 @@ impl RouterNet {
         }
         self.stats.table_rebuilds += 1;
         self.tables = route_tables(&self.adj, &self.dead);
+        // The BFS fallback has no dimension-order structure, so its
+        // channel-dependency graph must be re-proven acyclic; if the
+        // damage broke the proof, stop starting new cut-through streams
+        // (in-flight ones drain into the store-and-forward queues at
+        // their tails). Deterministic: the rebuild is a pure function
+        // of the dead set, which every engine grows identically.
+        if self.cut_through {
+            self.cut_through = crate::topology::cdg_acyclic(&self.adj, &self.tables);
+        }
+        debug_assert!(
+            self.config.switching == Switching::StoreAndForward
+                || !self.cut_through
+                || crate::topology::cdg_acyclic(&self.adj, &self.tables),
+            "wormhole streaming left enabled on BFS tables without an acyclic-CDG proof"
+        );
         for &(node, port) in &ends {
+            // A cut-through stream relaying *across* the dead wire loses
+            // its outlet: fold the partial image back into the feeding
+            // in-port's reassembly buffer — the upstream feed is intact,
+            // so the packet completes there and reroutes over the new
+            // tables, exactly like a stranded queue packet.
+            if let Some(q) = self.nodes[node].stream_out[port].take() {
+                let st = self.nodes[node].stream_in[q]
+                    .take()
+                    .expect("stream_out points at a live stream");
+                if q == port {
+                    // The stream both arrived and relayed on the dead
+                    // wire (possible after an earlier rebuild): it dies
+                    // outright.
+                    self.stats.packets_dropped += 1;
+                } else {
+                    let r = &mut self.nodes[node];
+                    for i in 0..st.got {
+                        r.rx[q].buf[i] = st.pkt.byte(i);
+                    }
+                    r.rx[q].have = st.got;
+                    r.rx[q].start_ns = st.pkt.enq_ns;
+                    if r.withheld[q] {
+                        // Reassembly absorbs freely: release the
+                        // credit-withheld acknowledge.
+                        r.withheld[q] = false;
+                        let aseq = !r.rx_seq[q];
+                        acts.push((node, Act::Ack { port: q, seq: aseq }));
+                    }
+                }
+            }
+            // A cut-through stream *arriving* over the dead wire never
+            // completes: tear down its relay chain hop by hop. Its
+            // credit-withheld acknowledge, if any, dies with the wire.
+            if let Some(st) = self.nodes[node].stream_in[port].take() {
+                self.nodes[node].withheld[port] = false;
+                self.kill_stream_chain(node, st, now_ns, acts);
+            }
             let r = &mut self.nodes[node];
             // Abandon the half-sent front packet and the dead port's
-            // queue; partial reassembly on the dead wire is discarded.
+            // queue; partial reassembly on the dead wire is discarded,
+            // and acknowledges on it will never arrive.
             r.tx_pos[port] = None;
+            r.tx_abort[port] = false;
+            r.skip[port] = 0;
             r.rx[port] = Reasm::default();
             let stranded: Vec<Packet> = r.outq[port].drain(..).collect();
             for pkt in stranded {
@@ -688,6 +1121,66 @@ impl RouterNet {
             }
             self.unpark(cpus, node, now_ns, acts);
             self.drain_injection(cpus, node, now_ns, acts);
+        }
+    }
+
+    /// Tear down the relay chain of a cut-through stream whose tail can
+    /// no longer arrive (the wire feeding it died). The cut packet is
+    /// dropped at the break — its source's at-least-once retry
+    /// semantics cover it, like any packet lost to retry exhaustion.
+    /// At each hop the partial image is discarded; a data byte still in
+    /// flight between two hops is marked to be swallowed on arrival,
+    /// and a transmitter whose last byte's acknowledge is still due is
+    /// flagged so the late acknowledge realigns the sequence bit while
+    /// the resend machinery stays armed (fault tolerance intact).
+    fn kill_stream_chain(
+        &mut self,
+        mut node: usize,
+        mut st: StreamIn,
+        now_ns: u64,
+        acts: &mut Vec<(usize, Act)>,
+    ) {
+        self.stats.packets_dropped += 1;
+        loop {
+            let p = st.out_port;
+            self.nodes[node].stream_out[p] = None;
+            if st.inflight {
+                self.nodes[node].tx_abort[p] = true;
+            } else {
+                // Every relayed byte is acknowledged: the port frees
+                // immediately and queued packets may start.
+                self.start_tx(node, p, now_ns, acts);
+            }
+            let Some((peer, peer_port, wire)) = self.adj[node][p] else {
+                break;
+            };
+            if self.dead.contains(&wire) {
+                break; // the relay crossed the wire that just died
+            }
+            let received = match &self.nodes[peer].stream_in[peer_port] {
+                Some(s) => s.got,
+                None => self.nodes[peer].rx[peer_port].have,
+            };
+            if st.next > received {
+                debug_assert_eq!(st.next, received + 1, "at most one byte in flight per wire");
+                self.nodes[peer].skip[peer_port] += 1;
+            }
+            match self.nodes[peer].stream_in[peer_port].take() {
+                Some(next_st) => {
+                    // A credit-withheld acknowledge upstream of a dying
+                    // chain has no transmitter left to release: clear it.
+                    self.nodes[peer].withheld[peer_port] = false;
+                    node = peer;
+                    st = next_st;
+                }
+                None => {
+                    // Terminal hop: the prefix sat in ordinary
+                    // reassembly (store-and-forward fallback or the
+                    // destination) — discard it.
+                    self.nodes[peer].rx[peer_port] = Reasm::default();
+                    break;
+                }
+            }
         }
     }
 

@@ -36,7 +36,7 @@ use transputer_link::{
 };
 
 use crate::par::{self, Slot, WorkerPool};
-use crate::router::{Act, RouterNet, RouterStats};
+use crate::router::{Act, RouterConfig, RouterNet, RouterStats};
 use crate::topology::{hypercube_tables, route_tables, Adjacency};
 
 /// Index of a node in a [`Network`].
@@ -79,6 +79,10 @@ pub struct NetworkConfig {
     /// and injects the planned faults; `None` is the paper's perfect
     /// classic network.
     pub fault: Option<FaultPlan>,
+    /// Virtual-channel router tuning (forwarding capacity and switching
+    /// discipline). Ignored unless the router is enabled; defaulted to
+    /// the values every committed fingerprint was produced with.
+    pub router: RouterConfig,
 }
 
 impl Default for NetworkConfig {
@@ -89,6 +93,7 @@ impl Default for NetworkConfig {
             ack_policy: AckPolicy::Early,
             engine: Engine::default(),
             fault: None,
+            router: RouterConfig::default(),
         }
     }
 }
@@ -424,6 +429,7 @@ impl NetworkBuilder {
             None => (0, 0),
         };
         let robust = fault.is_some();
+        let router_cfg = self.config.router;
         let router = self.router.map(|rb| {
             // Wires dead from the very start never carry a byte; exclude
             // them from the initial tables rather than waiting for the
@@ -440,7 +446,12 @@ impl NetworkBuilder {
                 RouteShape::General => route_tables(&rb.adj, &dead),
                 RouteShape::Hypercube { dim, side } => hypercube_tables(&rb.adj, dim, side, &dead),
             };
-            RouterNet::new(rb.adj, tables, dead, &rb.vcs)
+            // Wormhole deadlock freedom rests on an acyclic
+            // channel-dependency graph. `RouterNet::new` runs the proof
+            // itself and degrades cut-through to store-and-forward when
+            // it fails (notably the cluster-hypercube's e-cube tables,
+            // whose anchor-corner walks close cross-route cycles).
+            RouterNet::new(rb.adj, tables, dead, &rb.vcs, router_cfg)
         });
         let hot = NodeHot {
             scheduled: vec![false; n],
@@ -678,6 +689,16 @@ impl Network {
     /// Host-side observability only — never part of fingerprints.
     pub fn router_stats(&self) -> Option<RouterStats> {
         self.router.as_ref().map(RouterNet::stats)
+    }
+
+    /// Whether wormhole cut-through forwarding is *currently* active:
+    /// `Some(true)` only when the router was configured for
+    /// [`crate::Switching::Wormhole`] and its live tables carry an
+    /// acyclic channel-dependency graph (the deadlock-freedom proof —
+    /// re-run at every wire-death rebuild, so this can flip to
+    /// `Some(false)` mid-run). `None` unless routed.
+    pub fn router_cut_through(&self) -> Option<bool> {
+        self.router.as_ref().map(RouterNet::cut_through)
     }
 
     /// Whether the router's *current* tables connect `from` to `to`
@@ -1044,7 +1065,11 @@ impl Network {
                 // is in flight; any other first arrival is a data packet.
                 // In routed mode the CPUs' transmit state says nothing
                 // about the wires (the routers own them), so assume the
-                // faster packet.
+                // faster packet. That single-frame term is already the
+                // header-latency bound wormhole cut-through needs: a
+                // relayed byte still costs one full frame per wire, so
+                // the routed windows keep their length in both switching
+                // modes.
                 let hop_in = if self.router.is_some() {
                     self.ack_ns.min(self.data_ns)
                 } else if self.hot.tx_flight[m] != 0 {
@@ -1074,7 +1099,9 @@ impl Network {
             // The first packet the peer could land on this node: an
             // acknowledge if our byte is on the wire, else a data byte.
             // Routed wires belong to the routers, whose transmit state
-            // the CPU mirror does not track: assume the faster packet.
+            // the CPU mirror does not track: assume the faster packet
+            // (which is also the wormhole header-latency bound — a
+            // cut-through relay still pays one full frame per wire).
             let hop = if self.router.is_some() {
                 self.ack_ns.min(self.data_ns)
             } else if self.hot.tx_flight[node] & (1 << port) != 0 {

@@ -8,7 +8,7 @@ use transputer_link::FaultPlan;
 use transputer_net::topology::{grid_adjacency, grid_edge_wire, PORT_NORTH, PORT_SOUTH};
 use transputer_net::{
     adjacency_add_wire, hypercube_adjacency, Engine, Network, NetworkBuilder, NetworkConfig,
-    NodeId, SimOutcome,
+    NodeId, RouterConfig, SimOutcome, Switching,
 };
 
 /// Send each word as one four-byte message out link port 0, then halt.
@@ -432,4 +432,294 @@ fn router_stats_count_packets() {
     assert!(stats.mean_hop_ns() > 0);
     // Reachability queries: everything reachable on a healthy chain.
     assert!(net.route_reachable(0, 2) && net.route_reachable(2, 0));
+}
+
+/// The forwarding-capacity bound is configuration, not a constant:
+/// capacity 1 (maximal parking) and capacity 32 (no backpressure at
+/// this scale) both deliver the full stream, bit-identically across
+/// engines — at different wire schedules, which the per-capacity
+/// fingerprints pin.
+#[test]
+fn forward_capacity_bounds_stay_deterministic() {
+    let words: Vec<i64> = (1..=9).map(|w| w * 0x101).collect();
+    let mut fingerprints = Vec::new();
+    for capacity in [1usize, 32] {
+        let mut reference = None;
+        for engine in ENGINES {
+            let mut b = NetworkBuilder::new(NetworkConfig {
+                engine,
+                router: RouterConfig {
+                    forward_capacity: capacity,
+                    ..RouterConfig::default()
+                },
+                ..NetworkConfig::default()
+            });
+            for _ in 0..3 {
+                b.add_node();
+            }
+            b.enable_router(grid_adjacency(3, 1));
+            b.add_vc((0, 0), (2, 0));
+            let mut net = b.build();
+            net.node_mut(0)
+                .load_boot_program(&sender_words(&words))
+                .unwrap();
+            net.node_mut(1).load_boot_program(&halting()).unwrap();
+            net.node_mut(2)
+                .load_boot_program(&receiver_words(words.len() as i64))
+                .unwrap();
+            let out = net.run_until_all_halted(1_000_000_000).unwrap();
+            assert_eq!(out, SimOutcome::AllHalted, "cap {capacity} {engine:?}");
+            let got = fingerprint(&mut net, &[(2, 1), (2, 9)]);
+            assert_eq!(got.2, vec![0x101, 0x909], "cap {capacity} {engine:?}");
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "cap {capacity} {engine:?} diverged"),
+            }
+        }
+        fingerprints.push(reference.unwrap());
+    }
+    assert_ne!(
+        fingerprints[0].0, fingerprints[1].0,
+        "capacity 1 must actually park (different wire schedule, different cycles)"
+    );
+}
+
+/// Wormhole mode on a transit chain: same answers and the same
+/// per-wire byte totals as store-and-forward, but each transit node
+/// starts retransmitting at header decode instead of after full
+/// reassembly — the receiver halts earlier and the measured
+/// header-forwarding hop latency collapses.
+#[test]
+fn wormhole_cuts_through_a_transit_chain() {
+    // One packet on a quiescent chain: the hop measurements are pure
+    // forwarding latency, with no injection waits or busy-port
+    // store-and-forward fallbacks blurring the comparison.
+    let words: Vec<i64> = vec![0x0BED_1111];
+    let mut per_mode = Vec::new();
+    for switching in [Switching::StoreAndForward, Switching::Wormhole] {
+        let mut reference = None;
+        let mut stats = None;
+        let mut end_ns = 0;
+        for engine in ENGINES {
+            let mut b = NetworkBuilder::new(NetworkConfig {
+                engine,
+                router: RouterConfig {
+                    switching,
+                    ..RouterConfig::default()
+                },
+                ..NetworkConfig::default()
+            });
+            for _ in 0..5 {
+                b.add_node();
+            }
+            b.enable_router(grid_adjacency(5, 1));
+            b.add_vc((0, 0), (4, 0));
+            let mut net = b.build();
+            net.node_mut(0)
+                .load_boot_program(&sender_words(&words))
+                .unwrap();
+            for n in 1..4 {
+                net.node_mut(n).load_boot_program(&halting()).unwrap();
+            }
+            net.node_mut(4)
+                .load_boot_program(&receiver_words(words.len() as i64))
+                .unwrap();
+            let out = net.run_until_all_halted(1_000_000_000).unwrap();
+            assert_eq!(out, SimOutcome::AllHalted, "{switching:?} {engine:?}");
+            let got = fingerprint(&mut net, &[(4, 1)]);
+            assert_eq!(got.2, vec![0x0BED_1111], "{switching:?} {engine:?}");
+            // Every byte still crosses every hop exactly once.
+            let total: u64 = got.1.iter().map(|&(a, b)| a + b).sum();
+            assert_eq!(total, 8 * 4, "{switching:?} {engine:?}");
+            stats = net.router_stats();
+            end_ns = net.time_ns();
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "{switching:?} {engine:?} diverged"),
+            }
+        }
+        per_mode.push((reference.unwrap(), stats.unwrap(), end_ns));
+    }
+    let (ref _sf, sf_stats, sf_end) = per_mode[0];
+    let (ref _worm, worm_stats, worm_end) = per_mode[1];
+    assert!(
+        worm_end < sf_end,
+        "the message must complete earlier under wormhole ({worm_end} vs {sf_end} ns)"
+    );
+    assert!(
+        sf_stats.mean_hop_ns() >= 2 * worm_stats.mean_hop_ns(),
+        "cut-through must at least halve mean header-forwarding latency \
+         (sf {} ns vs wormhole {} ns)",
+        sf_stats.mean_hop_ns(),
+        worm_stats.mean_hop_ns()
+    );
+    assert!(
+        sf_stats.p50_hop_ns() >= 2 * worm_stats.p50_hop_ns(),
+        "p50 must collapse too (sf {} ns vs wormhole {} ns)",
+        sf_stats.p50_hop_ns(),
+        worm_stats.p50_hop_ns()
+    );
+    assert_eq!(worm_stats.packets_forwarded, sf_stats.packets_forwarded);
+    assert_eq!(worm_stats.packets_delivered, sf_stats.packets_delivered);
+}
+
+/// Wormhole against a receiver that never inputs: the flit-credit
+/// window stalls the stream without unbounded buffering, every engine
+/// deadlocks on the identical wire state.
+#[test]
+fn wormhole_backpressure_stays_bounded() {
+    let mut reference = None;
+    for engine in ENGINES {
+        let mut b = NetworkBuilder::new(NetworkConfig {
+            engine,
+            router: RouterConfig {
+                switching: Switching::Wormhole,
+                ..RouterConfig::default()
+            },
+            ..NetworkConfig::default()
+        });
+        for _ in 0..3 {
+            b.add_node();
+        }
+        b.enable_router(grid_adjacency(3, 1));
+        b.add_vc((0, 0), (2, 0));
+        let mut net = b.build();
+        let words: Vec<i64> = (1..=24).collect();
+        net.node_mut(0)
+            .load_boot_program(&sender_words(&words))
+            .unwrap();
+        net.node_mut(1).load_boot_program(&halting()).unwrap();
+        net.node_mut(2).load_boot_program(&halting()).unwrap();
+        let out = net.run_until_all_halted(1_000_000_000).unwrap();
+        assert_eq!(out, SimOutcome::Deadlock, "{engine:?}");
+        let got = fingerprint(&mut net, &[]);
+        let total: u64 = got.1.iter().map(|&(a, b)| a + b).sum();
+        assert!(
+            total < 16 * 8,
+            "bounded buffering must stall the sender well short of the \
+             full stream ({total} bytes crossed, {engine:?})"
+        );
+        assert!(
+            net.node(0).halt_reason().is_none(),
+            "the sender must still be blocked mid-message ({engine:?})"
+        );
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{engine:?} diverged"),
+        }
+    }
+}
+
+/// Wormhole under the robust protocol with heavy corruption: retried
+/// flits, credit returns riding repeated acknowledges — every engine
+/// and worker count lands on one bit-identical outcome.
+#[test]
+fn wormhole_faulted_runs_are_engine_and_worker_invariant() {
+    let mut reference = None;
+    let mut run = |engine: Engine, workers: Option<usize>| {
+        let mut b = NetworkBuilder::new(NetworkConfig {
+            engine,
+            fault: Some(FaultPlan::uniform(1985, 0.05)),
+            router: RouterConfig {
+                switching: Switching::Wormhole,
+                ..RouterConfig::default()
+            },
+            ..NetworkConfig::default()
+        });
+        for _ in 0..4 {
+            b.add_node();
+        }
+        b.enable_router(grid_adjacency(4, 1));
+        b.add_vc((0, 0), (3, 0));
+        let mut net = b.build();
+        net.node_mut(0)
+            .load_boot_program(&sender_words(&[0x7E57_7E57, 0x000D_A7A5]))
+            .unwrap();
+        net.node_mut(1).load_boot_program(&halting()).unwrap();
+        net.node_mut(2).load_boot_program(&halting()).unwrap();
+        net.node_mut(3)
+            .load_boot_program(&receiver_words(2))
+            .unwrap();
+        if let Some(w) = workers {
+            net.set_par_workers(w);
+        }
+        let out = net.run_until_all_halted(1_000_000_000).unwrap();
+        assert_eq!(out, SimOutcome::AllHalted, "{engine:?} {workers:?}");
+        let got = fingerprint(&mut net, &[(3, 1), (3, 2)]);
+        assert_eq!(
+            got.2,
+            vec![0x7E57_7E57, 0x000D_A7A5],
+            "{engine:?} {workers:?}"
+        );
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{engine:?} {workers:?} diverged"),
+        }
+    };
+    for engine in ENGINES {
+        run(engine, None);
+    }
+    for workers in [1, 2, 3, 7] {
+        run(Engine::Parallel, Some(workers));
+    }
+}
+
+/// A wire dies under an active cut-through stream: the packet is cut at
+/// the break, the relay chain is torn down hop by hop (sequence bits
+/// realigned, in-flight bytes swallowed), the partial image upstream of
+/// the break folds back into reassembly and reroutes — and the whole
+/// message still arrives, identically on every engine and worker count.
+#[test]
+fn wormhole_stream_cut_by_wire_death_reroutes_identically() {
+    // 3x2 grid, sender at 0, receiver at 2: the direct route is
+    // 0 -> 1 -> 2 with a cut-through relay at node 1. The 1-2 edge dies
+    // mid-stream; the rebuilt tables detour 1 -> 4 -> 5 -> 2.
+    let dying = grid_edge_wire(3, 2, 1, 0, true);
+    let words: Vec<i64> = vec![0x0A11, 0x0B22, 0x0C33, 0x0D44];
+    let mut reference = None;
+    let mut run = |engine: Engine, workers: Option<usize>| {
+        let mut b = NetworkBuilder::new(NetworkConfig {
+            engine,
+            fault: Some(FaultPlan::uniform(1, 0.0).with_dead_link(dying, 5_000)),
+            router: RouterConfig {
+                switching: Switching::Wormhole,
+                ..RouterConfig::default()
+            },
+            ..NetworkConfig::default()
+        });
+        for _ in 0..6 {
+            b.add_node();
+        }
+        b.enable_router(grid_adjacency(3, 2));
+        b.add_vc((0, 0), (2, 0));
+        let mut net = b.build();
+        net.node_mut(0)
+            .load_boot_program(&sender_words(&words))
+            .unwrap();
+        net.node_mut(2)
+            .load_boot_program(&receiver_words(words.len() as i64))
+            .unwrap();
+        for n in [1usize, 3, 4, 5] {
+            net.node_mut(n).load_boot_program(&halting()).unwrap();
+        }
+        if let Some(w) = workers {
+            net.set_par_workers(w);
+        }
+        let out = net.run_until_all_halted(1_000_000_000).unwrap();
+        assert_eq!(out, SimOutcome::AllHalted, "{engine:?} {workers:?}");
+        assert!(net.any_link_failed(), "the hop must actually die mid-run");
+        let got = fingerprint(&mut net, &[(2, 1), (2, 2), (2, 3), (2, 4)]);
+        let want: Vec<u32> = words.iter().map(|&w| w as u32).collect();
+        assert_eq!(got.2, want, "{engine:?} {workers:?}");
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "{engine:?} {workers:?} diverged"),
+        }
+    };
+    for engine in ENGINES {
+        run(engine, None);
+    }
+    for workers in [1, 2, 3, 7] {
+        run(Engine::Parallel, Some(workers));
+    }
 }
